@@ -1,0 +1,79 @@
+//! Micro-benchmarks for the filter tree and the lattice index: candidate
+//! search with the tree versus a full scan of the view set, at several
+//! view counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_bench::{build_workload, engine_with};
+use mv_core::{ExprSummary, LatticeIndex, MatchConfig};
+use std::hint::black_box;
+
+fn bench_candidates(c: &mut Criterion) {
+    let workload = build_workload(1000, 8);
+    let mut group = c.benchmark_group("candidate_search");
+    for &n in &[100usize, 400, 1000] {
+        let with_tree = engine_with(&workload, n, MatchConfig::default());
+        let without = engine_with(
+            &workload,
+            n,
+            MatchConfig {
+                use_filter_tree: false,
+                ..MatchConfig::default()
+            },
+        );
+        let queries: Vec<_> = workload.queries.iter().take(8).collect();
+        group.bench_with_input(BenchmarkId::new("filter_tree", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    let qsum = ExprSummary::analyze(q);
+                    black_box(with_tree.candidates(q, &qsum));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("full_scan_then_match", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(without.find_substitutes(q));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("filter_then_match", n), &n, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(with_tree.find_substitutes(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_lattice(c: &mut Criterion) {
+    // A lattice of 1000 random small sets over a 64-token universe.
+    let mut idx: LatticeIndex<u64, usize> = LatticeIndex::new();
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..1000 {
+        let len = (next() % 5 + 1) as usize;
+        let key: Vec<u64> = (0..len).map(|_| next() % 64).collect();
+        idx.insert(key, i);
+    }
+    let probe: Vec<u64> = vec![3, 17, 42, 55];
+    c.bench_function("lattice_find_subsets_1000", |b| {
+        b.iter(|| black_box(idx.find_subsets(black_box(&probe))))
+    });
+    c.bench_function("lattice_find_supersets_1000", |b| {
+        b.iter(|| black_box(idx.find_supersets(black_box(&probe[..2]))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_candidates, bench_lattice
+}
+criterion_main!(benches);

@@ -1,0 +1,130 @@
+//! Micro-benchmarks for the matcher itself: summary analysis, a full
+//! match that succeeds (with compensations), and one that fails early.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mv_core::{matching::match_view, ExprSummary, MatchConfig};
+use mv_expr::{BinOp, BoolExpr, CmpOp, ColRef, ScalarExpr as S};
+use mv_plan::{NamedExpr, SpjgExpr, ViewDef, ViewId};
+use std::hint::black_box;
+
+fn cr(occ: u32, col: u32) -> ColRef {
+    ColRef::new(occ, col)
+}
+
+/// The Example 2 pair: a three-table view and query with equality,
+/// range and residual compensations.
+fn example2() -> (SpjgExpr, SpjgExpr) {
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    let view_pred = BoolExpr::and(vec![
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        BoolExpr::col_eq(cr(0, 1), cr(2, 0)),
+        BoolExpr::cmp(S::col(cr(2, 0)), CmpOp::Gt, S::lit(150i64)),
+        BoolExpr::cmp(S::col(cr(1, 1)), CmpOp::Gt, S::lit(50i64)),
+        BoolExpr::cmp(S::col(cr(1, 1)), CmpOp::Lt, S::lit(500i64)),
+        BoolExpr::Like {
+            expr: S::col(cr(2, 1)),
+            pattern: "%abc%".into(),
+            negated: false,
+        },
+    ]);
+    let outs = |cols: &[(u32, u32)]| {
+        cols.iter()
+            .enumerate()
+            .map(|(i, &(o, c))| NamedExpr::new(S::col(cr(o, c)), format!("c{i}")))
+            .collect::<Vec<_>>()
+    };
+    let view = SpjgExpr::spj(
+        vec![t.lineitem, t.orders, t.part],
+        view_pred,
+        outs(&[(0, 0), (0, 1), (1, 1), (1, 4), (0, 10), (0, 4), (0, 5)]),
+    );
+    let query_pred = BoolExpr::and(vec![
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        BoolExpr::col_eq(cr(0, 1), cr(2, 0)),
+        BoolExpr::col_eq(cr(1, 4), cr(0, 10)),
+        BoolExpr::cmp(S::col(cr(2, 0)), CmpOp::Gt, S::lit(150i64)),
+        BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Lt, S::lit(160i64)),
+        BoolExpr::cmp(S::col(cr(1, 1)), CmpOp::Eq, S::lit(123i64)),
+        BoolExpr::Like {
+            expr: S::col(cr(2, 1)),
+            pattern: "%abc%".into(),
+            negated: false,
+        },
+        BoolExpr::cmp(
+            S::col(cr(0, 4)).binary(BinOp::Mul, S::col(cr(0, 5))),
+            CmpOp::Gt,
+            S::lit(100i64),
+        ),
+    ]);
+    let query = SpjgExpr::spj(
+        vec![t.lineitem, t.orders, t.part],
+        query_pred,
+        outs(&[(0, 0), (0, 1)]),
+    );
+    (query, view)
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let (cat, _) = mv_catalog::tpch::tpch_catalog();
+    let (query, view_expr) = example2();
+    let config = MatchConfig::default();
+    let qsum = ExprSummary::analyze(&query);
+    let vdef = ViewDef::new("v", view_expr.clone());
+    let vsum = ExprSummary::analyze(&view_expr);
+
+    c.bench_function("summary_analyze_3table", |b| {
+        b.iter(|| ExprSummary::analyze(black_box(&query)))
+    });
+
+    c.bench_function("match_view_hit_with_compensation", |b| {
+        b.iter(|| {
+            match_view(
+                black_box(&cat),
+                &config,
+                &query,
+                &qsum,
+                ViewId(0),
+                &vdef,
+                &vsum,
+            )
+        })
+    });
+
+    // A failing match: the view's range is too narrow (early rejection in
+    // the range subsumption test).
+    let mut narrow = view_expr.clone();
+    for conj in &mut narrow.conjuncts {
+        if let mv_expr::Conjunct::Range {
+            op: CmpOp::Gt,
+            value,
+            ..
+        } = conj
+        {
+            if *value == mv_catalog::Value::Int(50) {
+                *value = mv_catalog::Value::Int(400);
+            }
+        }
+    }
+    let ndef = ViewDef::new("narrow", narrow.clone());
+    let nsum = ExprSummary::analyze(&narrow);
+    c.bench_function("match_view_miss_range", |b| {
+        b.iter(|| {
+            match_view(
+                black_box(&cat),
+                &config,
+                &query,
+                &qsum,
+                ViewId(0),
+                &ndef,
+                &nsum,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_matching
+}
+criterion_main!(benches);

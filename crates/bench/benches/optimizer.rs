@@ -1,0 +1,32 @@
+//! Micro-benchmarks for whole-query optimization with and without views —
+//! the per-query version of the paper's Figure 2 measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mv_bench::{build_workload, engine_with};
+use mv_core::MatchConfig;
+use mv_optimizer::{Optimizer, OptimizerConfig};
+use std::hint::black_box;
+
+fn bench_optimize(c: &mut Criterion) {
+    let workload = build_workload(1000, 30);
+    let mut group = c.benchmark_group("optimize_30_queries");
+    for &n in &[0usize, 100, 1000] {
+        let engine = engine_with(&workload, n, MatchConfig::default());
+        group.bench_with_input(BenchmarkId::new("views", n), &n, |b, _| {
+            let optimizer = Optimizer::new(&engine, OptimizerConfig::default());
+            b.iter(|| {
+                for q in &workload.queries {
+                    black_box(optimizer.optimize(q));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_optimize
+}
+criterion_main!(benches);

@@ -1,0 +1,175 @@
+//! Per-table and per-column statistics.
+//!
+//! The view-matching algorithm itself never consults statistics — one of the
+//! paper's design points is that matching is purely structural. Statistics
+//! feed two other parts of the reproduction:
+//!
+//! * the cost model of the Cascades-style optimizer (picking among the
+//!   substitutes that matching produced), and
+//! * the workload generator of section 5, which adds range predicates to a
+//!   view "until the estimated cardinality of the SPJ part of the result was
+//!   within 25-75% of the largest table included".
+
+use crate::types::Value;
+
+/// Statistics for one column.
+#[derive(Debug, Clone)]
+pub struct ColumnStats {
+    /// Smallest non-null value observed.
+    pub min: Value,
+    /// Largest non-null value observed.
+    pub max: Value,
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Fraction of rows that are NULL in this column.
+    pub null_fraction: f64,
+}
+
+impl ColumnStats {
+    /// Stats for a column with no usable information (e.g. all NULL).
+    pub fn unknown() -> Self {
+        ColumnStats {
+            min: Value::Null,
+            max: Value::Null,
+            ndv: 0,
+            null_fraction: 0.0,
+        }
+    }
+
+    /// Estimated selectivity of `column = constant` under uniformity.
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.ndv == 0 {
+            1.0
+        } else {
+            (1.0 - self.null_fraction) / self.ndv as f64
+        }
+    }
+
+    /// Estimated selectivity of restricting the column to `[lo, hi]` where
+    /// the bounds are expressed as fractions of the observed value span.
+    ///
+    /// Returns `None` when the column is non-numeric-like (no interpolation
+    /// possible), in which case callers should fall back to a default guess.
+    pub fn range_selectivity(&self, lo: &Value, hi: &Value) -> Option<f64> {
+        let (min, max) = (self.numeric(&self.min)?, self.numeric(&self.max)?);
+        if max <= min {
+            return Some(1.0);
+        }
+        let lo = self.numeric(lo)?.clamp(min, max);
+        let hi = self.numeric(hi)?.clamp(min, max);
+        if hi < lo {
+            return Some(0.0);
+        }
+        Some(((hi - lo) / (max - min)).clamp(0.0, 1.0) * (1.0 - self.null_fraction))
+    }
+
+    fn numeric(&self, v: &Value) -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Date(d) => Some(*d as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone)]
+pub struct TableStats {
+    /// Row count.
+    pub rows: u64,
+    /// Per-column stats, indexed by column position.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats declaring `rows` rows and unknown column distributions.
+    pub fn with_unknown_columns(rows: u64, n_columns: usize) -> Self {
+        TableStats {
+            rows,
+            columns: (0..n_columns).map(|_| ColumnStats::unknown()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_stats(min: i64, max: i64, ndv: u64) -> ColumnStats {
+        ColumnStats {
+            min: Value::Int(min),
+            max: Value::Int(max),
+            ndv,
+            null_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn eq_selectivity_uniform() {
+        let s = int_stats(1, 100, 100);
+        assert!((s.eq_selectivity() - 0.01).abs() < 1e-12);
+        assert_eq!(ColumnStats::unknown().eq_selectivity(), 1.0);
+    }
+
+    #[test]
+    fn range_selectivity_interpolates() {
+        let s = int_stats(0, 100, 100);
+        let sel = s
+            .range_selectivity(&Value::Int(25), &Value::Int(75))
+            .unwrap();
+        assert!((sel - 0.5).abs() < 1e-12);
+        // Clamped to the observed span.
+        let sel = s
+            .range_selectivity(&Value::Int(-50), &Value::Int(50))
+            .unwrap();
+        assert!((sel - 0.5).abs() < 1e-12);
+        // Empty interval.
+        let sel = s
+            .range_selectivity(&Value::Int(80), &Value::Int(20))
+            .unwrap();
+        assert_eq!(sel, 0.0);
+    }
+
+    #[test]
+    fn range_selectivity_on_dates() {
+        let s = ColumnStats {
+            min: Value::Date(0),
+            max: Value::Date(1000),
+            ndv: 1000,
+            null_fraction: 0.0,
+        };
+        let sel = s
+            .range_selectivity(&Value::Date(0), &Value::Date(100))
+            .unwrap();
+        assert!((sel - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn range_selectivity_strings_unknown() {
+        let s = ColumnStats {
+            min: Value::Str("a".into()),
+            max: Value::Str("z".into()),
+            ndv: 26,
+            null_fraction: 0.0,
+        };
+        assert!(s
+            .range_selectivity(&Value::Str("a".into()), &Value::Str("m".into()))
+            .is_none());
+    }
+
+    #[test]
+    fn null_fraction_scales_selectivity() {
+        let s = ColumnStats {
+            min: Value::Int(0),
+            max: Value::Int(10),
+            ndv: 10,
+            null_fraction: 0.5,
+        };
+        let sel = s
+            .range_selectivity(&Value::Int(0), &Value::Int(10))
+            .unwrap();
+        assert!((sel - 0.5).abs() < 1e-12);
+        assert!((s.eq_selectivity() - 0.05).abs() < 1e-12);
+    }
+}

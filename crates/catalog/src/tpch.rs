@@ -1,0 +1,272 @@
+//! The TPC-H/R schema with full constraint declarations.
+//!
+//! Every worked example in the paper (Examples 1-4) and the entire
+//! experimental evaluation (section 5) run against TPC-H, so we declare the
+//! complete eight-table schema including the primary keys and foreign keys
+//! the benchmark specification mandates. The foreign-key graph is exactly
+//! what drives the cardinality-preserving-join analysis of section 3.2:
+//!
+//! ```text
+//!   lineitem -> orders -> customer -> nation -> region
+//!   lineitem -> part
+//!   lineitem -> supplier -> nation
+//!   lineitem -> partsupp -> part
+//!                partsupp -> supplier
+//! ```
+
+use crate::schema::{Catalog, ForeignKey, TableBuilder, TableId};
+use crate::types::ColumnType::{Date, Float, Int, Str};
+
+/// Table ids of the TPC-H tables inside the catalog built by
+/// [`tpch_catalog`], for convenient direct access.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchTables {
+    pub region: TableId,
+    pub nation: TableId,
+    pub supplier: TableId,
+    pub customer: TableId,
+    pub part: TableId,
+    pub partsupp: TableId,
+    pub orders: TableId,
+    pub lineitem: TableId,
+}
+
+impl TpchTables {
+    /// All eight table ids, biggest-to-smallest by TPC-H row counts.
+    pub fn all(&self) -> [TableId; 8] {
+        [
+            self.lineitem,
+            self.orders,
+            self.partsupp,
+            self.part,
+            self.customer,
+            self.supplier,
+            self.nation,
+            self.region,
+        ]
+    }
+}
+
+/// Build the TPC-H schema and return the catalog together with the table
+/// handles.
+pub fn tpch_catalog() -> (Catalog, TpchTables) {
+    let mut cat = Catalog::new();
+
+    let region = cat.add_table(
+        TableBuilder::new("region")
+            .col("r_regionkey", Int)
+            .col("r_name", Str)
+            .col("r_comment", Str)
+            .primary_key(&["r_regionkey"])
+            .build(),
+    );
+
+    let nation = cat.add_table(
+        TableBuilder::new("nation")
+            .col("n_nationkey", Int)
+            .col("n_name", Str)
+            .col("n_regionkey", Int)
+            .col("n_comment", Str)
+            .primary_key(&["n_nationkey"])
+            .build(),
+    );
+
+    let supplier = cat.add_table(
+        TableBuilder::new("supplier")
+            .col("s_suppkey", Int)
+            .col("s_name", Str)
+            .col("s_address", Str)
+            .col("s_nationkey", Int)
+            .col("s_phone", Str)
+            .col("s_acctbal", Float)
+            .col("s_comment", Str)
+            .primary_key(&["s_suppkey"])
+            .build(),
+    );
+
+    let customer = cat.add_table(
+        TableBuilder::new("customer")
+            .col("c_custkey", Int)
+            .col("c_name", Str)
+            .col("c_address", Str)
+            .col("c_nationkey", Int)
+            .col("c_phone", Str)
+            .col("c_acctbal", Float)
+            .col("c_mktsegment", Str)
+            .col("c_comment", Str)
+            .primary_key(&["c_custkey"])
+            .build(),
+    );
+
+    let part = cat.add_table(
+        TableBuilder::new("part")
+            .col("p_partkey", Int)
+            .col("p_name", Str)
+            .col("p_mfgr", Str)
+            .col("p_brand", Str)
+            .col("p_type", Str)
+            .col("p_size", Int)
+            .col("p_container", Str)
+            .col("p_retailprice", Float)
+            .col("p_comment", Str)
+            .primary_key(&["p_partkey"])
+            .build(),
+    );
+
+    let partsupp = cat.add_table(
+        TableBuilder::new("partsupp")
+            .col("ps_partkey", Int)
+            .col("ps_suppkey", Int)
+            .col("ps_availqty", Int)
+            .col("ps_supplycost", Float)
+            .col("ps_comment", Str)
+            .primary_key(&["ps_partkey", "ps_suppkey"])
+            .build(),
+    );
+
+    let orders = cat.add_table(
+        TableBuilder::new("orders")
+            .col("o_orderkey", Int)
+            .col("o_custkey", Int)
+            .col("o_orderstatus", Str)
+            .col("o_totalprice", Float)
+            .col("o_orderdate", Date)
+            .col("o_orderpriority", Str)
+            .col("o_clerk", Str)
+            .col("o_shippriority", Int)
+            .col("o_comment", Str)
+            .primary_key(&["o_orderkey"])
+            .build(),
+    );
+
+    let lineitem = cat.add_table(
+        TableBuilder::new("lineitem")
+            .col("l_orderkey", Int)
+            .col("l_partkey", Int)
+            .col("l_suppkey", Int)
+            .col("l_linenumber", Int)
+            .col("l_quantity", Float)
+            .col("l_extendedprice", Float)
+            .col("l_discount", Float)
+            .col("l_tax", Float)
+            .col("l_returnflag", Str)
+            .col("l_linestatus", Str)
+            .col("l_shipdate", Date)
+            .col("l_commitdate", Date)
+            .col("l_receiptdate", Date)
+            .col("l_shipinstruct", Str)
+            .col("l_shipmode", Str)
+            .col("l_comment", Str)
+            .primary_key(&["l_orderkey", "l_linenumber"])
+            .build(),
+    );
+
+    let fk = |cat: &mut Catalog, name: &str, from: TableId, fc: &[&str], to: TableId, tc: &[&str]| {
+        let from_columns = fc
+            .iter()
+            .map(|n| cat.table(from).column_by_name(n).expect("fk column").0)
+            .collect();
+        let to_columns = tc
+            .iter()
+            .map(|n| cat.table(to).column_by_name(n).expect("fk column").0)
+            .collect();
+        cat.add_foreign_key(ForeignKey {
+            name: name.to_string(),
+            from_table: from,
+            from_columns,
+            to_table: to,
+            to_columns,
+        });
+    };
+
+    fk(&mut cat, "nation_region", nation, &["n_regionkey"], region, &["r_regionkey"]);
+    fk(&mut cat, "supplier_nation", supplier, &["s_nationkey"], nation, &["n_nationkey"]);
+    fk(&mut cat, "customer_nation", customer, &["c_nationkey"], nation, &["n_nationkey"]);
+    fk(&mut cat, "partsupp_part", partsupp, &["ps_partkey"], part, &["p_partkey"]);
+    fk(&mut cat, "partsupp_supplier", partsupp, &["ps_suppkey"], supplier, &["s_suppkey"]);
+    fk(&mut cat, "orders_customer", orders, &["o_custkey"], customer, &["c_custkey"]);
+    fk(&mut cat, "lineitem_orders", lineitem, &["l_orderkey"], orders, &["o_orderkey"]);
+    fk(&mut cat, "lineitem_part", lineitem, &["l_partkey"], part, &["p_partkey"]);
+    fk(&mut cat, "lineitem_supplier", lineitem, &["l_suppkey"], supplier, &["s_suppkey"]);
+    fk(
+        &mut cat,
+        "lineitem_partsupp",
+        lineitem,
+        &["l_partkey", "l_suppkey"],
+        partsupp,
+        &["ps_partkey", "ps_suppkey"],
+    );
+
+    (
+        cat,
+        TpchTables {
+            region,
+            nation,
+            supplier,
+            customer,
+            part,
+            partsupp,
+            orders,
+            lineitem,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_present() {
+        let (cat, t) = tpch_catalog();
+        assert_eq!(cat.table_count(), 8);
+        for name in [
+            "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+        ] {
+            assert!(cat.table_by_name(name).is_some(), "missing {name}");
+        }
+        assert_eq!(cat.table(t.lineitem).columns.len(), 16);
+        assert_eq!(cat.table(t.orders).columns.len(), 9);
+    }
+
+    #[test]
+    fn foreign_key_graph_shape() {
+        let (cat, t) = tpch_catalog();
+        assert_eq!(cat.foreign_keys().count(), 10);
+        // lineitem has four outgoing FKs.
+        assert_eq!(cat.foreign_keys_from(t.lineitem).count(), 4);
+        // region has none.
+        assert_eq!(cat.foreign_keys_from(t.region).count(), 0);
+        // All TPC-H foreign keys are over NOT NULL columns.
+        for (id, _) in cat.foreign_keys() {
+            assert!(cat.fk_is_non_null(id));
+        }
+    }
+
+    #[test]
+    fn composite_keys() {
+        let (cat, t) = tpch_catalog();
+        let li = cat.table(t.lineitem);
+        let ok = li.column_by_name("l_orderkey").unwrap().0;
+        let ln = li.column_by_name("l_linenumber").unwrap().0;
+        assert!(li.is_key(&[ok, ln]));
+        assert!(!li.covers_key(&[ok]));
+        let ps = cat.table(t.partsupp);
+        let pk = ps.column_by_name("ps_partkey").unwrap().0;
+        let sk = ps.column_by_name("ps_suppkey").unwrap().0;
+        assert!(ps.is_key(&[pk, sk]));
+    }
+
+    #[test]
+    fn composite_fk_lineitem_partsupp() {
+        let (cat, t) = tpch_catalog();
+        let fk = cat
+            .foreign_keys()
+            .find(|(_, fk)| fk.name == "lineitem_partsupp")
+            .unwrap()
+            .1;
+        assert_eq!(fk.from_table, t.lineitem);
+        assert_eq!(fk.to_table, t.partsupp);
+        assert_eq!(fk.from_columns.len(), 2);
+    }
+}

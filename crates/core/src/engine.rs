@@ -1,0 +1,738 @@
+//! The matching engine: view registration, filter-tree maintenance, and
+//! the `find_substitutes` entry point that a transformation-based optimizer
+//! invokes as its view-matching rule.
+
+use crate::filter::{FilterTree, LevelSearch};
+use crate::fkgraph::{build_fk_graph, compute_hub};
+use crate::matching::{match_view, MatchConfig};
+use crate::stats::MatchStats;
+use crate::summary::ExprSummary;
+use mv_catalog::{Catalog, ColumnId, TableId};
+use mv_expr::{classify, BoolExpr, ColRef, Conjunct, OccId, Template};
+use mv_plan::{AggFunc, SpjgExpr, Substitute, ViewDef, ViewId, ViewSet};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Number of filter-tree levels for SPJ views (hub, source tables, output
+/// expressions, output columns, residual predicates, range-constrained
+/// columns).
+const SPJ_LEVELS: usize = 6;
+/// Aggregation views add grouping expressions and grouping columns.
+const AGG_LEVELS: usize = 8;
+
+/// String interner mapping template texts to filter-key tokens.
+#[derive(Debug, Default)]
+struct Interner {
+    map: HashMap<String, u64>,
+}
+
+impl Interner {
+    fn intern(&mut self, s: &str) -> u64 {
+        let next = self.map.len() as u64;
+        *self.map.entry(s.to_string()).or_insert(next)
+    }
+}
+
+/// Token for a base table.
+fn table_token(t: TableId) -> u64 {
+    t.0 as u64
+}
+
+/// Token for a base-qualified column. The filter tree compares columns at
+/// the base-table level (not per occurrence), which is exact for
+/// expressions without self-joins and conservative (never drops a valid
+/// candidate) with them.
+fn col_token(table: TableId, col: ColumnId) -> u64 {
+    ((table.0 as u64) << 32) | col.0 as u64
+}
+
+fn base_col_token(expr: &SpjgExpr, c: ColRef) -> u64 {
+    col_token(expr.table_of(c.occ), c.col)
+}
+
+/// The engine owning the view registry, per-view summaries, the filter
+/// trees and the instrumentation counters.
+#[derive(Debug)]
+pub struct MatchingEngine {
+    catalog: Catalog,
+    config: MatchConfig,
+    views: ViewSet,
+    summaries: Vec<ExprSummary>,
+    spj_tree: FilterTree,
+    agg_tree: FilterTree,
+    interner: RefCell<Interner>,
+    stats: RefCell<MatchStats>,
+    /// Check constraints per table, pre-classified, with column references
+    /// in table space (`occ = 0`).
+    checks: HashMap<TableId, Vec<Conjunct>>,
+    /// Views dropped with [`MatchingEngine::remove_view`]. Their slots (and
+    /// names) stay reserved; matching skips them.
+    removed: std::collections::HashSet<ViewId>,
+}
+
+impl MatchingEngine {
+    /// Create an engine over a schema.
+    pub fn new(catalog: Catalog, config: MatchConfig) -> Self {
+        MatchingEngine {
+            catalog,
+            config,
+            views: ViewSet::new(),
+            summaries: Vec::new(),
+            spj_tree: FilterTree::new(SPJ_LEVELS),
+            agg_tree: FilterTree::new(AGG_LEVELS),
+            interner: RefCell::new(Interner::default()),
+            stats: RefCell::new(MatchStats::default()),
+            checks: HashMap::new(),
+            removed: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Drop a view from matching: it is removed from its filter tree and
+    /// never considered again. The definition (and its name) stay
+    /// registered — this mirrors dropping a cached query result, the
+    /// intro's "cached results can be treated as temporary materialized
+    /// views" scenario, where entries come and go.
+    pub fn remove_view(&mut self, id: ViewId) -> bool {
+        if self.removed.contains(&id) || (id.0 as usize) >= self.views.len() {
+            return false;
+        }
+        let def = self.views.get(id);
+        let vsum = self.summaries[id.0 as usize].clone();
+        let keys = self.view_keys(&def.expr, &vsum);
+        let in_tree = if def.expr.is_aggregate() {
+            self.agg_tree.remove(&keys, id)
+        } else {
+            self.spj_tree.remove(&keys[..SPJ_LEVELS], id)
+        };
+        debug_assert!(in_tree, "registered view must be present in its tree");
+        self.removed.insert(id);
+        true
+    }
+
+    /// Number of live (non-removed) views.
+    pub fn live_view_count(&self) -> usize {
+        self.views.len() - self.removed.len()
+    }
+
+    /// Declare a check constraint on a base table. The predicate uses
+    /// `occ = 0` column references into the table. During matching, check
+    /// constraints are folded into the query's antecedent (section 3.1.2:
+    /// "check constraints on the tables of a query can be added to the
+    /// where-clause without changing the query result"), so view
+    /// predicates implied by a constraint no longer block matching.
+    pub fn add_check_constraint(
+        &mut self,
+        table: TableId,
+        predicate: BoolExpr,
+    ) -> Result<(), String> {
+        let n_cols = self.catalog.table(table).columns.len() as u32;
+        for c in predicate.columns() {
+            if c.occ != OccId(0) || c.col.0 >= n_cols {
+                return Err(format!(
+                    "check constraint column {c} out of range for table {}",
+                    self.catalog.table(table).name
+                ));
+            }
+        }
+        self.checks.entry(table).or_default().extend(classify(predicate));
+        Ok(())
+    }
+
+    /// Analyze a query, folding in check constraints when enabled.
+    pub fn query_summary(&self, query: &SpjgExpr) -> ExprSummary {
+        if !self.config.use_check_constraints || self.checks.is_empty() {
+            return ExprSummary::analyze(query);
+        }
+        let mut extras = Vec::new();
+        for (occ, table) in query.occurrences() {
+            if let Some(conjs) = self.checks.get(&table) {
+                for conj in conjs {
+                    extras.push(
+                        conj.try_map_columns(&mut |c| Some(ColRef { occ, col: c.col }))
+                            .expect("infallible remap"),
+                    );
+                }
+            }
+        }
+        ExprSummary::analyze_with_extras(query, &extras)
+    }
+
+    /// The schema.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &MatchConfig {
+        &self.config
+    }
+
+    /// The registered views.
+    pub fn views(&self) -> &ViewSet {
+        &self.views
+    }
+
+    /// Snapshot of the instrumentation counters.
+    pub fn stats(&self) -> MatchStats {
+        self.stats.borrow().clone()
+    }
+
+    /// Reset the instrumentation counters.
+    pub fn reset_stats(&self) {
+        *self.stats.borrow_mut() = MatchStats::default();
+    }
+
+    /// Register a materialized view: validates it, computes its summary
+    /// and filter keys, and inserts it into the appropriate filter tree.
+    pub fn add_view(&mut self, def: ViewDef) -> Result<ViewId, String> {
+        def.expr.validate(&self.catalog)?;
+        let vsum = ExprSummary::analyze(&def.expr);
+        let keys = self.view_keys(&def.expr, &vsum);
+        let is_agg = def.expr.is_aggregate();
+        let id = self.views.add(def)?;
+        self.summaries.push(vsum);
+        if is_agg {
+            self.agg_tree.insert(&keys, id);
+        } else {
+            self.spj_tree.insert(&keys[..SPJ_LEVELS], id);
+        }
+        Ok(id)
+    }
+
+    /// Is an occurrence "anchored" for the hub refinement of section
+    /// 4.2.2: does it carry a range or residual predicate on a column that
+    /// participates in no non-trivial equivalence class?
+    fn is_anchored(vsum: &ExprSummary, occ: OccId) -> bool {
+        vsum.ranges
+            .keys()
+            .any(|r| r.occ == occ && vsum.ec.is_trivial(*r))
+            || vsum
+                .residuals
+                .iter()
+                .flat_map(|t| t.cols.iter())
+                .any(|c| c.occ == occ && vsum.ec.is_trivial(*c))
+    }
+
+    /// Compute the 8 per-level filter keys for a view (the first 6 are
+    /// used for SPJ views).
+    fn view_keys(&self, expr: &SpjgExpr, vsum: &ExprSummary) -> Vec<Vec<u64>> {
+        let mut interner = self.interner.borrow_mut();
+        let occs: Vec<(OccId, TableId)> = expr.occurrences().collect();
+
+        // Level 1: hub condition key.
+        let graph = build_fk_graph(&self.catalog, &occs, &vsum.ec, &|_| {
+            self.config.null_rejecting_fk
+        });
+        let refined = self.config.refined_hubs;
+        let hub = compute_hub(&graph, &|o| refined && Self::is_anchored(vsum, o));
+        let k_hub: Vec<u64> = hub.into_iter().map(table_token).collect();
+
+        // Level 2: source tables.
+        let k_tables: Vec<u64> = expr.tables.iter().copied().map(table_token).collect();
+
+        // Level 3: textual output expressions (complex scalar outputs plus
+        // SUM argument templates).
+        let mut k_exprs: Vec<u64> = Vec::new();
+        for ne in expr.scalar_outputs() {
+            if ne.expr.as_column().is_none() && !ne.expr.is_constant() {
+                k_exprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
+            }
+        }
+        for agg in expr.aggregate_outputs() {
+            if let AggFunc::Sum(e) = &agg.func {
+                k_exprs.push(interner.intern(&Template::of_scalar(e).text));
+            }
+        }
+
+        // Level 4: extended output column list — every column equivalent
+        // to a simple-column output (section 4.2.3).
+        let mut k_outcols: Vec<u64> = Vec::new();
+        for ne in expr.scalar_outputs() {
+            if let Some(c) = ne.expr.as_column() {
+                for m in vsum.ec.class_of(c) {
+                    k_outcols.push(base_col_token(expr, m));
+                }
+            }
+        }
+        // With the backjoin extension, every column of a table whose
+        // non-null unique key the view outputs is reachable too — the
+        // filter must not prune views the matcher could still use.
+        if self.config.allow_backjoins {
+            k_outcols.extend(self.backjoin_reachable_tokens(expr, vsum));
+        }
+
+        // Level 5: residual predicate texts.
+        let k_residuals: Vec<u64> = vsum
+            .residuals
+            .iter()
+            .map(|t| interner.intern(&t.text))
+            .collect();
+
+        // Level 6: reduced range constraint list — constrained columns in
+        // trivial equivalence classes (section 4.2.5).
+        let k_ranges: Vec<u64> = vsum
+            .ranges
+            .keys()
+            .filter(|r| vsum.ec.is_trivial(**r))
+            .map(|r| base_col_token(expr, *r))
+            .collect();
+
+        // Level 7 (aggregation views): textual grouping expressions.
+        let mut k_gexprs: Vec<u64> = Vec::new();
+        // Level 8: extended grouping column list.
+        let mut k_gcols: Vec<u64> = Vec::new();
+        if expr.is_aggregate() {
+            for ne in expr.scalar_outputs() {
+                if let Some(c) = ne.expr.as_column() {
+                    for m in vsum.ec.class_of(c) {
+                        k_gcols.push(base_col_token(expr, m));
+                    }
+                } else if !ne.expr.is_constant() {
+                    k_gexprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
+                }
+            }
+            if self.config.allow_backjoins {
+                k_gcols.extend(self.backjoin_reachable_tokens(expr, vsum));
+            }
+        }
+
+        vec![
+            k_hub,
+            k_tables,
+            k_exprs,
+            k_outcols,
+            k_residuals,
+            k_ranges,
+            k_gexprs,
+            k_gcols,
+        ]
+    }
+
+    /// Base-qualified column tokens reachable through backjoins: for each
+    /// occurrence whose base table has a non-null unique key fully covered
+    /// by the view's simple outputs (through the view's equivalence
+    /// classes), every column of that table.
+    fn backjoin_reachable_tokens(&self, expr: &SpjgExpr, vsum: &ExprSummary) -> Vec<u64> {
+        let mut simple_outputs: HashMap<ColRef, ()> = HashMap::new();
+        for ne in expr.scalar_outputs() {
+            if let Some(c) = ne.expr.as_column() {
+                simple_outputs.insert(c, ());
+            }
+        }
+        let covered = |c: ColRef| {
+            simple_outputs.contains_key(&c)
+                || vsum
+                    .ec
+                    .class_of(c)
+                    .into_iter()
+                    .any(|m| simple_outputs.contains_key(&m))
+        };
+        let mut out = Vec::new();
+        for (occ, table) in expr.occurrences() {
+            let def = self.catalog.table(table);
+            let joinable = def.keys.iter().any(|key| {
+                key.columns.iter().all(|&c| {
+                    def.column(c).not_null && covered(ColRef { occ, col: c })
+                })
+            });
+            if joinable {
+                for c in 0..def.columns.len() as u32 {
+                    out.push(col_token(table, ColumnId(c)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Build the per-level search conditions for a query, for either the
+    /// SPJ-view tree or the aggregation-view tree.
+    fn query_searches(
+        &self,
+        query: &SpjgExpr,
+        qsum: &ExprSummary,
+        for_agg_tree: bool,
+    ) -> Vec<LevelSearch> {
+        let mut interner = self.interner.borrow_mut();
+        let source: Vec<u64> = query.tables.iter().copied().map(table_token).collect();
+
+        // Level 3 key: the query's textual output expressions. With the
+        // paper-faithful strict filter these must all appear in the view;
+        // recomputation from plain columns is ignored (section 4.2.7 calls
+        // this "conservative").
+        let mut exprs: Vec<u64> = Vec::new();
+        if self.config.strict_expression_filter {
+            for ne in query.scalar_outputs() {
+                if ne.expr.as_column().is_none() && !ne.expr.is_constant() {
+                    exprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
+                }
+            }
+            for agg in query.aggregate_outputs() {
+                if let AggFunc::Sum(e) = &agg.func {
+                    let complex = e.as_column().is_none() && !e.is_constant();
+                    // Against aggregation views every SUM argument must
+                    // match a view SUM output; against SPJ views a simple
+                    // column argument is recomputable and is covered by the
+                    // output-column condition instead.
+                    if for_agg_tree || complex {
+                        exprs.push(interner.intern(&Template::of_scalar(e).text));
+                    }
+                }
+            }
+        }
+
+        // Level 4: output-column hitting classes.
+        let mut classes: Vec<Vec<u64>> = Vec::new();
+        let mut push_class = |c: ColRef| {
+            let mut cl: Vec<u64> = qsum
+                .ec
+                .class_of(c)
+                .into_iter()
+                .map(|m| base_col_token(query, m))
+                .collect();
+            cl.sort();
+            cl.dedup();
+            classes.push(cl);
+        };
+        for ne in query.scalar_outputs() {
+            if let Some(c) = ne.expr.as_column() {
+                push_class(c);
+            }
+        }
+        if !for_agg_tree {
+            // Simple-column SUM arguments must be available as columns of
+            // an SPJ view.
+            for agg in query.aggregate_outputs() {
+                if let AggFunc::Sum(e) = &agg.func {
+                    if let Some(c) = e.as_column() {
+                        push_class(c);
+                    }
+                }
+            }
+        }
+
+        // Level 5: residual texts of the query.
+        let residuals: Vec<u64> = qsum
+            .residuals
+            .iter()
+            .map(|t| interner.intern(&t.text))
+            .collect();
+
+        // Level 6: extended range constraint list — every column of every
+        // constrained equivalence class.
+        let mut range_cols: Vec<u64> = Vec::new();
+        for root in qsum.ranges.keys() {
+            for m in qsum.ec.class_of(*root) {
+                range_cols.push(base_col_token(query, m));
+            }
+        }
+
+        let mut searches = vec![
+            LevelSearch::Subset(source.clone()),
+            LevelSearch::Superset(source),
+            LevelSearch::Superset(exprs),
+            LevelSearch::Hitting(classes.clone()),
+            LevelSearch::Subset(residuals),
+            LevelSearch::Subset(range_cols),
+        ];
+        if for_agg_tree {
+            let mut gexprs: Vec<u64> = Vec::new();
+            if self.config.strict_expression_filter {
+                for ne in query.scalar_outputs() {
+                    if ne.expr.as_column().is_none() && !ne.expr.is_constant() {
+                        gexprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
+                    }
+                }
+            }
+            let gcols: Vec<Vec<u64>> = query
+                .scalar_outputs()
+                .iter()
+                .filter_map(|ne| ne.expr.as_column())
+                .map(|c| {
+                    let mut cl: Vec<u64> = qsum
+                        .ec
+                        .class_of(c)
+                        .into_iter()
+                        .map(|m| base_col_token(query, m))
+                        .collect();
+                    cl.sort();
+                    cl.dedup();
+                    cl
+                })
+                .collect();
+            searches.push(LevelSearch::Superset(gexprs));
+            searches.push(LevelSearch::Hitting(gcols));
+        }
+        searches
+    }
+
+    /// The candidate views for a query: filter-tree search, or every view
+    /// when the filter tree is disabled.
+    pub fn candidates(&self, query: &SpjgExpr, qsum: &ExprSummary) -> Vec<ViewId> {
+        if !self.config.use_filter_tree {
+            return self
+                .views
+                .iter()
+                .map(|(id, _)| id)
+                .filter(|id| !self.removed.contains(id))
+                .collect();
+        }
+        let mut out = self
+            .spj_tree
+            .search(&self.query_searches(query, qsum, false));
+        if query.is_aggregate() && !self.agg_tree.is_empty() {
+            out.extend(self.agg_tree.search(&self.query_searches(query, qsum, true)));
+        }
+        // Removed views are already gone from the trees; the retain is a
+        // cheap second line of defense for the matching invariant.
+        out.retain(|id| !self.removed.contains(id));
+        out.sort();
+        out
+    }
+
+    /// The view-matching rule: find every view from which `query` can be
+    /// computed and build the substitutes. Updates the instrumentation
+    /// counters.
+    pub fn find_substitutes(&self, query: &SpjgExpr) -> Vec<(ViewId, Substitute)> {
+        let started = Instant::now();
+        let qsum = self.query_summary(query);
+
+        let filter_started = Instant::now();
+        let candidates = self.candidates(query, &qsum);
+        let filter_time = filter_started.elapsed();
+
+        let mut out = Vec::new();
+        for id in candidates.iter().copied() {
+            let view = self.views.get(id);
+            let vsum = &self.summaries[id.0 as usize];
+            if let Some(sub) =
+                match_view(&self.catalog, &self.config, query, &qsum, id, view, vsum)
+            {
+                out.push((id, sub));
+            }
+        }
+
+        let mut stats = self.stats.borrow_mut();
+        stats.invocations += 1;
+        stats.candidates += candidates.len() as u64;
+        stats.views_available += self.live_view_count() as u64;
+        stats.substitutes += out.len() as u64;
+        stats.filter_time += filter_time;
+        stats.match_time += started.elapsed();
+        out
+    }
+
+    /// Match the query against one specific view (bypassing the filter).
+    pub fn match_one(&self, query: &SpjgExpr, view: ViewId) -> Option<Substitute> {
+        if self.removed.contains(&view) {
+            return None;
+        }
+        let qsum = self.query_summary(query);
+        match_view(
+            &self.catalog,
+            &self.config,
+            query,
+            &qsum,
+            view,
+            self.views.get(view),
+            &self.summaries[view.0 as usize],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_catalog::tpch::tpch_catalog;
+    use mv_expr::{BoolExpr, CmpOp, ScalarExpr as S};
+    use mv_plan::{NamedAgg, NamedExpr};
+
+    fn cr(occ: u32, col: u32) -> ColRef {
+        ColRef::new(occ, col)
+    }
+
+    fn part_view(lo: i64, hi: i64, name: &str) -> (String, SpjgExpr) {
+        let (_, t) = tpch_catalog();
+        let pred = BoolExpr::and(vec![
+            BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Ge, S::lit(lo)),
+            BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Lt, S::lit(hi)),
+        ]);
+        (
+            name.to_string(),
+            SpjgExpr::spj(
+                vec![t.part],
+                pred,
+                vec![
+                    NamedExpr::new(S::col(cr(0, 0)), "p_partkey"),
+                    NamedExpr::new(S::col(cr(0, 5)), "p_size"),
+                ],
+            ),
+        )
+    }
+
+    fn engine_with_views(config: MatchConfig) -> MatchingEngine {
+        let (cat, t) = tpch_catalog();
+        let mut engine = MatchingEngine::new(cat, config);
+        for (name, v) in [
+            part_view(0, 1000, "parts_low"),
+            part_view(500, 2000, "parts_mid"),
+            part_view(5000, 9000, "parts_high"),
+        ] {
+            engine.add_view(ViewDef::new(name, v)).unwrap();
+        }
+        // An unrelated orders aggregate.
+        let agg = SpjgExpr::aggregate(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+            vec![NamedAgg::new(AggFunc::CountStar, "cnt")],
+        );
+        engine.add_view(ViewDef::new("orders_by_cust", agg)).unwrap();
+        engine
+    }
+
+    fn part_query(lo: i64, hi: i64) -> SpjgExpr {
+        let (_, t) = tpch_catalog();
+        let pred = BoolExpr::and(vec![
+            BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Ge, S::lit(lo)),
+            BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Lt, S::lit(hi)),
+        ]);
+        SpjgExpr::spj(
+            vec![t.part],
+            pred,
+            vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")],
+        )
+    }
+
+    #[test]
+    fn finds_all_containing_views() {
+        let engine = engine_with_views(MatchConfig::default());
+        // Query range [600, 900) is contained in parts_low and parts_mid.
+        let subs = engine.find_substitutes(&part_query(600, 900));
+        assert_eq!(subs.len(), 2);
+        // Range [400, 900) only fits parts_low.
+        let subs = engine.find_substitutes(&part_query(400, 900));
+        assert_eq!(subs.len(), 1);
+        assert_eq!(engine.views.get(subs[0].0).name, "parts_low");
+    }
+
+    #[test]
+    fn filter_and_no_filter_agree() {
+        let with = engine_with_views(MatchConfig::default());
+        let without = engine_with_views(MatchConfig {
+            use_filter_tree: false,
+            ..MatchConfig::default()
+        });
+        for (lo, hi) in [(600, 900), (400, 900), (0, 10_000), (5500, 6000)] {
+            let q = part_query(lo, hi);
+            let mut a: Vec<ViewId> =
+                with.find_substitutes(&q).into_iter().map(|(v, _)| v).collect();
+            let mut b: Vec<ViewId> = without
+                .find_substitutes(&q)
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "range [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn filter_narrows_candidates() {
+        let engine = engine_with_views(MatchConfig::default());
+        let q = part_query(600, 900);
+        let qsum = ExprSummary::analyze(&q);
+        let candidates = engine.candidates(&q, &qsum);
+        // The orders aggregate must never be a candidate for a part query.
+        assert!(candidates.len() <= 3);
+        let (_, t) = tpch_catalog();
+        for id in candidates {
+            assert_eq!(engine.views().get(id).expr.tables, vec![t.part]);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let engine = engine_with_views(MatchConfig::default());
+        engine.find_substitutes(&part_query(600, 900));
+        engine.find_substitutes(&part_query(400, 900));
+        let stats = engine.stats();
+        assert_eq!(stats.invocations, 2);
+        assert_eq!(stats.substitutes, 3);
+        assert_eq!(stats.views_available, 8);
+        assert!(stats.candidates <= 8);
+        engine.reset_stats();
+        assert_eq!(engine.stats().invocations, 0);
+    }
+
+    #[test]
+    fn aggregate_query_sees_both_trees() {
+        let engine = engine_with_views(MatchConfig::default());
+        let (_, t) = tpch_catalog();
+        // Aggregate query over orders: answered by the aggregation view.
+        let q = SpjgExpr::aggregate(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+            vec![NamedAgg::new(AggFunc::CountStar, "n")],
+        );
+        let subs = engine.find_substitutes(&q);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(engine.views().get(subs[0].0).name, "orders_by_cust");
+    }
+
+    #[test]
+    fn match_one_bypasses_filter() {
+        let engine = engine_with_views(MatchConfig::default());
+        let q = part_query(600, 900);
+        assert!(engine.match_one(&q, ViewId(0)).is_some());
+        assert!(engine.match_one(&q, ViewId(2)).is_none());
+    }
+
+    #[test]
+    fn removed_views_stop_matching() {
+        let engine = engine_with_views(MatchConfig::default());
+        let q = part_query(600, 900);
+        assert_eq!(engine.find_substitutes(&q).len(), 2);
+        let mut engine = engine;
+        // Drop parts_low (ViewId 0).
+        assert!(engine.remove_view(ViewId(0)));
+        assert!(!engine.remove_view(ViewId(0)), "double remove is a no-op");
+        assert_eq!(engine.live_view_count(), 3);
+        let subs = engine.find_substitutes(&q);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(engine.views().get(subs[0].0).name, "parts_mid");
+        assert!(engine.match_one(&q, ViewId(0)).is_none());
+        // The same holds with the filter tree disabled.
+        let mut engine = engine_with_views(MatchConfig {
+            use_filter_tree: false,
+            ..MatchConfig::default()
+        });
+        engine.remove_view(ViewId(0));
+        assert_eq!(engine.find_substitutes(&q).len(), 1);
+        // Aggregation-tree removal works too.
+        let mut engine = engine_with_views(MatchConfig::default());
+        assert!(engine.remove_view(ViewId(3))); // orders_by_cust
+        let (_, t) = tpch_catalog();
+        let agg = SpjgExpr::aggregate(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+            vec![NamedAgg::new(AggFunc::CountStar, "n")],
+        );
+        assert!(engine.find_substitutes(&agg).is_empty());
+    }
+
+    #[test]
+    fn rejects_invalid_view() {
+        let (cat, t) = tpch_catalog();
+        let mut engine = MatchingEngine::new(cat, MatchConfig::default());
+        let bad = SpjgExpr::spj(
+            vec![t.part],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(5, 0)), "oops")],
+        );
+        assert!(engine.add_view(ViewDef::new("bad", bad)).is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! The filter tree of section 4.2: a stack of lattice indexes that
+//! "recursively subdivides the set of views into smaller and smaller
+//! non-overlapping partitions. At each level, a different partitioning
+//! condition is applied."
+//!
+//! Keys at every level are sets of opaque `u64` tokens (table ids,
+//! base-qualified column ids, or interned template texts — the
+//! [`crate::engine`] module computes them). Each level searches its lattice
+//! index with one of three monotone conditions:
+//!
+//! * [`LevelSearch::Subset`] — view key ⊆ query key (hub condition,
+//!   residual-predicate condition, weak range-constraint condition),
+//! * [`LevelSearch::Superset`] — view key ⊇ query key (source-table
+//!   condition, output/grouping-expression conditions),
+//! * [`LevelSearch::Hitting`] — the view key intersects every one of the
+//!   query's equivalence classes (output-column and grouping-column
+//!   conditions, sections 4.2.3/4.2.4).
+
+use crate::lattice::LatticeIndex;
+use mv_plan::ViewId;
+
+/// The search condition applied at one level.
+#[derive(Debug, Clone)]
+pub enum LevelSearch {
+    /// Qualify nodes whose key is a subset of the given set.
+    Subset(Vec<u64>),
+    /// Qualify nodes whose key is a superset of the given set.
+    Superset(Vec<u64>),
+    /// Qualify nodes whose key intersects every one of the given classes.
+    /// An empty class list qualifies everything.
+    Hitting(Vec<Vec<u64>>),
+}
+
+/// One partition node of the filter tree.
+#[derive(Debug, Clone)]
+enum FilterNode {
+    /// Bottom level: the views in this partition.
+    Leaf(Vec<ViewId>),
+    /// Interior level: a lattice index over the next partitioning key.
+    Internal(LatticeIndex<u64, FilterNode>),
+}
+
+/// A filter tree with a fixed number of levels.
+#[derive(Debug, Clone)]
+pub struct FilterTree {
+    depth: usize,
+    root: FilterNode,
+    len: usize,
+}
+
+impl FilterTree {
+    /// An empty tree with `depth` levels (one key per level).
+    pub fn new(depth: usize) -> Self {
+        let root = if depth == 0 {
+            FilterNode::Leaf(Vec::new())
+        } else {
+            FilterNode::Internal(LatticeIndex::new())
+        };
+        FilterTree {
+            depth,
+            root,
+            len: 0,
+        }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of views stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree stores no views.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a view with its per-level keys (`keys.len()` must equal the
+    /// tree depth).
+    pub fn insert(&mut self, keys: &[Vec<u64>], view: ViewId) {
+        assert_eq!(keys.len(), self.depth, "level key count mismatch");
+        self.len += 1;
+        Self::insert_node(&mut self.root, keys, view);
+    }
+
+    fn insert_node(node: &mut FilterNode, keys: &[Vec<u64>], view: ViewId) {
+        match node {
+            FilterNode::Leaf(views) => {
+                debug_assert!(keys.is_empty());
+                views.push(view);
+            }
+            FilterNode::Internal(index) => {
+                let child = index.get_or_insert_with(keys[0].clone(), || {
+                    if keys.len() == 1 {
+                        FilterNode::Leaf(Vec::new())
+                    } else {
+                        FilterNode::Internal(LatticeIndex::new())
+                    }
+                });
+                Self::insert_node(child, &keys[1..], view);
+            }
+        }
+    }
+
+    /// Remove a view previously inserted under exactly these keys.
+    /// Returns whether it was found. The partition structure remains (a
+    /// re-insert under the same keys is cheap).
+    pub fn remove(&mut self, keys: &[Vec<u64>], view: ViewId) -> bool {
+        assert_eq!(keys.len(), self.depth, "level key count mismatch");
+        let removed = Self::remove_node(&mut self.root, keys, view);
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_node(node: &mut FilterNode, keys: &[Vec<u64>], view: ViewId) -> bool {
+        match node {
+            FilterNode::Leaf(views) => match views.iter().position(|&v| v == view) {
+                Some(i) => {
+                    views.remove(i);
+                    true
+                }
+                None => false,
+            },
+            FilterNode::Internal(index) => match index.peek_mut(keys[0].clone()) {
+                Some(child) => Self::remove_node(child, &keys[1..], view),
+                None => false,
+            },
+        }
+    }
+
+    /// Collect the views in all partitions satisfying every level's search
+    /// condition.
+    pub fn search(&self, searches: &[LevelSearch]) -> Vec<ViewId> {
+        assert_eq!(searches.len(), self.depth, "level search count mismatch");
+        let mut out = Vec::new();
+        Self::search_node(&self.root, searches, &mut out);
+        out
+    }
+
+    fn search_node(node: &FilterNode, searches: &[LevelSearch], out: &mut Vec<ViewId>) {
+        match node {
+            FilterNode::Leaf(views) => out.extend(views.iter().copied()),
+            FilterNode::Internal(index) => {
+                let children = match &searches[0] {
+                    LevelSearch::Subset(s) => index.find_subsets(s),
+                    LevelSearch::Superset(s) => index.find_supersets(s),
+                    LevelSearch::Hitting(classes) => index.find_monotone_down(|key| {
+                        classes
+                            .iter()
+                            .all(|cl| cl.iter().any(|e| key.binary_search(e).is_ok()))
+                    }),
+                };
+                for child in children {
+                    Self::search_node(child, &searches[1..], out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> ViewId {
+        ViewId(i)
+    }
+
+    #[test]
+    fn two_level_tree_composes_conditions() {
+        // Level 0: source tables (superset condition).
+        // Level 1: residual templates (subset condition).
+        let mut tree = FilterTree::new(2);
+        tree.insert(&[vec![1, 2], vec![100]], v(0)); // tables {1,2}, residuals {100}
+        tree.insert(&[vec![1, 2], vec![]], v(1)); // tables {1,2}, no residuals
+        tree.insert(&[vec![1], vec![]], v(2)); // tables {1}
+        tree.insert(&[vec![1, 2, 3], vec![100, 200]], v(3));
+        assert_eq!(tree.len(), 4);
+
+        // Query over tables {1,2} with residuals {100}:
+        // - view must reference at least {1,2} (v0, v1, v3 qualify),
+        // - view residuals must be ⊆ {100} (drops v3).
+        let mut found = tree.search(&[
+            LevelSearch::Superset(vec![1, 2]),
+            LevelSearch::Subset(vec![100]),
+        ]);
+        found.sort();
+        assert_eq!(found, vec![v(0), v(1)]);
+
+        // Query with no residuals: only residual-free views qualify.
+        let found = tree.search(&[
+            LevelSearch::Superset(vec![1, 2]),
+            LevelSearch::Subset(vec![]),
+        ]);
+        assert_eq!(found, vec![v(1)]);
+    }
+
+    #[test]
+    fn hitting_condition_level() {
+        // One level keyed by extended output columns; the query needs one
+        // column from each class.
+        let mut tree = FilterTree::new(1);
+        tree.insert(&[vec![10, 11, 20]], v(0));
+        tree.insert(&[vec![10, 30]], v(1));
+        tree.insert(&[vec![20, 30]], v(2));
+        // Query classes: {10, 11} and {30, 31}.
+        let search = LevelSearch::Hitting(vec![vec![10, 11], vec![30, 31]]);
+        let found = tree.search(std::slice::from_ref(&search));
+        assert_eq!(found, vec![v(1)]);
+        // Empty class list: everything qualifies.
+        let found = tree.search(&[LevelSearch::Hitting(vec![])]);
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn zero_depth_tree_returns_everything() {
+        let mut tree = FilterTree::new(0);
+        tree.insert(&[], v(7));
+        tree.insert(&[], v(8));
+        assert_eq!(tree.search(&[]), vec![v(7), v(8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "level key count mismatch")]
+    fn wrong_key_arity_panics() {
+        let mut tree = FilterTree::new(2);
+        tree.insert(&[vec![1]], v(0));
+    }
+
+    #[test]
+    fn partitions_do_not_leak() {
+        let mut tree = FilterTree::new(2);
+        tree.insert(&[vec![1], vec![5]], v(0));
+        tree.insert(&[vec![2], vec![5]], v(1));
+        // Search that matches the second level for everyone, first level
+        // only for table {1}.
+        let found = tree.search(&[
+            LevelSearch::Superset(vec![1]),
+            LevelSearch::Subset(vec![5, 6]),
+        ]);
+        assert_eq!(found, vec![v(0)]);
+    }
+}

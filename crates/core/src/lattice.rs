@@ -1,0 +1,457 @@
+//! The lattice index of section 4.1.
+//!
+//! "The subset relationship between sets imposes a partial order among
+//! sets, which can be represented as a lattice. ... a node in the lattice
+//! index contains two collections of pointers, superset pointers and subset
+//! pointers. A superset pointer of a node V points to a node that
+//! represents a *minimal* superset of the set represented by V. Similarly,
+//! a subset pointer of V points to a node that represents a *maximal*
+//! subset. Sets with no subsets are called roots and sets without supersets
+//! are called tops."
+//!
+//! Searches prune whole branches: looking for supersets of `S`, a node that
+//! fails `S ⊆ key` cannot have any qualifying node below it (every subset
+//! of a failing key also fails); looking for subsets, the dual holds going
+//! upwards. The same pruning argument extends to any predicate that is
+//! monotone with respect to set inclusion — the filter tree exploits this
+//! for its "hitting" conditions (section 4.2.3).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One node of the lattice.
+#[derive(Debug, Clone)]
+struct Node<K, V> {
+    /// The key set, sorted and deduplicated.
+    key: Vec<K>,
+    /// Indices of nodes holding minimal proper supersets of `key`.
+    supersets: Vec<usize>,
+    /// Indices of nodes holding maximal proper subsets of `key`.
+    subsets: Vec<usize>,
+    /// The values stored under this key. A node whose payload empties
+    /// stays in the graph as structure (re-insertion reuses it).
+    payload: Vec<V>,
+}
+
+/// A lattice index: a map from key *sets* to values supporting efficient
+/// subset and superset queries.
+#[derive(Debug, Clone)]
+pub struct LatticeIndex<K, V> {
+    nodes: Vec<Node<K, V>>,
+    by_key: HashMap<Vec<K>, usize>,
+}
+
+impl<K, V> Default for LatticeIndex<K, V> {
+    fn default() -> Self {
+        LatticeIndex {
+            nodes: Vec::new(),
+            by_key: HashMap::new(),
+        }
+    }
+}
+
+/// Is sorted slice `a` a subset of sorted slice `b`?
+fn is_subset<K: Ord>(a: &[K], b: &[K]) -> bool {
+    let mut bi = 0;
+    'outer: for x in a {
+        while bi < b.len() {
+            match b[bi].cmp(x) {
+                std::cmp::Ordering::Less => bi += 1,
+                std::cmp::Ordering::Equal => {
+                    bi += 1;
+                    continue 'outer;
+                }
+                std::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
+    /// An empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct key sets stored.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of stored values.
+    pub fn len(&self) -> usize {
+        self.nodes.iter().map(|n| n.payload.len()).sum()
+    }
+
+    /// Whether the index stores no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn normalize(mut key: Vec<K>) -> Vec<K> {
+        key.sort();
+        key.dedup();
+        key
+    }
+
+    /// Insert `value` under the key set `key`.
+    pub fn insert(&mut self, key: Vec<K>, value: V) {
+        let id = self.get_or_create_node(Self::normalize(key));
+        self.nodes[id].payload.push(value);
+    }
+
+    /// The first value stored under exactly `key`, mutably (the filter
+    /// tree stores exactly one child per key set).
+    pub fn peek_mut(&mut self, key: Vec<K>) -> Option<&mut V> {
+        let key = Self::normalize(key);
+        let &id = self.by_key.get(&key)?;
+        self.nodes[id].payload.first_mut()
+    }
+
+    /// Fetch the payload slot for `key`, creating the node (with a payload
+    /// built by `make`) if absent. Used by the filter tree, where each key
+    /// set owns exactly one child node.
+    pub fn get_or_insert_with(&mut self, key: Vec<K>, make: impl FnOnce() -> V) -> &mut V {
+        let id = self.get_or_create_node(Self::normalize(key));
+        if self.nodes[id].payload.is_empty() {
+            self.nodes[id].payload.push(make());
+        }
+        &mut self.nodes[id].payload[0]
+    }
+
+    /// Remove one value equal to `value` stored under `key`. Returns
+    /// whether a value was removed. The node itself remains as graph
+    /// structure.
+    pub fn remove(&mut self, key: Vec<K>, value: &V) -> bool
+    where
+        V: PartialEq,
+    {
+        let key = Self::normalize(key);
+        if let Some(&id) = self.by_key.get(&key) {
+            if let Some(pos) = self.nodes[id].payload.iter().position(|v| v == value) {
+                self.nodes[id].payload.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn get_or_create_node(&mut self, key: Vec<K>) -> usize {
+        if let Some(&id) = self.by_key.get(&key) {
+            return id;
+        }
+        let id = self.nodes.len();
+
+        // Find the existing supersets and subsets of the new key via the
+        // lattice itself, then reduce them to the minimal / maximal ones.
+        let supers = self.collect_down(|k| is_subset(&key, k));
+        let minimal_supers: Vec<usize> = supers
+            .iter()
+            .copied()
+            .filter(|&s| {
+                !supers
+                    .iter()
+                    .any(|&o| o != s && is_subset(&self.nodes[o].key, &self.nodes[s].key))
+            })
+            .collect();
+        let subs = self.collect_up(|k| is_subset(k, &key));
+        let maximal_subs: Vec<usize> = subs
+            .iter()
+            .copied()
+            .filter(|&s| {
+                !subs
+                    .iter()
+                    .any(|&o| o != s && is_subset(&self.nodes[s].key, &self.nodes[o].key))
+            })
+            .collect();
+
+        // Cut direct links that now route through the new node.
+        for &u in &minimal_supers {
+            for &l in &maximal_subs {
+                if let Some(p) = self.nodes[u].subsets.iter().position(|&x| x == l) {
+                    self.nodes[u].subsets.remove(p);
+                }
+                if let Some(p) = self.nodes[l].supersets.iter().position(|&x| x == u) {
+                    self.nodes[l].supersets.remove(p);
+                }
+            }
+        }
+        // Wire the new node in.
+        for &u in &minimal_supers {
+            self.nodes[u].subsets.push(id);
+        }
+        for &l in &maximal_subs {
+            self.nodes[l].supersets.push(id);
+        }
+        self.nodes.push(Node {
+            key: key.clone(),
+            supersets: minimal_supers,
+            subsets: maximal_subs,
+            payload: Vec::new(),
+        });
+        self.by_key.insert(key, id);
+        id
+    }
+
+    /// Node ids whose key satisfies `qualifies`, where `qualifies` is
+    /// monotone decreasing under ⊆ (if a key fails, all its subsets fail).
+    /// Starts from the tops and follows subset pointers.
+    fn collect_down(&self, qualifies: impl Fn(&[K]) -> bool) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].supersets.is_empty())
+            .collect();
+        while let Some(i) = stack.pop() {
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            if !qualifies(&self.nodes[i].key) {
+                continue;
+            }
+            out.push(i);
+            stack.extend(&self.nodes[i].subsets);
+        }
+        out
+    }
+
+    /// Dual of [`collect_down`]: `qualifies` monotone decreasing under ⊇.
+    /// Starts from the roots and follows superset pointers.
+    fn collect_up(&self, qualifies: impl Fn(&[K]) -> bool) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].subsets.is_empty())
+            .collect();
+        while let Some(i) = stack.pop() {
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            if !qualifies(&self.nodes[i].key) {
+                continue;
+            }
+            out.push(i);
+            stack.extend(&self.nodes[i].supersets);
+        }
+        out
+    }
+
+    /// Values stored under keys that are supersets of (or equal to)
+    /// `search`.
+    pub fn find_supersets(&self, search: &[K]) -> Vec<&V> {
+        let search = Self::normalize(search.to_vec());
+        self.collect_down(|k| is_subset(&search, k))
+            .into_iter()
+            .flat_map(|i| self.nodes[i].payload.iter())
+            .collect()
+    }
+
+    /// Values stored under keys that are subsets of (or equal to) `search`.
+    pub fn find_subsets(&self, search: &[K]) -> Vec<&V> {
+        let search = Self::normalize(search.to_vec());
+        self.collect_up(|k| is_subset(k, &search))
+            .into_iter()
+            .flat_map(|i| self.nodes[i].payload.iter())
+            .collect()
+    }
+
+    /// Values under keys satisfying an arbitrary predicate that is
+    /// monotone decreasing under subset (used for the hitting conditions
+    /// of sections 4.2.3/4.2.4). The predicate sees the sorted key.
+    pub fn find_monotone_down(&self, qualifies: impl Fn(&[K]) -> bool) -> Vec<&V> {
+        self.collect_down(qualifies)
+            .into_iter()
+            .flat_map(|i| self.nodes[i].payload.iter())
+            .collect()
+    }
+
+    /// Values under keys satisfying a predicate monotone decreasing under
+    /// superset.
+    pub fn find_monotone_up(&self, qualifies: impl Fn(&[K]) -> bool) -> Vec<&V> {
+        self.collect_up(qualifies)
+            .into_iter()
+            .flat_map(|i| self.nodes[i].payload.iter())
+            .collect()
+    }
+
+    /// All values (ignores the lattice structure).
+    pub fn values(&self) -> impl Iterator<Item = &V> {
+        self.nodes.iter().flat_map(|n| n.payload.iter())
+    }
+
+    /// All values, mutably.
+    pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
+        self.nodes.iter_mut().flat_map(|n| n.payload.iter_mut())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the Figure 1 lattice: keys A, B, D, AB, BE, ABC, ABF, BCDE.
+    fn figure1() -> LatticeIndex<char, String> {
+        let mut idx = LatticeIndex::new();
+        for key in ["A", "B", "D", "AB", "BE", "ABC", "ABF", "BCDE"] {
+            idx.insert(key.chars().collect(), key.to_string());
+        }
+        idx
+    }
+
+    fn sorted(mut v: Vec<&String>) -> Vec<String> {
+        v.sort();
+        v.into_iter().cloned().collect()
+    }
+
+    #[test]
+    fn figure1_superset_search() {
+        let idx = figure1();
+        // "Suppose we want to find supersets of AB. ... The search returns
+        // ABC, ABF, and AB."
+        let found = sorted(idx.find_supersets(&['A', 'B']));
+        assert_eq!(found, vec!["AB", "ABC", "ABF"]);
+    }
+
+    #[test]
+    fn figure1_subset_search() {
+        let idx = figure1();
+        let found = sorted(idx.find_subsets(&['B', 'C', 'D', 'E']));
+        assert_eq!(found, vec!["B", "BCDE", "BE", "D"]);
+        let found = sorted(idx.find_subsets(&['A', 'B', 'E']));
+        assert_eq!(found, vec!["A", "AB", "B", "BE"]);
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let idx = figure1();
+        // Tops: ABC, ABF, BCDE. Roots: A, B, D.
+        let tops: Vec<&str> = idx
+            .nodes
+            .iter()
+            .filter(|n| n.supersets.is_empty())
+            .map(|n| n.key.iter().collect::<String>())
+            .map(|s| match s.as_str() {
+                "ABC" => "ABC",
+                "ABF" => "ABF",
+                "BCDE" => "BCDE",
+                other => panic!("unexpected top {other}"),
+            })
+            .collect();
+        assert_eq!(tops.len(), 3);
+        let roots = idx
+            .nodes
+            .iter()
+            .filter(|n| n.subsets.is_empty())
+            .count();
+        assert_eq!(roots, 3);
+        // AB's minimal supersets are ABC and ABF; its maximal subsets are
+        // A and B.
+        let ab = idx.by_key[&vec!['A', 'B']];
+        assert_eq!(idx.nodes[ab].supersets.len(), 2);
+        assert_eq!(idx.nodes[ab].subsets.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_share_node() {
+        let mut idx = LatticeIndex::new();
+        idx.insert(vec![1, 2], "x");
+        idx.insert(vec![2, 1, 2], "y"); // same set after normalization
+        assert_eq!(idx.node_count(), 1);
+        assert_eq!(idx.len(), 2);
+        let found = idx.find_supersets(&[1]);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn empty_key_is_subset_of_everything() {
+        let mut idx = LatticeIndex::new();
+        idx.insert(vec![], "empty");
+        idx.insert(vec![1], "one");
+        let found = idx.find_subsets(&[5, 6]);
+        assert_eq!(found, vec![&"empty"]);
+        let found = idx.find_supersets(&[]);
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn remove_values() {
+        let mut idx = LatticeIndex::new();
+        idx.insert(vec![1, 2], "x");
+        idx.insert(vec![1, 2], "y");
+        assert!(idx.remove(vec![2, 1], &"x"));
+        assert!(!idx.remove(vec![2, 1], &"x"));
+        assert_eq!(idx.find_supersets(&[1]), vec![&"y"]);
+        assert!(idx.remove(vec![1, 2], &"y"));
+        assert!(idx.is_empty());
+        // Node remains as structure; re-insertion reuses it.
+        idx.insert(vec![1, 2], "z");
+        assert_eq!(idx.node_count(), 1);
+    }
+
+    #[test]
+    fn monotone_hitting_search() {
+        // Condition: key must intersect each of the given classes — the
+        // output-column condition of section 4.2.3.
+        let mut idx = LatticeIndex::new();
+        idx.insert(vec![1, 2, 3], "v123");
+        idx.insert(vec![1, 4], "v14");
+        idx.insert(vec![2], "v2");
+        let classes: Vec<Vec<u32>> = vec![vec![1, 9], vec![3, 4]];
+        let hits = |k: &[u32]| {
+            classes
+                .iter()
+                .all(|cl| cl.iter().any(|e| k.binary_search(e).is_ok()))
+        };
+        let mut found: Vec<_> = idx.find_monotone_down(hits);
+        found.sort();
+        assert_eq!(found, vec![&"v123", &"v14"]);
+    }
+
+    #[test]
+    fn chain_insertion_orders() {
+        // Insert in an order that forces re-linking: supersets first.
+        let mut idx = LatticeIndex::new();
+        idx.insert(vec![1, 2, 3, 4], "a");
+        idx.insert(vec![1], "b");
+        // Now 1 is a subset of 1234 directly.
+        idx.insert(vec![1, 2], "c"); // splits the direct link
+        idx.insert(vec![1, 2, 3], "d"); // splits again
+        let found = sorted(
+            idx.find_supersets(&[1])
+                .into_iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .iter()
+                .collect(),
+        );
+        assert_eq!(found, vec!["a", "b", "c", "d"]);
+        let found = idx.find_subsets(&[1, 2]);
+        assert_eq!(found.len(), 2);
+        // The direct link 1 -> 1234 must be gone (replaced by chains).
+        let one = idx.by_key[&vec![1]];
+        let big = idx.by_key[&vec![1, 2, 3, 4]];
+        assert!(!idx.nodes[one].supersets.contains(&big));
+        assert!(!idx.nodes[big].subsets.contains(&one));
+    }
+
+    #[test]
+    fn incomparable_keys_are_both_roots_and_tops() {
+        let mut idx = LatticeIndex::new();
+        idx.insert(vec![1], "a");
+        idx.insert(vec![2], "b");
+        assert_eq!(
+            idx.nodes.iter().filter(|n| n.subsets.is_empty()).count(),
+            2
+        );
+        assert_eq!(
+            idx.nodes.iter().filter(|n| n.supersets.is_empty()).count(),
+            2
+        );
+        assert!(idx.find_supersets(&[1, 2]).is_empty());
+        assert_eq!(idx.find_subsets(&[1, 2]).len(), 2);
+    }
+}

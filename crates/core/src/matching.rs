@@ -1,0 +1,753 @@
+//! The view-matching tests of section 3 and substitute construction.
+//!
+//! Given a query SPJG block and one candidate view, [`match_view`] decides
+//! whether the query can be computed from the view alone and, if so, builds
+//! the [`Substitute`]. The pipeline follows the paper:
+//!
+//! 1. table correspondence (query tables ⊆ view tables, occurrence-aware),
+//! 2. extra-table elimination through cardinality-preserving joins (§3.2),
+//! 3. equijoin subsumption test + compensating equality predicates (§3.1.2,
+//!    §3.1.3 type 1),
+//! 4. range subsumption test + compensating range predicates (type 2),
+//! 5. residual subsumption test + compensating residual predicates (type 3),
+//! 6. output-expression mapping (§3.1.4) and aggregation handling (§3.3).
+
+use crate::fkgraph::{build_fk_graph, eliminate};
+use crate::summary::{remap_col, remap_ec, remap_template, ExprSummary};
+use mv_catalog::{Catalog, TableId};
+use mv_expr::{
+    BoolExpr, ColRef, EquivClasses, Interval, OccId, ScalarExpr, Template,
+};
+use mv_plan::{
+    AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewDef, ViewId,
+};
+use std::collections::HashMap;
+
+/// Tunables for the matcher and the filter tree.
+#[derive(Debug, Clone)]
+pub struct MatchConfig {
+    /// Enable the section 3.2 extension: a *nullable* foreign-key column
+    /// still supports a cardinality-preserving join when the query carries
+    /// a null-rejecting predicate on that column (Example 5). The paper's
+    /// prototype left this unimplemented; we provide it behind this flag.
+    pub null_rejecting_fk: bool,
+    /// Enable the section 4.2.2 hub refinement: tables carrying a range or
+    /// residual predicate on a column outside every non-trivial equivalence
+    /// class stay in the hub, strengthening the hub filter condition.
+    pub refined_hubs: bool,
+    /// Use the filter tree to narrow candidates (section 4). With this off
+    /// the engine checks every view — the "No Filter" series of Figure 2.
+    pub use_filter_tree: bool,
+    /// Upper bound on occurrence bijections tried for self-join table
+    /// correspondence (factorial blow-up guard; the paper's workload never
+    /// repeats a table, so one mapping is the overwhelmingly common case).
+    pub max_table_mappings: usize,
+    /// Enable base-table backjoins (the section 7 extension): when a view
+    /// covers all tables and rows but lacks some columns, and it outputs a
+    /// non-null unique key of one of its tables, the matcher may join the
+    /// view back to that base table to pull the missing columns in.
+    pub allow_backjoins: bool,
+    /// Fold declared check constraints into the query's antecedent
+    /// (section 3.1.2): a view predicate that is implied by a check
+    /// constraint no longer blocks matching. Constraints are registered
+    /// with [`crate::MatchingEngine::add_check_constraint`].
+    pub use_check_constraints: bool,
+    /// Keep the paper's conservative output/grouping-expression filter
+    /// conditions (sections 4.2.7/4.2.8), which "ignore the possibility of
+    /// computing an expression from scratch using plain columns": a query
+    /// whose complex output expression could only be *recomputed* from a
+    /// view's simple columns is filtered out before the full tests run,
+    /// exactly as in the SQL Server prototype. Disable to drop those two
+    /// conditions (weaker pruning, never misses a recomputable rewrite).
+    pub strict_expression_filter: bool,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            null_rejecting_fk: false,
+            refined_hubs: true,
+            use_filter_tree: true,
+            max_table_mappings: 64,
+            allow_backjoins: false,
+            use_check_constraints: true,
+            strict_expression_filter: true,
+        }
+    }
+}
+
+/// Decide whether `query` can be computed from `view` and build the
+/// substitute. `qsum`/`vsum` are the precomputed predicate summaries.
+pub fn match_view(
+    catalog: &Catalog,
+    config: &MatchConfig,
+    query: &SpjgExpr,
+    qsum: &ExprSummary,
+    view_id: ViewId,
+    view: &ViewDef,
+    vsum: &ExprSummary,
+) -> Option<Substitute> {
+    // An SPJ query cannot be computed from an aggregation view: the view
+    // is "more aggregated" (section 3.3, requirement 3).
+    if !query.is_aggregate() && view.expr.is_aggregate() {
+        return None;
+    }
+
+    // Table correspondence: the query's table multiset must be a subset of
+    // the view's (requirement: "There is no need to consider views with
+    // fewer tables than the query").
+    let mut q_by_table: HashMap<TableId, Vec<OccId>> = HashMap::new();
+    for (occ, t) in query.occurrences() {
+        q_by_table.entry(t).or_default().push(occ);
+    }
+    let mut v_by_table: HashMap<TableId, Vec<OccId>> = HashMap::new();
+    for (occ, t) in view.expr.occurrences() {
+        v_by_table.entry(t).or_default().push(occ);
+    }
+    for (t, qoccs) in &q_by_table {
+        if v_by_table.get(t).map_or(0, |v| v.len()) < qoccs.len() {
+            return None;
+        }
+    }
+
+    // Enumerate injective assignments of query occurrences to view
+    // occurrences, per base table. With no self-joins this is a single
+    // mapping.
+    let mappings = enumerate_mappings(
+        view.expr.tables.len(),
+        &q_by_table,
+        &v_by_table,
+        config.max_table_mappings,
+    );
+    mappings
+        .into_iter()
+        .find_map(|assign| try_match(catalog, config, query, qsum, view_id, view, vsum, &assign))
+}
+
+/// Build all injective mappings `view occurrence -> query occurrence`
+/// (as `assign[view_occ] = Some(query_occ)`, `None` = extra table).
+fn enumerate_mappings(
+    n_view_occs: usize,
+    q_by_table: &HashMap<TableId, Vec<OccId>>,
+    v_by_table: &HashMap<TableId, Vec<OccId>>,
+    cap: usize,
+) -> Vec<Vec<Option<OccId>>> {
+    let mut result: Vec<Vec<Option<OccId>>> = vec![vec![None; n_view_occs]];
+    for (t, qoccs) in q_by_table {
+        let voccs = &v_by_table[t];
+        // All injective placements of `qoccs` into `voccs`.
+        let placements = injections(qoccs, voccs);
+        let mut next = Vec::new();
+        for base in &result {
+            for placement in &placements {
+                if next.len() >= cap {
+                    break;
+                }
+                let mut m = base.clone();
+                for (q, v) in placement {
+                    m[v.0 as usize] = Some(*q);
+                }
+                next.push(m);
+            }
+        }
+        result = next;
+    }
+    result
+}
+
+/// All injective assignments of each query occurrence to a distinct view
+/// occurrence (both of the same base table).
+fn injections(qoccs: &[OccId], voccs: &[OccId]) -> Vec<Vec<(OccId, OccId)>> {
+    fn rec(
+        qoccs: &[OccId],
+        voccs: &[OccId],
+        used: &mut Vec<bool>,
+        acc: &mut Vec<(OccId, OccId)>,
+        out: &mut Vec<Vec<(OccId, OccId)>>,
+    ) {
+        if acc.len() == qoccs.len() {
+            out.push(acc.clone());
+            return;
+        }
+        let q = qoccs[acc.len()];
+        for (i, &v) in voccs.iter().enumerate() {
+            if !used[i] {
+                used[i] = true;
+                acc.push((q, v));
+                rec(qoccs, voccs, used, acc, out);
+                acc.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    rec(
+        qoccs,
+        voccs,
+        &mut vec![false; voccs.len()],
+        &mut Vec::new(),
+        &mut out,
+    );
+    out
+}
+
+/// View output bookkeeping in query space: which columns and expressions
+/// the view makes available, and where.
+struct ViewOutputs {
+    /// Simple-column outputs: column → output position (scalar outputs
+    /// only; for aggregation views these are the grouping outputs).
+    col_pos: HashMap<ColRef, usize>,
+    /// Complex scalar outputs as templates.
+    complex: Vec<(Template, usize)>,
+    /// Number of scalar (grouping) outputs; aggregate outputs follow.
+    scalar_len: usize,
+    /// `SUM(E)` outputs: template of `E` → position.
+    sum_args: Vec<(Template, usize)>,
+    /// Position of the `COUNT(*)` output, if any.
+    count_pos: Option<usize>,
+    /// Total view output arity (scalar + aggregate outputs).
+    arity: usize,
+    /// Backjoins on offer (section 7 extension), per query-space
+    /// occurrence: the base table, the (view position → key column) pairs
+    /// of a non-null unique key, and the table's column count.
+    backjoin_available: HashMap<OccId, BackjoinOffer>,
+    /// Backjoins actually used by this match, in activation order:
+    /// (occurrence, base position of its columns in the extended space).
+    backjoin_active: std::cell::RefCell<Vec<(OccId, usize)>>,
+}
+
+/// A possible backjoin target.
+#[derive(Debug, Clone)]
+struct BackjoinOffer {
+    table: TableId,
+    key: Vec<(usize, mv_catalog::ColumnId)>,
+    n_columns: usize,
+}
+
+impl ViewOutputs {
+    fn build(vexpr: &SpjgExpr, mapf: &impl Fn(OccId) -> OccId) -> ViewOutputs {
+        let mut col_pos = HashMap::new();
+        let mut complex = Vec::new();
+        let scalars = vexpr.scalar_outputs();
+        for (i, ne) in scalars.iter().enumerate() {
+            let e = ne.expr.map_columns(&mut |c| remap_col(c, mapf));
+            if let Some(c) = e.as_column() {
+                col_pos.entry(c).or_insert(i);
+            } else if !e.is_constant() {
+                complex.push((Template::of_scalar(&e), i));
+            }
+        }
+        let mut sum_args = Vec::new();
+        let mut count_pos = None;
+        for (j, na) in vexpr.aggregate_outputs().iter().enumerate() {
+            let pos = scalars.len() + j;
+            match &na.func {
+                AggFunc::CountStar => count_pos = Some(pos),
+                AggFunc::Sum(e) | AggFunc::SumZero(e) => {
+                    let e = e.map_columns(&mut |c| remap_col(c, mapf));
+                    sum_args.push((Template::of_scalar(&e), pos));
+                }
+            }
+        }
+        ViewOutputs {
+            col_pos,
+            complex,
+            scalar_len: scalars.len(),
+            sum_args,
+            count_pos,
+            arity: vexpr.output_arity(),
+            backjoin_available: HashMap::new(),
+            backjoin_active: std::cell::RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Offer backjoins (section 7 extension): for every view occurrence
+    /// whose base table has a non-null unique key fully available among
+    /// the view's outputs (through the *view's* equivalence classes), the
+    /// table's columns become reachable by joining the view back to it.
+    fn offer_backjoins(
+        &mut self,
+        catalog: &Catalog,
+        occs: &[(OccId, TableId)],
+        vec_q: &EquivClasses,
+    ) {
+        for &(occ, table) in occs {
+            let def = catalog.table(table);
+            let offer = def.keys.iter().find_map(|key| {
+                if !key.columns.iter().all(|&c| def.column(c).not_null) {
+                    return None; // NULL keys would drop rows in the join
+                }
+                let pairs = key
+                    .columns
+                    .iter()
+                    .map(|&c| {
+                        // Keys must come from the view outputs themselves
+                        // (never from another backjoin, which would create
+                        // ordering dependencies between joins).
+                        self.direct_position(ColRef { occ, col: c }, vec_q)
+                            .map(|p| (p, c))
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(BackjoinOffer {
+                    table,
+                    key: pairs,
+                    n_columns: def.columns.len(),
+                })
+            });
+            if let Some(offer) = offer {
+                self.backjoin_available.insert(occ, offer);
+            }
+        }
+    }
+
+    /// Position of `c` through an active (or newly activated) backjoin.
+    fn backjoin_position(&self, c: ColRef) -> Option<usize> {
+        self.backjoin_available.get(&c.occ)?;
+        let mut active = self.backjoin_active.borrow_mut();
+        let base = match active.iter().find(|(o, _)| *o == c.occ) {
+            Some((_, base)) => *base,
+            None => {
+                let base = self.arity
+                    + active
+                        .iter()
+                        .map(|(o, _)| self.backjoin_available[o].n_columns)
+                        .sum::<usize>();
+                active.push((c.occ, base));
+                base
+            }
+        };
+        Some(base + c.col.0 as usize)
+    }
+
+    /// The backjoins this match activated, ready for the substitute.
+    fn take_backjoins(&self) -> Vec<mv_plan::BackJoin> {
+        self.backjoin_active
+            .borrow()
+            .iter()
+            .map(|(occ, _)| {
+                let offer = &self.backjoin_available[occ];
+                mv_plan::BackJoin {
+                    table: offer.table,
+                    key: offer.key.clone(),
+                }
+            })
+            .collect()
+    }
+
+    /// Map a column to an output position, rerouting through the given
+    /// equivalence classes ("we exploit equalities among columns by
+    /// considering each column reference to refer to the equivalence class
+    /// containing the column", section 3.1.3).
+    fn find_position(&self, c: ColRef, ec: &EquivClasses) -> Option<usize> {
+        if let Some(p) = self.direct_position(c, ec) {
+            return Some(p);
+        }
+        // Section 7 extension: reach the column through a backjoin.
+        std::iter::once(c)
+            .chain(ec.class_of(c))
+            .find_map(|c2| self.backjoin_position(c2))
+    }
+
+    /// Like [`ViewOutputs::find_position`] but restricted to the view's own
+    /// output columns (no backjoins).
+    fn direct_position(&self, c: ColRef, ec: &EquivClasses) -> Option<usize> {
+        if let Some(&p) = self.col_pos.get(&c) {
+            return Some(p);
+        }
+        ec.class_of(c)
+            .into_iter()
+            .find_map(|c2| self.col_pos.get(&c2).copied())
+    }
+}
+
+/// Reference to view output column `pos`.
+fn out_col(pos: usize) -> ScalarExpr {
+    ScalarExpr::Column(ColRef::new(0, pos as u32))
+}
+
+/// Map a scalar expression onto the view's outputs (section 3.1.4):
+/// constants copy through; simple columns reroute through `ec`; complex
+/// expressions first try an exact template match against a view output,
+/// then recomputation from simple output columns.
+fn map_scalar(e: &ScalarExpr, ec: &EquivClasses, vout: &ViewOutputs) -> Option<ScalarExpr> {
+    if e.is_constant() {
+        return Some(e.clone());
+    }
+    if let Some(c) = e.as_column() {
+        return vout.find_position(c, ec).map(out_col);
+    }
+    let t = Template::of_scalar(e);
+    let same = |a: ColRef, b: ColRef| a == b || ec.same(a, b);
+    for (vt, pos) in &vout.complex {
+        if vt.matches(&t, &same) {
+            return Some(out_col(*pos));
+        }
+    }
+    e.try_map_columns(&mut |c| {
+        vout.find_position(c, ec)
+            .map(|p| ColRef::new(0, p as u32))
+    })
+}
+
+/// Is `c` covered by a null-rejecting predicate in the query (other than
+/// an equijoin)? Used by the nullable-FK relaxation of section 3.2.
+fn is_null_rejecting(qsum: &ExprSummary, c: ColRef) -> bool {
+    if qsum.is_range_constrained(c) {
+        return true;
+    }
+    let same = |x: ColRef| x == c || qsum.ec.same(x, c);
+    qsum.residual_bools.iter().any(|p| match p {
+        BoolExpr::Compare { .. } | BoolExpr::Like { .. } => p.columns().into_iter().any(same),
+        BoolExpr::IsNull { negated: true, expr } => expr.columns().into_iter().any(same),
+        _ => false,
+    })
+}
+
+/// Attempt a match under one fixed occurrence assignment.
+#[allow(clippy::too_many_arguments)]
+fn try_match(
+    catalog: &Catalog,
+    config: &MatchConfig,
+    query: &SpjgExpr,
+    qsum: &ExprSummary,
+    view_id: ViewId,
+    view: &ViewDef,
+    vsum: &ExprSummary,
+    assign: &[Option<OccId>],
+) -> Option<Substitute> {
+    let nq = query.tables.len() as u32;
+
+    // View occurrence → query-space occurrence; extra tables get fresh
+    // occurrence ids nq, nq+1, ...
+    let mut occ_map: Vec<OccId> = Vec::with_capacity(assign.len());
+    let mut extras: Vec<OccId> = Vec::new();
+    let mut next = nq;
+    for a in assign {
+        match a {
+            Some(q) => occ_map.push(*q),
+            None => {
+                occ_map.push(OccId(next));
+                extras.push(OccId(next));
+                next += 1;
+            }
+        }
+    }
+    let mapf = |o: OccId| occ_map[o.0 as usize];
+
+    // View analysis rebased into query space.
+    let vec_q = remap_ec(&vsum.ec, &mapf);
+
+    // Extended query equivalence classes (section 3.2: "we merely simulate
+    // the addition of extra tables by updating query equivalence classes").
+    let mut qec = qsum.ec.clone();
+
+    if !extras.is_empty() {
+        let occs: Vec<(OccId, TableId)> = view
+            .expr
+            .occurrences()
+            .map(|(o, t)| (mapf(o), t))
+            .collect();
+        let nullable_ok = |c: ColRef| {
+            config.null_rejecting_fk && c.occ.0 < nq && is_null_rejecting(qsum, c)
+        };
+        let graph = build_fk_graph(catalog, &occs, &vec_q, &nullable_ok);
+        let elim = eliminate(&graph, &|o| extras.contains(&o));
+        if elim.remaining.iter().any(|o| extras.contains(o)) {
+            return None;
+        }
+        // Replay the join conditions of the deleted edges into the query's
+        // equivalence classes.
+        for e in &elim.deleted_edges {
+            for (f, c) in &e.col_pairs {
+                qec.union(*f, *c);
+            }
+        }
+    }
+
+    // ---- Equijoin subsumption test (section 3.1.2) ----
+    // Every non-trivial view equivalence class must be a subset of some
+    // query equivalence class.
+    for class in vec_q.nontrivial_classes() {
+        let root = qec.find(class[0]);
+        if class[1..].iter().any(|c| qec.find(*c) != root) {
+            return None;
+        }
+    }
+
+    let mut vout = ViewOutputs::build(&view.expr, &mapf);
+    if config.allow_backjoins {
+        let occs: Vec<(OccId, TableId)> = view
+            .expr
+            .occurrences()
+            .map(|(o, t)| (mapf(o), t))
+            .collect();
+        vout.offer_backjoins(catalog, &occs, &vec_q);
+    }
+    let mut predicates: Vec<BoolExpr> = Vec::new();
+
+    // ---- Compensating column-equality predicates (section 3.1.3 type 1) --
+    // "Whenever some view equivalence classes E1..En map to the same query
+    // equivalence class E, we create a column-equality predicate between
+    // any column in Ei and any column in Ei+1." These reroute through the
+    // VIEW equivalence classes.
+    for qclass in qec.nontrivial_classes() {
+        let mut parts: Vec<(ColRef, ColRef)> = Vec::new(); // (view root, representative)
+        for &c in &qclass {
+            let vroot = vec_q.find(c);
+            if !parts.iter().any(|(r, _)| *r == vroot) {
+                parts.push((vroot, c));
+            }
+        }
+        for w in parts.windows(2) {
+            let a = vout.find_position(w[0].1, &vec_q)?;
+            let b = vout.find_position(w[1].1, &vec_q)?;
+            predicates.push(BoolExpr::cmp(
+                out_col(a),
+                mv_expr::CmpOp::Eq,
+                out_col(b),
+            ));
+        }
+    }
+
+    // ---- Range subsumption test + compensation (type 2) ----
+    // Rebase the query ranges onto the extended equivalence classes.
+    let mut qranges: HashMap<ColRef, Interval> = HashMap::new();
+    for (root, iv) in &qsum.ranges {
+        let r = qec.find(*root);
+        match qranges.remove(&r) {
+            Some(prev) => {
+                qranges.insert(r, prev.intersect(iv)?);
+            }
+            None => {
+                qranges.insert(r, iv.clone());
+            }
+        }
+    }
+    // Every view range must contain the corresponding query range.
+    let mut veff: HashMap<ColRef, Interval> = HashMap::new();
+    for (vroot, iv) in &vsum.ranges {
+        let c = remap_col(*vroot, &mapf);
+        let qroot = qec.find(c);
+        let qiv = qranges.get(&qroot).cloned().unwrap_or_default();
+        if iv.contains(&qiv) != Some(true) {
+            return None;
+        }
+        let eff = veff.remove(&qroot).unwrap_or_default();
+        veff.insert(qroot, eff.intersect(iv)?);
+    }
+    // Enforce the query bounds that the view does not already guarantee —
+    // only the *genuine* bounds: check-derived bounds hold on every view
+    // row. Deterministic order for reproducible substitutes.
+    let mut gen_ranges: HashMap<ColRef, Interval> = HashMap::new();
+    for (root, iv) in &qsum.genuine_ranges {
+        let r = qec.find(*root);
+        match gen_ranges.remove(&r) {
+            Some(prev) => {
+                gen_ranges.insert(r, prev.intersect(iv)?);
+            }
+            None => {
+                gen_ranges.insert(r, iv.clone());
+            }
+        }
+    }
+    let mut qrange_list: Vec<(&ColRef, &Interval)> = gen_ranges.iter().collect();
+    qrange_list.sort_by_key(|(c, _)| **c);
+    for (qroot, qiv) in qrange_list {
+        let viv = veff.get(qroot).cloned().unwrap_or_default();
+        let comps = viv.compensation(qiv);
+        if comps.is_empty() {
+            continue;
+        }
+        // Route through QUERY equivalence classes (section 3.1.3 point 2).
+        let pos = vout.find_position(*qroot, &qec)?;
+        for (op, value) in comps {
+            predicates.push(BoolExpr::cmp(
+                out_col(pos),
+                op,
+                ScalarExpr::Literal(value),
+            ));
+        }
+    }
+
+    // ---- Residual subsumption test + compensation (type 3) ----
+    let v_templates: Vec<Template> = vsum
+        .residuals
+        .iter()
+        .map(|t| remap_template(t, &mapf))
+        .collect();
+    let same = |a: ColRef, b: ColRef| a == b || qec.same(a, b);
+    // Every view residual must match a query residual, else the view may
+    // lack required rows.
+    for vt in &v_templates {
+        if !qsum.residuals.iter().any(|qt| vt.matches(qt, &same)) {
+            return None;
+        }
+    }
+    // Query residuals missing from the view must be enforced on top.
+    // Check-constraint-derived residuals (beyond `genuine_residuals`) hold
+    // on every view row already and are never compensated.
+    for (qt, qb) in qsum
+        .residuals
+        .iter()
+        .zip(&qsum.residual_bools)
+        .take(qsum.genuine_residuals)
+    {
+        if v_templates.iter().any(|vt| vt.matches(qt, &same)) {
+            continue;
+        }
+        let mapped = qb.try_map_columns(&mut |c| {
+            vout.find_position(c, &qec)
+                .map(|p| ColRef::new(0, p as u32))
+        })?;
+        predicates.push(mapped);
+    }
+
+    // ---- Output expressions (sections 3.1.4 and 3.3) ----
+    let output = build_output(query, view.expr.is_aggregate(), &qec, &vout)?;
+
+    Some(Substitute {
+        view: view_id,
+        backjoins: vout.take_backjoins(),
+        predicates,
+        output,
+    })
+}
+
+/// Construct the substitute's output list.
+fn build_output(
+    query: &SpjgExpr,
+    view_is_aggregate: bool,
+    qec: &EquivClasses,
+    vout: &ViewOutputs,
+) -> Option<OutputList> {
+    let same = |a: ColRef, b: ColRef| a == b || qec.same(a, b);
+    match &query.output {
+        OutputList::Spj(items) => {
+            // The caller already rejected (SPJ query, aggregate view).
+            let mapped = items
+                .iter()
+                .map(|ne| {
+                    map_scalar(&ne.expr, qec, vout)
+                        .map(|e| NamedExpr::new(e, ne.name.clone()))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(OutputList::Spj(mapped))
+        }
+        OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } if !view_is_aggregate => {
+            // Aggregation query over an SPJ view: group the view directly.
+            let gb = group_by
+                .iter()
+                .map(|ne| {
+                    map_scalar(&ne.expr, qec, vout)
+                        .map(|e| NamedExpr::new(e, ne.name.clone()))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            let aggs = aggregates
+                .iter()
+                .map(|na| {
+                    let func = match &na.func {
+                        AggFunc::CountStar => AggFunc::CountStar,
+                        AggFunc::Sum(e) => AggFunc::Sum(map_scalar(e, qec, vout)?),
+                        AggFunc::SumZero(e) => AggFunc::SumZero(map_scalar(e, qec, vout)?),
+                    };
+                    Some(NamedAgg::new(func, na.name.clone()))
+                })
+                .collect::<Option<Vec<_>>>()?;
+            Some(OutputList::Aggregate {
+                group_by: gb,
+                aggregates: aggs,
+            })
+        }
+        OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } => {
+            // Aggregation query over an aggregation view (section 3.3):
+            // the view must be no more aggregated than the query, i.e.
+            // every query grouping expression maps onto the view's
+            // grouping outputs.
+            let gb_mapped = group_by
+                .iter()
+                .map(|ne| map_scalar(&ne.expr, qec, vout))
+                .collect::<Option<Vec<_>>>()?;
+            // Positions of directly-matched view grouping outputs.
+            let direct: Vec<Option<usize>> = gb_mapped
+                .iter()
+                .map(|e| {
+                    e.as_column()
+                        .map(|c| c.col.0 as usize)
+                        .filter(|&p| p < vout.scalar_len)
+                })
+                .collect();
+            // No further aggregation is needed exactly when the query
+            // grouping list covers every view grouping output.
+            let no_regroup = direct.iter().all(|d| d.is_some())
+                && (0..vout.scalar_len).all(|p| direct.contains(&Some(p)));
+            if no_regroup {
+                let mut items: Vec<NamedExpr> = group_by
+                    .iter()
+                    .zip(&gb_mapped)
+                    .map(|(ne, e)| NamedExpr::new(e.clone(), ne.name.clone()))
+                    .collect();
+                for na in aggregates {
+                    let e = match &na.func {
+                        AggFunc::CountStar => out_col(vout.count_pos?),
+                        AggFunc::Sum(arg) | AggFunc::SumZero(arg) => {
+                            out_col(find_sum(vout, arg, &same)?)
+                        }
+                    };
+                    items.push(NamedExpr::new(e, na.name.clone()));
+                }
+                Some(OutputList::Spj(items))
+            } else {
+                let gb = group_by
+                    .iter()
+                    .zip(&gb_mapped)
+                    .map(|(ne, e)| NamedExpr::new(e.clone(), ne.name.clone()))
+                    .collect();
+                let aggs = aggregates
+                    .iter()
+                    .map(|na| {
+                        let func = match &na.func {
+                            // count(*) rolls up as a zero-defaulting SUM
+                            // over the view's count column.
+                            AggFunc::CountStar => {
+                                AggFunc::SumZero(out_col(vout.count_pos?))
+                            }
+                            AggFunc::Sum(arg) => {
+                                AggFunc::Sum(out_col(find_sum(vout, arg, &same)?))
+                            }
+                            AggFunc::SumZero(arg) => {
+                                AggFunc::SumZero(out_col(find_sum(vout, arg, &same)?))
+                            }
+                        };
+                        Some(NamedAgg::new(func, na.name.clone()))
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(OutputList::Aggregate {
+                    group_by: gb,
+                    aggregates: aggs,
+                })
+            }
+        }
+    }
+}
+
+/// Find a view `SUM(E')` output whose argument matches `arg` exactly,
+/// taking column equivalences into account (section 3.3: "If the query
+/// output contains a SUM(E) ... we require that the view contain an output
+/// column that matches exactly").
+fn find_sum(
+    vout: &ViewOutputs,
+    arg: &ScalarExpr,
+    same: &impl Fn(ColRef, ColRef) -> bool,
+) -> Option<usize> {
+    let t = Template::of_scalar(arg);
+    vout.sum_args
+        .iter()
+        .find(|(vt, _)| vt.matches(&t, same))
+        .map(|(_, pos)| *pos)
+}

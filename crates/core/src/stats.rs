@@ -1,0 +1,118 @@
+//! Instrumentation counters for the view-matching rule.
+//!
+//! Section 5 of the paper reports, besides wall-clock optimization time:
+//! the fraction of views surviving the filter tree (< 0.4 % on their
+//! workload), the fraction of candidates that produce substitutes (15-20 %),
+//! substitutes per invocation, and invocations per query. These counters
+//! let the benchmark harness reproduce every one of those numbers.
+
+use std::time::Duration;
+
+/// Counters accumulated by a [`crate::MatchingEngine`].
+#[derive(Debug, Default, Clone)]
+pub struct MatchStats {
+    /// Number of invocations of the view-matching rule (i.e. calls to
+    /// `find_substitutes` on an acceptable expression).
+    pub invocations: u64,
+    /// Total candidate views that survived filtering, summed over
+    /// invocations.
+    pub candidates: u64,
+    /// Total views registered at the time of each invocation, summed over
+    /// invocations (denominator for the candidate fraction).
+    pub views_available: u64,
+    /// Candidate views that passed the full tests and produced a
+    /// substitute.
+    pub substitutes: u64,
+    /// Time spent searching the filter tree.
+    pub filter_time: Duration,
+    /// Total time spent inside the view-matching rule (filtering plus
+    /// checking plus substitute construction).
+    pub match_time: Duration,
+}
+
+impl MatchStats {
+    /// Average fraction of views that survive the filter tree (the paper
+    /// reports 0.29 % at 100 views and 0.36 % at 1000).
+    pub fn candidate_fraction(&self) -> f64 {
+        if self.views_available == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / self.views_available as f64
+        }
+    }
+
+    /// Fraction of candidates that pass the detailed tests (the paper
+    /// reports 15-20 %).
+    pub fn pass_fraction(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.substitutes as f64 / self.candidates as f64
+        }
+    }
+
+    /// Substitutes produced per invocation (0.04 at 100 views rising to
+    /// 0.59 at 1000 in the paper).
+    pub fn substitutes_per_invocation(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.substitutes as f64 / self.invocations as f64
+        }
+    }
+
+    /// Merge another stats block into this one.
+    pub fn merge(&mut self, other: &MatchStats) {
+        self.invocations += other.invocations;
+        self.candidates += other.candidates;
+        self.views_available += other.views_available;
+        self.substitutes += other.substitutes;
+        self.filter_time += other.filter_time;
+        self.match_time += other.match_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fractions() {
+        let s = MatchStats {
+            invocations: 10,
+            candidates: 40,
+            views_available: 10_000,
+            substitutes: 8,
+            ..Default::default()
+        };
+        assert!((s.candidate_fraction() - 0.004).abs() < 1e-12);
+        assert!((s.pass_fraction() - 0.2).abs() < 1e-12);
+        assert!((s.substitutes_per_invocation() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators() {
+        let s = MatchStats::default();
+        assert_eq!(s.candidate_fraction(), 0.0);
+        assert_eq!(s.pass_fraction(), 0.0);
+        assert_eq!(s.substitutes_per_invocation(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = MatchStats {
+            invocations: 1,
+            candidates: 2,
+            views_available: 3,
+            substitutes: 4,
+            filter_time: Duration::from_millis(5),
+            match_time: Duration::from_millis(6),
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.invocations, 2);
+        assert_eq!(a.candidates, 4);
+        assert_eq!(a.views_available, 6);
+        assert_eq!(a.substitutes, 8);
+        assert_eq!(a.filter_time, Duration::from_millis(10));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the lattice index: under arbitrary insertion
+//! sequences (and payload removals), subset/superset searches must return
+//! exactly what a naive scan over the stored key sets returns.
+
+use mv_core::LatticeIndex;
+use proptest::prelude::*;
+
+fn is_subset(a: &[u8], b: &[u8]) -> bool {
+    a.iter().all(|x| b.contains(x))
+}
+
+fn normalize(mut v: Vec<u8>) -> Vec<u8> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn search_equals_naive_scan(
+        keys in prop::collection::vec(prop::collection::vec(0u8..12, 0..6), 1..40),
+        probe in prop::collection::vec(0u8..12, 0..6),
+    ) {
+        let mut idx: LatticeIndex<u8, usize> = LatticeIndex::new();
+        let stored: Vec<Vec<u8>> = keys.iter().cloned().map(normalize).collect();
+        for (i, k) in keys.iter().enumerate() {
+            idx.insert(k.clone(), i);
+        }
+        let probe = normalize(probe);
+
+        let mut found_subsets: Vec<usize> =
+            idx.find_subsets(&probe).into_iter().copied().collect();
+        found_subsets.sort();
+        let mut naive_subsets: Vec<usize> = stored
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| is_subset(k, &probe))
+            .map(|(i, _)| i)
+            .collect();
+        naive_subsets.sort();
+        prop_assert_eq!(found_subsets, naive_subsets);
+
+        let mut found_supers: Vec<usize> =
+            idx.find_supersets(&probe).into_iter().copied().collect();
+        found_supers.sort();
+        let mut naive_supers: Vec<usize> = stored
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| is_subset(&probe, k))
+            .map(|(i, _)| i)
+            .collect();
+        naive_supers.sort();
+        prop_assert_eq!(found_supers, naive_supers);
+    }
+
+    #[test]
+    fn removal_respects_searches(
+        keys in prop::collection::vec(prop::collection::vec(0u8..10, 0..5), 1..25),
+        remove_mask in prop::collection::vec(any::<bool>(), 1..25),
+        probe in prop::collection::vec(0u8..10, 0..5),
+    ) {
+        let mut idx: LatticeIndex<u8, usize> = LatticeIndex::new();
+        for (i, k) in keys.iter().enumerate() {
+            idx.insert(k.clone(), i);
+        }
+        let mut alive: Vec<bool> = vec![true; keys.len()];
+        for (i, k) in keys.iter().enumerate() {
+            if *remove_mask.get(i).unwrap_or(&false) {
+                prop_assert!(idx.remove(k.clone(), &i));
+                alive[i] = false;
+            }
+        }
+        let probe = normalize(probe);
+        let mut found: Vec<usize> = idx.find_subsets(&probe).into_iter().copied().collect();
+        found.sort();
+        let mut naive: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(i, k)| alive[*i] && is_subset(&normalize((*k).clone()), &probe))
+            .map(|(i, _)| i)
+            .collect();
+        naive.sort();
+        prop_assert_eq!(found, naive);
+    }
+
+    #[test]
+    fn monotone_hitting_search_equals_naive(
+        keys in prop::collection::vec(prop::collection::vec(0u8..10, 0..5), 1..30),
+        classes in prop::collection::vec(prop::collection::vec(0u8..10, 1..4), 0..4),
+    ) {
+        let mut idx: LatticeIndex<u8, usize> = LatticeIndex::new();
+        for (i, k) in keys.iter().enumerate() {
+            idx.insert(k.clone(), i);
+        }
+        let hits = |k: &[u8]| classes.iter().all(|cl| cl.iter().any(|e| k.contains(e)));
+        let mut found: Vec<usize> = idx.find_monotone_down(hits).into_iter().copied().collect();
+        found.sort();
+        let mut naive: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| {
+                let k = normalize((*k).clone());
+                classes.iter().all(|cl| cl.iter().any(|e| k.contains(e)))
+            })
+            .map(|(i, _)| i)
+            .collect();
+        naive.sort();
+        prop_assert_eq!(found, naive);
+    }
+}

@@ -1,0 +1,396 @@
+//! dbgen-lite: a deterministic, scaled-down TPC-H data generator.
+//!
+//! Produces all eight TPC-H tables with full referential integrity (every
+//! declared foreign key is satisfied) and TPC-H-flavored value
+//! distributions: date windows, price formulas, word-pool text columns
+//! (including `steel`, so the paper's `%steel%` LIKE examples select real
+//! rows). All randomness flows from a caller-provided seed.
+
+use crate::db::{Database, Row};
+use mv_catalog::tpch::{tpch_catalog, TpchTables};
+use mv_catalog::types::days_from_date;
+use mv_catalog::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Row-count knobs. Real TPC-H fixes ratios between tables; we keep the
+/// ratios but let the absolute size shrink to test/bench scale.
+#[derive(Debug, Clone)]
+pub struct TpchScale {
+    /// Number of customers.
+    pub customers: usize,
+    /// Number of suppliers.
+    pub suppliers: usize,
+    /// Number of parts.
+    pub parts: usize,
+    /// Average orders per customer (TPC-H uses 10).
+    pub orders_per_customer: usize,
+    /// Maximum lineitems per order (TPC-H draws 1..=7).
+    pub max_lineitems_per_order: usize,
+}
+
+impl TpchScale {
+    /// A few hundred rows total: unit-test scale.
+    pub fn tiny() -> Self {
+        TpchScale {
+            customers: 30,
+            suppliers: 8,
+            parts: 40,
+            orders_per_customer: 3,
+            max_lineitems_per_order: 4,
+        }
+    }
+
+    /// A few tens of thousands of rows: integration-test / example scale.
+    pub fn small() -> Self {
+        TpchScale {
+            customers: 500,
+            suppliers: 50,
+            parts: 600,
+            orders_per_customer: 8,
+            max_lineitems_per_order: 5,
+        }
+    }
+
+    /// Proportional to TPC-H at the given scale factor (sf = 1.0 is the
+    /// full 1 GB benchmark population; use small fractions).
+    pub fn factor(sf: f64) -> Self {
+        let f = |base: f64| ((base * sf).round() as usize).max(1);
+        TpchScale {
+            customers: f(150_000.0),
+            suppliers: f(10_000.0),
+            parts: f(200_000.0),
+            orders_per_customer: 10,
+            max_lineitems_per_order: 7,
+        }
+    }
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [&str; 25] = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
+    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
+    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+const COLORS: [&str; 24] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "chartreuse", "chiffon", "coral", "cornflower", "cream",
+    "cyan", "steel", "copper", "nickel", "brass", "tin", "bronze",
+];
+const TYPES_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPES_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPES_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+];
+const WORDS: [&str; 16] = [
+    "furiously", "quickly", "carefully", "slyly", "blithely", "deposits", "accounts", "pending",
+    "requests", "ideas", "foxes", "packages", "theodolites", "instructions", "platelets",
+    "excuses",
+];
+
+fn comment(rng: &mut StdRng, max_words: usize) -> Value {
+    let n = rng.random_range(2..=max_words.max(3));
+    let words: Vec<&str> = (0..n)
+        .map(|_| WORDS[rng.random_range(0..WORDS.len())])
+        .collect();
+    Value::Str(words.join(" "))
+}
+
+fn date_in(rng: &mut StdRng, lo: i32, hi: i32) -> i32 {
+    rng.random_range(lo..=hi)
+}
+
+/// Generate a full database at the given scale. Deterministic in `seed`.
+/// Statistics are collected into the catalog before returning.
+pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
+    let (catalog, t) = tpch_catalog();
+    let mut db = Database::new(catalog);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // region
+    let regions: Vec<Row> = REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            vec![
+                Value::Int(i as i64),
+                Value::Str(name.to_string()),
+                comment(&mut rng, 5),
+            ]
+        })
+        .collect();
+    db.load(t.region, regions);
+
+    // nation
+    let nations: Vec<Row> = NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            vec![
+                Value::Int(i as i64),
+                Value::Str(name.to_string()),
+                Value::Int((i % 5) as i64),
+                comment(&mut rng, 5),
+            ]
+        })
+        .collect();
+    db.load(t.nation, nations);
+
+    // supplier
+    let suppliers: Vec<Row> = (1..=scale.suppliers as i64)
+        .map(|k| {
+            vec![
+                Value::Int(k),
+                Value::Str(format!("Supplier#{k:09}")),
+                comment(&mut rng, 3),
+                Value::Int(rng.random_range(0..25)),
+                Value::Str(format!("{}-{:03}-{:03}", rng.random_range(10..35), k % 1000, k % 997)),
+                Value::Int(rng.random_range(-99_999..1_000_000)), // acctbal in cents
+                comment(&mut rng, 8),
+            ]
+        })
+        .collect();
+    db.load(t.supplier, suppliers);
+
+    // customer
+    let customers: Vec<Row> = (1..=scale.customers as i64)
+        .map(|k| {
+            vec![
+                Value::Int(k),
+                Value::Str(format!("Customer#{k:09}")),
+                comment(&mut rng, 3),
+                Value::Int(rng.random_range(0..25)),
+                Value::Str(format!("{}-{:03}-{:03}", rng.random_range(10..35), k % 1000, k % 991)),
+                Value::Int(rng.random_range(-99_999..1_000_000)),
+                Value::Str(SEGMENTS[rng.random_range(0..SEGMENTS.len())].to_string()),
+                comment(&mut rng, 8),
+            ]
+        })
+        .collect();
+    db.load(t.customer, customers);
+
+    // part: retail prices in cents, sizes 1..=50
+    let mut part_price = Vec::with_capacity(scale.parts + 1);
+    part_price.push(0i64); // index 0 unused
+    let parts: Vec<Row> = (1..=scale.parts as i64)
+        .map(|k| {
+            let name: Vec<&str> = (0..3)
+                .map(|_| COLORS[rng.random_range(0..COLORS.len())])
+                .collect();
+            let price = 90_000 + (k % 200) * 100 + rng.random_range(0..10_000);
+            part_price.push(price);
+            vec![
+                Value::Int(k),
+                Value::Str(name.join(" ")),
+                Value::Str(format!("Manufacturer#{}", 1 + k % 5)),
+                Value::Str(format!("Brand#{}{}", 1 + k % 5, 1 + k % 4)),
+                Value::Str(format!(
+                    "{} {} {}",
+                    TYPES_1[rng.random_range(0..TYPES_1.len())],
+                    TYPES_2[rng.random_range(0..TYPES_2.len())],
+                    TYPES_3[rng.random_range(0..TYPES_3.len())]
+                )),
+                Value::Int(rng.random_range(1..=50)),
+                Value::Str(CONTAINERS[rng.random_range(0..CONTAINERS.len())].to_string()),
+                Value::Int(price),
+                comment(&mut rng, 5),
+            ]
+        })
+        .collect();
+    db.load(t.part, parts);
+
+    // partsupp: up to 4 distinct suppliers per part.
+    let per_part = 4.min(scale.suppliers);
+    let mut ps_pairs: Vec<(i64, i64)> = Vec::new();
+    let partsupps: Vec<Row> = (1..=scale.parts as i64)
+        .flat_map(|p| {
+            let mut supps: Vec<i64> = Vec::with_capacity(per_part);
+            while supps.len() < per_part {
+                let s = rng.random_range(1..=scale.suppliers as i64);
+                if !supps.contains(&s) {
+                    supps.push(s);
+                }
+            }
+            supps
+                .into_iter()
+                .map(|s| {
+                    ps_pairs.push((p, s));
+                    vec![
+                        Value::Int(p),
+                        Value::Int(s),
+                        Value::Int(rng.random_range(1..10_000)),
+                        Value::Int(rng.random_range(100..100_000)),
+                        comment(&mut rng, 5),
+                    ]
+                })
+                .collect::<Vec<Row>>()
+        })
+        .collect();
+    db.load(t.partsupp, partsupps);
+
+    // orders + lineitem
+    let start = days_from_date(1992, 1, 1);
+    let end = days_from_date(1998, 8, 2);
+    let n_orders = scale.customers * scale.orders_per_customer;
+    let mut orders = Vec::with_capacity(n_orders);
+    let mut lineitems: Vec<Row> = Vec::new();
+    for ok in 1..=n_orders as i64 {
+        let custkey = rng.random_range(1..=scale.customers as i64);
+        let orderdate = date_in(&mut rng, start, end - 151);
+        let n_lines = rng.random_range(1..=scale.max_lineitems_per_order);
+        let mut totalprice = 0i64;
+        for ln in 1..=n_lines as i64 {
+            let (p, s) = ps_pairs[rng.random_range(0..ps_pairs.len())];
+            let qty = rng.random_range(1..=50i64);
+            let extended = qty * part_price[p as usize];
+            totalprice += extended;
+            let shipdate = orderdate + rng.random_range(1..=121);
+            let commitdate = orderdate + rng.random_range(30..=90);
+            let receiptdate = shipdate + rng.random_range(1..=30);
+            lineitems.push(vec![
+                Value::Int(ok),
+                Value::Int(p),
+                Value::Int(s),
+                Value::Int(ln),
+                Value::Int(qty),
+                Value::Int(extended),
+                Value::Int(rng.random_range(0..=10)), // discount in percent
+                Value::Int(rng.random_range(0..=8)),  // tax in percent
+                Value::Str(
+                    ["R", "A", "N"][rng.random_range(0..3)].to_string(),
+                ),
+                Value::Str(["O", "F"][rng.random_range(0..2)].to_string()),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::Str(INSTRUCTIONS[rng.random_range(0..INSTRUCTIONS.len())].to_string()),
+                Value::Str(SHIPMODES[rng.random_range(0..SHIPMODES.len())].to_string()),
+                comment(&mut rng, 6),
+            ]);
+        }
+        orders.push(vec![
+            Value::Int(ok),
+            Value::Int(custkey),
+            Value::Str(["O", "F", "P"][rng.random_range(0..3)].to_string()),
+            Value::Int(totalprice),
+            Value::Date(orderdate),
+            Value::Str(PRIORITIES[rng.random_range(0..PRIORITIES.len())].to_string()),
+            Value::Str(format!("Clerk#{:09}", rng.random_range(1..1000))),
+            Value::Int(0),
+            comment(&mut rng, 10),
+        ]);
+    }
+    db.load(t.orders, orders);
+    db.load(t.lineitem, lineitems);
+
+    db.collect_stats();
+    (db, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (a, t) = generate_tpch(&TpchScale::tiny(), 42);
+        let (b, _) = generate_tpch(&TpchScale::tiny(), 42);
+        assert_eq!(a.rows(t.lineitem), b.rows(t.lineitem));
+        assert_eq!(a.rows(t.orders), b.rows(t.orders));
+        let (c, _) = generate_tpch(&TpchScale::tiny(), 43);
+        assert_ne!(a.rows(t.lineitem), c.rows(t.lineitem));
+    }
+
+    #[test]
+    fn row_counts_follow_scale() {
+        let scale = TpchScale::tiny();
+        let (db, t) = generate_tpch(&scale, 1);
+        assert_eq!(db.row_count(t.region), 5);
+        assert_eq!(db.row_count(t.nation), 25);
+        assert_eq!(db.row_count(t.customer), scale.customers);
+        assert_eq!(db.row_count(t.supplier), scale.suppliers);
+        assert_eq!(db.row_count(t.part), scale.parts);
+        assert_eq!(db.row_count(t.partsupp), scale.parts * 4);
+        assert_eq!(
+            db.row_count(t.orders),
+            scale.customers * scale.orders_per_customer
+        );
+        assert!(db.row_count(t.lineitem) >= db.row_count(t.orders));
+    }
+
+    #[test]
+    fn referential_integrity_holds() {
+        let (db, _) = generate_tpch(&TpchScale::tiny(), 7);
+        assert_eq!(db.check_foreign_keys(), 0);
+    }
+
+    #[test]
+    fn primary_keys_unique() {
+        use std::collections::HashSet;
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 7);
+        for table in t.all() {
+            let def = db.catalog.table(table);
+            let Some(pk) = def.keys.first() else { continue };
+            let mut seen = HashSet::new();
+            for row in db.rows(table) {
+                let key: Vec<_> = pk.columns.iter().map(|c| row[c.0 as usize].clone()).collect();
+                assert!(seen.insert(key), "duplicate PK in {}", def.name);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_collected() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 7);
+        let stats = db.catalog.stats(t.lineitem).unwrap();
+        assert_eq!(stats.rows as usize, db.row_count(t.lineitem));
+        // l_quantity ndv is at most 50 and min/max within [1, 50].
+        let qty = &stats.columns[4];
+        assert!(qty.ndv <= 50);
+        assert!(matches!(qty.min, Value::Int(v) if (1..=50).contains(&v)));
+        // Dates look like dates.
+        let ship = &stats.columns[10];
+        assert!(matches!(ship.min, Value::Date(_)));
+    }
+
+    #[test]
+    fn dates_are_ordered_sanely() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 9);
+        let orders = db.rows(t.orders);
+        for li in db.rows(t.lineitem) {
+            let (Value::Int(ok), Value::Date(ship), Value::Date(receipt)) =
+                (&li[0], &li[10], &li[12])
+            else {
+                panic!("bad lineitem row");
+            };
+            assert!(receipt > ship);
+            let order = &orders[(*ok - 1) as usize];
+            let Value::Date(odate) = &order[4] else {
+                panic!("bad order date");
+            };
+            assert!(ship > odate);
+        }
+    }
+
+    #[test]
+    fn monetary_columns_are_integer_cents() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 11);
+        for row in db.rows(t.lineitem) {
+            assert!(matches!(row[5], Value::Int(_)), "extendedprice not Int");
+        }
+        for row in db.rows(t.part) {
+            assert!(matches!(row[7], Value::Int(_)), "retailprice not Int");
+        }
+    }
+}

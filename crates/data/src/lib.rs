@@ -1,0 +1,24 @@
+//! Deterministic TPC-H style data generation and in-memory row storage.
+//!
+//! The paper's experiments run on "TPC-H at scale factor 0.5 (500MB)" and
+//! note that "the scale factor does not affect optimization time" — the
+//! matcher and optimizer work on definitions, not data. Data still matters
+//! for two things in this reproduction:
+//!
+//! * the *correctness oracle*: executing a substitute against a
+//!   materialized view must return exactly the rows of the original query
+//!   (bag semantics), which the `mv-exec` tests verify over this data;
+//! * realistic column statistics for the workload generator's cardinality
+//!   targeting and the optimizer's cost model.
+//!
+//! Monetary columns are generated as integer cents rather than floats so
+//! that SUM aggregation is exact and associative — partial aggregation
+//! (the view) followed by re-aggregation (the compensating group-by) is
+//! then bit-identical to direct aggregation, which keeps the bag-equality
+//! oracle sharp.
+
+pub mod db;
+pub mod gen;
+
+pub use db::{Database, Row};
+pub use gen::{generate_tpch, TpchScale};

@@ -1,0 +1,102 @@
+//! Multiset (bag) comparison of result sets.
+//!
+//! SQL is defined over bags: "it is not sufficient that two expressions
+//! produce the same set of rows but any duplicate rows must also occur
+//! exactly the same number of times" (section 3.1, requirement 4). All
+//! correctness tests in this reproduction therefore compare results as
+//! bags.
+
+use mv_data::Row;
+use std::collections::HashMap;
+
+/// Are the two results equal as bags?
+pub fn bag_eq(a: &[Row], b: &[Row]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut counts: HashMap<&Row, i64> = HashMap::new();
+    for r in a {
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    for r in b {
+        match counts.get_mut(r) {
+            Some(c) => *c -= 1,
+            None => return false,
+        }
+    }
+    counts.values().all(|&c| c == 0)
+}
+
+/// A human-readable description of the difference between two bags, or
+/// `None` if they are equal. Reports up to five rows from each side.
+pub fn bag_diff(a: &[Row], b: &[Row]) -> Option<String> {
+    let mut counts: HashMap<&Row, i64> = HashMap::new();
+    for r in a {
+        *counts.entry(r).or_insert(0) += 1;
+    }
+    for r in b {
+        *counts.entry(r).or_insert(0) -= 1;
+    }
+    let only_a: Vec<&&Row> = counts
+        .iter()
+        .filter(|(_, &c)| c > 0)
+        .map(|(r, _)| r)
+        .take(5)
+        .collect();
+    let only_b: Vec<&&Row> = counts
+        .iter()
+        .filter(|(_, &c)| c < 0)
+        .map(|(r, _)| r)
+        .take(5)
+        .collect();
+    if only_a.is_empty() && only_b.is_empty() {
+        None
+    } else {
+        Some(format!(
+            "left has {} rows, right has {} rows; only-left sample: {:?}; only-right sample: {:?}",
+            a.len(),
+            b.len(),
+            only_a,
+            only_b
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_catalog::Value;
+
+    fn r(vals: &[i64]) -> Row {
+        vals.iter().map(|&v| Value::Int(v)).collect()
+    }
+
+    #[test]
+    fn equal_bags_in_any_order() {
+        let a = vec![r(&[1]), r(&[2]), r(&[1])];
+        let b = vec![r(&[2]), r(&[1]), r(&[1])];
+        assert!(bag_eq(&a, &b));
+        assert!(bag_diff(&a, &b).is_none());
+    }
+
+    #[test]
+    fn duplicate_counts_matter() {
+        let a = vec![r(&[1]), r(&[1]), r(&[2])];
+        let b = vec![r(&[1]), r(&[2]), r(&[2])];
+        assert!(!bag_eq(&a, &b));
+        assert!(bag_diff(&a, &b).is_some());
+    }
+
+    #[test]
+    fn length_mismatch() {
+        let a = vec![r(&[1])];
+        let b = vec![r(&[1]), r(&[1])];
+        assert!(!bag_eq(&a, &b));
+    }
+
+    #[test]
+    fn empty_bags_equal() {
+        assert!(bag_eq(&[], &[]));
+        assert!(bag_diff(&[], &[]).is_none());
+    }
+}

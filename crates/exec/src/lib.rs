@@ -1,0 +1,28 @@
+//! A row-oriented in-memory execution engine.
+//!
+//! Three execution paths, all operating on [`mv_data::Database`] rows:
+//!
+//! * [`spjg::execute_spjg`] evaluates an SPJG block directly against base
+//!   tables — the *correctness oracle* for everything else,
+//! * [`substitute::execute_substitute`] evaluates a matcher-produced
+//!   [`mv_plan::Substitute`] against a materialized view's rows,
+//! * [`physical::execute_plan`] interprets an optimizer-produced
+//!   [`mv_plan::PhysicalPlan`].
+//!
+//! Bag semantics throughout: duplicates are preserved exactly, and
+//! [`compare::bag_eq`] provides multiset equality for tests. The central
+//! soundness property of the whole reproduction is checked on top of this
+//! crate: *whenever the matcher produces a substitute, executing it against
+//! the materialized view returns exactly the same bag of rows as executing
+//! the query against base data.*
+
+pub mod agg;
+pub mod compare;
+pub mod physical;
+pub mod spjg;
+pub mod substitute;
+
+pub use compare::{bag_diff, bag_eq};
+pub use physical::{execute_plan, ViewStore};
+pub use spjg::execute_spjg;
+pub use substitute::{execute_substitute, execute_substitute_with, materialize_view};

@@ -1,0 +1,356 @@
+//! Direct evaluation of an SPJG block against base tables.
+//!
+//! This is the semantics oracle: a straightforward, obviously-correct
+//! implementation (incremental hash joins over the column-equality
+//! conjuncts, then residual filtering, then projection or grouping) that
+//! the substitute and physical paths are tested against.
+
+use crate::agg::GroupAcc;
+use mv_catalog::Value;
+use mv_data::{Database, Row};
+use mv_expr::{ColRef, Conjunct};
+use mv_plan::{OutputList, SpjgExpr};
+use std::collections::HashMap;
+
+/// Per-occurrence column offsets in the wide (concatenated) row.
+fn offsets(db: &Database, expr: &SpjgExpr) -> Vec<usize> {
+    let mut out = Vec::with_capacity(expr.tables.len() + 1);
+    let mut acc = 0;
+    for &t in &expr.tables {
+        out.push(acc);
+        acc += db.catalog.table(t).columns.len();
+    }
+    out.push(acc);
+    out
+}
+
+fn accessor<'a>(offsets: &'a [usize], row: &'a [Value]) -> impl Fn(ColRef) -> Value + 'a {
+    move |c: ColRef| row[offsets[c.occ.0 as usize] + c.col.0 as usize].clone()
+}
+
+/// Does every column of the conjunct come from occurrences `< bound`?
+fn conjunct_bound(conj: &Conjunct, bound: u32) -> bool {
+    conj.columns().iter().all(|c| c.occ.0 < bound)
+}
+
+/// Evaluate the SPJ part: all occurrences joined, every conjunct applied.
+/// Returns wide rows (concatenation of all occurrences' columns).
+pub fn execute_spj_part(db: &Database, expr: &SpjgExpr) -> Vec<Row> {
+    let offs = offsets(db, expr);
+    let mut applied = vec![false; expr.conjuncts.len()];
+    // Start from a single empty prefix row.
+    let mut current: Vec<Row> = vec![Vec::new()];
+
+    for (occ_idx, &table) in expr.tables.iter().enumerate() {
+        let occ = occ_idx as u32;
+        // Equijoin pairs between bound occurrences and the new one.
+        let mut left_keys: Vec<ColRef> = Vec::new(); // in bound prefix
+        let mut right_keys: Vec<ColRef> = Vec::new(); // on the new occurrence
+        for (i, conj) in expr.conjuncts.iter().enumerate() {
+            if applied[i] {
+                continue;
+            }
+            if let Conjunct::ColumnEq(a, b) = conj {
+                let (a, b) = (*a, *b);
+                if a.occ.0 < occ && b.occ.0 == occ {
+                    left_keys.push(a);
+                    right_keys.push(b);
+                    applied[i] = true;
+                } else if b.occ.0 < occ && a.occ.0 == occ {
+                    left_keys.push(b);
+                    right_keys.push(a);
+                    applied[i] = true;
+                }
+            }
+        }
+
+        let scan = db.rows(table);
+        let mut next: Vec<Row> = Vec::new();
+        if left_keys.is_empty() {
+            // Cartesian step.
+            for prefix in &current {
+                for row in scan {
+                    let mut wide = prefix.clone();
+                    wide.extend(row.iter().cloned());
+                    next.push(wide);
+                }
+            }
+        } else {
+            // Hash join: build on the (usually smaller) prefix side.
+            let mut table_map: HashMap<Vec<Value>, Vec<&Row>> = HashMap::new();
+            for row in scan {
+                let key: Vec<Value> = right_keys
+                    .iter()
+                    .map(|c| row[c.col.0 as usize].clone())
+                    .collect();
+                // SQL equality: NULL keys never join.
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                table_map.entry(key).or_default().push(row);
+            }
+            for prefix in &current {
+                let key: Vec<Value> = left_keys
+                    .iter()
+                    .map(|c| prefix[offs[c.occ.0 as usize] + c.col.0 as usize].clone())
+                    .collect();
+                if key.iter().any(Value::is_null) {
+                    continue;
+                }
+                if let Some(matches) = table_map.get(&key) {
+                    for row in matches {
+                        let mut wide = prefix.clone();
+                        wide.extend(row.iter().cloned());
+                        next.push(wide);
+                    }
+                }
+            }
+        }
+        current = next;
+
+        // Apply every remaining conjunct that is now fully bound.
+        for (i, conj) in expr.conjuncts.iter().enumerate() {
+            if applied[i] || !conjunct_bound(conj, occ + 1) {
+                continue;
+            }
+            applied[i] = true;
+            let pred = conj.to_bool();
+            current.retain(|row| pred.eval(&accessor(&offs, row)) == Some(true));
+        }
+    }
+    debug_assert!(applied.iter().all(|a| *a), "unapplied conjunct");
+    current
+}
+
+/// Evaluate the whole block: SPJ part, then projection or grouping.
+pub fn execute_spjg(db: &Database, expr: &SpjgExpr) -> Vec<Row> {
+    let wide = execute_spj_part(db, expr);
+    let offs = offsets(db, expr);
+    match &expr.output {
+        OutputList::Spj(items) => wide
+            .iter()
+            .map(|row| {
+                let get = accessor(&offs, row);
+                items.iter().map(|ne| ne.expr.eval(&get)).collect()
+            })
+            .collect(),
+        OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } => {
+            let aggs: Vec<_> = aggregates.iter().map(|a| a.func.clone()).collect();
+            let mut groups: HashMap<Vec<Value>, GroupAcc> = HashMap::new();
+            for row in &wide {
+                let get = accessor(&offs, row);
+                let key: Vec<Value> = group_by.iter().map(|g| g.expr.eval(&get)).collect();
+                groups
+                    .entry(key)
+                    .or_insert_with(|| GroupAcc::new(aggs.len()))
+                    .add(&aggs, &get);
+            }
+            // SQL: a scalar aggregate over empty input still yields one row.
+            if groups.is_empty() && group_by.is_empty() {
+                groups.insert(Vec::new(), GroupAcc::new(aggs.len()));
+            }
+            groups
+                .into_iter()
+                .map(|(mut key, acc)| {
+                    key.extend(acc.finish(&aggs));
+                    key
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_data::{generate_tpch, TpchScale};
+    use mv_expr::{BinOp, BoolExpr, CmpOp, ScalarExpr as S};
+    use mv_plan::{AggFunc, NamedAgg, NamedExpr};
+
+    fn cr(occ: u32, col: u32) -> ColRef {
+        ColRef::new(occ, col)
+    }
+
+    #[test]
+    fn single_table_filter_and_project() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 3);
+        let e = SpjgExpr::spj(
+            vec![t.part],
+            BoolExpr::cmp(S::col(cr(0, 5)), CmpOp::Le, S::lit(10i64)),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "k")],
+        );
+        let rows = execute_spjg(&db, &e);
+        let expected = db
+            .rows(t.part)
+            .iter()
+            .filter(|r| matches!(r[5], Value::Int(v) if v <= 10))
+            .count();
+        assert_eq!(rows.len(), expected);
+        assert!(expected > 0, "tiny scale should have small parts");
+    }
+
+    #[test]
+    fn fk_join_preserves_lineitem_cardinality() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 3);
+        // lineitem join orders on l_orderkey = o_orderkey: FK join, so
+        // exactly one orders row per lineitem.
+        let e = SpjgExpr::spj(
+            vec![t.lineitem, t.orders],
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "k")],
+        );
+        let rows = execute_spjg(&db, &e);
+        assert_eq!(rows.len(), db.row_count(t.lineitem));
+    }
+
+    #[test]
+    fn cross_join_when_no_equijoin() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 3);
+        let e = SpjgExpr::spj(
+            vec![t.region, t.nation],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "r")],
+        );
+        let rows = execute_spjg(&db, &e);
+        assert_eq!(rows.len(), 5 * 25);
+    }
+
+    #[test]
+    fn residual_predicates_applied() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 3);
+        // Parts whose name contains 'steel'.
+        let e = SpjgExpr::spj(
+            vec![t.part],
+            BoolExpr::Like {
+                expr: S::col(cr(0, 1)),
+                pattern: "%steel%".into(),
+                negated: false,
+            },
+            vec![NamedExpr::new(S::col(cr(0, 1)), "name")],
+        );
+        let rows = execute_spjg(&db, &e);
+        assert!(!rows.is_empty(), "color pool includes steel");
+        for r in &rows {
+            let Value::Str(s) = &r[0] else { panic!() };
+            assert!(s.contains("steel"));
+        }
+    }
+
+    #[test]
+    fn grouped_aggregation_matches_manual_computation() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 3);
+        // SELECT o_custkey, count(*), sum(o_totalprice) FROM orders GROUP BY o_custkey
+        let e = SpjgExpr::aggregate(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+            vec![
+                NamedAgg::new(AggFunc::CountStar, "cnt"),
+                NamedAgg::new(AggFunc::Sum(S::col(cr(0, 3))), "total"),
+            ],
+        );
+        let rows = execute_spjg(&db, &e);
+        let mut manual: HashMap<Value, (i64, i64)> = HashMap::new();
+        for r in db.rows(t.orders) {
+            let e = manual.entry(r[1].clone()).or_default();
+            e.0 += 1;
+            let Value::Int(p) = r[3] else { panic!() };
+            e.1 += p;
+        }
+        assert_eq!(rows.len(), manual.len());
+        for row in &rows {
+            let (cnt, total) = manual[&row[0]];
+            assert_eq!(row[1], Value::Int(cnt));
+            assert_eq!(row[2], Value::Int(total));
+        }
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 3);
+        let e = SpjgExpr::aggregate(
+            vec![t.part],
+            BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Lt, S::lit(0i64)), // empty
+            vec![],
+            vec![
+                NamedAgg::new(AggFunc::CountStar, "cnt"),
+                NamedAgg::new(AggFunc::Sum(S::col(cr(0, 5))), "s"),
+            ],
+        );
+        let rows = execute_spjg(&db, &e);
+        assert_eq!(rows, vec![vec![Value::Int(0), Value::Null]]);
+        // Grouped aggregation over empty input yields no rows.
+        let e = SpjgExpr::aggregate(
+            vec![t.part],
+            BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Lt, S::lit(0i64)),
+            vec![NamedExpr::new(S::col(cr(0, 5)), "sz")],
+            vec![NamedAgg::new(AggFunc::CountStar, "cnt")],
+        );
+        assert!(execute_spjg(&db, &e).is_empty());
+    }
+
+    #[test]
+    fn expression_outputs_evaluated() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 3);
+        let e = SpjgExpr::spj(
+            vec![t.lineitem],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(
+                S::col(cr(0, 4)).binary(BinOp::Mul, S::col(cr(0, 5))),
+                "product",
+            )],
+        );
+        let rows = execute_spjg(&db, &e);
+        for (out, src) in rows.iter().zip(db.rows(t.lineitem)) {
+            let (Value::Int(q), Value::Int(p)) = (&src[4], &src[5]) else {
+                panic!()
+            };
+            assert_eq!(out[0], Value::Int(q * p));
+        }
+    }
+
+    #[test]
+    fn three_way_join_with_ranges() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 5);
+        let pred = BoolExpr::and(vec![
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)), // l_orderkey = o_orderkey
+            BoolExpr::col_eq(cr(1, 1), cr(2, 0)), // o_custkey = c_custkey
+            BoolExpr::cmp(S::col(cr(2, 0)), CmpOp::Le, S::lit(10i64)),
+        ]);
+        let e = SpjgExpr::spj(
+            vec![t.lineitem, t.orders, t.customer],
+            pred,
+            vec![
+                NamedExpr::new(S::col(cr(0, 0)), "l_orderkey"),
+                NamedExpr::new(S::col(cr(2, 0)), "c_custkey"),
+            ],
+        );
+        let rows = execute_spjg(&db, &e);
+        for r in &rows {
+            let Value::Int(ck) = r[1] else { panic!() };
+            assert!(ck <= 10);
+        }
+        // Cross-check with a manual count.
+        let custkeys: std::collections::HashSet<Value> = db
+            .rows(t.customer)
+            .iter()
+            .filter(|r| matches!(r[0], Value::Int(v) if v <= 10))
+            .map(|r| r[0].clone())
+            .collect();
+        let orderkeys: std::collections::HashSet<Value> = db
+            .rows(t.orders)
+            .iter()
+            .filter(|r| custkeys.contains(&r[1]))
+            .map(|r| r[0].clone())
+            .collect();
+        let expected = db
+            .rows(t.lineitem)
+            .iter()
+            .filter(|r| orderkeys.contains(&r[0]))
+            .count();
+        assert_eq!(rows.len(), expected);
+    }
+}

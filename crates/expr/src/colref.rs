@@ -1,0 +1,70 @@
+//! Occurrence-qualified column references.
+//!
+//! The paper writes column references as `Ti.Cp` where the `Ti` are table
+//! *occurrences* in the `FROM` list — the same base table may appear more
+//! than once (a self-join). We therefore address columns by a pair of a
+//! table occurrence id (position in the expression's `FROM` list) and the
+//! column id within the underlying base table.
+
+use mv_catalog::ColumnId;
+use std::fmt;
+
+/// A table occurrence inside one SPJG expression: the index of the table in
+/// the expression's `FROM` list. Two occurrences of the same base table get
+/// distinct `OccId`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OccId(pub u32);
+
+impl fmt::Display for OccId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A reference to one column of one table occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Which table occurrence.
+    pub occ: OccId,
+    /// Which column of the underlying base table.
+    pub col: ColumnId,
+}
+
+impl ColRef {
+    /// Construct from raw indices; convenience for tests and generators.
+    pub fn new(occ: u32, col: u32) -> Self {
+        ColRef {
+            occ: OccId(occ),
+            col: ColumnId(col),
+        }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.c{}", self.occ, self.col.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn identity_and_ordering() {
+        let a = ColRef::new(0, 1);
+        let b = ColRef::new(0, 1);
+        let c = ColRef::new(1, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a < c);
+        let set: HashSet<_> = [a, b, c].into_iter().collect();
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(ColRef::new(2, 3).to_string(), "t2.c3");
+    }
+}

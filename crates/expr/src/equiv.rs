@@ -1,0 +1,230 @@
+//! Column equivalence classes (section 3.1.1 of the paper).
+//!
+//! "Knowledge about column equivalences can be captured compactly by
+//! computing a set of equivalence classes based on the column equality
+//! predicates in `PE`. ... Begin with each column of the tables referenced
+//! by the expression in a separate set. Then loop through the column
+//! equality predicates in any order ... if they are in different sets merge
+//! the two sets."
+//!
+//! Implemented as a union-find over [`ColRef`]s with path compression and
+//! union by size, plus enumeration of class members (needed for *extended*
+//! output lists in section 4.2.3 and for rerouting column references).
+
+use crate::colref::ColRef;
+use std::collections::HashMap;
+
+/// Union-find over column references.
+///
+/// Columns never mentioned in any predicate or registration implicitly form
+/// trivial singleton classes; [`EquivClasses::class_of`] handles them
+/// without requiring registration.
+#[derive(Debug, Clone, Default)]
+pub struct EquivClasses {
+    parent: HashMap<ColRef, ColRef>,
+    size: HashMap<ColRef, u32>,
+}
+
+impl EquivClasses {
+    /// Empty structure: every column is its own class.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build directly from a list of equality pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (ColRef, ColRef)>) -> Self {
+        let mut ec = Self::new();
+        for (a, b) in pairs {
+            ec.union(a, b);
+        }
+        ec
+    }
+
+    fn find_internal(&mut self, c: ColRef) -> ColRef {
+        match self.parent.get(&c) {
+            None => c,
+            Some(&p) if p == c => c,
+            Some(&p) => {
+                let root = self.find_internal(p);
+                if root != p {
+                    self.parent.insert(c, root);
+                }
+                root
+            }
+        }
+    }
+
+    /// Canonical representative of the class containing `c` (no mutation;
+    /// follows parent pointers without compressing).
+    pub fn find(&self, mut c: ColRef) -> ColRef {
+        while let Some(&p) = self.parent.get(&c) {
+            if p == c {
+                break;
+            }
+            c = p;
+        }
+        c
+    }
+
+    /// Merge the classes of `a` and `b` (applying one column-equality
+    /// predicate). Returns `true` if the classes were previously distinct.
+    pub fn union(&mut self, a: ColRef, b: ColRef) -> bool {
+        let ra = self.find_internal(a);
+        let rb = self.find_internal(b);
+        if ra == rb {
+            return false;
+        }
+        let sa = *self.size.get(&ra).unwrap_or(&1);
+        let sb = *self.size.get(&rb).unwrap_or(&1);
+        let (big, small) = if sa >= sb { (ra, rb) } else { (rb, ra) };
+        self.parent.insert(small, big);
+        self.parent.entry(big).or_insert(big);
+        self.size.insert(big, sa + sb);
+        true
+    }
+
+    /// Are `a` and `b` known to be equal?
+    pub fn same(&self, a: ColRef, b: ColRef) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Is `c` part of a non-trivial class (equal to at least one other
+    /// column)? Used by the *reduced range constraint list* (section 4.2.5)
+    /// and the hub refinement (section 4.2.2).
+    pub fn is_trivial(&self, c: ColRef) -> bool {
+        match self.parent.get(&c) {
+            None => true,
+            Some(_) => {
+                let root = self.find(c);
+                *self.size.get(&root).unwrap_or(&1) <= 1
+            }
+        }
+    }
+
+    /// All members of the class containing `c` (at least `[c]` itself).
+    pub fn class_of(&self, c: ColRef) -> Vec<ColRef> {
+        let root = self.find(c);
+        let mut members: Vec<ColRef> = self
+            .parent
+            .keys()
+            .copied()
+            .filter(|&k| self.find(k) == root)
+            .collect();
+        if members.is_empty() {
+            members.push(c);
+        }
+        members.sort();
+        members
+    }
+
+    /// Every class with two or more members, each sorted, classes sorted by
+    /// first member. These are the "non-trivial equivalence classes" whose
+    /// containment the equijoin subsumption test checks.
+    pub fn nontrivial_classes(&self) -> Vec<Vec<ColRef>> {
+        let mut by_root: HashMap<ColRef, Vec<ColRef>> = HashMap::new();
+        for &k in self.parent.keys() {
+            by_root.entry(self.find(k)).or_default().push(k);
+        }
+        let mut classes: Vec<Vec<ColRef>> = by_root
+            .into_values()
+            .filter(|v| v.len() >= 2)
+            .map(|mut v| {
+                v.sort();
+                v
+            })
+            .collect();
+        classes.sort();
+        classes
+    }
+
+    /// Every column this structure has seen (members of some union call).
+    pub fn known_columns(&self) -> impl Iterator<Item = ColRef> + '_ {
+        self.parent.keys().copied()
+    }
+
+    /// Merge every equality from `other` into `self`. Used when the query's
+    /// equivalence classes are extended with the join conditions of
+    /// eliminated extra tables (section 3.2): "we scan the join conditions
+    /// of all foreign-key edges deleted during the elimination process and
+    /// apply them to query equivalence classes".
+    pub fn absorb(&mut self, other: &EquivClasses) {
+        for class in other.nontrivial_classes() {
+            for pair in class.windows(2) {
+                self.union(pair[0], pair[1]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(occ: u32, col: u32) -> ColRef {
+        ColRef::new(occ, col)
+    }
+
+    #[test]
+    fn transitivity() {
+        // Paper, equijoin subsumption test discussion: view (A=B, B=C),
+        // query (A=C, C=B) — both imply A=B=C.
+        let mut v = EquivClasses::new();
+        v.union(c(0, 0), c(0, 1)); // A=B
+        v.union(c(0, 1), c(0, 2)); // B=C
+        let mut q = EquivClasses::new();
+        q.union(c(0, 0), c(0, 2)); // A=C
+        q.union(c(0, 2), c(0, 1)); // C=B
+        assert_eq!(v.nontrivial_classes(), q.nontrivial_classes());
+        assert!(v.same(c(0, 0), c(0, 2)));
+    }
+
+    #[test]
+    fn union_returns_whether_merged() {
+        let mut ec = EquivClasses::new();
+        assert!(ec.union(c(0, 0), c(1, 0)));
+        assert!(!ec.union(c(1, 0), c(0, 0)));
+    }
+
+    #[test]
+    fn trivial_classes() {
+        let mut ec = EquivClasses::new();
+        ec.union(c(0, 0), c(1, 0));
+        assert!(!ec.is_trivial(c(0, 0)));
+        assert!(ec.is_trivial(c(5, 5))); // never seen
+        assert_eq!(ec.class_of(c(5, 5)), vec![c(5, 5)]);
+    }
+
+    #[test]
+    fn class_enumeration() {
+        let mut ec = EquivClasses::new();
+        ec.union(c(0, 0), c(1, 0));
+        ec.union(c(1, 0), c(2, 0));
+        ec.union(c(0, 5), c(1, 5));
+        let classes = ec.nontrivial_classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0], vec![c(0, 0), c(1, 0), c(2, 0)]);
+        assert_eq!(classes[1], vec![c(0, 5), c(1, 5)]);
+    }
+
+    #[test]
+    fn absorb_merges_classes() {
+        let mut a = EquivClasses::new();
+        a.union(c(0, 0), c(1, 0));
+        let mut b = EquivClasses::new();
+        b.union(c(1, 0), c(2, 0));
+        b.union(c(3, 3), c(4, 4));
+        a.absorb(&b);
+        assert!(a.same(c(0, 0), c(2, 0)));
+        assert!(a.same(c(3, 3), c(4, 4)));
+    }
+
+    #[test]
+    fn find_without_mutation() {
+        let mut ec = EquivClasses::new();
+        ec.union(c(0, 0), c(1, 0));
+        ec.union(c(1, 0), c(2, 0));
+        let ec2 = ec.clone();
+        // Chains resolve to the same root from both endpoints.
+        assert_eq!(ec2.find(c(0, 0)), ec2.find(c(2, 0)));
+    }
+}

@@ -1,0 +1,385 @@
+//! Ranges (intervals) over column values with open, closed or unbounded
+//! endpoints.
+//!
+//! Section 3.1.2: "We associate with each equivalence class in the query a
+//! range that specifies a lower and upper bound on the columns in the
+//! equivalence class. Both bounds are initially left uninitialized. We then
+//! consider the range predicates one by one ... If the predicate is of type
+//! `(Ti.Cp = c)` we set *both* bounds; `<` / `<=` tighten the upper bound;
+//! `>` / `>=` tighten the lower bound."
+//!
+//! The range subsumption test then checks that every view range *contains*
+//! the corresponding query range, and the difference between the two ranges
+//! yields the compensating range predicates.
+
+use crate::boolean::CmpOp;
+use mv_catalog::Value;
+use std::cmp::Ordering;
+use std::fmt;
+
+/// One endpoint of an interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Default)]
+pub enum Bound {
+    /// No constraint (`-∞` or `+∞` depending on the side).
+    #[default]
+    Unbounded,
+    /// Endpoint included (`>=` / `<=`).
+    Incl(Value),
+    /// Endpoint excluded (`>` / `<`).
+    Excl(Value),
+}
+
+impl Bound {
+    /// The endpoint value, if bounded.
+    pub fn value(&self) -> Option<&Value> {
+        match self {
+            Bound::Unbounded => None,
+            Bound::Incl(v) | Bound::Excl(v) => Some(v),
+        }
+    }
+}
+
+/// An interval `lo .. hi`. The default is the unconstrained interval.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: Bound,
+    /// Upper bound.
+    pub hi: Bound,
+}
+
+
+/// Compare two lower bounds: which admits fewer values (is *tighter*)?
+/// Returns `Greater` when `a` is tighter (higher) than `b`.
+fn cmp_lower(a: &Bound, b: &Bound) -> Option<Ordering> {
+    match (a, b) {
+        (Bound::Unbounded, Bound::Unbounded) => Some(Ordering::Equal),
+        (Bound::Unbounded, _) => Some(Ordering::Less),
+        (_, Bound::Unbounded) => Some(Ordering::Greater),
+        _ => {
+            let (av, bv) = (a.value().unwrap(), b.value().unwrap());
+            match av.sql_cmp(bv)? {
+                Ordering::Equal => {
+                    // Excl(v) is tighter than Incl(v) as a lower bound.
+                    let rank = |x: &Bound| matches!(x, Bound::Excl(_)) as u8;
+                    Some(rank(a).cmp(&rank(b)))
+                }
+                ord => Some(ord),
+            }
+        }
+    }
+}
+
+/// Compare two upper bounds: `Less` when `a` is tighter (lower) than `b`.
+fn cmp_upper(a: &Bound, b: &Bound) -> Option<Ordering> {
+    match (a, b) {
+        (Bound::Unbounded, Bound::Unbounded) => Some(Ordering::Equal),
+        (Bound::Unbounded, _) => Some(Ordering::Greater),
+        (_, Bound::Unbounded) => Some(Ordering::Less),
+        _ => {
+            let (av, bv) = (a.value().unwrap(), b.value().unwrap());
+            match av.sql_cmp(bv)? {
+                Ordering::Equal => {
+                    // Excl(v) is tighter than Incl(v) as an upper bound.
+                    let rank = |x: &Bound| matches!(x, Bound::Incl(_)) as u8;
+                    Some(rank(a).cmp(&rank(b)))
+                }
+                ord => Some(ord),
+            }
+        }
+    }
+}
+
+impl Interval {
+    /// The unconstrained interval `(-∞, +∞)`.
+    pub fn unconstrained() -> Self {
+        Interval::default()
+    }
+
+    /// Whether any bound has been set.
+    pub fn is_constrained(&self) -> bool {
+        self.lo != Bound::Unbounded || self.hi != Bound::Unbounded
+    }
+
+    /// Point interval `[v, v]` — produced by an equality predicate.
+    pub fn point(v: Value) -> Self {
+        Interval {
+            lo: Bound::Incl(v.clone()),
+            hi: Bound::Incl(v),
+        }
+    }
+
+    /// Tighten this interval with the predicate `col op value`.
+    ///
+    /// Returns `false` (and leaves the interval untouched) when the value is
+    /// incomparable with an existing bound — callers then treat the
+    /// predicate as residual instead of losing information.
+    pub fn apply(&mut self, op: CmpOp, value: &Value) -> bool {
+        let candidate = match op {
+            CmpOp::Eq => Interval::point(value.clone()),
+            CmpOp::Lt => Interval {
+                lo: Bound::Unbounded,
+                hi: Bound::Excl(value.clone()),
+            },
+            CmpOp::Le => Interval {
+                lo: Bound::Unbounded,
+                hi: Bound::Incl(value.clone()),
+            },
+            CmpOp::Gt => Interval {
+                lo: Bound::Excl(value.clone()),
+                hi: Bound::Unbounded,
+            },
+            CmpOp::Ge => Interval {
+                lo: Bound::Incl(value.clone()),
+                hi: Bound::Unbounded,
+            },
+            CmpOp::Ne => return false,
+        };
+        match self.clone().intersect(&candidate) {
+            Some(next) => {
+                *self = next;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Intersection of two intervals; `None` when the bounds are mutually
+    /// incomparable (e.g. a string bound against a numeric bound).
+    pub fn intersect(self, other: &Interval) -> Option<Interval> {
+        let lo = match cmp_lower(&self.lo, &other.lo)? {
+            Ordering::Less => other.lo.clone(),
+            _ => self.lo,
+        };
+        let hi = match cmp_upper(&self.hi, &other.hi)? {
+            Ordering::Greater => other.hi.clone(),
+            _ => self.hi,
+        };
+        // Reject mixed-type intervals (e.g. a numeric lower bound combined
+        // with a string upper bound): such a pair can never be reasoned
+        // about, so the caller keeps the predicate residual instead.
+        if let (Some(l), Some(h)) = (lo.value(), hi.value()) {
+            l.sql_cmp(h)?;
+        }
+        Some(Interval { lo, hi })
+    }
+
+    /// Does this interval contain `other` entirely? This is the per-class
+    /// check of the range subsumption test: the *view* range must contain
+    /// the *query* range. `None` when bounds are incomparable.
+    pub fn contains(&self, other: &Interval) -> Option<bool> {
+        let lo_ok = cmp_lower(&self.lo, &other.lo)? != Ordering::Greater;
+        let hi_ok = cmp_upper(&self.hi, &other.hi)? != Ordering::Less;
+        Some(lo_ok && hi_ok)
+    }
+
+    /// Is the interval certainly empty (lo > hi, or lo == hi with an open
+    /// endpoint)? Incomparable bounds count as non-empty (conservative).
+    pub fn is_empty(&self) -> bool {
+        match (self.lo.value(), self.hi.value()) {
+            (Some(lo), Some(hi)) => match lo.sql_cmp(hi) {
+                Some(Ordering::Greater) => true,
+                Some(Ordering::Equal) => {
+                    matches!(self.lo, Bound::Excl(_)) || matches!(self.hi, Bound::Excl(_))
+                }
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+
+    /// Does `v` lie within the interval? SQL semantics: NULL is never
+    /// within any constrained interval; incomparable values are excluded.
+    pub fn contains_value(&self, v: &Value) -> bool {
+        if v.is_null() && self.is_constrained() {
+            return false;
+        }
+        let lo_ok = match &self.lo {
+            Bound::Unbounded => true,
+            Bound::Incl(b) => matches!(v.sql_cmp(b), Some(Ordering::Greater | Ordering::Equal)),
+            Bound::Excl(b) => matches!(v.sql_cmp(b), Some(Ordering::Greater)),
+        };
+        let hi_ok = match &self.hi {
+            Bound::Unbounded => true,
+            Bound::Incl(b) => matches!(v.sql_cmp(b), Some(Ordering::Less | Ordering::Equal)),
+            Bound::Excl(b) => matches!(v.sql_cmp(b), Some(Ordering::Less)),
+        };
+        lo_ok && hi_ok
+    }
+
+    /// The predicates (as `(op, value)` pairs) needed to narrow `self` down
+    /// to `other`, assuming `self.contains(other)`. These become the
+    /// *compensating range predicates* of section 3.1.3: "If the bounds are
+    /// not equal, we must apply additional predicates to the view."
+    ///
+    /// A point query range is emitted as a single equality predicate rather
+    /// than a `>=`/`<=` pair, matching Example 2 (`o_custkey = 123`).
+    pub fn compensation(&self, other: &Interval) -> Vec<(CmpOp, Value)> {
+        let mut out = Vec::new();
+        if other.lo == other.hi {
+            if let Bound::Incl(v) = &other.lo {
+                // Point range: one equality predicate covers both ends.
+                if cmp_lower(&self.lo, &other.lo) != Some(Ordering::Equal)
+                    || cmp_upper(&self.hi, &other.hi) != Some(Ordering::Equal)
+                {
+                    out.push((CmpOp::Eq, v.clone()));
+                }
+                return out;
+            }
+        }
+        if cmp_lower(&self.lo, &other.lo) != Some(Ordering::Equal) {
+            match &other.lo {
+                Bound::Unbounded => {}
+                Bound::Incl(v) => out.push((CmpOp::Ge, v.clone())),
+                Bound::Excl(v) => out.push((CmpOp::Gt, v.clone())),
+            }
+        }
+        if cmp_upper(&self.hi, &other.hi) != Some(Ordering::Equal) {
+            match &other.hi {
+                Bound::Unbounded => {}
+                Bound::Incl(v) => out.push((CmpOp::Le, v.clone())),
+                Bound::Excl(v) => out.push((CmpOp::Lt, v.clone())),
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.lo {
+            Bound::Unbounded => write!(f, "(-inf")?,
+            Bound::Incl(v) => write!(f, "[{v}")?,
+            Bound::Excl(v) => write!(f, "({v}")?,
+        }
+        write!(f, ", ")?;
+        match &self.hi {
+            Bound::Unbounded => write!(f, "+inf)"),
+            Bound::Incl(v) => write!(f, "{v}]"),
+            Bound::Excl(v) => write!(f, "{v})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: Bound, hi: Bound) -> Interval {
+        Interval { lo, hi }
+    }
+
+    #[test]
+    fn apply_tightens() {
+        let mut r = Interval::unconstrained();
+        assert!(!r.is_constrained());
+        assert!(r.apply(CmpOp::Gt, &Value::Int(150)));
+        assert!(r.apply(CmpOp::Lt, &Value::Int(160)));
+        assert_eq!(r.lo, Bound::Excl(Value::Int(150)));
+        assert_eq!(r.hi, Bound::Excl(Value::Int(160)));
+        // A looser bound changes nothing.
+        assert!(r.apply(CmpOp::Gt, &Value::Int(100)));
+        assert_eq!(r.lo, Bound::Excl(Value::Int(150)));
+        // A tighter, inclusive bound at the same value stays exclusive.
+        assert!(r.apply(CmpOp::Ge, &Value::Int(150)));
+        assert_eq!(r.lo, Bound::Excl(Value::Int(150)));
+    }
+
+    #[test]
+    fn equality_sets_point() {
+        let mut r = Interval::unconstrained();
+        assert!(r.apply(CmpOp::Eq, &Value::Int(123)));
+        assert_eq!(r, Interval::point(Value::Int(123)));
+        assert!(!r.is_empty());
+        assert!(r.apply(CmpOp::Eq, &Value::Int(124)));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn ne_is_not_a_range() {
+        let mut r = Interval::unconstrained();
+        assert!(!r.apply(CmpOp::Ne, &Value::Int(5)));
+        assert!(!r.is_constrained());
+    }
+
+    #[test]
+    fn incomparable_rejected() {
+        let mut r = Interval::unconstrained();
+        assert!(r.apply(CmpOp::Gt, &Value::Int(10)));
+        assert!(!r.apply(CmpOp::Lt, &Value::Str("zzz".into())));
+        // Interval unchanged.
+        assert_eq!(r.lo, Bound::Excl(Value::Int(10)));
+        assert_eq!(r.hi, Bound::Unbounded);
+    }
+
+    #[test]
+    fn containment_paper_example_2() {
+        // View: {l_partkey} in (150, +inf); query: (150, 160).
+        let view = iv(Bound::Excl(Value::Int(150)), Bound::Unbounded);
+        let query = iv(Bound::Excl(Value::Int(150)), Bound::Excl(Value::Int(160)));
+        assert_eq!(view.contains(&query), Some(true));
+        assert_eq!(query.contains(&view), Some(false));
+        // Compensation: only the upper bound differs.
+        assert_eq!(
+            view.compensation(&query),
+            vec![(CmpOp::Lt, Value::Int(160))]
+        );
+
+        // View: o_custkey in (50, 500); query point 123.
+        let view = iv(Bound::Excl(Value::Int(50)), Bound::Excl(Value::Int(500)));
+        let query = Interval::point(Value::Int(123));
+        assert_eq!(view.contains(&query), Some(true));
+        assert_eq!(
+            view.compensation(&query),
+            vec![(CmpOp::Eq, Value::Int(123))]
+        );
+    }
+
+    #[test]
+    fn open_closed_subtleties() {
+        // [10, 20] contains (10, 20) but not vice versa.
+        let closed = iv(Bound::Incl(Value::Int(10)), Bound::Incl(Value::Int(20)));
+        let open = iv(Bound::Excl(Value::Int(10)), Bound::Excl(Value::Int(20)));
+        assert_eq!(closed.contains(&open), Some(true));
+        assert_eq!(open.contains(&closed), Some(false));
+        assert_eq!(
+            closed.compensation(&open),
+            vec![(CmpOp::Gt, Value::Int(10)), (CmpOp::Lt, Value::Int(20))]
+        );
+    }
+
+    #[test]
+    fn equal_ranges_need_no_compensation() {
+        let a = iv(Bound::Incl(Value::Int(1)), Bound::Excl(Value::Int(9)));
+        assert_eq!(a.contains(&a), Some(true));
+        assert!(a.compensation(&a).is_empty());
+    }
+
+    #[test]
+    fn contains_value_respects_bounds() {
+        let r = iv(Bound::Excl(Value::Int(10)), Bound::Incl(Value::Int(20)));
+        assert!(!r.contains_value(&Value::Int(10)));
+        assert!(r.contains_value(&Value::Int(11)));
+        assert!(r.contains_value(&Value::Int(20)));
+        assert!(!r.contains_value(&Value::Int(21)));
+        assert!(!r.contains_value(&Value::Null));
+        assert!(Interval::unconstrained().contains_value(&Value::Null));
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(iv(Bound::Incl(Value::Int(5)), Bound::Excl(Value::Int(5))).is_empty());
+        assert!(iv(Bound::Incl(Value::Int(6)), Bound::Incl(Value::Int(5))).is_empty());
+        assert!(!iv(Bound::Incl(Value::Int(5)), Bound::Incl(Value::Int(5))).is_empty());
+    }
+
+    #[test]
+    fn date_ranges() {
+        let mut r = Interval::unconstrained();
+        assert!(r.apply(CmpOp::Ge, &Value::Date(100)));
+        assert!(r.apply(CmpOp::Lt, &Value::Date(200)));
+        assert!(r.contains_value(&Value::Date(150)));
+        assert!(!r.contains_value(&Value::Date(200)));
+    }
+}

@@ -1,0 +1,88 @@
+//! SQL `LIKE` pattern matching.
+//!
+//! Supports `%` (any sequence, including empty) and `_` (exactly one
+//! character). No escape syntax — TPC-H patterns such as `%steel%` (the
+//! paper's Example 1) never need it.
+
+/// Does `s` match the SQL LIKE `pattern`?
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    // Iterative two-pointer algorithm with backtracking over the last `%`.
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, s idx)
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, si));
+            pi += 1;
+        } else if let Some((sp, ss)) = star {
+            // Backtrack: let the last % absorb one more character.
+            pi = sp;
+            si = ss + 1;
+            star = Some((sp, ss + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_patterns() {
+        assert!(like_match("abc", "abc"));
+        assert!(!like_match("abc", "abd"));
+        assert!(!like_match("abc", "ab"));
+        assert!(!like_match("ab", "abc"));
+        assert!(like_match("", ""));
+    }
+
+    #[test]
+    fn percent_wildcard() {
+        assert!(like_match("steel plate", "%steel%"));
+        assert!(like_match("steel", "%steel%"));
+        assert!(like_match("stainless steel", "%steel"));
+        assert!(like_match("steelworks", "steel%"));
+        assert!(!like_match("stele", "%steel%"));
+        assert!(like_match("anything", "%"));
+        assert!(like_match("", "%"));
+        assert!(like_match("aXbXc", "a%b%c"));
+        // Greedy backtracking case: last match of `b` must be found.
+        assert!(like_match("abXb", "a%b"));
+        assert!(!like_match("abXc", "a%b"));
+    }
+
+    #[test]
+    fn underscore_wildcard() {
+        assert!(like_match("cat", "c_t"));
+        assert!(!like_match("ct", "c_t"));
+        assert!(!like_match("cart", "c_t"));
+        assert!(like_match("cart", "c__t"));
+        assert!(like_match("abc", "___"));
+        assert!(!like_match("ab", "___"));
+    }
+
+    #[test]
+    fn combined_wildcards() {
+        assert!(like_match("promo burnished steel", "promo%steel"));
+        assert!(like_match("xay", "_a%"));
+        assert!(like_match("xa", "_a%"));
+        assert!(!like_match("ax", "_a%"));
+        assert!(like_match("medium metallic", "%med%tal%"));
+    }
+
+    #[test]
+    fn unicode_counts_chars_not_bytes() {
+        assert!(like_match("héllo", "h_llo"));
+        assert!(like_match("héllo", "%é%"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Shallow expression templates for residual-predicate and output-expression
+//! matching.
+//!
+//! Section 3.1.2 (residual subsumption test): "An expression is represented
+//! by a text string and a list of column references. The text string
+//! contains the textual version of the expression with column references
+//! omitted. The list contains every column reference in the expression, in
+//! the order they would occur in the textual version of the expression. To
+//! compare two expressions, we first compare the strings. If they are equal,
+//! we scan through the two lists comparing column references in the same
+//! positions ... If both column references are contained in the same (query)
+//! equivalence class, the column references match."
+//!
+//! We add the light canonicalization the paper suggests as the first level
+//! beyond pure syntax: operand order of commutative operators (`+`, `*`,
+//! `=`, `<>`, `OR`, `AND`) is normalized, and `>`/`>=` comparisons are
+//! flipped to `<`/`<=`, so that `A > B` matches `B < A` and `A + B` matches
+//! `B + A`. Deeper algebraic reasoning (the paper's `(A/2 + B/5)*10 = A*5 +
+//! B*2` example) is deliberately out of scope, exactly as in the prototype.
+
+use crate::boolean::{BoolExpr, CmpOp};
+use crate::colref::ColRef;
+use crate::scalar::ScalarExpr;
+use std::fmt;
+
+/// A rendered expression: canonical text with `?` placeholders plus the
+/// column references in placeholder order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Template {
+    /// Canonical text with column references replaced by `?`.
+    pub text: String,
+    /// Column references, in placeholder order.
+    pub cols: Vec<ColRef>,
+}
+
+impl Template {
+    /// Render a scalar expression.
+    pub fn of_scalar(e: &ScalarExpr) -> Template {
+        let mut cols = Vec::new();
+        let text = render_scalar(e, &mut cols);
+        Template { text, cols }
+    }
+
+    /// Render a boolean predicate.
+    pub fn of_bool(e: &BoolExpr) -> Template {
+        let mut cols = Vec::new();
+        let text = render_bool(e, &mut cols);
+        Template { text, cols }
+    }
+
+    /// Does `self` (from the view) match `other` (from the query) given a
+    /// column-compatibility relation (normally: membership in the same query
+    /// equivalence class)?
+    pub fn matches(&self, other: &Template, same: &impl Fn(ColRef, ColRef) -> bool) -> bool {
+        self.text == other.text
+            && self.cols.len() == other.cols.len()
+            && self
+                .cols
+                .iter()
+                .zip(&other.cols)
+                .all(|(a, b)| same(*a, *b))
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / [", self.text)?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Render a scalar expression, appending its columns to `cols`.
+fn render_scalar(e: &ScalarExpr, cols: &mut Vec<ColRef>) -> String {
+    match e {
+        ScalarExpr::Column(c) => {
+            cols.push(*c);
+            "?".to_string()
+        }
+        ScalarExpr::Literal(v) => v.to_string(),
+        ScalarExpr::Binary { op, left, right } => {
+            let mut lcols = Vec::new();
+            let mut rcols = Vec::new();
+            let lt = render_scalar(left, &mut lcols);
+            let rt = render_scalar(right, &mut rcols);
+            let ((lt, lcols), (rt, rcols)) = if op.commutative() && rt < lt {
+                ((rt, rcols), (lt, lcols))
+            } else {
+                ((lt, lcols), (rt, rcols))
+            };
+            cols.extend(lcols);
+            cols.extend(rcols);
+            format!("({lt} {} {rt})", op.symbol())
+        }
+    }
+}
+
+/// Render a boolean expression, appending its columns to `cols`.
+fn render_bool(e: &BoolExpr, cols: &mut Vec<ColRef>) -> String {
+    match e {
+        BoolExpr::And(parts) | BoolExpr::Or(parts) => {
+            let sep = if matches!(e, BoolExpr::And(_)) {
+                " AND "
+            } else {
+                " OR "
+            };
+            let mut rendered: Vec<(String, Vec<ColRef>)> = parts
+                .iter()
+                .map(|p| {
+                    let mut pc = Vec::new();
+                    let pt = render_bool(p, &mut pc);
+                    (pt, pc)
+                })
+                .collect();
+            // AND/OR are commutative and associative; sort clauses by text.
+            rendered.sort_by(|a, b| a.0.cmp(&b.0));
+            let mut out = String::from("(");
+            for (i, (t, cc)) in rendered.into_iter().enumerate() {
+                if i > 0 {
+                    out.push_str(sep);
+                }
+                out.push_str(&t);
+                cols.extend(cc);
+            }
+            out.push(')');
+            out
+        }
+        BoolExpr::Not(p) => {
+            let inner = render_bool(p, cols);
+            format!("NOT {inner}")
+        }
+        BoolExpr::Compare { op, left, right } => {
+            // Flip > and >= so that `A > B` and `B < A` render identically.
+            let (op, left, right) = match op {
+                CmpOp::Gt => (CmpOp::Lt, right, left),
+                CmpOp::Ge => (CmpOp::Le, right, left),
+                other => (*other, left, right),
+            };
+            let mut lcols = Vec::new();
+            let mut rcols = Vec::new();
+            let lt = render_scalar(left, &mut lcols);
+            let rt = render_scalar(right, &mut rcols);
+            let commutative = matches!(op, CmpOp::Eq | CmpOp::Ne);
+            let ((lt, lcols), (rt, rcols)) = if commutative && rt < lt {
+                ((rt, rcols), (lt, lcols))
+            } else {
+                ((lt, lcols), (rt, rcols))
+            };
+            cols.extend(lcols);
+            cols.extend(rcols);
+            format!("{lt} {} {rt}", op.symbol())
+        }
+        BoolExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let t = render_scalar(expr, cols);
+            format!("{t} {}LIKE '{pattern}'", if *negated { "NOT " } else { "" })
+        }
+        BoolExpr::IsNull { expr, negated } => {
+            let t = render_scalar(expr, cols);
+            format!("{t} IS {}NULL", if *negated { "NOT " } else { "" })
+        }
+        BoolExpr::Literal(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::{BinOp, ScalarExpr as S};
+
+    fn c(occ: u32, col: u32) -> ColRef {
+        ColRef::new(occ, col)
+    }
+
+    #[test]
+    fn columns_factored_out() {
+        let e = S::col(c(0, 1)).binary(BinOp::Mul, S::col(c(0, 2)));
+        let t = Template::of_scalar(&e);
+        assert_eq!(t.text, "(? * ?)");
+        assert_eq!(t.cols, vec![c(0, 1), c(0, 2)]);
+    }
+
+    #[test]
+    fn commutative_addition_canonicalizes() {
+        // A + 5 and 5 + A render identically with the same column position.
+        let a_plus_5 = S::col(c(0, 0)).binary(BinOp::Add, S::lit(5i64));
+        let five_plus_a = S::lit(5i64).binary(BinOp::Add, S::col(c(0, 0)));
+        let t1 = Template::of_scalar(&a_plus_5);
+        let t2 = Template::of_scalar(&five_plus_a);
+        assert_eq!(t1, t2);
+        // Subtraction is NOT commutative.
+        let a_minus_5 = S::col(c(0, 0)).binary(BinOp::Sub, S::lit(5i64));
+        let five_minus_a = S::lit(5i64).binary(BinOp::Sub, S::col(c(0, 0)));
+        assert_ne!(
+            Template::of_scalar(&a_minus_5).text,
+            Template::of_scalar(&five_minus_a).text
+        );
+    }
+
+    #[test]
+    fn flipped_comparison_matches() {
+        // The paper's motivating mismatch: (A > B) vs (B < A). Our light
+        // canonicalization makes them identical.
+        let a_gt_b = BoolExpr::cmp(S::col(c(0, 0)), CmpOp::Gt, S::col(c(0, 1)));
+        let b_lt_a = BoolExpr::cmp(S::col(c(0, 1)), CmpOp::Lt, S::col(c(0, 0)));
+        let t1 = Template::of_bool(&a_gt_b);
+        let t2 = Template::of_bool(&b_lt_a);
+        assert_eq!(t1.text, t2.text);
+        assert_eq!(t1.cols, t2.cols);
+    }
+
+    #[test]
+    fn deeper_algebra_not_recognized() {
+        // (A/2 + B/5)*10 vs A*5 + B*2 — the paper's example of what a more
+        // sophisticated matcher could do; ours (like the prototype) doesn't.
+        let lhs = S::col(c(0, 0))
+            .binary(BinOp::Div, S::lit(2i64))
+            .binary(
+                BinOp::Add,
+                S::col(c(0, 1)).binary(BinOp::Div, S::lit(5i64)),
+            )
+            .binary(BinOp::Mul, S::lit(10i64));
+        let rhs = S::col(c(0, 0))
+            .binary(BinOp::Mul, S::lit(5i64))
+            .binary(BinOp::Add, S::col(c(0, 1)).binary(BinOp::Mul, S::lit(2i64)));
+        assert_ne!(Template::of_scalar(&lhs).text, Template::of_scalar(&rhs).text);
+    }
+
+    #[test]
+    fn matching_through_equivalence() {
+        // View residual: l_quantity * l_extendedprice > 100 where view
+        // references occurrence 1; query references occurrence 0, columns
+        // equivalent pairwise.
+        let view = BoolExpr::cmp(
+            S::col(c(1, 4)).binary(BinOp::Mul, S::col(c(1, 5))),
+            CmpOp::Gt,
+            S::lit(100i64),
+        );
+        let query = BoolExpr::cmp(
+            S::col(c(0, 4)).binary(BinOp::Mul, S::col(c(0, 5))),
+            CmpOp::Gt,
+            S::lit(100i64),
+        );
+        let tv = Template::of_bool(&view);
+        let tq = Template::of_bool(&query);
+        let same = |a: ColRef, b: ColRef| a.col == b.col; // occurrences equivalent
+        assert!(tv.matches(&tq, &same));
+        let never = |_: ColRef, _: ColRef| false;
+        assert!(!tv.matches(&tq, &never));
+    }
+
+    #[test]
+    fn literal_values_distinguish_templates() {
+        let p100 = BoolExpr::cmp(S::col(c(0, 0)), CmpOp::Gt, S::lit(100i64));
+        let p200 = BoolExpr::cmp(S::col(c(0, 0)), CmpOp::Gt, S::lit(200i64));
+        assert_ne!(Template::of_bool(&p100).text, Template::of_bool(&p200).text);
+    }
+
+    #[test]
+    fn and_clause_order_canonicalizes() {
+        let a = BoolExpr::Like {
+            expr: S::col(c(0, 0)),
+            pattern: "a%".into(),
+            negated: false,
+        };
+        let b = BoolExpr::Like {
+            expr: S::col(c(0, 1)),
+            pattern: "b%".into(),
+            negated: false,
+        };
+        let t1 = Template::of_bool(&BoolExpr::Or(vec![a.clone(), b.clone()]));
+        let t2 = Template::of_bool(&BoolExpr::Or(vec![b, a]));
+        assert_eq!(t1.text, t2.text);
+        assert_eq!(t1.cols, t2.cols);
+    }
+}

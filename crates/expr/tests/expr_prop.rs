@@ -1,0 +1,136 @@
+//! Property tests for the expression layer.
+
+use mv_catalog::Value;
+use mv_expr::{classify, BoolExpr, CmpOp, ColRef, EquivClasses, Interval, ScalarExpr as S};
+use proptest::prelude::*;
+
+/// Strategy: a random interval built from a sequence of range predicates
+/// over integers.
+fn ops() -> impl Strategy<Value = (CmpOp, i64)> {
+    (
+        prop::sample::select(vec![CmpOp::Lt, CmpOp::Le, CmpOp::Eq, CmpOp::Ge, CmpOp::Gt]),
+        -50i64..50,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// The accumulated interval accepts exactly the values every source
+    /// predicate accepts (intervals = conjunction of range predicates).
+    #[test]
+    fn interval_accumulation_equals_predicate_conjunction(
+        preds in prop::collection::vec(ops(), 0..5),
+        samples in prop::collection::vec(-60i64..60, 20),
+    ) {
+        let mut iv = Interval::unconstrained();
+        let mut applied = Vec::new();
+        for (op, v) in &preds {
+            if iv.apply(*op, &Value::Int(*v)) {
+                applied.push((*op, *v));
+            }
+        }
+        for x in samples {
+            let expect = applied
+                .iter()
+                .all(|(op, v)| op.evaluate(x.cmp(v)));
+            prop_assert_eq!(
+                iv.contains_value(&Value::Int(x)),
+                expect,
+                "x={} iv={} preds={:?}", x, iv, applied
+            );
+        }
+    }
+
+    /// Containment really means containment: if `a.contains(b)` then every
+    /// value in `b` is in `a`; and compensation narrows `a` exactly to `b`.
+    #[test]
+    fn containment_and_compensation_are_exact(
+        pa in prop::collection::vec(ops(), 0..4),
+        pb in prop::collection::vec(ops(), 0..4),
+        samples in prop::collection::vec(-60i64..60, 30),
+    ) {
+        let mut a = Interval::unconstrained();
+        for (op, v) in &pa { a.apply(*op, &Value::Int(*v)); }
+        let mut b = a.clone();
+        for (op, v) in &pb { b.apply(*op, &Value::Int(*v)); }
+        // b was built by tightening a, so a must contain b.
+        prop_assert_eq!(a.contains(&b), Some(true));
+        let comp = a.compensation(&b);
+        for x in samples {
+            let in_a = a.contains_value(&Value::Int(x));
+            let in_b = b.contains_value(&Value::Int(x));
+            let passes_comp = comp
+                .iter()
+                .all(|(op, v)| match v {
+                    Value::Int(v) => op.evaluate(x.cmp(v)),
+                    _ => unreachable!(),
+                });
+            prop_assert_eq!(in_a && passes_comp, in_b,
+                "x={} a={} b={} comp={:?}", x, a, b, comp);
+        }
+    }
+
+    /// Equivalence classes equal the transitive closure of the equality
+    /// edges.
+    #[test]
+    fn union_find_is_transitive_closure(
+        edges in prop::collection::vec((0u32..8, 0u32..8), 0..15),
+        qa in 0u32..8,
+        qb in 0u32..8,
+    ) {
+        let col = |i: u32| ColRef::new(0, i);
+        let ec = EquivClasses::from_pairs(edges.iter().map(|&(a, b)| (col(a), col(b))));
+        // Floyd-Warshall style closure over 8 nodes.
+        let mut reach = [[false; 8]; 8];
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..8 { reach[i][i] = true; }
+        for &(a, b) in &edges {
+            reach[a as usize][b as usize] = true;
+            reach[b as usize][a as usize] = true;
+        }
+        for k in 0..8 {
+            for i in 0..8 {
+                for j in 0..8 {
+                    if reach[i][k] && reach[k][j] {
+                        reach[i][j] = true;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(ec.same(col(qa), col(qb)), reach[qa as usize][qb as usize]);
+    }
+
+    /// CNF conversion preserves three-valued semantics on random
+    /// assignments (including NULLs).
+    #[test]
+    fn cnf_preserves_semantics(
+        seed_vals in prop::collection::vec(prop::option::of(-5i64..5), 4),
+        shape in 0u32..64,
+    ) {
+        let col = |i: u32| S::col(ColRef::new(0, i));
+        // Build a small random boolean expression from the shape bits.
+        let leaf = |i: u32, negate: bool| {
+            let c = BoolExpr::cmp(col(i % 4), CmpOp::Lt, S::lit(((i as i64) % 3) - 1));
+            if negate { BoolExpr::Not(Box::new(c)) } else { c }
+        };
+        let e = BoolExpr::or(vec![
+            BoolExpr::and(vec![leaf(shape & 3, shape & 4 != 0), leaf((shape >> 3) & 3, shape & 8 != 0)]),
+            BoolExpr::Not(Box::new(BoolExpr::or(vec![
+                leaf((shape >> 4) & 3, false),
+                leaf(shape & 3, true),
+            ]))),
+        ]);
+        let row = |c: ColRef| match seed_vals[c.col.0 as usize] {
+            Some(v) => Value::Int(v),
+            None => Value::Null,
+        };
+        let direct = e.eval(&row);
+        let cnf = BoolExpr::and(e.clone().to_cnf()).eval(&row);
+        prop_assert_eq!(direct, cnf);
+        // Classification + reassembly also preserves semantics.
+        let conjuncts = classify(e);
+        let again = mv_expr::conjuncts_to_bool(&conjuncts).eval(&row);
+        prop_assert_eq!(direct, again);
+    }
+}

@@ -1,0 +1,254 @@
+//! Analysis of a query block for the memo: conjunct coverage, join-graph
+//! connectivity, and the required output columns of every table subset.
+
+use mv_expr::{ColRef, OccId};
+use mv_plan::{OutputList, SpjgExpr};
+
+/// A subset of table occurrences as a bitmask (bit `i` = occurrence `i`).
+pub type Subset = u64;
+
+/// Precomputed per-block analysis shared by the optimizer's groups.
+#[derive(Debug)]
+pub struct BlockInfo<'a> {
+    /// The query block.
+    pub expr: &'a SpjgExpr,
+    /// Occurrence bitmask of each conjunct.
+    pub conjunct_masks: Vec<Subset>,
+    /// Columns referenced by the block's output (projection or grouping
+    /// plus aggregate arguments).
+    pub output_columns: Vec<ColRef>,
+    /// The full set of occurrences.
+    pub all: Subset,
+}
+
+/// Bitmask of the occurrences referenced by a set of columns.
+fn mask_of(cols: &[ColRef]) -> Subset {
+    cols.iter().fold(0, |m, c| m | (1 << c.occ.0))
+}
+
+impl<'a> BlockInfo<'a> {
+    /// Analyze a block.
+    pub fn new(expr: &'a SpjgExpr) -> Self {
+        let conjunct_masks = expr
+            .conjuncts
+            .iter()
+            .map(|c| mask_of(&c.columns()))
+            .collect();
+        let mut output_columns = Vec::new();
+        match &expr.output {
+            OutputList::Spj(items) => {
+                for ne in items {
+                    ne.expr.collect_columns(&mut output_columns);
+                }
+            }
+            OutputList::Aggregate {
+                group_by,
+                aggregates,
+            } => {
+                for ne in group_by {
+                    ne.expr.collect_columns(&mut output_columns);
+                }
+                for na in aggregates {
+                    if let Some(arg) = na.func.argument() {
+                        arg.collect_columns(&mut output_columns);
+                    }
+                }
+            }
+        }
+        output_columns.sort();
+        output_columns.dedup();
+        let all = if expr.tables.is_empty() {
+            0
+        } else {
+            (1u64 << expr.tables.len()) - 1
+        };
+        BlockInfo {
+            expr,
+            conjunct_masks,
+            output_columns,
+            all,
+        }
+    }
+
+    /// Occurrences in a subset, ascending.
+    pub fn members(&self, s: Subset) -> Vec<OccId> {
+        (0..self.expr.tables.len() as u32)
+            .filter(|i| s & (1 << i) != 0)
+            .map(OccId)
+            .collect()
+    }
+
+    /// Conjunct indices fully covered by `s` (every referenced occurrence
+    /// inside the subset). A conjunct with no columns (constant) has mask 0
+    /// and is covered by every subset.
+    pub fn covered(&self, s: Subset) -> Vec<usize> {
+        self.conjunct_masks
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m & !s == 0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Conjunct indices covered by `s` but by neither `a` nor `b` — the
+    /// predicates applied when joining `a` and `b` into `s = a | b`.
+    pub fn newly_covered(&self, a: Subset, b: Subset) -> Vec<usize> {
+        let s = a | b;
+        self.conjunct_masks
+            .iter()
+            .enumerate()
+            .filter(|(_, &m)| m & !s == 0 && (m & !a != 0) && (m & !b != 0))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Is the subset connected in the join graph (occurrences linked by
+    /// conjuncts)? Singletons are connected; a cross join is not, so the
+    /// memo never enumerates cartesian intermediates unless the whole
+    /// query is a cross product.
+    pub fn connected(&self, s: Subset) -> bool {
+        let members = self.members(s);
+        if members.len() <= 1 {
+            return s != 0;
+        }
+        let mut reached: Subset = 1 << members[0].0;
+        loop {
+            let mut grew = false;
+            for &m in &self.conjunct_masks {
+                if m & s != m || m == 0 {
+                    continue; // conjunct leaves the subset (or is constant)
+                }
+                if m & reached != 0 && m & !reached != 0 {
+                    reached |= m;
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        reached & s == s
+    }
+
+    /// The *required* columns of a subset: every column of an occurrence in
+    /// `s` that is referenced either by a conjunct not yet fully covered by
+    /// `s` (it will be applied higher up) or by the block's output.
+    /// Returned in canonical (sorted) order — this is the output layout of
+    /// the subset's memo group.
+    pub fn required_columns(&self, s: Subset) -> Vec<ColRef> {
+        let mut out: Vec<ColRef> = Vec::new();
+        for (conj, &m) in self.expr.conjuncts.iter().zip(&self.conjunct_masks) {
+            if m & !s != 0 {
+                for c in conj.columns() {
+                    if s & (1 << c.occ.0) != 0 {
+                        out.push(c);
+                    }
+                }
+            }
+        }
+        for &c in &self.output_columns {
+            if s & (1 << c.occ.0) != 0 {
+                out.push(c);
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// All connected subsets, ordered by size (singletons first). The
+    /// block sizes the paper works with (≤ 7 tables) keep this tiny.
+    pub fn connected_subsets(&self) -> Vec<Subset> {
+        let n = self.expr.tables.len();
+        let mut subsets: Vec<Subset> = (1..(1u64 << n)).filter(|&s| self.connected(s)).collect();
+        subsets.sort_by_key(|s| s.count_ones());
+        subsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_catalog::tpch::tpch_catalog;
+    use mv_expr::{BoolExpr, CmpOp, ScalarExpr as S};
+    use mv_plan::NamedExpr;
+
+    fn cr(occ: u32, col: u32) -> ColRef {
+        ColRef::new(occ, col)
+    }
+
+    /// lineitem(0) ⋈ orders(1) ⋈ customer(2) chain.
+    fn chain_block() -> SpjgExpr {
+        let (_, t) = tpch_catalog();
+        let pred = BoolExpr::and(vec![
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            BoolExpr::col_eq(cr(1, 1), cr(2, 0)),
+            BoolExpr::cmp(S::col(cr(2, 5)), CmpOp::Gt, S::lit(0i64)),
+        ]);
+        SpjgExpr::spj(
+            vec![t.lineitem, t.orders, t.customer],
+            pred,
+            vec![NamedExpr::new(S::col(cr(0, 4)), "l_quantity")],
+        )
+    }
+
+    #[test]
+    fn connectivity_follows_join_graph() {
+        let block = chain_block();
+        let info = BlockInfo::new(&block);
+        assert!(info.connected(0b001));
+        assert!(info.connected(0b011)); // lineitem-orders
+        assert!(info.connected(0b110)); // orders-customer
+        assert!(!info.connected(0b101)); // lineitem-customer: no direct edge
+        assert!(info.connected(0b111));
+        assert!(!info.connected(0));
+        // Connected subsets: 3 singletons + 2 pairs + 1 triple.
+        assert_eq!(info.connected_subsets().len(), 6);
+    }
+
+    #[test]
+    fn conjunct_coverage() {
+        let block = chain_block();
+        let info = BlockInfo::new(&block);
+        // Joining {lineitem} with {orders} covers the first equijoin only.
+        assert_eq!(info.newly_covered(0b001, 0b010), vec![0]);
+        // Joining {lineitem, orders} with {customer} covers the second.
+        assert_eq!(info.newly_covered(0b011, 0b100), vec![1]);
+        // The single-table range on customer is covered by {customer}.
+        assert!(info.covered(0b100).contains(&2));
+    }
+
+    #[test]
+    fn required_columns_shrink_at_the_top() {
+        let block = chain_block();
+        let info = BlockInfo::new(&block);
+        // {lineitem} must keep the join column and the output column.
+        assert_eq!(info.required_columns(0b001), vec![cr(0, 0), cr(0, 4)]);
+        // {lineitem, orders} still owes o_custkey to the customer join.
+        let req = info.required_columns(0b011);
+        assert!(req.contains(&cr(1, 1)));
+        assert!(req.contains(&cr(0, 4)));
+        assert!(!req.contains(&cr(0, 0)), "l_orderkey applied inside");
+        // At the top only the output column remains.
+        assert_eq!(info.required_columns(0b111), vec![cr(0, 4)]);
+    }
+
+    #[test]
+    fn aggregate_arguments_are_output_columns() {
+        let (_, t) = tpch_catalog();
+        use mv_plan::{AggFunc, NamedAgg};
+        let block = SpjgExpr::aggregate(
+            vec![t.lineitem, t.orders],
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            vec![NamedExpr::new(S::col(cr(1, 1)), "o_custkey")],
+            vec![NamedAgg::new(
+                AggFunc::Sum(S::col(cr(0, 5))),
+                "total",
+            )],
+        );
+        let info = BlockInfo::new(&block);
+        assert!(info.output_columns.contains(&cr(0, 5)));
+        assert!(info.output_columns.contains(&cr(1, 1)));
+        assert!(info.required_columns(0b01).contains(&cr(0, 5)));
+    }
+}

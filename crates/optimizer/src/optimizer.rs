@@ -1,0 +1,992 @@
+//! The memo-based optimizer with the view-matching rule.
+
+use crate::block::{BlockInfo, Subset};
+use crate::cost::CostModel;
+use mv_core::MatchingEngine;
+use mv_expr::{BoolExpr, ColRef, Conjunct, OccId, ScalarExpr};
+use mv_plan::{
+    card, AggFunc, NamedAgg, NamedExpr, OutputList, PhysicalPlan, SpjgExpr, Substitute,
+};
+use std::collections::HashMap;
+
+/// Optimizer settings. The combinations of `use_views` and
+/// `produce_substitutes` reproduce the four series of the paper's Figure 2:
+/// baseline (views off), Alt (views on), and NoAlt (matching runs, but "the
+/// view-matching algorithm performed its normal analysis but always
+/// returned without producing substitutes").
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Invoke the view-matching rule at all.
+    pub use_views: bool,
+    /// Turn the matches into plan alternatives. With this off the matcher
+    /// still does its full analysis per invocation (the "No Alt" series).
+    pub produce_substitutes: bool,
+    /// Generate eager pre-aggregation alternatives (Example 4).
+    pub enable_preaggregation: bool,
+    /// Cost constants.
+    pub cost: CostModel,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            use_views: true,
+            produce_substitutes: true,
+            enable_preaggregation: true,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Counters describing one `optimize` call.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerStats {
+    /// Memo groups created (connected subsets).
+    pub groups: usize,
+    /// Physical alternatives considered.
+    pub alternatives: usize,
+    /// Substitute alternatives considered.
+    pub substitute_alternatives: usize,
+}
+
+/// The result of optimization.
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The winning physical plan.
+    pub plan: PhysicalPlan,
+    /// Its estimated cost.
+    pub cost: f64,
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Search counters.
+    pub stats: OptimizerStats,
+}
+
+/// One memo group: the best known plan for a connected subset.
+struct Group {
+    layout: Vec<ColRef>,
+    rows: f64,
+    cost: f64,
+    plan: PhysicalPlan,
+}
+
+/// The optimizer. Borrows the matching engine (and through it the catalog
+/// and the registered views).
+pub struct Optimizer<'a> {
+    engine: &'a MatchingEngine,
+    config: OptimizerConfig,
+}
+
+/// How constrained is a view output position by the compensating
+/// predicates: 2 = equality, 1 = range bound, 0 = unconstrained.
+fn constraint_strength(predicates: &[BoolExpr], pos: usize) -> u8 {
+    let mut strength = 0;
+    for p in predicates {
+        if let BoolExpr::Compare { op, left, right } = p {
+            let col_const = match (left.as_column(), right.as_column()) {
+                (Some(c), None) if right.is_constant() => Some(c),
+                (None, Some(c)) if left.is_constant() => Some(c),
+                _ => None,
+            };
+            if col_const.map(|c| c.col.0 as usize) == Some(pos) {
+                strength = strength.max(match op {
+                    mv_expr::CmpOp::Eq => 2,
+                    mv_expr::CmpOp::Ne => 0,
+                    _ => 1,
+                });
+            }
+        }
+    }
+    strength
+}
+
+/// Fraction of the view the best available index lets us scan, given the
+/// compensating predicates. A matched equality prefix column shrinks the
+/// scan 20x, a matched leading range bound 3x (coarse, selectivity-free
+/// index-seek modeling; 1.0 = full scan).
+fn index_seek_factor(view: &mv_plan::ViewDef, predicates: &[BoolExpr]) -> f64 {
+    if predicates.is_empty() {
+        return 1.0;
+    }
+    let mut best: f64 = 1.0;
+    let indexes = std::iter::once(&view.key).chain(view.secondary_indexes.iter());
+    for index in indexes {
+        let mut factor = 1.0;
+        for &pos in index {
+            match constraint_strength(predicates, pos) {
+                2 => factor *= 0.05,
+                1 => {
+                    factor *= 0.33;
+                    break; // a range bound ends the usable prefix
+                }
+                _ => break,
+            }
+        }
+        best = best.min(factor);
+    }
+    best
+}
+
+/// Position of a column in a layout.
+fn pos_in(layout: &[ColRef], c: ColRef) -> usize {
+    layout
+        .binary_search(&c)
+        .unwrap_or_else(|_| panic!("column {c} missing from layout {layout:?}"))
+}
+
+/// Rewrite an expression's columns to positions in `layout` (occ 0).
+fn scalar_to_layout(e: &ScalarExpr, layout: &[ColRef]) -> ScalarExpr {
+    e.map_columns(&mut |c| ColRef::new(0, pos_in(layout, c) as u32))
+}
+
+fn bool_to_layout(e: &BoolExpr, layout: &[ColRef]) -> BoolExpr {
+    e.map_columns(&mut |c| ColRef::new(0, pos_in(layout, c) as u32))
+}
+
+impl<'a> Optimizer<'a> {
+    /// Create an optimizer over an engine.
+    pub fn new(engine: &'a MatchingEngine, config: OptimizerConfig) -> Self {
+        Optimizer { engine, config }
+    }
+
+    /// Optimize one SPJG block into a physical plan.
+    pub fn optimize(&self, query: &SpjgExpr) -> Optimized {
+        assert!(
+            !query.tables.is_empty(),
+            "queries must reference at least one table"
+        );
+        let info = BlockInfo::new(query);
+        let mut stats = OptimizerStats::default();
+        let mut memo: HashMap<Subset, Group> = HashMap::new();
+
+        for s in info.connected_subsets() {
+            let group = self.optimize_subset(&info, s, &memo, &mut stats);
+            memo.insert(s, group);
+        }
+        stats.groups = memo.len();
+
+        // Disconnected queries (cross products) are glued together with
+        // nested-loop joins over the connected components.
+        let top = self.glue_components(&info, &mut memo, &mut stats);
+
+        let optimized = if query.is_aggregate() {
+            self.finish_aggregate(&info, top, &memo, &mut stats)
+        } else {
+            self.finish_spj(&info, top, &memo, &mut stats)
+        };
+        Optimized {
+            stats,
+            ..optimized
+        }
+    }
+
+    /// Ensure a group exists covering all occurrences; returns its subset
+    /// key. For connected queries this is a no-op.
+    fn glue_components(
+        &self,
+        info: &BlockInfo,
+        memo: &mut HashMap<Subset, Group>,
+        stats: &mut OptimizerStats,
+    ) -> Subset {
+        if memo.contains_key(&info.all) {
+            return info.all;
+        }
+        // Combine the maximal connected components with cross joins.
+        let mut components: Vec<Subset> = memo.keys().copied().collect();
+        components.retain(|&s| !memo.keys().any(|&o| o != s && o & s == s));
+        components.sort_by(|a, b| {
+            memo[a]
+                .rows
+                .partial_cmp(&memo[b].rows)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut acc = components[0];
+        for &c in &components[1..] {
+            if acc & c != 0 {
+                continue;
+            }
+            let combined = acc | c;
+            let layout = info.required_columns(combined);
+            let (a, b) = (&memo[&acc], &memo[&c]);
+            let rows = a.rows * b.rows;
+            let mut exprs = Vec::with_capacity(layout.len());
+            for &col in &layout {
+                let pos = if a.layout.contains(&col) {
+                    pos_in(&a.layout, col)
+                } else {
+                    a.layout.len() + pos_in(&b.layout, col)
+                };
+                exprs.push(ScalarExpr::Column(ColRef::new(0, pos as u32)));
+            }
+            let plan = PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(a.plan.clone()),
+                    right: Box::new(b.plan.clone()),
+                    predicate: None,
+                }),
+                exprs,
+            };
+            let cost =
+                a.cost + b.cost + self.config.cost.nested_loop(a.rows, b.rows);
+            stats.alternatives += 1;
+            memo.insert(
+                combined,
+                Group {
+                    layout,
+                    rows,
+                    cost,
+                    plan,
+                },
+            );
+            acc = combined;
+        }
+        acc
+    }
+
+    /// The SPJ block for a subset: its tables (occurrences reindexed
+    /// densely), the conjuncts it covers, and the required columns as
+    /// outputs. This is the expression on which the view-matching rule is
+    /// invoked.
+    fn subset_block(&self, info: &BlockInfo, s: Subset) -> (SpjgExpr, Vec<ColRef>) {
+        let members = info.members(s);
+        let occ_new: HashMap<OccId, OccId> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, OccId(i as u32)))
+            .collect();
+        let remap = |c: ColRef| ColRef {
+            occ: occ_new[&c.occ],
+            col: c.col,
+        };
+        let tables = members.iter().map(|&o| info.expr.table_of(o)).collect();
+        let conjuncts: Vec<Conjunct> = info
+            .covered(s)
+            .into_iter()
+            .map(|i| {
+                info.expr.conjuncts[i]
+                    .try_map_columns(&mut |c| Some(remap(c)))
+                    .expect("infallible remap")
+            })
+            .collect();
+        let layout = info.required_columns(s);
+        let outputs = layout
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| NamedExpr::new(ScalarExpr::Column(remap(c)), format!("c{i}")))
+            .collect();
+        (
+            SpjgExpr {
+                tables,
+                conjuncts,
+                output: OutputList::Spj(outputs),
+            },
+            layout,
+        )
+    }
+
+    /// Build the physical alternative for a substitute: scan the view,
+    /// apply the compensating predicates, project or re-aggregate.
+    fn substitute_plan(&self, sub: &Substitute) -> (PhysicalPlan, f64) {
+        let view = self.engine.views().get(sub.view);
+        let view_rows = card::estimate_rows(&view.expr, self.engine.catalog());
+        // Index-aware scan costing: "any secondary indexes defined on a
+        // materialized view will be considered automatically in the same
+        // way as for base tables" (section 2). When the compensating
+        // predicates constrain a prefix of the clustered key or of a
+        // secondary index, the scan is costed as an index seek.
+        let seek_factor = index_seek_factor(view, &sub.predicates);
+        let scanned = (view_rows * seek_factor).max(1.0);
+        let mut plan = PhysicalPlan::ViewScan { view: sub.view };
+        let mut cost = self.config.cost.scan(scanned);
+        // Base-table backjoins (section 7 extension): each one is a
+        // cardinality-preserving hash join against the base table.
+        for bj in &sub.backjoins {
+            let table_rows = self
+                .engine
+                .catalog()
+                .stats(bj.table)
+                .map(|st| st.rows as f64)
+                .unwrap_or(card::DEFAULT_TABLE_ROWS);
+            plan = PhysicalPlan::HashJoin {
+                left: Box::new(plan),
+                right: Box::new(PhysicalPlan::TableScan { table: bj.table }),
+                left_keys: bj.key.iter().map(|(p, _)| *p).collect(),
+                right_keys: bj.key.iter().map(|(_, c)| c.0 as usize).collect(),
+                residual: None,
+            };
+            cost += self.config.cost.scan(table_rows)
+                + self.config.cost.hash_join(scanned, table_rows, scanned);
+        }
+        if !sub.predicates.is_empty() {
+            plan = PhysicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: BoolExpr::and(sub.predicates.clone()),
+            };
+            cost += self.config.cost.filter(scanned);
+        }
+        match &sub.output {
+            OutputList::Spj(items) => {
+                plan = PhysicalPlan::Project {
+                    input: Box::new(plan),
+                    exprs: items.iter().map(|ne| ne.expr.clone()).collect(),
+                };
+                cost += self.config.cost.project(view_rows);
+            }
+            OutputList::Aggregate {
+                group_by,
+                aggregates,
+            } => {
+                plan = PhysicalPlan::HashAggregate {
+                    input: Box::new(plan),
+                    group_by: group_by.iter().map(|ne| ne.expr.clone()).collect(),
+                    aggregates: aggregates.iter().map(|na| na.func.clone()).collect(),
+                };
+                cost += self.config.cost.aggregate(view_rows, view_rows / 2.0);
+            }
+        }
+        (plan, cost)
+    }
+
+    /// Optimize one connected subset: scans and joins plus view
+    /// substitutes, cheapest wins.
+    fn optimize_subset(
+        &self,
+        info: &BlockInfo,
+        s: Subset,
+        memo: &HashMap<Subset, Group>,
+        stats: &mut OptimizerStats,
+    ) -> Group {
+        let (block, layout) = self.subset_block(info, s);
+        let rows = card::estimate_spj_rows(&block, self.engine.catalog());
+        let mut best: Option<(f64, PhysicalPlan)> = None;
+        let mut consider = |cost: f64, plan: PhysicalPlan, stats: &mut OptimizerStats| {
+            stats.alternatives += 1;
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                best = Some((cost, plan));
+            }
+        };
+
+        let members = info.members(s);
+        if members.len() == 1 {
+            let occ = members[0];
+            let table = info.expr.table_of(occ);
+            let table_rows = self
+                .engine
+                .catalog()
+                .stats(table)
+                .map(|st| st.rows as f64)
+                .unwrap_or(card::DEFAULT_TABLE_ROWS);
+            // Scan columns are the base table's columns: a column (occ, c)
+            // maps to position c.
+            let scan_layout: Vec<ColRef> = (0..self.engine.catalog().table(table).columns.len())
+                .map(|c| ColRef {
+                    occ,
+                    col: mv_catalog::ColumnId(c as u32),
+                })
+                .collect();
+            let mut plan = PhysicalPlan::TableScan { table };
+            let mut cost = self.config.cost.scan(table_rows);
+            let local: Vec<BoolExpr> = info
+                .covered(s)
+                .into_iter()
+                .map(|i| bool_to_layout(&info.expr.conjuncts[i].to_bool(), &scan_layout))
+                .collect();
+            if !local.is_empty() {
+                plan = PhysicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate: BoolExpr::and(local),
+                };
+                cost += self.config.cost.filter(table_rows);
+            }
+            let exprs = layout
+                .iter()
+                .map(|&c| ScalarExpr::Column(ColRef::new(0, pos_in(&scan_layout, c) as u32)))
+                .collect();
+            plan = PhysicalPlan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
+            cost += self.config.cost.project(rows);
+            consider(cost, plan, stats);
+        } else {
+            // Every connected (left, right) partition.
+            let mut a = (s - 1) & s;
+            while a > 0 {
+                let b = s & !a;
+                if info.connected(a) && info.connected(b) {
+                    if let (Some(ga), Some(gb)) = (memo.get(&a), memo.get(&b)) {
+                        let (cost, plan) =
+                            self.join_plan(info, a, b, ga, gb, &layout, rows);
+                        consider(cost, plan, stats);
+                    }
+                }
+                a = (a - 1) & s;
+            }
+        }
+
+        // The view-matching rule.
+        if self.config.use_views {
+            let subs = self.engine.find_substitutes(&block);
+            if self.config.produce_substitutes {
+                for (_, sub) in subs {
+                    stats.substitute_alternatives += 1;
+                    let (plan, cost) = self.substitute_plan(&sub);
+                    consider(cost, plan, stats);
+                }
+            }
+        }
+
+        let (cost, plan) = best.expect("every connected subset has at least one plan");
+        Group {
+            layout,
+            rows,
+            cost,
+            plan,
+        }
+    }
+
+    /// A join alternative for `s = a | b`.
+    #[allow(clippy::too_many_arguments)]
+    fn join_plan(
+        &self,
+        info: &BlockInfo,
+        a: Subset,
+        b: Subset,
+        ga: &Group,
+        gb: &Group,
+        layout: &[ColRef],
+        out_rows: f64,
+    ) -> (f64, PhysicalPlan) {
+        // Concatenated layout position of a column.
+        let concat_pos = |c: ColRef| {
+            if a & (1 << c.occ.0) != 0 {
+                pos_in(&ga.layout, c)
+            } else {
+                ga.layout.len() + pos_in(&gb.layout, c)
+            }
+        };
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residual = Vec::new();
+        for i in info.newly_covered(a, b) {
+            match &info.expr.conjuncts[i] {
+                Conjunct::ColumnEq(x, y)
+                    if (a & (1 << x.occ.0) != 0) != (a & (1 << y.occ.0) != 0) =>
+                {
+                    let (l, r) = if a & (1 << x.occ.0) != 0 {
+                        (*x, *y)
+                    } else {
+                        (*y, *x)
+                    };
+                    left_keys.push(pos_in(&ga.layout, l));
+                    right_keys.push(pos_in(&gb.layout, r));
+                }
+                other => {
+                    residual.push(
+                        other
+                            .to_bool()
+                            .map_columns(&mut |c| ColRef::new(0, concat_pos(c) as u32)),
+                    );
+                }
+            }
+        }
+        let residual = if residual.is_empty() {
+            None
+        } else {
+            Some(BoolExpr::and(residual))
+        };
+        let (join, join_cost) = if left_keys.is_empty() {
+            (
+                PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(ga.plan.clone()),
+                    right: Box::new(gb.plan.clone()),
+                    predicate: residual,
+                },
+                self.config.cost.nested_loop(ga.rows, gb.rows),
+            )
+        } else {
+            (
+                PhysicalPlan::HashJoin {
+                    left: Box::new(ga.plan.clone()),
+                    right: Box::new(gb.plan.clone()),
+                    left_keys,
+                    right_keys,
+                    residual,
+                },
+                self.config.cost.hash_join(ga.rows, gb.rows, out_rows),
+            )
+        };
+        let exprs = layout
+            .iter()
+            .map(|&c| ScalarExpr::Column(ColRef::new(0, concat_pos(c) as u32)))
+            .collect();
+        let plan = PhysicalPlan::Project {
+            input: Box::new(join),
+            exprs,
+        };
+        let cost = ga.cost + gb.cost + join_cost + self.config.cost.project(out_rows);
+        (cost, plan)
+    }
+
+    /// Final plan for an SPJ query: project the top group onto the query's
+    /// output expressions, and consider whole-query substitutes (the rule
+    /// applied to the root expression with its real output list).
+    fn finish_spj(
+        &self,
+        info: &BlockInfo,
+        top: Subset,
+        memo: &HashMap<Subset, Group>,
+        stats: &mut OptimizerStats,
+    ) -> Optimized {
+        let g = &memo[&top];
+        let OutputList::Spj(items) = &info.expr.output else {
+            unreachable!("finish_spj on aggregate")
+        };
+        let exprs = items
+            .iter()
+            .map(|ne| scalar_to_layout(&ne.expr, &g.layout))
+            .collect();
+        let mut best_cost = g.cost + self.config.cost.project(g.rows);
+        let mut best_plan = PhysicalPlan::Project {
+            input: Box::new(g.plan.clone()),
+            exprs,
+        };
+        stats.alternatives += 1;
+        if self.config.use_views {
+            let subs = self.engine.find_substitutes(info.expr);
+            if self.config.produce_substitutes {
+                for (_, sub) in subs {
+                    stats.substitute_alternatives += 1;
+                    let (plan, cost) = self.substitute_plan(&sub);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_plan = plan;
+                    }
+                }
+            }
+        }
+        Optimized {
+            plan: best_plan,
+            cost: best_cost,
+            rows: g.rows,
+            stats: OptimizerStats::default(),
+        }
+    }
+
+    /// Final plan for an aggregation query: plain aggregation of the top
+    /// group, whole-query substitutes, and eager pre-aggregation
+    /// alternatives (with the view-matching rule applied to the
+    /// pre-aggregated block — the paper's Example 4).
+    fn finish_aggregate(
+        &self,
+        info: &BlockInfo,
+        top: Subset,
+        memo: &HashMap<Subset, Group>,
+        stats: &mut OptimizerStats,
+    ) -> Optimized {
+        let g = &memo[&top];
+        let OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } = &info.expr.output
+        else {
+            unreachable!("finish_aggregate on SPJ")
+        };
+        let final_rows = card::estimate_rows(info.expr, self.engine.catalog());
+
+        // Alternative 1: aggregate the best join plan directly.
+        let gb_exprs: Vec<ScalarExpr> = group_by
+            .iter()
+            .map(|ne| scalar_to_layout(&ne.expr, &g.layout))
+            .collect();
+        let agg_funcs: Vec<AggFunc> = aggregates
+            .iter()
+            .map(|na| match &na.func {
+                AggFunc::CountStar => AggFunc::CountStar,
+                AggFunc::Sum(e) => AggFunc::Sum(scalar_to_layout(e, &g.layout)),
+                AggFunc::SumZero(e) => AggFunc::SumZero(scalar_to_layout(e, &g.layout)),
+            })
+            .collect();
+        let mut best_cost = g.cost + self.config.cost.aggregate(g.rows, final_rows);
+        let mut best_plan = PhysicalPlan::HashAggregate {
+            input: Box::new(g.plan.clone()),
+            group_by: gb_exprs,
+            aggregates: agg_funcs,
+        };
+        stats.alternatives += 1;
+
+        // Alternative 2: whole-query substitutes.
+        if self.config.use_views {
+            let subs = self.engine.find_substitutes(info.expr);
+            if self.config.produce_substitutes {
+                for (_, sub) in subs {
+                    stats.substitute_alternatives += 1;
+                    let (plan, cost) = self.substitute_plan(&sub);
+                    if cost < best_cost {
+                        best_cost = cost;
+                        best_plan = plan;
+                    }
+                }
+            }
+        }
+
+        // Alternative 3: eager pre-aggregation over each connected
+        // partition (S carries the aggregates, R the rest).
+        if self.config.enable_preaggregation && info.expr.tables.len() >= 2 && top == info.all {
+            let mut s = (info.all - 1) & info.all;
+            while s > 0 {
+                let r = info.all & !s;
+                if info.connected(s) && info.connected(r) {
+                    if let Some((cost, plan)) =
+                        self.preagg_plan(info, s, r, memo, group_by, aggregates, final_rows, stats)
+                    {
+                        stats.alternatives += 1;
+                        if cost < best_cost {
+                            best_cost = cost;
+                            best_plan = plan;
+                        }
+                    }
+                }
+                s = (s - 1) & info.all;
+            }
+        }
+
+        Optimized {
+            plan: best_plan,
+            cost: best_cost,
+            rows: final_rows,
+            stats: OptimizerStats::default(),
+        }
+    }
+
+    /// Build the eager pre-aggregation alternative for the partition
+    /// `(s, r)`, if it is semantically applicable.
+    #[allow(clippy::too_many_arguments)]
+    fn preagg_plan(
+        &self,
+        info: &BlockInfo,
+        s: Subset,
+        r: Subset,
+        memo: &HashMap<Subset, Group>,
+        group_by: &[NamedExpr],
+        aggregates: &[NamedAgg],
+        final_rows: f64,
+        stats: &mut OptimizerStats,
+    ) -> Option<(f64, PhysicalPlan)> {
+        let in_side = |cols: &[ColRef], side: Subset| {
+            !cols.is_empty() && cols.iter().all(|c| side & (1 << c.occ.0) != 0)
+        };
+        // Every aggregate argument must live entirely in S; grouping
+        // expressions must not straddle the partition.
+        for na in aggregates {
+            if let Some(arg) = na.func.argument() {
+                if !in_side(&arg.columns(), s) {
+                    return None;
+                }
+            }
+        }
+        for ne in group_by {
+            let cols = ne.expr.columns();
+            if !cols.is_empty() && !in_side(&cols, s) && !in_side(&cols, r) {
+                return None;
+            }
+        }
+        let gs = memo.get(&s)?;
+        let gr = memo.get(&r)?;
+
+        // The pre-aggregation grouping key: every S column needed by a
+        // cross conjunct, plus the query's S-side grouping expressions.
+        let join_cols: Vec<ColRef> = gs
+            .layout
+            .iter()
+            .copied()
+            .filter(|c| {
+                info.expr
+                    .conjuncts
+                    .iter()
+                    .zip(&info.conjunct_masks)
+                    .any(|(conj, &m)| m & !s != 0 && conj.columns().contains(c))
+            })
+            .collect();
+        let mut pre_gb: Vec<ScalarExpr> = join_cols
+            .iter()
+            .map(|&c| ScalarExpr::Column(c))
+            .collect();
+        for ne in group_by {
+            if in_side(&ne.expr.columns(), s) && !pre_gb.contains(&ne.expr) {
+                pre_gb.push(ne.expr.clone());
+            }
+        }
+        // Pre-aggregates: a count column plus one SUM per S-side argument.
+        let mut pre_aggs: Vec<AggFunc> = vec![AggFunc::CountStar];
+        let mut sum_of: HashMap<usize, usize> = HashMap::new(); // query agg idx -> pre agg idx
+        for (i, na) in aggregates.iter().enumerate() {
+            if let Some(arg) = na.func.argument() {
+                sum_of.insert(i, pre_aggs.len());
+                pre_aggs.push(AggFunc::Sum(arg.clone()));
+            }
+        }
+
+        // The pre-aggregated block, as an SPJG expression in the subset's
+        // dense occurrence space — this is what the view-matching rule is
+        // invoked on.
+        let (spj_block, _) = self.subset_block(info, s);
+        let members = info.members(s);
+        let occ_new: HashMap<OccId, OccId> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &o)| (o, OccId(i as u32)))
+            .collect();
+        let dense = |e: &ScalarExpr| {
+            e.map_columns(&mut |c| ColRef {
+                occ: occ_new[&c.occ],
+                col: c.col,
+            })
+        };
+        let pre_block = SpjgExpr {
+            tables: spj_block.tables.clone(),
+            conjuncts: spj_block.conjuncts.clone(),
+            output: OutputList::Aggregate {
+                group_by: pre_gb
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| NamedExpr::new(dense(e), format!("g{i}")))
+                    .collect(),
+                aggregates: pre_aggs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, f)| {
+                        let func = match f {
+                            AggFunc::CountStar => AggFunc::CountStar,
+                            AggFunc::Sum(e) => AggFunc::Sum(dense(e)),
+                            AggFunc::SumZero(e) => AggFunc::SumZero(dense(e)),
+                        };
+                        NamedAgg::new(func, format!("a{i}"))
+                    })
+                    .collect(),
+            },
+        };
+        let pre_groups = card::estimate_rows(&pre_block, self.engine.catalog());
+
+        // Physical pre-aggregation over the subset's best plan.
+        let mut pre_plan = PhysicalPlan::HashAggregate {
+            input: Box::new(gs.plan.clone()),
+            group_by: pre_gb
+                .iter()
+                .map(|e| scalar_to_layout(e, &gs.layout))
+                .collect(),
+            aggregates: pre_aggs
+                .iter()
+                .map(|f| match f {
+                    AggFunc::CountStar => AggFunc::CountStar,
+                    AggFunc::Sum(e) => AggFunc::Sum(scalar_to_layout(e, &gs.layout)),
+                    AggFunc::SumZero(e) => AggFunc::SumZero(scalar_to_layout(e, &gs.layout)),
+                })
+                .collect(),
+        };
+        let mut pre_cost =
+            gs.cost + self.config.cost.aggregate(gs.rows, pre_groups);
+
+        // The view-matching rule on the pre-aggregated block (Example 4).
+        if self.config.use_views {
+            let subs = self.engine.find_substitutes(&pre_block);
+            if self.config.produce_substitutes {
+                for (_, sub) in subs {
+                    stats.substitute_alternatives += 1;
+                    let (plan, cost) = self.substitute_plan(&sub);
+                    if cost < pre_cost {
+                        pre_cost = cost;
+                        pre_plan = plan;
+                    }
+                }
+            }
+        }
+
+        // Pre-agg output layout: pre_gb columns, then cnt, then sums.
+        let cnt_pos = pre_gb.len();
+        let pre_width = pre_gb.len() + pre_aggs.len();
+        // Position of an S-side column in the pre-agg output (must be one
+        // of the grouping expressions).
+        let pre_pos = |c: ColRef| -> Option<usize> {
+            pre_gb.iter().position(|e| *e == ScalarExpr::Column(c))
+        };
+
+        // Join the pre-aggregate with R on the remaining conjuncts.
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        let mut residual = Vec::new();
+        for (conj, &m) in info.expr.conjuncts.iter().zip(&info.conjunct_masks) {
+            if m & !s == 0 || m & !r == 0 {
+                continue; // applied inside one side
+            }
+            match conj {
+                Conjunct::ColumnEq(x, y)
+                    if (s & (1 << x.occ.0) != 0) != (s & (1 << y.occ.0) != 0) =>
+                {
+                    let (sc, rc) = if s & (1 << x.occ.0) != 0 {
+                        (*x, *y)
+                    } else {
+                        (*y, *x)
+                    };
+                    left_keys.push(pre_pos(sc)?);
+                    right_keys.push(pos_in(&gr.layout, rc));
+                }
+                other => {
+                    let mapped = other.to_bool().try_map_columns(&mut |c| {
+                        let pos = if s & (1 << c.occ.0) != 0 {
+                            pre_pos(c)?
+                        } else {
+                            pre_width + pos_in(&gr.layout, c)
+                        };
+                        Some(ColRef::new(0, pos as u32))
+                    })?;
+                    residual.push(mapped);
+                }
+            }
+        }
+        let residual = if residual.is_empty() {
+            None
+        } else {
+            Some(BoolExpr::and(residual))
+        };
+        let join_rows = (final_rows.max(1.0) * 4.0).min(pre_groups * gr.rows);
+        let (join, join_cost) = if left_keys.is_empty() {
+            (
+                PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(pre_plan),
+                    right: Box::new(gr.plan.clone()),
+                    predicate: residual,
+                },
+                self.config.cost.nested_loop(pre_groups, gr.rows),
+            )
+        } else {
+            (
+                PhysicalPlan::HashJoin {
+                    left: Box::new(pre_plan),
+                    right: Box::new(gr.plan.clone()),
+                    left_keys,
+                    right_keys,
+                    residual,
+                },
+                self.config.cost.hash_join(pre_groups, gr.rows, join_rows),
+            )
+        };
+
+        // Final aggregation: group by the query's grouping expressions,
+        // rolling counts and sums up through the pre-aggregate.
+        let map_mixed = |e: &ScalarExpr| -> Option<ScalarExpr> {
+            e.try_map_columns(&mut |c| {
+                let pos = if s & (1 << c.occ.0) != 0 {
+                    pre_pos(c)?
+                } else {
+                    pre_width + pos_in(&gr.layout, c)
+                };
+                Some(ColRef::new(0, pos as u32))
+            })
+        };
+        let mut final_gb = Vec::with_capacity(group_by.len());
+        for ne in group_by {
+            if in_side(&ne.expr.columns(), s) {
+                // Must be one of the pre-aggregation grouping expressions.
+                let pos = pre_gb.iter().position(|e| *e == ne.expr)?;
+                final_gb.push(ScalarExpr::Column(ColRef::new(0, pos as u32)));
+            } else {
+                final_gb.push(map_mixed(&ne.expr)?);
+            }
+        }
+        let cnt_col = ScalarExpr::Column(ColRef::new(0, cnt_pos as u32));
+        let mut final_aggs = Vec::with_capacity(aggregates.len());
+        for (i, na) in aggregates.iter().enumerate() {
+            let func = match &na.func {
+                AggFunc::CountStar => AggFunc::SumZero(cnt_col.clone()),
+                AggFunc::Sum(_) => {
+                    let pre = pre_gb.len() + sum_of[&i];
+                    AggFunc::Sum(ScalarExpr::Column(ColRef::new(0, pre as u32)))
+                }
+                AggFunc::SumZero(_) => {
+                    let pre = pre_gb.len() + sum_of[&i];
+                    AggFunc::SumZero(ScalarExpr::Column(ColRef::new(0, pre as u32)))
+                }
+            };
+            final_aggs.push(func);
+        }
+        let plan = PhysicalPlan::HashAggregate {
+            input: Box::new(join),
+            group_by: final_gb,
+            aggregates: final_aggs,
+        };
+        let cost = pre_cost
+            + gr.cost
+            + join_cost
+            + self.config.cost.aggregate(join_rows, final_rows);
+        Some((cost, plan))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_catalog::tpch::tpch_catalog;
+    use mv_expr::{CmpOp, ScalarExpr as S};
+    use mv_plan::{NamedExpr, ViewDef};
+
+    fn sample_view(secondary: Option<Vec<usize>>) -> mv_plan::ViewDef {
+        let (_, t) = tpch_catalog();
+        let expr = SpjgExpr::spj(
+            vec![t.lineitem],
+            BoolExpr::Literal(true),
+            vec![
+                NamedExpr::new(S::col(ColRef::new(0, 0)), "l_orderkey"),
+                NamedExpr::new(S::col(ColRef::new(0, 4)), "l_quantity"),
+                NamedExpr::new(S::col(ColRef::new(0, 10)), "l_shipdate"),
+            ],
+        );
+        let mut v = ViewDef::new("v", expr).with_key(vec![0]);
+        if let Some(idx) = secondary {
+            v = v.with_secondary_index(idx);
+        }
+        v
+    }
+
+    fn eq_pred(pos: u32) -> BoolExpr {
+        BoolExpr::cmp(S::col(ColRef::new(0, pos)), CmpOp::Eq, S::lit(5i64))
+    }
+
+    fn range_pred(pos: u32) -> BoolExpr {
+        BoolExpr::cmp(S::col(ColRef::new(0, pos)), CmpOp::Lt, S::lit(5i64))
+    }
+
+    #[test]
+    fn constraint_strength_classifies_predicates() {
+        let preds = vec![eq_pred(0), range_pred(1)];
+        assert_eq!(constraint_strength(&preds, 0), 2);
+        assert_eq!(constraint_strength(&preds, 1), 1);
+        assert_eq!(constraint_strength(&preds, 2), 0);
+        // Column-to-column comparisons do not qualify as seek keys.
+        let preds = vec![BoolExpr::col_eq(ColRef::new(0, 0), ColRef::new(0, 1))];
+        assert_eq!(constraint_strength(&preds, 0), 0);
+    }
+
+    #[test]
+    fn index_seek_factor_prefers_matching_indexes() {
+        // Equality on the clustered key: strong seek.
+        let v = sample_view(None);
+        let f = index_seek_factor(&v, &[eq_pred(0)]);
+        assert!(f < 0.1, "{f}");
+        // Range on the key: partial seek.
+        let f = index_seek_factor(&v, &[range_pred(0)]);
+        assert!((0.2..=0.5).contains(&f), "{f}");
+        // Predicate on a non-indexed column: full scan.
+        let f = index_seek_factor(&v, &[eq_pred(1)]);
+        assert_eq!(f, 1.0);
+        // ... unless a secondary index covers it.
+        let v = sample_view(Some(vec![1, 2]));
+        let f = index_seek_factor(&v, &[eq_pred(1)]);
+        assert!(f < 0.1, "{f}");
+        // Multi-column prefix: eq on both columns compounds.
+        let f2 = index_seek_factor(&v, &[eq_pred(1), eq_pred(2)]);
+        assert!(f2 < f, "{f2} < {f}");
+        // No predicates: full scan.
+        assert_eq!(index_seek_factor(&v, &[]), 1.0);
+    }
+}

@@ -1,0 +1,352 @@
+//! End-to-end optimizer tests: every optimized plan must produce exactly
+//! the same bag of rows as the direct SPJG oracle, with or without
+//! materialized views, and views must actually be chosen when they are
+//! cheaper.
+
+use mv_core::{MatchConfig, MatchingEngine};
+use mv_data::{generate_tpch, Database, TpchScale};
+use mv_exec::{bag_diff, execute_plan, execute_spjg, materialize_view, ViewStore};
+use mv_expr::{BinOp, BoolExpr, CmpOp, ColRef, ScalarExpr as S};
+use mv_optimizer::{Optimizer, OptimizerConfig};
+use mv_plan::{AggFunc, NamedAgg, NamedExpr, SpjgExpr, ViewDef};
+
+fn cr(occ: u32, col: u32) -> ColRef {
+    ColRef::new(occ, col)
+}
+
+/// Build an engine over generated data and materialize every view.
+fn setup(views: Vec<ViewDef>) -> (Database, MatchingEngine, ViewStore) {
+    let (db, _) = generate_tpch(&TpchScale::tiny(), 20_260_706);
+    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let mut store = ViewStore::new();
+    for v in views {
+        let rows = materialize_view(&db, &v);
+        let id = engine.add_view(v).unwrap();
+        store.put(id, rows);
+    }
+    (db, engine, store)
+}
+
+/// Optimize and execute, asserting bag equality with the oracle.
+fn check(db: &Database, engine: &MatchingEngine, store: &ViewStore, query: &SpjgExpr) {
+    let optimizer = Optimizer::new(engine, OptimizerConfig::default());
+    let optimized = optimizer.optimize(query);
+    let got = execute_plan(db, store, &optimized.plan);
+    let want = execute_spjg(db, query);
+    if let Some(diff) = bag_diff(&got, &want) {
+        panic!("plan mismatch: {diff}\nplan:\n{}", optimized.plan);
+    }
+}
+
+#[test]
+fn single_table_spj() {
+    let (db, engine, store) = setup(vec![]);
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    let q = SpjgExpr::spj(
+        vec![t.part],
+        BoolExpr::cmp(S::col(cr(0, 5)), CmpOp::Lt, S::lit(25i64)),
+        vec![
+            NamedExpr::new(S::col(cr(0, 0)), "p_partkey"),
+            NamedExpr::new(S::col(cr(0, 5)), "p_size"),
+        ],
+    );
+    check(&db, &engine, &store, &q);
+}
+
+#[test]
+fn multiway_join_plans_are_correct() {
+    let (db, engine, store) = setup(vec![]);
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    // lineitem ⋈ orders ⋈ customer with a range and a residual predicate.
+    let pred = BoolExpr::and(vec![
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        BoolExpr::col_eq(cr(1, 1), cr(2, 0)),
+        BoolExpr::cmp(S::col(cr(2, 0)), CmpOp::Le, S::lit(15i64)),
+        BoolExpr::Like {
+            expr: S::col(cr(2, 6)),
+            pattern: "B%".into(),
+            negated: false,
+        },
+    ]);
+    let q = SpjgExpr::spj(
+        vec![t.lineitem, t.orders, t.customer],
+        pred,
+        vec![
+            NamedExpr::new(S::col(cr(0, 1)), "l_partkey"),
+            NamedExpr::new(S::col(cr(2, 1)), "c_name"),
+        ],
+    );
+    check(&db, &engine, &store, &q);
+}
+
+#[test]
+fn aggregation_query_without_views() {
+    let (db, engine, store) = setup(vec![]);
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    let q = SpjgExpr::aggregate(
+        vec![t.lineitem, t.orders],
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        vec![NamedExpr::new(S::col(cr(1, 1)), "o_custkey")],
+        vec![
+            NamedAgg::new(AggFunc::CountStar, "cnt"),
+            NamedAgg::new(
+                AggFunc::Sum(S::col(cr(0, 4)).binary(BinOp::Mul, S::col(cr(0, 5)))),
+                "revenue",
+            ),
+        ],
+    );
+    check(&db, &engine, &store, &q);
+}
+
+#[test]
+fn view_is_chosen_when_cheaper_and_plan_is_correct() {
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    // A view that precomputes the lineitem-orders join.
+    let view = ViewDef::new(
+        "lo_join",
+        SpjgExpr::spj(
+            vec![t.lineitem, t.orders],
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            vec![
+                NamedExpr::new(S::col(cr(0, 1)), "l_partkey"),
+                NamedExpr::new(S::col(cr(0, 4)), "l_quantity"),
+                NamedExpr::new(S::col(cr(1, 1)), "o_custkey"),
+                NamedExpr::new(S::col(cr(1, 0)), "o_orderkey"),
+            ],
+        ),
+    );
+    let (db, engine, store) = setup(vec![view]);
+    let q = SpjgExpr::spj(
+        vec![t.lineitem, t.orders],
+        BoolExpr::and(vec![
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            BoolExpr::cmp(S::col(cr(1, 1)), CmpOp::Le, S::lit(10i64)),
+        ]),
+        vec![
+            NamedExpr::new(S::col(cr(0, 1)), "l_partkey"),
+            NamedExpr::new(S::col(cr(0, 4)), "l_quantity"),
+        ],
+    );
+    let optimizer = Optimizer::new(&engine, OptimizerConfig::default());
+    let optimized = optimizer.optimize(&q);
+    assert!(
+        optimized.plan.uses_view(),
+        "expected the view, got:\n{}",
+        optimized.plan
+    );
+    let got = execute_plan(&db, &store, &optimized.plan);
+    let want = execute_spjg(&db, &q);
+    assert!(bag_diff(&got, &want).is_none());
+}
+
+#[test]
+fn no_alt_mode_matches_but_never_uses_views() {
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    let view = ViewDef::new(
+        "all_parts",
+        SpjgExpr::spj(
+            vec![t.part],
+            BoolExpr::Literal(true),
+            vec![
+                NamedExpr::new(S::col(cr(0, 0)), "p_partkey"),
+                NamedExpr::new(S::col(cr(0, 5)), "p_size"),
+            ],
+        ),
+    );
+    let (db, engine, store) = setup(vec![view]);
+    let q = SpjgExpr::spj(
+        vec![t.part],
+        BoolExpr::cmp(S::col(cr(0, 5)), CmpOp::Lt, S::lit(20i64)),
+        vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")],
+    );
+    let config = OptimizerConfig {
+        produce_substitutes: false,
+        ..OptimizerConfig::default()
+    };
+    let optimizer = Optimizer::new(&engine, config);
+    let optimized = optimizer.optimize(&q);
+    assert!(!optimized.plan.uses_view());
+    // The matcher still ran (its analysis is what the NoAlt series times).
+    assert!(engine.stats().invocations > 0);
+    let got = execute_plan(&db, &store, &optimized.plan);
+    assert!(bag_diff(&got, &execute_spjg(&db, &q)).is_none());
+}
+
+#[test]
+fn example4_preaggregation_uses_v4() {
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    // View v4: per-customer order revenue (Example 4 of the paper).
+    let revenue = S::col(cr(0, 4)).binary(BinOp::Mul, S::col(cr(0, 5)));
+    let v4 = ViewDef::new(
+        "v4",
+        SpjgExpr::aggregate(
+            vec![t.lineitem, t.orders],
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            vec![NamedExpr::new(S::col(cr(1, 1)), "o_custkey")],
+            vec![
+                NamedAgg::new(AggFunc::CountStar, "cnt"),
+                NamedAgg::new(AggFunc::Sum(revenue.clone()), "revenue"),
+            ],
+        ),
+    );
+    let (db, engine, store) = setup(vec![v4]);
+    // Query: revenue per nation — requires joining customer and rolling
+    // up, exactly Example 4.
+    let q = SpjgExpr::aggregate(
+        vec![t.lineitem, t.orders, t.customer],
+        BoolExpr::and(vec![
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            BoolExpr::col_eq(cr(1, 1), cr(2, 0)),
+        ]),
+        vec![NamedExpr::new(S::col(cr(2, 3)), "c_nationkey")],
+        vec![NamedAgg::new(AggFunc::Sum(revenue), "revenue")],
+    );
+    let optimizer = Optimizer::new(&engine, OptimizerConfig::default());
+    let optimized = optimizer.optimize(&q);
+    assert!(
+        optimized.plan.uses_view(),
+        "pre-aggregation should expose v4:\n{}",
+        optimized.plan
+    );
+    let got = execute_plan(&db, &store, &optimized.plan);
+    let want = execute_spjg(&db, &q);
+    assert!(
+        bag_diff(&got, &want).is_none(),
+        "{:?}\nplan:\n{}",
+        bag_diff(&got, &want),
+        optimized.plan
+    );
+}
+
+#[test]
+fn preaggregation_correct_even_without_views() {
+    // The eager pre-aggregation transformation itself must be semantics
+    // preserving; force it to win by disabling views and comparing.
+    let (db, engine, store) = setup(vec![]);
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    let q = SpjgExpr::aggregate(
+        vec![t.lineitem, t.orders, t.customer],
+        BoolExpr::and(vec![
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            BoolExpr::col_eq(cr(1, 1), cr(2, 0)),
+        ]),
+        vec![NamedExpr::new(S::col(cr(2, 3)), "c_nationkey")],
+        vec![
+            NamedAgg::new(AggFunc::CountStar, "n"),
+            NamedAgg::new(AggFunc::Sum(S::col(cr(0, 4))), "qty"),
+        ],
+    );
+    // Whatever plan wins (pre-agg or not), it must be correct.
+    check(&db, &engine, &store, &q);
+}
+
+#[test]
+fn scalar_aggregate_and_empty_results() {
+    let (db, engine, store) = setup(vec![]);
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    // Scalar aggregate over an empty selection: one row, count 0.
+    let q = SpjgExpr::aggregate(
+        vec![t.orders],
+        BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Lt, S::lit(0i64)),
+        vec![],
+        vec![
+            NamedAgg::new(AggFunc::CountStar, "cnt"),
+            NamedAgg::new(AggFunc::Sum(S::col(cr(0, 3))), "total"),
+        ],
+    );
+    check(&db, &engine, &store, &q);
+}
+
+#[test]
+fn cross_join_queries_are_glued() {
+    let (db, engine, store) = setup(vec![]);
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    let q = SpjgExpr::spj(
+        vec![t.region, t.nation],
+        BoolExpr::Literal(true),
+        vec![
+            NamedExpr::new(S::col(cr(0, 1)), "r_name"),
+            NamedExpr::new(S::col(cr(1, 1)), "n_name"),
+        ],
+    );
+    check(&db, &engine, &store, &q);
+}
+
+#[test]
+fn views_never_change_results_across_many_queries() {
+    let (_, t) = mv_catalog::tpch::tpch_catalog();
+    // A pile of views, some useful, some not.
+    let views = vec![
+        ViewDef::new(
+            "parts_sized",
+            SpjgExpr::spj(
+                vec![t.part],
+                BoolExpr::cmp(S::col(cr(0, 5)), CmpOp::Le, S::lit(40i64)),
+                vec![
+                    NamedExpr::new(S::col(cr(0, 0)), "p_partkey"),
+                    NamedExpr::new(S::col(cr(0, 5)), "p_size"),
+                    NamedExpr::new(S::col(cr(0, 1)), "p_name"),
+                ],
+            ),
+        ),
+        ViewDef::new(
+            "li_parts",
+            SpjgExpr::spj(
+                vec![t.lineitem, t.part],
+                BoolExpr::col_eq(cr(0, 1), cr(1, 0)),
+                vec![
+                    NamedExpr::new(S::col(cr(0, 0)), "l_orderkey"),
+                    NamedExpr::new(S::col(cr(1, 0)), "p_partkey"),
+                    NamedExpr::new(S::col(cr(1, 5)), "p_size"),
+                    NamedExpr::new(S::col(cr(0, 4)), "l_quantity"),
+                ],
+            ),
+        ),
+        ViewDef::new(
+            "orders_by_cust",
+            SpjgExpr::aggregate(
+                vec![t.orders],
+                BoolExpr::Literal(true),
+                vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+                vec![
+                    NamedAgg::new(AggFunc::CountStar, "cnt"),
+                    NamedAgg::new(AggFunc::Sum(S::col(cr(0, 3))), "total"),
+                ],
+            ),
+        ),
+    ];
+    let (db, engine, store) = setup(views);
+    let queries = vec![
+        SpjgExpr::spj(
+            vec![t.part],
+            BoolExpr::cmp(S::col(cr(0, 5)), CmpOp::Le, S::lit(12i64)),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")],
+        ),
+        SpjgExpr::spj(
+            vec![t.lineitem, t.part],
+            BoolExpr::and(vec![
+                BoolExpr::col_eq(cr(0, 1), cr(1, 0)),
+                BoolExpr::cmp(S::col(cr(1, 5)), CmpOp::Le, S::lit(30i64)),
+            ]),
+            vec![
+                NamedExpr::new(S::col(cr(0, 0)), "l_orderkey"),
+                NamedExpr::new(S::col(cr(0, 4)), "l_quantity"),
+            ],
+        ),
+        SpjgExpr::aggregate(
+            vec![t.orders],
+            BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Le, S::lit(20i64)),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+            vec![NamedAgg::new(AggFunc::Sum(S::col(cr(0, 3))), "total")],
+        ),
+        SpjgExpr::aggregate(
+            vec![t.lineitem, t.part],
+            BoolExpr::col_eq(cr(0, 1), cr(1, 0)),
+            vec![NamedExpr::new(S::col(cr(1, 3)), "p_brand")],
+            vec![NamedAgg::new(AggFunc::CountStar, "cnt")],
+        ),
+    ];
+    for q in &queries {
+        check(&db, &engine, &store, q);
+    }
+}

@@ -1,0 +1,403 @@
+//! Rendering SPJG blocks and substitutes back to readable SQL.
+//!
+//! Internal column references are positional (`t0.c3`); for diagnostics,
+//! examples and error messages we re-attach real table and column names
+//! from the catalog.
+
+use crate::spjg::{AggFunc, OutputList, SpjgExpr};
+use crate::substitute::Substitute;
+use crate::view::ViewSet;
+use mv_catalog::Catalog;
+use mv_expr::{conjuncts_to_bool, BoolExpr, ColRef, ScalarExpr};
+
+use std::fmt::Write as _;
+
+/// Render a scalar expression with real names. `name_of` supplies the
+/// rendering of each column reference.
+fn render_scalar(e: &ScalarExpr, name_of: &impl Fn(ColRef) -> String) -> String {
+    match e {
+        ScalarExpr::Column(c) => name_of(*c),
+        ScalarExpr::Literal(v) => v.to_string(),
+        ScalarExpr::Binary { op, left, right } => format!(
+            "({} {} {})",
+            render_scalar(left, name_of),
+            op.symbol(),
+            render_scalar(right, name_of)
+        ),
+    }
+}
+
+/// Render a boolean expression with real names.
+fn render_bool(e: &BoolExpr, name_of: &impl Fn(ColRef) -> String) -> String {
+    match e {
+        BoolExpr::And(parts) => {
+            let inner: Vec<String> = parts.iter().map(|p| render_bool(p, name_of)).collect();
+            format!("({})", inner.join(" AND "))
+        }
+        BoolExpr::Or(parts) => {
+            let inner: Vec<String> = parts.iter().map(|p| render_bool(p, name_of)).collect();
+            format!("({})", inner.join(" OR "))
+        }
+        BoolExpr::Not(p) => format!("NOT {}", render_bool(p, name_of)),
+        BoolExpr::Compare { op, left, right } => format!(
+            "{} {} {}",
+            render_scalar(left, name_of),
+            op.symbol(),
+            render_scalar(right, name_of)
+        ),
+        BoolExpr::Like {
+            expr,
+            pattern,
+            negated,
+        } => format!(
+            "{} {}LIKE '{}'",
+            render_scalar(expr, name_of),
+            if *negated { "NOT " } else { "" },
+            pattern
+        ),
+        BoolExpr::IsNull { expr, negated } => format!(
+            "{} IS {}NULL",
+            render_scalar(expr, name_of),
+            if *negated { "NOT " } else { "" }
+        ),
+        BoolExpr::Literal(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+    }
+}
+
+/// Column naming for a block over base tables: `alias.column` when the same
+/// base table appears more than once, bare column names otherwise.
+fn base_namer<'a>(expr: &'a SpjgExpr, catalog: &'a Catalog) -> impl Fn(ColRef) -> String + 'a {
+    let needs_alias = expr.tables.len()
+        != expr
+            .tables
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+    move |c: ColRef| {
+        let table = catalog.table(expr.table_of(c.occ));
+        let col = &table.column(c.col).name;
+        if needs_alias {
+            format!("t{}.{}", c.occ.0, col)
+        } else {
+            col.clone()
+        }
+    }
+}
+
+/// Render an SPJG block as SQL.
+pub fn sql_of(expr: &SpjgExpr, catalog: &Catalog) -> String {
+    let namer = base_namer(expr, catalog);
+    let mut out = String::from("SELECT ");
+    match &expr.output {
+        OutputList::Spj(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} AS {}", render_scalar(&item.expr, &namer), item.name);
+            }
+        }
+        OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } => {
+            let mut first = true;
+            for item in group_by {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "{} AS {}", render_scalar(&item.expr, &namer), item.name);
+            }
+            for agg in aggregates {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                match &agg.func {
+                    AggFunc::CountStar => {
+                        let _ = write!(out, "COUNT_BIG(*) AS {}", agg.name);
+                    }
+                    AggFunc::Sum(e) => {
+                        let _ = write!(out, "SUM({}) AS {}", render_scalar(e, &namer), agg.name);
+                    }
+                    AggFunc::SumZero(e) => {
+                        let _ = write!(
+                            out,
+                            "COALESCE(SUM({}), 0) AS {}",
+                            render_scalar(e, &namer),
+                            agg.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out.push_str("\nFROM ");
+    let needs_alias = expr.tables.len()
+        != expr
+            .tables
+            .iter()
+            .collect::<std::collections::HashSet<_>>()
+            .len();
+    for (i, t) in expr.tables.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&catalog.table(*t).name);
+        if needs_alias {
+            let _ = write!(out, " t{i}");
+        }
+    }
+    if !expr.conjuncts.is_empty() {
+        let pred = conjuncts_to_bool(&expr.conjuncts);
+        if pred != BoolExpr::Literal(true) {
+            let _ = write!(out, "\nWHERE {}", render_bool(&pred, &namer));
+        }
+    }
+    if let OutputList::Aggregate { group_by, .. } = &expr.output {
+        if !group_by.is_empty() {
+            out.push_str("\nGROUP BY ");
+            for (i, g) in group_by.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&render_scalar(&g.expr, &namer));
+            }
+        }
+    }
+    out
+}
+
+/// Render a substitute as SQL over the view it scans. Backjoined base
+/// tables require the catalog for column names; pass `None` to render
+/// their columns positionally.
+pub fn sql_of_substitute(sub: &Substitute, views: &ViewSet) -> String {
+    sql_of_substitute_with(sub, views, None)
+}
+
+/// Render a substitute, resolving backjoin column names via the catalog.
+pub fn sql_of_substitute_with(
+    sub: &Substitute,
+    views: &ViewSet,
+    catalog: Option<&Catalog>,
+) -> String {
+    let view = views.get(sub.view);
+    let mut names: Vec<String> = view
+        .expr
+        .output_names()
+        .into_iter()
+        .map(str::to_string)
+        .collect();
+    for bj in &sub.backjoins {
+        match catalog {
+            Some(cat) => {
+                for col in &cat.table(bj.table).columns {
+                    names.push(col.name.clone());
+                }
+            }
+            None => {
+                let start = names.len();
+                let max_col = bj.key.iter().map(|(_, c)| c.0 as usize + 1).max().unwrap_or(0);
+                // Without a catalog we do not know the arity; reserve
+                // generously using the largest key column plus headroom.
+                for i in 0..max_col.max(32) {
+                    names.push(format!("bj{}_c{}", bj.table.0, i + start));
+                }
+            }
+        }
+    }
+    let namer = |c: ColRef| {
+        names
+            .get(c.col.0 as usize)
+            .cloned()
+            .unwrap_or_else(|| format!("c{}", c.col.0))
+    };
+    let mut out = String::from("SELECT ");
+    match &sub.output {
+        OutputList::Spj(items) => {
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{} AS {}", render_scalar(&item.expr, &namer), item.name);
+            }
+        }
+        OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } => {
+            let mut first = true;
+            for item in group_by {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "{} AS {}", render_scalar(&item.expr, &namer), item.name);
+            }
+            for agg in aggregates {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                match &agg.func {
+                    AggFunc::CountStar => {
+                        let _ = write!(out, "COUNT_BIG(*) AS {}", agg.name);
+                    }
+                    AggFunc::Sum(e) => {
+                        let _ = write!(out, "SUM({}) AS {}", render_scalar(e, &namer), agg.name);
+                    }
+                    AggFunc::SumZero(e) => {
+                        let _ = write!(
+                            out,
+                            "COALESCE(SUM({}), 0) AS {}",
+                            render_scalar(e, &namer),
+                            agg.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+    let _ = write!(out, "\nFROM {}", view.name);
+    for bj in &sub.backjoins {
+        match catalog {
+            Some(cat) => {
+                let _ = write!(out, " JOIN {} USING (key)", cat.table(bj.table).name);
+            }
+            None => {
+                let _ = write!(out, " JOIN T{} USING (key)", bj.table.0);
+            }
+        }
+    }
+    if !sub.predicates.is_empty() {
+        let pred = BoolExpr::and(sub.predicates.clone());
+        let _ = write!(out, "\nWHERE {}", render_bool(&pred, &namer));
+    }
+    if let OutputList::Aggregate { group_by, .. } = &sub.output {
+        if !group_by.is_empty() {
+            out.push_str("\nGROUP BY ");
+            for (i, g) in group_by.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&render_scalar(&g.expr, &namer));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spjg::{NamedAgg, NamedExpr};
+    use crate::view::ViewDef;
+    use mv_catalog::tpch::tpch_catalog;
+    use mv_expr::{CmpOp, ScalarExpr as S};
+
+    fn cr(occ: u32, col: u32) -> ColRef {
+        ColRef::new(occ, col)
+    }
+
+    #[test]
+    fn spj_sql_rendering() {
+        let (cat, t) = tpch_catalog();
+        let pred = BoolExpr::and(vec![
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            BoolExpr::cmp(S::col(cr(1, 1)), CmpOp::Ge, S::lit(50i64)),
+        ]);
+        let e = SpjgExpr::spj(
+            vec![t.lineitem, t.orders],
+            pred,
+            vec![NamedExpr::new(S::col(cr(0, 1)), "l_partkey")],
+        );
+        let sql = sql_of(&e, &cat);
+        assert!(sql.contains("SELECT l_partkey AS l_partkey"), "{sql}");
+        assert!(sql.contains("FROM lineitem, orders"), "{sql}");
+        assert!(sql.contains("l_orderkey = o_orderkey"), "{sql}");
+        assert!(sql.contains("o_custkey >= 50"), "{sql}");
+    }
+
+    #[test]
+    fn aggregate_sql_rendering() {
+        let (cat, t) = tpch_catalog();
+        let e = SpjgExpr::aggregate(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+            vec![NamedAgg::new(AggFunc::CountStar, "cnt")],
+        );
+        let sql = sql_of(&e, &cat);
+        assert!(sql.contains("COUNT_BIG(*) AS cnt"), "{sql}");
+        assert!(sql.contains("GROUP BY o_custkey"), "{sql}");
+        assert!(!sql.contains("WHERE"), "{sql}");
+    }
+
+    #[test]
+    fn self_join_uses_aliases() {
+        let (cat, t) = tpch_catalog();
+        let e = SpjgExpr::spj(
+            vec![t.nation, t.nation],
+            BoolExpr::col_eq(cr(0, 2), cr(1, 2)),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "n1_name")],
+        );
+        let sql = sql_of(&e, &cat);
+        assert!(sql.contains("FROM nation t0, nation t1"), "{sql}");
+        assert!(sql.contains("t0.n_regionkey = t1.n_regionkey"), "{sql}");
+    }
+
+    #[test]
+    fn backjoined_substitute_rendering() {
+        use crate::substitute::BackJoin;
+        let (cat, t) = tpch_catalog();
+        let mut views = ViewSet::new();
+        let vexpr = SpjgExpr::spj(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "o_orderkey")],
+        );
+        let vid = views.add(ViewDef::new("okeys", vexpr)).unwrap();
+        // Backjoin orders on its key; filter on the recovered o_custkey
+        // (position 1 of view output + column 1 of orders = position 2).
+        let sub = Substitute {
+            view: vid,
+            backjoins: vec![BackJoin {
+                table: t.orders,
+                key: vec![(0, mv_catalog::ColumnId(0))],
+            }],
+            predicates: vec![BoolExpr::cmp(S::col(cr(0, 2)), CmpOp::Le, S::lit(10i64))],
+            output: OutputList::Spj(vec![NamedExpr::new(S::col(cr(0, 0)), "o_orderkey")]),
+        };
+        let sql = sql_of_substitute_with(&sub, &views, Some(&cat));
+        assert!(sql.contains("FROM okeys JOIN orders"), "{sql}");
+        assert!(sql.contains("o_custkey <= 10"), "{sql}");
+        // Positional fallback without a catalog still renders.
+        let sql = sql_of_substitute(&sub, &views);
+        assert!(sql.contains("JOIN T"), "{sql}");
+    }
+
+    #[test]
+    fn substitute_sql_rendering() {
+        let (_, t) = tpch_catalog();
+        let mut views = ViewSet::new();
+        let vexpr = SpjgExpr::spj(
+            vec![t.part],
+            BoolExpr::Literal(true),
+            vec![
+                NamedExpr::new(S::col(cr(0, 0)), "p_partkey"),
+                NamedExpr::new(S::col(cr(0, 5)), "p_size"),
+            ],
+        );
+        let vid = views.add(ViewDef::new("v_parts", vexpr)).unwrap();
+        let sub = Substitute {
+            view: vid,
+            backjoins: vec![],
+            predicates: vec![BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Lt, S::lit(10i64))],
+            output: OutputList::Spj(vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")]),
+        };
+        let sql = sql_of_substitute(&sub, &views);
+        assert!(sql.contains("FROM v_parts"), "{sql}");
+        assert!(sql.contains("WHERE p_size < 10"), "{sql}");
+    }
+}

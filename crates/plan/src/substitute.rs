@@ -1,0 +1,101 @@
+//! Substitute expressions: the rewrites that view matching produces.
+//!
+//! A substitute evaluates a query expression from a materialized view: scan
+//! the view, apply *compensating predicates* (section 3.1.3), project or
+//! re-aggregate (section 3.3). All column references inside a substitute
+//! use the convention `ColRef { occ: 0, col: i }` = "output column `i` of
+//! the view" — the view plays the role of the single table occurrence.
+
+use crate::spjg::OutputList;
+use crate::view::ViewId;
+use mv_catalog::{ColumnId, TableId};
+use mv_expr::BoolExpr;
+
+/// A compensating group-by for an aggregation query answered from a view
+/// that is less aggregated than the query (or not aggregated at all).
+pub type SubstituteGrouping = OutputList;
+
+/// A base-table backjoin (the section 7 extension): the view "contains all
+/// tables and rows needed but some columns are missing", and outputs a
+/// non-null unique key of a base table, so the missing columns can be
+/// pulled in by joining the view back to that table.
+///
+/// Each view row joins exactly one base row (equijoin on a unique key
+/// whose columns are `NOT NULL`), so the join is cardinality preserving
+/// and merely extends the row. The joined table's columns follow the view
+/// outputs (and any earlier backjoins) in the substitute's column space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackJoin {
+    /// The base table to join back to.
+    pub table: TableId,
+    /// Key pairs: (position in the substitute's column space so far,
+    /// column of `table`), covering a non-null unique key of `table`.
+    pub key: Vec<(usize, ColumnId)>,
+}
+
+/// A single-view substitute expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Substitute {
+    /// The view to scan.
+    pub view: ViewId,
+    /// Base-table backjoins applied (in order) before the predicates.
+    /// Column space: view outputs, then each backjoin's table columns.
+    /// Empty unless the backjoin extension is enabled.
+    pub backjoins: Vec<BackJoin>,
+    /// Compensating predicates over the substitute's column space,
+    /// implicitly ANDed. Empty when the view contains exactly the
+    /// required rows.
+    pub predicates: Vec<BoolExpr>,
+    /// The output computation over the (filtered) rows: a projection for
+    /// SPJ queries, or a compensating group-by with rolled-up aggregates
+    /// for aggregation queries.
+    pub output: OutputList,
+}
+
+impl Substitute {
+    /// Does this substitute need no compensation at all (pure view scan +
+    /// projection)?
+    pub fn is_filter_free(&self) -> bool {
+        self.predicates.is_empty() && self.backjoins.is_empty()
+    }
+
+    /// Does this substitute re-aggregate the view?
+    pub fn regroups(&self) -> bool {
+        matches!(self.output, OutputList::Aggregate { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spjg::NamedExpr;
+    use mv_expr::{CmpOp, ColRef, ScalarExpr as S};
+
+    #[test]
+    fn substitute_flags() {
+        let sub = Substitute {
+            view: ViewId(3),
+            backjoins: vec![],
+            predicates: vec![],
+            output: OutputList::Spj(vec![NamedExpr::new(S::col(ColRef::new(0, 0)), "a")]),
+        };
+        assert!(sub.is_filter_free());
+        assert!(!sub.regroups());
+
+        let sub = Substitute {
+            view: ViewId(3),
+            backjoins: vec![],
+            predicates: vec![BoolExpr::cmp(
+                S::col(ColRef::new(0, 1)),
+                CmpOp::Lt,
+                S::lit(10i64),
+            )],
+            output: OutputList::Aggregate {
+                group_by: vec![],
+                aggregates: vec![],
+            },
+        };
+        assert!(!sub.is_filter_free());
+        assert!(sub.regroups());
+    }
+}

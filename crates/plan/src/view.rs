@@ -1,0 +1,220 @@
+//! Materialized-view definitions and the registry of all views known to
+//! the matcher.
+
+use crate::spjg::{OutputList, SpjgExpr};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a materialized view (dense index into a [`ViewSet`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ViewId(pub u32);
+
+impl fmt::Display for ViewId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "V{}", self.0)
+    }
+}
+
+/// A materialized (indexed) view: a name, the defining SPJG expression, a
+/// unique clustered key, and optional secondary indexes.
+///
+/// SQL Server 2000 materializes a view "by creating a unique clustered
+/// index on an existing view. ... Once the clustered index has been
+/// created, additional secondary indexes can be created" (section 2). Keys
+/// and indexes are stored as positions into the view's output list.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// View name.
+    pub name: String,
+    /// The defining SPJG expression.
+    pub expr: SpjgExpr,
+    /// Output positions forming the unique clustered key. For aggregation
+    /// views this is the set of grouping columns.
+    pub key: Vec<usize>,
+    /// Secondary index definitions (output positions each).
+    pub secondary_indexes: Vec<Vec<usize>>,
+}
+
+impl ViewDef {
+    /// Define a view. For aggregation views the clustered key defaults to
+    /// the grouping columns (which SQL Server requires to be the key); for
+    /// SPJ views the caller supplies it via [`ViewDef::with_key`], default
+    /// all output columns.
+    pub fn new(name: impl Into<String>, expr: SpjgExpr) -> Self {
+        let key = match &expr.output {
+            OutputList::Aggregate { group_by, .. } => (0..group_by.len()).collect(),
+            OutputList::Spj(outputs) => (0..outputs.len()).collect(),
+        };
+        ViewDef {
+            name: name.into(),
+            expr,
+            key,
+            secondary_indexes: Vec::new(),
+        }
+    }
+
+    /// Override the clustered key.
+    pub fn with_key(mut self, key: Vec<usize>) -> Self {
+        assert!(
+            key.iter().all(|&p| p < self.expr.output_arity()),
+            "key position out of range for view {}",
+            self.name
+        );
+        self.key = key;
+        self
+    }
+
+    /// Add a secondary index.
+    pub fn with_secondary_index(mut self, cols: Vec<usize>) -> Self {
+        assert!(
+            cols.iter().all(|&p| p < self.expr.output_arity()),
+            "index position out of range for view {}",
+            self.name
+        );
+        self.secondary_indexes.push(cols);
+        self
+    }
+
+    /// Check the indexed-view rules of section 2: an aggregation view must
+    /// output a `COUNT(*)` column (so deletions can be handled
+    /// incrementally).
+    pub fn check_indexable(&self) -> Result<(), String> {
+        if self.expr.is_aggregate() && self.expr.count_star_position().is_none() {
+            return Err(format!(
+                "aggregation view {} must include a count_big(*) output column",
+                self.name
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The registry of materialized views.
+#[derive(Debug, Clone, Default)]
+pub struct ViewSet {
+    views: Vec<ViewDef>,
+    by_name: HashMap<String, ViewId>,
+}
+
+impl ViewSet {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a view. Enforces the indexed-view rules and unique names.
+    pub fn add(&mut self, view: ViewDef) -> Result<ViewId, String> {
+        view.check_indexable()?;
+        if self.by_name.contains_key(&view.name) {
+            return Err(format!("duplicate view name {}", view.name));
+        }
+        let id = ViewId(self.views.len() as u32);
+        self.by_name.insert(view.name.clone(), id);
+        self.views.push(view);
+        Ok(id)
+    }
+
+    /// The definition of `id`. Panics if out of range.
+    pub fn get(&self, id: ViewId) -> &ViewDef {
+        &self.views[id.0 as usize]
+    }
+
+    /// Look up a view by name.
+    pub fn by_name(&self, name: &str) -> Option<ViewId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// All views with ids.
+    pub fn iter(&self) -> impl Iterator<Item = (ViewId, &ViewDef)> {
+        self.views
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ViewId(i as u32), v))
+    }
+
+    /// Number of registered views.
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spjg::{AggFunc, NamedAgg, NamedExpr};
+    use mv_catalog::tpch::tpch_catalog;
+    use mv_expr::{BoolExpr, ColRef, ScalarExpr as S};
+
+    fn spj_view() -> SpjgExpr {
+        let (_, t) = tpch_catalog();
+        SpjgExpr::spj(
+            vec![t.part],
+            BoolExpr::Literal(true),
+            vec![
+                NamedExpr::new(S::col(ColRef::new(0, 0)), "p_partkey"),
+                NamedExpr::new(S::col(ColRef::new(0, 1)), "p_name"),
+            ],
+        )
+    }
+
+    fn agg_view(with_count: bool) -> SpjgExpr {
+        let (_, t) = tpch_catalog();
+        let mut aggs = vec![NamedAgg::new(
+            AggFunc::Sum(S::col(ColRef::new(0, 3))),
+            "total",
+        )];
+        if with_count {
+            aggs.insert(0, NamedAgg::new(AggFunc::CountStar, "cnt"));
+        }
+        SpjgExpr::aggregate(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(ColRef::new(0, 1)), "o_custkey")],
+            aggs,
+        )
+    }
+
+    #[test]
+    fn default_keys() {
+        let v = ViewDef::new("v_spj", spj_view());
+        assert_eq!(v.key, vec![0, 1]);
+        let v = ViewDef::new("v_agg", agg_view(true));
+        // Aggregation views are keyed on the grouping columns.
+        assert_eq!(v.key, vec![0]);
+    }
+
+    #[test]
+    fn aggregation_views_require_count() {
+        let mut set = ViewSet::new();
+        assert!(set.add(ViewDef::new("good", agg_view(true))).is_ok());
+        let err = set.add(ViewDef::new("bad", agg_view(false))).unwrap_err();
+        assert!(err.contains("count_big"), "{err}");
+    }
+
+    #[test]
+    fn registry_lookup() {
+        let mut set = ViewSet::new();
+        let id = set.add(ViewDef::new("v1", spj_view())).unwrap();
+        assert_eq!(set.by_name("v1"), Some(id));
+        assert_eq!(set.get(id).name, "v1");
+        assert_eq!(set.len(), 1);
+        assert!(set.add(ViewDef::new("v1", spj_view())).is_err());
+    }
+
+    #[test]
+    fn secondary_indexes_validated() {
+        let v = ViewDef::new("v", spj_view()).with_secondary_index(vec![1]);
+        assert_eq!(v.secondary_indexes.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "key position out of range")]
+    fn bad_key_position_panics() {
+        let _ = ViewDef::new("v", spj_view()).with_key(vec![5]);
+    }
+}

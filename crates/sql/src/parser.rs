@@ -1,0 +1,674 @@
+//! Recursive-descent parser producing an unbound AST.
+
+use crate::lexer::{Spanned, Token};
+use crate::SqlError;
+use mv_expr::{BinOp, CmpOp};
+
+/// Unbound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstScalar {
+    /// `[qualifier.]name`.
+    Column {
+        qualifier: Option<String>,
+        name: String,
+    },
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `DATE 'YYYY-MM-DD'`.
+    DateLit(String),
+    /// Binary arithmetic.
+    Binary {
+        op: BinOp,
+        left: Box<AstScalar>,
+        right: Box<AstScalar>,
+    },
+    /// Unary minus.
+    Neg(Box<AstScalar>),
+}
+
+/// Unbound boolean expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstBool {
+    And(Vec<AstBool>),
+    Or(Vec<AstBool>),
+    Not(Box<AstBool>),
+    Cmp {
+        op: CmpOp,
+        left: AstScalar,
+        right: AstScalar,
+    },
+    Between {
+        expr: AstScalar,
+        lo: AstScalar,
+        hi: AstScalar,
+        negated: bool,
+    },
+    Like {
+        expr: AstScalar,
+        pattern: String,
+        negated: bool,
+    },
+    IsNull {
+        expr: AstScalar,
+        negated: bool,
+    },
+}
+
+/// Unbound aggregate call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstAgg {
+    /// `COUNT(*)` or `COUNT_BIG(*)`.
+    CountStar,
+    /// `SUM(expr)`.
+    Sum(AstScalar),
+    /// `AVG(expr)` — recognized so the binder can give a precise error
+    /// (the paper rewrites AVG to SUM/COUNT at a level our plan shape
+    /// does not represent).
+    Avg(AstScalar),
+}
+
+/// One item of the select list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    Scalar {
+        expr: AstScalar,
+        alias: Option<String>,
+    },
+    Agg {
+        agg: AstAgg,
+        alias: Option<String>,
+    },
+}
+
+/// A table in the FROM list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableRef {
+    /// Table name (a `dbo.` schema prefix is accepted and dropped).
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+/// An unbound SELECT block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AstSelect {
+    pub items: Vec<SelectItem>,
+    pub from: Vec<TableRef>,
+    pub where_clause: Option<AstBool>,
+    pub group_by: Vec<AstScalar>,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AstStatement {
+    Select(AstSelect),
+    CreateView { name: String, select: AstSelect },
+}
+
+/// Keywords that terminate an expression and must not be taken as aliases.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "by", "and", "or", "not", "like", "between", "is",
+    "null", "as", "create", "view", "with", "schemabinding", "sum", "count", "count_big",
+    "avg", "date", "order", "having",
+];
+
+struct Parser<'a> {
+    tokens: &'a [Spanned],
+    pos: usize,
+}
+
+/// Parse a full statement.
+pub fn parse(tokens: &[Spanned]) -> Result<AstStatement, SqlError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = if p.peek_keyword("create") {
+        p.parse_create_view()?
+    } else {
+        AstStatement::Select(p.parse_select()?)
+    };
+    p.eat(&Token::Semicolon);
+    if p.pos != p.tokens.len() {
+        return Err(p.error("unexpected trailing input"));
+    }
+    Ok(stmt)
+}
+
+impl<'a> Parser<'a> {
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|t| t.offset)
+            .unwrap_or_else(|| self.tokens.last().map(|t| t.offset + 1).unwrap_or(0))
+    }
+
+    fn error(&self, msg: impl Into<String>) -> SqlError {
+        SqlError::new(msg, self.offset())
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), SqlError> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {what}")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {}", kw.to_uppercase())))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.peek() {
+            Some(Token::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Ok(s)
+            }
+            _ => Err(self.error(format!("expected {what}"))),
+        }
+    }
+
+    fn parse_create_view(&mut self) -> Result<AstStatement, SqlError> {
+        self.expect_keyword("create")?;
+        self.expect_keyword("view")?;
+        let name = self.expect_ident("view name")?;
+        if self.eat_keyword("with") {
+            self.expect_keyword("schemabinding")?;
+        }
+        self.expect_keyword("as")?;
+        let select = self.parse_select()?;
+        Ok(AstStatement::CreateView { name, select })
+    }
+
+    fn parse_select(&mut self) -> Result<AstSelect, SqlError> {
+        self.expect_keyword("select")?;
+        let mut items = vec![self.parse_select_item()?];
+        while self.eat(&Token::Comma) {
+            items.push(self.parse_select_item()?);
+        }
+        self.expect_keyword("from")?;
+        let mut from = vec![self.parse_table_ref()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.parse_table_ref()?);
+        }
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.parse_bool()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_keyword("group") {
+            self.expect_keyword("by")?;
+            group_by.push(self.parse_scalar()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.parse_scalar()?);
+            }
+        }
+        Ok(AstSelect {
+            items,
+            from,
+            where_clause,
+            group_by,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> Result<SelectItem, SqlError> {
+        // Aggregates.
+        let agg = if self.eat_keyword("count") || self.eat_keyword("count_big") {
+            self.expect(&Token::LParen, "(")?;
+            self.expect(&Token::Star, "*")?;
+            self.expect(&Token::RParen, ")")?;
+            Some(AstAgg::CountStar)
+        } else if self.eat_keyword("sum") {
+            self.expect(&Token::LParen, "(")?;
+            let e = self.parse_scalar()?;
+            self.expect(&Token::RParen, ")")?;
+            Some(AstAgg::Sum(e))
+        } else if self.eat_keyword("avg") {
+            self.expect(&Token::LParen, "(")?;
+            let e = self.parse_scalar()?;
+            self.expect(&Token::RParen, ")")?;
+            Some(AstAgg::Avg(e))
+        } else {
+            None
+        };
+        if let Some(agg) = agg {
+            let alias = self.parse_alias()?;
+            return Ok(SelectItem::Agg { agg, alias });
+        }
+        let expr = self.parse_scalar()?;
+        let alias = self.parse_alias()?;
+        Ok(SelectItem::Scalar { expr, alias })
+    }
+
+    fn parse_alias(&mut self) -> Result<Option<String>, SqlError> {
+        if self.eat_keyword("as") {
+            return Ok(Some(self.expect_ident("alias")?));
+        }
+        // Bare alias (identifier that is not a keyword).
+        if let Some(Token::Ident(s)) = self.peek() {
+            if !RESERVED.contains(&s.as_str()) {
+                let s = s.clone();
+                self.pos += 1;
+                return Ok(Some(s));
+            }
+        }
+        Ok(None)
+    }
+
+    fn parse_table_ref(&mut self) -> Result<TableRef, SqlError> {
+        let first = self.expect_ident("table name")?;
+        let name = if self.eat(&Token::Dot) {
+            // schema.table — the schema (e.g. `dbo`) is dropped.
+            self.expect_ident("table name")?
+        } else {
+            first
+        };
+        let alias = match self.peek() {
+            Some(Token::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.pos += 1;
+                Some(s)
+            }
+            _ => None,
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // Boolean grammar: or := and (OR and)*, and := unary (AND unary)*,
+    // unary := NOT unary | predicate | ( or ).
+    fn parse_bool(&mut self) -> Result<AstBool, SqlError> {
+        let mut parts = vec![self.parse_bool_and()?];
+        while self.eat_keyword("or") {
+            parts.push(self.parse_bool_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            AstBool::Or(parts)
+        })
+    }
+
+    fn parse_bool_and(&mut self) -> Result<AstBool, SqlError> {
+        let mut parts = vec![self.parse_bool_unary()?];
+        while self.eat_keyword("and") {
+            parts.push(self.parse_bool_unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().unwrap()
+        } else {
+            AstBool::And(parts)
+        })
+    }
+
+    fn parse_bool_unary(&mut self) -> Result<AstBool, SqlError> {
+        if self.eat_keyword("not") {
+            return Ok(AstBool::Not(Box::new(self.parse_bool_unary()?)));
+        }
+        // A leading '(' is ambiguous: boolean group or scalar
+        // parenthesization. Try the boolean reading first and backtrack.
+        if self.peek() == Some(&Token::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.parse_bool() {
+                if self.eat(&Token::RParen) {
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        self.parse_predicate()
+    }
+
+    fn parse_predicate(&mut self) -> Result<AstBool, SqlError> {
+        let left = self.parse_scalar()?;
+        // IS [NOT] NULL
+        if self.eat_keyword("is") {
+            let negated = self.eat_keyword("not");
+            self.expect_keyword("null")?;
+            return Ok(AstBool::IsNull {
+                expr: left,
+                negated,
+            });
+        }
+        // [NOT] LIKE / BETWEEN
+        let negated = self.eat_keyword("not");
+        if self.eat_keyword("like") {
+            let pattern = match self.peek() {
+                Some(Token::Str(s)) => {
+                    let s = s.clone();
+                    self.pos += 1;
+                    s
+                }
+                _ => return Err(self.error("expected a string pattern after LIKE")),
+            };
+            return Ok(AstBool::Like {
+                expr: left,
+                pattern,
+                negated,
+            });
+        }
+        if self.eat_keyword("between") {
+            let lo = self.parse_scalar()?;
+            self.expect_keyword("and")?;
+            let hi = self.parse_scalar()?;
+            return Ok(AstBool::Between {
+                expr: left,
+                lo,
+                hi,
+                negated,
+            });
+        }
+        if negated {
+            return Err(self.error("expected LIKE or BETWEEN after NOT"));
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(Token::Ne) => CmpOp::Ne,
+            _ => return Err(self.error("expected a comparison operator")),
+        };
+        self.pos += 1;
+        let right = self.parse_scalar()?;
+        Ok(AstBool::Cmp { op, left, right })
+    }
+
+    // Scalar grammar: additive := mult ((+|-) mult)*,
+    // mult := unary ((*|/) unary)*, unary := - unary | primary.
+    fn parse_scalar(&mut self) -> Result<AstScalar, SqlError> {
+        let mut left = self.parse_mult()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_mult()?;
+            left = AstScalar::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_mult(&mut self) -> Result<AstScalar, SqlError> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = AstScalar::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<AstScalar, SqlError> {
+        if self.eat(&Token::Minus) {
+            return Ok(AstScalar::Neg(Box::new(self.parse_unary()?)));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> Result<AstScalar, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(AstScalar::Int(v))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(AstScalar::Float(v))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(AstScalar::Str(s))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let e = self.parse_scalar()?;
+                self.expect(&Token::RParen, ")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(s)) if s == "date" => {
+                self.pos += 1;
+                match self.peek().cloned() {
+                    Some(Token::Str(d)) => {
+                        self.pos += 1;
+                        Ok(AstScalar::DateLit(d))
+                    }
+                    _ => Err(self.error("expected a date string after DATE")),
+                }
+            }
+            Some(Token::Ident(s)) if !RESERVED.contains(&s.as_str()) => {
+                self.pos += 1;
+                if self.eat(&Token::Dot) {
+                    let name = self.expect_ident("column name")?;
+                    Ok(AstScalar::Column {
+                        qualifier: Some(s),
+                        name,
+                    })
+                } else {
+                    Ok(AstScalar::Column {
+                        qualifier: None,
+                        name: s,
+                    })
+                }
+            }
+            _ => Err(self.error("expected an expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::tokenize;
+
+    fn parse_ok(sql: &str) -> AstStatement {
+        parse(&tokenize(sql).unwrap()).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    }
+
+    #[test]
+    fn simple_select() {
+        let AstStatement::Select(s) = parse_ok("SELECT a, b FROM t WHERE a = 1") else {
+            panic!()
+        };
+        assert_eq!(s.items.len(), 2);
+        assert_eq!(s.from.len(), 1);
+        assert!(s.where_clause.is_some());
+        assert!(s.group_by.is_empty());
+    }
+
+    #[test]
+    fn aggregates_and_group_by() {
+        let AstStatement::Select(s) = parse_ok(
+            "SELECT o_custkey, COUNT_BIG(*) AS cnt, SUM(a * b) AS total \
+             FROM orders GROUP BY o_custkey",
+        ) else {
+            panic!()
+        };
+        assert!(matches!(
+            s.items[1],
+            SelectItem::Agg {
+                agg: AstAgg::CountStar,
+                ..
+            }
+        ));
+        assert!(matches!(
+            s.items[2],
+            SelectItem::Agg {
+                agg: AstAgg::Sum(_),
+                ..
+            }
+        ));
+        assert_eq!(s.group_by.len(), 1);
+    }
+
+    #[test]
+    fn create_view_with_schemabinding() {
+        let AstStatement::CreateView { name, select } =
+            parse_ok("CREATE VIEW v1 WITH SCHEMABINDING AS SELECT a FROM dbo.t")
+        else {
+            panic!()
+        };
+        assert_eq!(name, "v1");
+        assert_eq!(select.from[0].name, "t");
+    }
+
+    #[test]
+    fn between_like_is_null() {
+        let AstStatement::Select(s) = parse_ok(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE '%x%' \
+             AND c IS NOT NULL AND d NOT LIKE 'y%'",
+        ) else {
+            panic!()
+        };
+        let AstBool::And(parts) = s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert_eq!(parts.len(), 4);
+        assert!(matches!(parts[0], AstBool::Between { negated: false, .. }));
+        assert!(matches!(parts[1], AstBool::Like { negated: false, .. }));
+        assert!(matches!(parts[2], AstBool::IsNull { negated: true, .. }));
+        assert!(matches!(parts[3], AstBool::Like { negated: true, .. }));
+    }
+
+    #[test]
+    fn boolean_parentheses_and_precedence() {
+        let AstStatement::Select(s) =
+            parse_ok("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        else {
+            panic!()
+        };
+        let AstBool::And(parts) = s.where_clause.unwrap() else {
+            panic!("AND should be at the top")
+        };
+        assert!(matches!(parts[0], AstBool::Or(_)));
+    }
+
+    #[test]
+    fn scalar_parentheses_in_comparison() {
+        // The '(' here must backtrack to a scalar reading.
+        let AstStatement::Select(s) = parse_ok("SELECT a FROM t WHERE (a + b) * 2 > 10")
+        else {
+            panic!()
+        };
+        assert!(matches!(s.where_clause.unwrap(), AstBool::Cmp { .. }));
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let AstStatement::Select(s) = parse_ok("SELECT a + b * c FROM t") else {
+            panic!()
+        };
+        let SelectItem::Scalar { expr, .. } = &s.items[0] else {
+            panic!()
+        };
+        // a + (b * c)
+        let AstScalar::Binary { op: BinOp::Add, right, .. } = expr else {
+            panic!("expected + at the top, got {expr:?}")
+        };
+        assert!(matches!(**right, AstScalar::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn aliases_and_qualified_columns() {
+        let AstStatement::Select(s) =
+            parse_ok("SELECT l.l_orderkey AS k FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey")
+        else {
+            panic!()
+        };
+        assert_eq!(s.from[0].alias.as_deref(), Some("l"));
+        let SelectItem::Scalar { expr, alias } = &s.items[0] else {
+            panic!()
+        };
+        assert_eq!(alias.as_deref(), Some("k"));
+        assert_eq!(
+            *expr,
+            AstScalar::Column {
+                qualifier: Some("l".into()),
+                name: "l_orderkey".into()
+            }
+        );
+    }
+
+    #[test]
+    fn date_literals_and_negatives() {
+        let AstStatement::Select(s) =
+            parse_ok("SELECT a FROM t WHERE d >= DATE '1994-01-01' AND x > -5")
+        else {
+            panic!()
+        };
+        let AstBool::And(parts) = s.where_clause.unwrap() else {
+            panic!()
+        };
+        assert!(matches!(
+            &parts[0],
+            AstBool::Cmp { right: AstScalar::DateLit(d), .. } if d == "1994-01-01"
+        ));
+        assert!(matches!(
+            &parts[1],
+            AstBool::Cmp { right: AstScalar::Neg(_), .. }
+        ));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        for bad in [
+            "SELECT",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE a ==",
+            "SELECT a FROM t GROUP",
+            "CREATE VIEW AS SELECT a FROM t",
+            "SELECT a FROM t extra garbage (",
+        ] {
+            let r = tokenize(bad).and_then(|t| parse(&t));
+            assert!(r.is_err(), "{bad} should fail");
+        }
+    }
+}

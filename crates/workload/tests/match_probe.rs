@@ -1,0 +1,31 @@
+//! Probe: the generated workload must actually produce view matches, or
+//! the figure benchmarks would be vacuous.
+use mv_core::{MatchConfig, MatchingEngine};
+use mv_data::{generate_tpch, TpchScale};
+use mv_workload::{Generator, WorkloadParams};
+
+#[test]
+fn workload_produces_matches() {
+    let (db, _) = generate_tpch(&TpchScale::small(), 1);
+    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let views = Generator::new(&db.catalog, WorkloadParams::views(), 101).views(200);
+    for v in views {
+        engine.add_view(v).unwrap();
+    }
+    let queries = Generator::new(&db.catalog, WorkloadParams::queries(), 202).queries(100);
+    let mut total = 0usize;
+    let mut queries_with = 0usize;
+    for q in &queries {
+        let subs = engine.find_substitutes(q);
+        total += subs.len();
+        queries_with += (!subs.is_empty()) as usize;
+    }
+    let stats = engine.stats();
+    eprintln!(
+        "substitutes total={total} queries_with={queries_with}/100 candidates/inv={:.2} cand_frac={:.4} pass_frac={:.3}",
+        stats.candidates as f64 / stats.invocations as f64,
+        stats.candidate_fraction(),
+        stats.pass_fraction()
+    );
+    assert!(total > 0, "no substitutes at all — workload mismatch");
+}

@@ -1,0 +1,55 @@
+//! Scalability demonstration — the headline claim: "Optimization time
+//! increases slowly with the number of views but remains low even up to a
+//! thousand."
+//!
+//! Registers 1000 randomly generated views (the section 5 workload) and
+//! optimizes a set of queries at increasing view counts, printing
+//! per-query optimization time and the filter tree's pruning power.
+//!
+//! ```text
+//! cargo run --release --example scalability
+//! ```
+
+use matview::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let (db, _) = generate_tpch(&TpchScale::small(), 3);
+    let catalog = db.catalog.clone();
+
+    println!("generating 1000 views and 100 queries (section 5 recipe)...\n");
+    let views = Generator::new(&catalog, WorkloadParams::views(), 11).views(1000);
+    let queries = Generator::new(&catalog, WorkloadParams::queries(), 22).queries(100);
+
+    println!("| views | avg optimize (ms) | candidates/invocation | % of views examined | substitutes/query |");
+    println!("|---|---|---|---|---|");
+    for n in [0usize, 250, 500, 750, 1000] {
+        let mut engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
+        for v in views.iter().take(n) {
+            engine.add_view(v.clone()).unwrap();
+        }
+        let optimizer = Optimizer::new(&engine, OptimizerConfig::default());
+        let started = Instant::now();
+        for q in &queries {
+            let _ = optimizer.optimize(q);
+        }
+        let elapsed = started.elapsed();
+        let stats = engine.stats();
+        let cand_per_inv = if stats.invocations > 0 {
+            stats.candidates as f64 / stats.invocations as f64
+        } else {
+            0.0
+        };
+        println!(
+            "| {n} | {:.2} | {:.2} | {:.3}% | {:.2} |",
+            elapsed.as_secs_f64() * 1000.0 / queries.len() as f64,
+            cand_per_inv,
+            stats.candidate_fraction() * 100.0,
+            stats.substitutes as f64 / queries.len() as f64,
+        );
+    }
+    println!(
+        "\nThe filter tree examines a fraction of a percent of the views per \
+         invocation;\noptimization time grows slowly and linearly with the view count."
+    );
+}
