@@ -1,0 +1,281 @@
+//! Serial vs parallel view-matching throughput across view-set sizes,
+//! persisted as a machine-readable trajectory at the repo root.
+//!
+//! ```text
+//! cargo run -p mv-bench --release --bin bench_matching
+//! ```
+//!
+//! writes `BENCH_matching.json` with one record per (view count, mode):
+//! view count, query count, worker threads, p50/p95 per-query match
+//! latency in microseconds, and matching throughput in queries/second.
+//! Serial records drive `find_substitutes` one query at a time on an
+//! engine pinned to the serial path; parallel records drive
+//! `find_substitutes_batch` over the same queries sharing the engine
+//! across worker threads.
+//!
+//! ```text
+//! cargo run -p mv-bench --release --bin bench_matching -- \
+//!     [--sizes 100,1000,10000] [--queries N] [--threads N] [--out PATH]
+//! ```
+
+use mv_bench::{build_workload, engine_with, Workload};
+use mv_core::{MatchConfig, MatchingEngine};
+use std::time::{Duration, Instant};
+
+struct Args {
+    sizes: Vec<usize>,
+    queries: usize,
+    threads: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        sizes: vec![100, 1000, 10_000],
+        queries: 200,
+        threads: 0, // 0 = auto (available parallelism)
+        out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json").to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{} requires a value", argv[i]);
+                std::process::exit(2);
+            })
+        };
+        match argv[i].as_str() {
+            "--sizes" => {
+                args.sizes = value(i)
+                    .split(',')
+                    .map(|s| {
+                        s.trim().parse().unwrap_or_else(|_| {
+                            eprintln!("--sizes takes a comma-separated list of view counts");
+                            std::process::exit(2);
+                        })
+                    })
+                    .collect();
+            }
+            "--queries" => {
+                args.queries = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--queries requires a positive number");
+                    std::process::exit(2);
+                });
+            }
+            "--threads" => {
+                args.threads = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--threads requires a number (0 = auto)");
+                    std::process::exit(2);
+                });
+            }
+            "--out" => args.out = value(i),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if args.sizes.is_empty() || args.queries == 0 {
+        eprintln!("--sizes and --queries must be non-empty");
+        std::process::exit(2);
+    }
+    args
+}
+
+/// One measured (view count, mode) record.
+struct Record {
+    views: usize,
+    mode: &'static str,
+    threads: usize,
+    queries: usize,
+    p50_us: f64,
+    p95_us: f64,
+    throughput_qps: f64,
+}
+
+fn percentile_us(latencies: &mut [Duration], q: f64) -> f64 {
+    latencies.sort_unstable();
+    let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+    latencies[idx].as_secs_f64() * 1e6
+}
+
+/// Repetitions that keep one measurement loop around `target` wall-clock,
+/// from a single calibration run.
+fn calibrate_reps(once: Duration, target: Duration) -> usize {
+    if once.is_zero() {
+        return 1000;
+    }
+    (target.as_secs_f64() / once.as_secs_f64()).ceil() as usize
+}
+
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+
+/// Drive `find_substitutes` one query at a time; per-query latencies and
+/// end-to-end throughput.
+fn run_serial(engine: &MatchingEngine, queries: &[mv_plan::SpjgExpr]) -> (Vec<Duration>, f64) {
+    let once = {
+        let t = Instant::now();
+        for q in queries {
+            std::hint::black_box(engine.find_substitutes(q));
+        }
+        t.elapsed()
+    };
+    let reps = calibrate_reps(once, MEASURE_TARGET);
+    let mut latencies = Vec::with_capacity(queries.len() * reps);
+    let started = Instant::now();
+    for _ in 0..reps {
+        for q in queries {
+            let t = Instant::now();
+            std::hint::black_box(engine.find_substitutes(q));
+            latencies.push(t.elapsed());
+        }
+    }
+    let total = started.elapsed();
+    let qps = (queries.len() * reps) as f64 / total.as_secs_f64();
+    (latencies, qps)
+}
+
+/// Drive `find_substitutes_batch` over the whole query list; throughput
+/// from the batch entry point, latencies from an identically-shaped timed
+/// fan-out over the same shared engine.
+fn run_parallel(
+    engine: &MatchingEngine,
+    queries: &[mv_plan::SpjgExpr],
+    workers: usize,
+) -> (Vec<Duration>, f64) {
+    let once = {
+        let t = Instant::now();
+        std::hint::black_box(engine.find_substitutes_batch(queries));
+        t.elapsed()
+    };
+    let reps = calibrate_reps(once, MEASURE_TARGET);
+    let started = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(engine.find_substitutes_batch(queries));
+    }
+    let total = started.elapsed();
+    let qps = (queries.len() * reps) as f64 / total.as_secs_f64();
+    let latencies = mv_parallel::par_map(queries, workers, |q| {
+        let t = Instant::now();
+        std::hint::black_box(engine.find_substitutes(q));
+        t.elapsed()
+    });
+    (latencies, qps)
+}
+
+fn measure(w: &Workload, args: &Args, views: usize, workers: usize) -> (Record, Record) {
+    // The serial engine never fans out, whatever the candidate count; the
+    // parallel engine uses the default threshold plus the requested
+    // worker cap for batch calls.
+    let serial_cfg = MatchConfig {
+        parallel_threshold: usize::MAX,
+        ..MatchConfig::default()
+    };
+    let parallel_cfg = MatchConfig {
+        parallel_workers: args.threads,
+        ..MatchConfig::default()
+    };
+
+    let engine = engine_with(w, views, serial_cfg);
+    let (mut lat, qps) = run_serial(&engine, &w.queries);
+    let serial = Record {
+        views,
+        mode: "serial",
+        threads: 1,
+        queries: w.queries.len(),
+        p50_us: percentile_us(&mut lat, 0.50),
+        p95_us: percentile_us(&mut lat, 0.95),
+        throughput_qps: qps,
+    };
+
+    let engine = engine_with(w, views, parallel_cfg);
+    let (mut lat, qps) = run_parallel(&engine, &w.queries, workers);
+    let parallel = Record {
+        views,
+        mode: "parallel",
+        threads: workers,
+        queries: w.queries.len(),
+        p50_us: percentile_us(&mut lat, 0.50),
+        p95_us: percentile_us(&mut lat, 0.95),
+        throughput_qps: qps,
+    };
+    (serial, parallel)
+}
+
+fn json(records: &[Record], args: &Args, workers: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"view-matching serial vs parallel\",\n");
+    out.push_str(
+        "  \"command\": \"cargo run -p mv-bench --release --bin bench_matching\",\n",
+    );
+    out.push_str(&format!("  \"queries\": {},\n", args.queries));
+    out.push_str(&format!("  \"threads\": {workers},\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"views\": {}, \"mode\": \"{}\", \"threads\": {}, \"queries\": {}, \
+             \"p50_match_latency_us\": {:.2}, \"p95_match_latency_us\": {:.2}, \
+             \"throughput_qps\": {:.1}}}{}\n",
+            r.views,
+            r.mode,
+            r.threads,
+            r.queries,
+            r.p50_us,
+            r.p95_us,
+            r.throughput_qps,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let max_views = args.sizes.iter().copied().max().unwrap();
+    let workers = if args.threads == 0 {
+        mv_parallel::workers_for(usize::MAX)
+    } else {
+        args.threads
+    };
+    eprintln!(
+        "building workload: {max_views} views, {} queries ...",
+        args.queries
+    );
+    let w = build_workload(max_views, args.queries);
+
+    let mut records = Vec::new();
+    println!("| views | mode | threads | p50 (us) | p95 (us) | throughput (q/s) | speedup |");
+    println!("|---|---|---|---|---|---|---|");
+    for &views in &args.sizes {
+        let (serial, parallel) = measure(&w, &args, views, workers);
+        let speedup = parallel.throughput_qps / serial.throughput_qps;
+        for r in [&serial, &parallel] {
+            println!(
+                "| {} | {} | {} | {:.1} | {:.1} | {:.0} | {} |",
+                r.views,
+                r.mode,
+                r.threads,
+                r.p50_us,
+                r.p95_us,
+                r.throughput_qps,
+                if r.mode == "parallel" {
+                    format!("{speedup:.2}x")
+                } else {
+                    "-".to_string()
+                }
+            );
+        }
+        records.push(serial);
+        records.push(parallel);
+    }
+
+    let body = json(&records, &args, workers);
+    std::fs::write(&args.out, &body).unwrap_or_else(|e| {
+        eprintln!("cannot write {}: {e}", args.out);
+        std::process::exit(1);
+    });
+    eprintln!("wrote {}", args.out);
+}

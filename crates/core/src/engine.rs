@@ -5,12 +5,11 @@
 use crate::filter::{FilterTree, LevelSearch};
 use crate::fkgraph::{build_fk_graph, compute_hub};
 use crate::matching::{match_view, MatchConfig};
-use crate::stats::MatchStats;
+use crate::stats::{AtomicMatchStats, MatchStats};
 use crate::summary::ExprSummary;
 use mv_catalog::{Catalog, ColumnId, TableId};
 use mv_expr::{classify, BoolExpr, ColRef, Conjunct, OccId, Template};
 use mv_plan::{AggFunc, SpjgExpr, Substitute, ViewDef, ViewId, ViewSet};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -22,15 +21,41 @@ const SPJ_LEVELS: usize = 6;
 const AGG_LEVELS: usize = 8;
 
 /// String interner mapping template texts to filter-key tokens.
+///
+/// Tokens are minted only on the **write path** (`add_view` /
+/// `remove_view`, both `&mut self`); the query-side read path uses
+/// [`Interner::lookup`], which never allocates or mutates. This is what
+/// lets [`MatchingEngine`] be `Sync` without a lock around the interner,
+/// and it also keeps the map's size proportional to the registered views
+/// instead of growing with every distinct query ever matched.
 #[derive(Debug, Default)]
 struct Interner {
     map: HashMap<String, u64>,
 }
 
+/// Query-side token for a template text no registered view ever produced.
+/// Real tokens are minted sequentially from 0, so this value cannot
+/// collide. In a superset-level search an unknown token correctly empties
+/// the result (no view key contains it); in a subset-level search it
+/// merely widens the allowed set, which is equally harmless.
+const UNKNOWN_TOKEN: u64 = u64::MAX;
+
 impl Interner {
+    /// Token for `s`, minting one only if the text was never seen —
+    /// lookup first, so the common already-interned case allocates
+    /// nothing.
     fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&t) = self.map.get(s) {
+            return t;
+        }
         let next = self.map.len() as u64;
-        *self.map.entry(s.to_string()).or_insert(next)
+        self.map.insert(s.to_string(), next);
+        next
+    }
+
+    /// Read-only token lookup for the query path.
+    fn lookup(&self, s: &str) -> u64 {
+        self.map.get(s).copied().unwrap_or(UNKNOWN_TOKEN)
     }
 }
 
@@ -53,6 +78,18 @@ fn base_col_token(expr: &SpjgExpr, c: ColRef) -> u64 {
 
 /// The engine owning the view registry, per-view summaries, the filter
 /// trees and the instrumentation counters.
+///
+/// # Concurrency
+///
+/// The engine is `Send + Sync`: registration (`add_view`,
+/// `remove_view`, `add_check_constraint`) takes `&mut self`, while the
+/// whole matching path (`find_substitutes`, `find_substitutes_batch`,
+/// `candidates`, `match_one`) takes `&self` and touches no interior
+/// mutability beyond the atomic [`AtomicMatchStats`] counters. A
+/// multi-threaded optimizer host can therefore share one engine behind an
+/// `Arc` and match queries from any number of threads concurrently; see
+/// also [`MatchConfig::parallel_threshold`] for the intra-query fan-out
+/// of the candidate loop.
 #[derive(Debug)]
 pub struct MatchingEngine {
     catalog: Catalog,
@@ -61,8 +98,8 @@ pub struct MatchingEngine {
     summaries: Vec<ExprSummary>,
     spj_tree: FilterTree,
     agg_tree: FilterTree,
-    interner: RefCell<Interner>,
-    stats: RefCell<MatchStats>,
+    interner: Interner,
+    stats: AtomicMatchStats,
     /// Check constraints per table, pre-classified, with column references
     /// in table space (`occ = 0`).
     checks: HashMap<TableId, Vec<Conjunct>>,
@@ -70,6 +107,14 @@ pub struct MatchingEngine {
     /// names) stay reserved; matching skips them.
     removed: std::collections::HashSet<ViewId>,
 }
+
+// Compile-time guarantee that the engine stays shareable across threads:
+// a reintroduced `RefCell`/`Rc` anywhere in its fields breaks the build
+// here, not in a downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MatchingEngine>()
+};
 
 impl MatchingEngine {
     /// Create an engine over a schema.
@@ -81,8 +126,8 @@ impl MatchingEngine {
             summaries: Vec::new(),
             spj_tree: FilterTree::new(SPJ_LEVELS),
             agg_tree: FilterTree::new(AGG_LEVELS),
-            interner: RefCell::new(Interner::default()),
-            stats: RefCell::new(MatchStats::default()),
+            interner: Interner::default(),
+            stats: AtomicMatchStats::default(),
             checks: HashMap::new(),
             removed: std::collections::HashSet::new(),
         }
@@ -99,7 +144,13 @@ impl MatchingEngine {
         }
         let def = self.views.get(id);
         let vsum = self.summaries[id.0 as usize].clone();
-        let keys = self.view_keys(&def.expr, &vsum);
+        let keys = Self::view_keys(
+            &self.catalog,
+            &self.config,
+            &mut self.interner,
+            &def.expr,
+            &vsum,
+        );
         let in_tree = if def.expr.is_aggregate() {
             self.agg_tree.remove(&keys, id)
         } else {
@@ -175,12 +226,12 @@ impl MatchingEngine {
 
     /// Snapshot of the instrumentation counters.
     pub fn stats(&self) -> MatchStats {
-        self.stats.borrow().clone()
+        self.stats.snapshot()
     }
 
     /// Reset the instrumentation counters.
     pub fn reset_stats(&self) {
-        *self.stats.borrow_mut() = MatchStats::default();
+        self.stats.reset();
     }
 
     /// Register a materialized view: validates it, computes its summary
@@ -188,7 +239,13 @@ impl MatchingEngine {
     pub fn add_view(&mut self, def: ViewDef) -> Result<ViewId, String> {
         def.expr.validate(&self.catalog)?;
         let vsum = ExprSummary::analyze(&def.expr);
-        let keys = self.view_keys(&def.expr, &vsum);
+        let keys = Self::view_keys(
+            &self.catalog,
+            &self.config,
+            &mut self.interner,
+            &def.expr,
+            &vsum,
+        );
         let is_agg = def.expr.is_aggregate();
         let id = self.views.add(def)?;
         self.summaries.push(vsum);
@@ -215,16 +272,21 @@ impl MatchingEngine {
     }
 
     /// Compute the 8 per-level filter keys for a view (the first 6 are
-    /// used for SPJ views).
-    fn view_keys(&self, expr: &SpjgExpr, vsum: &ExprSummary) -> Vec<Vec<u64>> {
-        let mut interner = self.interner.borrow_mut();
+    /// used for SPJ views). An associated function over explicit fields —
+    /// not a method — so the write-path callers can borrow the interner
+    /// mutably while the view registry stays immutably borrowed.
+    fn view_keys(
+        catalog: &Catalog,
+        config: &MatchConfig,
+        interner: &mut Interner,
+        expr: &SpjgExpr,
+        vsum: &ExprSummary,
+    ) -> Vec<Vec<u64>> {
         let occs: Vec<(OccId, TableId)> = expr.occurrences().collect();
 
         // Level 1: hub condition key.
-        let graph = build_fk_graph(&self.catalog, &occs, &vsum.ec, &|_| {
-            self.config.null_rejecting_fk
-        });
-        let refined = self.config.refined_hubs;
+        let graph = build_fk_graph(catalog, &occs, &vsum.ec, &|_| config.null_rejecting_fk);
+        let refined = config.refined_hubs;
         let hub = compute_hub(&graph, &|o| refined && Self::is_anchored(vsum, o));
         let k_hub: Vec<u64> = hub.into_iter().map(table_token).collect();
 
@@ -258,8 +320,8 @@ impl MatchingEngine {
         // With the backjoin extension, every column of a table whose
         // non-null unique key the view outputs is reachable too — the
         // filter must not prune views the matcher could still use.
-        if self.config.allow_backjoins {
-            k_outcols.extend(self.backjoin_reachable_tokens(expr, vsum));
+        if config.allow_backjoins {
+            k_outcols.extend(Self::backjoin_reachable_tokens(catalog, expr, vsum));
         }
 
         // Level 5: residual predicate texts.
@@ -292,8 +354,8 @@ impl MatchingEngine {
                     k_gexprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
                 }
             }
-            if self.config.allow_backjoins {
-                k_gcols.extend(self.backjoin_reachable_tokens(expr, vsum));
+            if config.allow_backjoins {
+                k_gcols.extend(Self::backjoin_reachable_tokens(catalog, expr, vsum));
             }
         }
 
@@ -313,7 +375,11 @@ impl MatchingEngine {
     /// occurrence whose base table has a non-null unique key fully covered
     /// by the view's simple outputs (through the view's equivalence
     /// classes), every column of that table.
-    fn backjoin_reachable_tokens(&self, expr: &SpjgExpr, vsum: &ExprSummary) -> Vec<u64> {
+    fn backjoin_reachable_tokens(
+        catalog: &Catalog,
+        expr: &SpjgExpr,
+        vsum: &ExprSummary,
+    ) -> Vec<u64> {
         let mut simple_outputs: HashMap<ColRef, ()> = HashMap::new();
         for ne in expr.scalar_outputs() {
             if let Some(c) = ne.expr.as_column() {
@@ -330,7 +396,7 @@ impl MatchingEngine {
         };
         let mut out = Vec::new();
         for (occ, table) in expr.occurrences() {
-            let def = self.catalog.table(table);
+            let def = catalog.table(table);
             let joinable = def.keys.iter().any(|key| {
                 key.columns.iter().all(|&c| {
                     def.column(c).not_null && covered(ColRef { occ, col: c })
@@ -345,45 +411,44 @@ impl MatchingEngine {
         out
     }
 
-    /// Build the per-level search conditions for a query, for either the
-    /// SPJ-view tree or the aggregation-view tree.
-    fn query_searches(
-        &self,
-        query: &SpjgExpr,
-        qsum: &ExprSummary,
-        for_agg_tree: bool,
-    ) -> Vec<LevelSearch> {
-        let mut interner = self.interner.borrow_mut();
+    /// Render and look up every query-side filter token exactly once.
+    /// Both trees' search conditions are assembled from this one pass, so
+    /// an aggregate query no longer renders its output templates twice.
+    /// Lookups go through the read-only [`Interner::lookup`] — the query
+    /// path mints no tokens and performs no interner writes.
+    fn query_tokens(&self, query: &SpjgExpr, qsum: &ExprSummary) -> QueryTokens {
         let source: Vec<u64> = query.tables.iter().copied().map(table_token).collect();
 
-        // Level 3 key: the query's textual output expressions. With the
-        // paper-faithful strict filter these must all appear in the view;
-        // recomputation from plain columns is ignored (section 4.2.7 calls
-        // this "conservative").
-        let mut exprs: Vec<u64> = Vec::new();
+        // Textual output expressions. With the paper-faithful strict
+        // filter these must all appear in the view; recomputation from
+        // plain columns is ignored (section 4.2.7 calls this
+        // "conservative"). Against aggregation views every SUM argument
+        // must match a view SUM output; against SPJ views a simple column
+        // argument is recomputable and is covered by the output-column
+        // condition instead — so simple SUM arguments are kept apart.
+        let mut scalar_exprs: Vec<u64> = Vec::new();
+        let mut sum_exprs_complex: Vec<u64> = Vec::new();
+        let mut sum_exprs_simple: Vec<u64> = Vec::new();
         if self.config.strict_expression_filter {
             for ne in query.scalar_outputs() {
                 if ne.expr.as_column().is_none() && !ne.expr.is_constant() {
-                    exprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
+                    scalar_exprs.push(self.interner.lookup(&Template::of_scalar(&ne.expr).text));
                 }
             }
             for agg in query.aggregate_outputs() {
                 if let AggFunc::Sum(e) = &agg.func {
-                    let complex = e.as_column().is_none() && !e.is_constant();
-                    // Against aggregation views every SUM argument must
-                    // match a view SUM output; against SPJ views a simple
-                    // column argument is recomputable and is covered by the
-                    // output-column condition instead.
-                    if for_agg_tree || complex {
-                        exprs.push(interner.intern(&Template::of_scalar(e).text));
+                    let token = self.interner.lookup(&Template::of_scalar(e).text);
+                    if e.as_column().is_none() && !e.is_constant() {
+                        sum_exprs_complex.push(token);
+                    } else {
+                        sum_exprs_simple.push(token);
                     }
                 }
             }
         }
 
-        // Level 4: output-column hitting classes.
-        let mut classes: Vec<Vec<u64>> = Vec::new();
-        let mut push_class = |c: ColRef| {
+        // Output-column hitting classes.
+        let class_of = |c: ColRef| {
             let mut cl: Vec<u64> = qsum
                 .ec
                 .class_of(c)
@@ -392,33 +457,32 @@ impl MatchingEngine {
                 .collect();
             cl.sort();
             cl.dedup();
-            classes.push(cl);
+            cl
         };
-        for ne in query.scalar_outputs() {
-            if let Some(c) = ne.expr.as_column() {
-                push_class(c);
-            }
-        }
-        if !for_agg_tree {
-            // Simple-column SUM arguments must be available as columns of
-            // an SPJ view.
-            for agg in query.aggregate_outputs() {
-                if let AggFunc::Sum(e) = &agg.func {
-                    if let Some(c) = e.as_column() {
-                        push_class(c);
-                    }
-                }
-            }
-        }
+        let out_classes: Vec<Vec<u64>> = query
+            .scalar_outputs()
+            .iter()
+            .filter_map(|ne| ne.expr.as_column())
+            .map(class_of)
+            .collect();
+        let sum_classes: Vec<Vec<u64>> = query
+            .aggregate_outputs()
+            .iter()
+            .filter_map(|agg| match &agg.func {
+                AggFunc::Sum(e) => e.as_column(),
+                _ => None,
+            })
+            .map(class_of)
+            .collect();
 
-        // Level 5: residual texts of the query.
+        // Residual texts of the query.
         let residuals: Vec<u64> = qsum
             .residuals
             .iter()
-            .map(|t| interner.intern(&t.text))
+            .map(|t| self.interner.lookup(&t.text))
             .collect();
 
-        // Level 6: extended range constraint list — every column of every
+        // Extended range constraint list — every column of every
         // constrained equivalence class.
         let mut range_cols: Vec<u64> = Vec::new();
         for root in qsum.ranges.keys() {
@@ -427,72 +491,91 @@ impl MatchingEngine {
             }
         }
 
-        let mut searches = vec![
-            LevelSearch::Subset(source.clone()),
-            LevelSearch::Superset(source),
-            LevelSearch::Superset(exprs),
-            LevelSearch::Hitting(classes.clone()),
-            LevelSearch::Subset(residuals),
-            LevelSearch::Subset(range_cols),
-        ];
-        if for_agg_tree {
-            let mut gexprs: Vec<u64> = Vec::new();
-            if self.config.strict_expression_filter {
-                for ne in query.scalar_outputs() {
-                    if ne.expr.as_column().is_none() && !ne.expr.is_constant() {
-                        gexprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
-                    }
-                }
-            }
-            let gcols: Vec<Vec<u64>> = query
-                .scalar_outputs()
-                .iter()
-                .filter_map(|ne| ne.expr.as_column())
-                .map(|c| {
-                    let mut cl: Vec<u64> = qsum
-                        .ec
-                        .class_of(c)
-                        .into_iter()
-                        .map(|m| base_col_token(query, m))
-                        .collect();
-                    cl.sort();
-                    cl.dedup();
-                    cl
-                })
-                .collect();
-            searches.push(LevelSearch::Superset(gexprs));
-            searches.push(LevelSearch::Hitting(gcols));
+        QueryTokens {
+            source,
+            scalar_exprs,
+            sum_exprs_complex,
+            sum_exprs_simple,
+            out_classes,
+            sum_classes,
+            residuals,
+            range_cols,
         }
-        searches
     }
 
     /// The candidate views for a query: filter-tree search, or every view
     /// when the filter tree is disabled.
     pub fn candidates(&self, query: &SpjgExpr, qsum: &ExprSummary) -> Vec<ViewId> {
+        let mut out = Vec::new();
+        self.candidates_into(query, qsum, &mut out);
+        out
+    }
+
+    /// [`MatchingEngine::candidates`] into a caller-owned buffer (cleared
+    /// first), so a driver probing many queries reuses one allocation.
+    /// Both trees append into the same buffer, which is then sorted and
+    /// deduplicated once.
+    pub fn candidates_into(&self, query: &SpjgExpr, qsum: &ExprSummary, out: &mut Vec<ViewId>) {
+        out.clear();
         if !self.config.use_filter_tree {
-            return self
-                .views
-                .iter()
-                .map(|(id, _)| id)
-                .filter(|id| !self.removed.contains(id))
-                .collect();
+            out.extend(
+                self.views
+                    .iter()
+                    .map(|(id, _)| id)
+                    .filter(|id| !self.removed.contains(id)),
+            );
+            return;
         }
-        let mut out = self
-            .spj_tree
-            .search(&self.query_searches(query, qsum, false));
+        let tokens = self.query_tokens(query, qsum);
+        self.spj_tree.search_into(&tokens.spj_searches(), out);
         if query.is_aggregate() && !self.agg_tree.is_empty() {
-            out.extend(self.agg_tree.search(&self.query_searches(query, qsum, true)));
+            self.agg_tree.search_into(&tokens.agg_searches(), out);
         }
         // Removed views are already gone from the trees; the retain is a
         // cheap second line of defense for the matching invariant.
         out.retain(|id| !self.removed.contains(id));
-        out.sort();
-        out
+        out.sort_unstable();
+        // Each view lives in exactly one partition of exactly one tree, so
+        // the merged result must already be duplicate-free.
+        debug_assert!(
+            out.windows(2).all(|w| w[0] != w[1]),
+            "spj and agg filter trees must hold disjoint view sets"
+        );
+        out.dedup();
+    }
+
+    /// Run the full matching tests over a filtered candidate list,
+    /// serially or fanned out across threads per
+    /// [`MatchConfig::parallel_threshold`]. Each `match_view` call is pure
+    /// in the engine's shared state, and results keep candidate order
+    /// (ascending `ViewId`), so both paths return byte-identical lists.
+    fn match_candidates(
+        &self,
+        query: &SpjgExpr,
+        qsum: &ExprSummary,
+        candidates: &[ViewId],
+    ) -> Vec<(ViewId, Substitute)> {
+        let try_candidate = |&id: &ViewId| -> Option<(ViewId, Substitute)> {
+            let view = self.views.get(id);
+            let vsum = &self.summaries[id.0 as usize];
+            match_view(&self.catalog, &self.config, query, qsum, id, view, vsum)
+                .map(|sub| (id, sub))
+        };
+        let workers = self.config.match_workers(candidates.len());
+        if workers > 1 {
+            mv_parallel::par_map(candidates, workers, try_candidate)
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            candidates.iter().filter_map(try_candidate).collect()
+        }
     }
 
     /// The view-matching rule: find every view from which `query` can be
     /// computed and build the substitutes. Updates the instrumentation
-    /// counters.
+    /// counters. Callable concurrently from any number of threads sharing
+    /// the engine.
     pub fn find_substitutes(&self, query: &SpjgExpr) -> Vec<(ViewId, Substitute)> {
         let started = Instant::now();
         let qsum = self.query_summary(query);
@@ -501,25 +584,26 @@ impl MatchingEngine {
         let candidates = self.candidates(query, &qsum);
         let filter_time = filter_started.elapsed();
 
-        let mut out = Vec::new();
-        for id in candidates.iter().copied() {
-            let view = self.views.get(id);
-            let vsum = &self.summaries[id.0 as usize];
-            if let Some(sub) =
-                match_view(&self.catalog, &self.config, query, &qsum, id, view, vsum)
-            {
-                out.push((id, sub));
-            }
-        }
+        let out = self.match_candidates(query, &qsum, &candidates);
 
-        let mut stats = self.stats.borrow_mut();
-        stats.invocations += 1;
-        stats.candidates += candidates.len() as u64;
-        stats.views_available += self.live_view_count() as u64;
-        stats.substitutes += out.len() as u64;
-        stats.filter_time += filter_time;
-        stats.match_time += started.elapsed();
+        self.stats.record(
+            candidates.len(),
+            self.live_view_count(),
+            out.len(),
+            filter_time,
+            started.elapsed(),
+        );
         out
+    }
+
+    /// Match a whole batch of queries, fanning out across threads — the
+    /// entry point for workload drivers and multi-query optimization.
+    /// Results arrive in query order, each entry byte-identical to what
+    /// [`MatchingEngine::find_substitutes`] returns for that query;
+    /// instrumentation counters accumulate across all workers.
+    pub fn find_substitutes_batch(&self, queries: &[SpjgExpr]) -> Vec<Vec<(ViewId, Substitute)>> {
+        let workers = self.config.batch_workers(queries.len());
+        mv_parallel::par_map(queries, workers, |q| self.find_substitutes(q))
     }
 
     /// Match the query against one specific view (bypassing the filter).
@@ -537,6 +621,77 @@ impl MatchingEngine {
             self.views.get(view),
             &self.summaries[view.0 as usize],
         )
+    }
+}
+
+/// Query-side filter tokens, rendered once and shared by both trees'
+/// search conditions.
+struct QueryTokens {
+    /// Source-table tokens (levels 1 and 2).
+    source: Vec<u64>,
+    /// Complex scalar output templates (level 3, and level 7 on the
+    /// aggregation tree).
+    scalar_exprs: Vec<u64>,
+    /// Complex `SUM` argument templates — required from both view kinds.
+    sum_exprs_complex: Vec<u64>,
+    /// Simple-column `SUM` argument templates — required from aggregation
+    /// views; against SPJ views the column condition covers them instead.
+    sum_exprs_simple: Vec<u64>,
+    /// Hitting classes of simple-column scalar outputs (level 4, and
+    /// level 8 on the aggregation tree).
+    out_classes: Vec<Vec<u64>>,
+    /// Hitting classes of simple-column `SUM` arguments (SPJ tree only).
+    sum_classes: Vec<Vec<u64>>,
+    /// Residual predicate texts (level 5).
+    residuals: Vec<u64>,
+    /// Extended range-constrained column list (level 6).
+    range_cols: Vec<u64>,
+}
+
+impl QueryTokens {
+    /// Search conditions for the 6-level SPJ-view tree.
+    fn spj_searches(&self) -> Vec<LevelSearch> {
+        let exprs: Vec<u64> = self
+            .scalar_exprs
+            .iter()
+            .chain(&self.sum_exprs_complex)
+            .copied()
+            .collect();
+        let classes: Vec<Vec<u64>> = self
+            .out_classes
+            .iter()
+            .chain(&self.sum_classes)
+            .cloned()
+            .collect();
+        vec![
+            LevelSearch::Subset(self.source.clone()),
+            LevelSearch::Superset(self.source.clone()),
+            LevelSearch::Superset(exprs),
+            LevelSearch::Hitting(classes),
+            LevelSearch::Subset(self.residuals.clone()),
+            LevelSearch::Subset(self.range_cols.clone()),
+        ]
+    }
+
+    /// Search conditions for the 8-level aggregation-view tree.
+    fn agg_searches(&self) -> Vec<LevelSearch> {
+        let exprs: Vec<u64> = self
+            .scalar_exprs
+            .iter()
+            .chain(&self.sum_exprs_complex)
+            .chain(&self.sum_exprs_simple)
+            .copied()
+            .collect();
+        vec![
+            LevelSearch::Subset(self.source.clone()),
+            LevelSearch::Superset(self.source.clone()),
+            LevelSearch::Superset(exprs),
+            LevelSearch::Hitting(self.out_classes.clone()),
+            LevelSearch::Subset(self.residuals.clone()),
+            LevelSearch::Subset(self.range_cols.clone()),
+            LevelSearch::Superset(self.scalar_exprs.clone()),
+            LevelSearch::Hitting(self.out_classes.clone()),
+        ]
     }
 }
 

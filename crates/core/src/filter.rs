@@ -136,10 +136,17 @@ impl FilterTree {
     /// Collect the views in all partitions satisfying every level's search
     /// condition.
     pub fn search(&self, searches: &[LevelSearch]) -> Vec<ViewId> {
-        assert_eq!(searches.len(), self.depth, "level search count mismatch");
         let mut out = Vec::new();
-        Self::search_node(&self.root, searches, &mut out);
+        self.search_into(searches, &mut out);
         out
+    }
+
+    /// [`FilterTree::search`] into a caller-owned buffer: results are
+    /// **appended** (the buffer is not cleared), so one buffer can collect
+    /// the union over several trees without intermediate allocations.
+    pub fn search_into(&self, searches: &[LevelSearch], out: &mut Vec<ViewId>) {
+        assert_eq!(searches.len(), self.depth, "level search count mismatch");
+        Self::search_node(&self.root, searches, out);
     }
 
     fn search_node(node: &FilterNode, searches: &[LevelSearch], out: &mut Vec<ViewId>) {

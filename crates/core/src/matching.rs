@@ -60,6 +60,40 @@ pub struct MatchConfig {
     /// exactly as in the SQL Server prototype. Disable to drop those two
     /// conditions (weaker pruning, never misses a recomputable rewrite).
     pub strict_expression_filter: bool,
+    /// Candidate count at or above which `find_substitutes` fans the
+    /// per-candidate `match_view` loop out across threads. Below the
+    /// threshold the loop stays serial: on the paper's workload the filter
+    /// tree leaves a handful of candidates (< 0.4 % of views), where
+    /// thread spawn costs more than the matching itself. Results are
+    /// deterministic either way — substitutes come back ordered by
+    /// [`mv_plan::ViewId`], byte-identical to the serial path. Set to
+    /// `usize::MAX` to pin matching fully serial.
+    pub parallel_threshold: usize,
+    /// Worker cap for parallel matching and for
+    /// `find_substitutes_batch`'s per-query fan-out. `0` (the default)
+    /// means use the machine's available parallelism.
+    pub parallel_workers: usize,
+}
+
+impl MatchConfig {
+    /// Workers to use for a candidate loop of `n_items`, honoring the
+    /// threshold and cap; `1` means run serially.
+    pub(crate) fn match_workers(&self, n_items: usize) -> usize {
+        if n_items < self.parallel_threshold.max(2) {
+            return 1;
+        }
+        self.batch_workers(n_items)
+    }
+
+    /// Workers for an unconditional fan-out over `n_items` (the batch
+    /// entry point, which exists precisely to parallelize).
+    pub(crate) fn batch_workers(&self, n_items: usize) -> usize {
+        if self.parallel_workers == 0 {
+            mv_parallel::workers_for(n_items)
+        } else {
+            self.parallel_workers.min(n_items).max(1)
+        }
+    }
 }
 
 impl Default for MatchConfig {
@@ -72,6 +106,8 @@ impl Default for MatchConfig {
             allow_backjoins: false,
             use_check_constraints: true,
             strict_expression_filter: true,
+            parallel_threshold: 64,
+            parallel_workers: 0,
         }
     }
 }

@@ -6,6 +6,7 @@
 //! substitutes per invocation, and invocations per query. These counters
 //! let the benchmark harness reproduce every one of those numbers.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Counters accumulated by a [`crate::MatchingEngine`].
@@ -72,6 +73,73 @@ impl MatchStats {
     }
 }
 
+/// Lock-free accumulator behind [`crate::MatchingEngine`]'s shared-state
+/// counters. Every field is a relaxed [`AtomicU64`] (durations in
+/// nanoseconds), so concurrent `find_substitutes` calls from many threads
+/// record without contention and totals always add up exactly; a
+/// [`MatchStats`] value is materialized on demand by [`snapshot`].
+///
+/// Relaxed ordering is sufficient: the counters are statistics, not
+/// synchronization — no other memory access is ordered by them, and
+/// per-counter totals are exact regardless of interleaving.
+///
+/// [`snapshot`]: AtomicMatchStats::snapshot
+#[derive(Debug, Default)]
+pub struct AtomicMatchStats {
+    invocations: AtomicU64,
+    candidates: AtomicU64,
+    views_available: AtomicU64,
+    substitutes: AtomicU64,
+    filter_nanos: AtomicU64,
+    match_nanos: AtomicU64,
+}
+
+impl AtomicMatchStats {
+    /// Record one `find_substitutes` invocation.
+    pub fn record(
+        &self,
+        candidates: usize,
+        views_available: usize,
+        substitutes: usize,
+        filter_time: Duration,
+        match_time: Duration,
+    ) {
+        self.invocations.fetch_add(1, Ordering::Relaxed);
+        self.candidates
+            .fetch_add(candidates as u64, Ordering::Relaxed);
+        self.views_available
+            .fetch_add(views_available as u64, Ordering::Relaxed);
+        self.substitutes
+            .fetch_add(substitutes as u64, Ordering::Relaxed);
+        self.filter_nanos
+            .fetch_add(filter_time.as_nanos() as u64, Ordering::Relaxed);
+        self.match_nanos
+            .fetch_add(match_time.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Materialize the counters as a plain [`MatchStats`] value.
+    pub fn snapshot(&self) -> MatchStats {
+        MatchStats {
+            invocations: self.invocations.load(Ordering::Relaxed),
+            candidates: self.candidates.load(Ordering::Relaxed),
+            views_available: self.views_available.load(Ordering::Relaxed),
+            substitutes: self.substitutes.load(Ordering::Relaxed),
+            filter_time: Duration::from_nanos(self.filter_nanos.load(Ordering::Relaxed)),
+            match_time: Duration::from_nanos(self.match_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zero every counter.
+    pub fn reset(&self) {
+        self.invocations.store(0, Ordering::Relaxed);
+        self.candidates.store(0, Ordering::Relaxed);
+        self.views_available.store(0, Ordering::Relaxed);
+        self.substitutes.store(0, Ordering::Relaxed);
+        self.filter_nanos.store(0, Ordering::Relaxed);
+        self.match_nanos.store(0, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,6 +164,42 @@ mod tests {
         assert_eq!(s.candidate_fraction(), 0.0);
         assert_eq!(s.pass_fraction(), 0.0);
         assert_eq!(s.substitutes_per_invocation(), 0.0);
+    }
+
+    #[test]
+    fn atomic_record_and_snapshot_round_trip() {
+        let a = AtomicMatchStats::default();
+        a.record(3, 100, 1, Duration::from_micros(5), Duration::from_micros(9));
+        a.record(7, 100, 2, Duration::from_micros(1), Duration::from_micros(2));
+        let s = a.snapshot();
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.candidates, 10);
+        assert_eq!(s.views_available, 200);
+        assert_eq!(s.substitutes, 3);
+        assert_eq!(s.filter_time, Duration::from_micros(6));
+        assert_eq!(s.match_time, Duration::from_micros(11));
+        a.reset();
+        assert_eq!(a.snapshot().invocations, 0);
+        assert_eq!(a.snapshot().match_time, Duration::ZERO);
+    }
+
+    #[test]
+    fn atomic_totals_add_up_across_threads() {
+        let a = AtomicMatchStats::default();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        a.record(2, 5, 1, Duration::from_nanos(10), Duration::from_nanos(20));
+                    }
+                });
+            }
+        });
+        let s = a.snapshot();
+        assert_eq!(s.invocations, 8000);
+        assert_eq!(s.candidates, 16_000);
+        assert_eq!(s.substitutes, 8000);
+        assert_eq!(s.filter_time, Duration::from_nanos(80_000));
     }
 
     #[test]

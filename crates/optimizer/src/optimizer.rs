@@ -7,6 +7,7 @@ use mv_expr::{BoolExpr, ColRef, Conjunct, OccId, ScalarExpr};
 use mv_plan::{
     card, AggFunc, NamedAgg, NamedExpr, OutputList, PhysicalPlan, SpjgExpr, Substitute,
 };
+use std::borrow::Borrow;
 use std::collections::HashMap;
 
 /// Optimizer settings. The combinations of `use_views` and
@@ -70,10 +71,13 @@ struct Group {
     plan: PhysicalPlan,
 }
 
-/// The optimizer. Borrows the matching engine (and through it the catalog
-/// and the registered views).
-pub struct Optimizer<'a> {
-    engine: &'a MatchingEngine,
+/// The optimizer. Holds the matching engine (and through it the catalog
+/// and the registered views) behind any [`Borrow`] — a plain `&engine`
+/// for single-threaded use, or an `Arc<MatchingEngine>` so concurrent
+/// optimizer instances on different threads share one engine (and one
+/// filter tree) without cloning it.
+pub struct Optimizer<E: Borrow<MatchingEngine>> {
+    engine: E,
     config: OptimizerConfig,
 }
 
@@ -143,10 +147,16 @@ fn bool_to_layout(e: &BoolExpr, layout: &[ColRef]) -> BoolExpr {
     e.map_columns(&mut |c| ColRef::new(0, pos_in(layout, c) as u32))
 }
 
-impl<'a> Optimizer<'a> {
-    /// Create an optimizer over an engine.
-    pub fn new(engine: &'a MatchingEngine, config: OptimizerConfig) -> Self {
+impl<E: Borrow<MatchingEngine>> Optimizer<E> {
+    /// Create an optimizer over an engine (`&MatchingEngine`,
+    /// `Arc<MatchingEngine>`, or anything else that borrows one).
+    pub fn new(engine: E, config: OptimizerConfig) -> Self {
         Optimizer { engine, config }
+    }
+
+    /// The shared matching engine.
+    fn engine(&self) -> &MatchingEngine {
+        self.engine.borrow()
     }
 
     /// Optimize one SPJG block into a physical plan.
@@ -287,8 +297,8 @@ impl<'a> Optimizer<'a> {
     /// Build the physical alternative for a substitute: scan the view,
     /// apply the compensating predicates, project or re-aggregate.
     fn substitute_plan(&self, sub: &Substitute) -> (PhysicalPlan, f64) {
-        let view = self.engine.views().get(sub.view);
-        let view_rows = card::estimate_rows(&view.expr, self.engine.catalog());
+        let view = self.engine().views().get(sub.view);
+        let view_rows = card::estimate_rows(&view.expr, self.engine().catalog());
         // Index-aware scan costing: "any secondary indexes defined on a
         // materialized view will be considered automatically in the same
         // way as for base tables" (section 2). When the compensating
@@ -302,7 +312,7 @@ impl<'a> Optimizer<'a> {
         // cardinality-preserving hash join against the base table.
         for bj in &sub.backjoins {
             let table_rows = self
-                .engine
+                .engine()
                 .catalog()
                 .stats(bj.table)
                 .map(|st| st.rows as f64)
@@ -357,7 +367,7 @@ impl<'a> Optimizer<'a> {
         stats: &mut OptimizerStats,
     ) -> Group {
         let (block, layout) = self.subset_block(info, s);
-        let rows = card::estimate_spj_rows(&block, self.engine.catalog());
+        let rows = card::estimate_spj_rows(&block, self.engine().catalog());
         let mut best: Option<(f64, PhysicalPlan)> = None;
         let mut consider = |cost: f64, plan: PhysicalPlan, stats: &mut OptimizerStats| {
             stats.alternatives += 1;
@@ -371,14 +381,14 @@ impl<'a> Optimizer<'a> {
             let occ = members[0];
             let table = info.expr.table_of(occ);
             let table_rows = self
-                .engine
+                .engine()
                 .catalog()
                 .stats(table)
                 .map(|st| st.rows as f64)
                 .unwrap_or(card::DEFAULT_TABLE_ROWS);
             // Scan columns are the base table's columns: a column (occ, c)
             // maps to position c.
-            let scan_layout: Vec<ColRef> = (0..self.engine.catalog().table(table).columns.len())
+            let scan_layout: Vec<ColRef> = (0..self.engine().catalog().table(table).columns.len())
                 .map(|c| ColRef {
                     occ,
                     col: mv_catalog::ColumnId(c as u32),
@@ -426,7 +436,7 @@ impl<'a> Optimizer<'a> {
 
         // The view-matching rule.
         if self.config.use_views {
-            let subs = self.engine.find_substitutes(&block);
+            let subs = self.engine().find_substitutes(&block);
             if self.config.produce_substitutes {
                 for (_, sub) in subs {
                     stats.substitute_alternatives += 1;
@@ -553,7 +563,7 @@ impl<'a> Optimizer<'a> {
         };
         stats.alternatives += 1;
         if self.config.use_views {
-            let subs = self.engine.find_substitutes(info.expr);
+            let subs = self.engine().find_substitutes(info.expr);
             if self.config.produce_substitutes {
                 for (_, sub) in subs {
                     stats.substitute_alternatives += 1;
@@ -592,7 +602,7 @@ impl<'a> Optimizer<'a> {
         else {
             unreachable!("finish_aggregate on SPJ")
         };
-        let final_rows = card::estimate_rows(info.expr, self.engine.catalog());
+        let final_rows = card::estimate_rows(info.expr, self.engine().catalog());
 
         // Alternative 1: aggregate the best join plan directly.
         let gb_exprs: Vec<ScalarExpr> = group_by
@@ -617,7 +627,7 @@ impl<'a> Optimizer<'a> {
 
         // Alternative 2: whole-query substitutes.
         if self.config.use_views {
-            let subs = self.engine.find_substitutes(info.expr);
+            let subs = self.engine().find_substitutes(info.expr);
             if self.config.produce_substitutes {
                 for (_, sub) in subs {
                     stats.substitute_alternatives += 1;
@@ -766,7 +776,7 @@ impl<'a> Optimizer<'a> {
                     .collect(),
             },
         };
-        let pre_groups = card::estimate_rows(&pre_block, self.engine.catalog());
+        let pre_groups = card::estimate_rows(&pre_block, self.engine().catalog());
 
         // Physical pre-aggregation over the subset's best plan.
         let mut pre_plan = PhysicalPlan::HashAggregate {
@@ -789,7 +799,7 @@ impl<'a> Optimizer<'a> {
 
         // The view-matching rule on the pre-aggregated block (Example 4).
         if self.config.use_views {
-            let subs = self.engine.find_substitutes(&pre_block);
+            let subs = self.engine().find_substitutes(&pre_block);
             if self.config.produce_substitutes {
                 for (_, sub) in subs {
                     stats.substitute_alternatives += 1;

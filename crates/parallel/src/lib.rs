@@ -1,0 +1,145 @@
+//! Fork-join fan-out over slices built on `std::thread::scope`.
+//!
+//! The matching engine needs exactly one parallel shape: map a pure
+//! function over a slice of work items and collect the results **in
+//! input order**. `rayon` would provide this as `par_iter().map()`, but
+//! the build container cannot fetch external crates, so this crate
+//! implements the same contract on the standard library alone:
+//!
+//! * deterministic output order (result `i` comes from item `i`),
+//! * dynamic load balancing (workers claim chunks from a shared atomic
+//!   cursor, so a few expensive items don't idle the other workers),
+//! * zero unsafe code (each worker returns `(chunk index, results)`
+//!   pairs that are reassembled after the join).
+//!
+//! Threads are spawned per call. For the matching workload this is the
+//! right trade-off: a fan-out is only attempted above a candidate-count
+//! threshold where per-item work dominates the ~10 µs thread spawn cost,
+//! and keeping the engine free of a resident pool keeps it trivially
+//! `Send + Sync`.
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of workers to use for `hint` work items: the machine's
+/// available parallelism, but never more workers than items.
+pub fn workers_for(hint: usize) -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    hw.min(hint).max(1)
+}
+
+/// Map `f` over `items` on up to `workers` threads, returning results in
+/// input order. Falls back to a serial loop when `workers <= 1` or the
+/// input is tiny, so callers can invoke it unconditionally.
+pub fn par_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+
+    // Chunks are finer than the worker count so a skewed item cannot
+    // serialize the tail: aim for ~4 chunks per worker, at least 1 item
+    // per chunk.
+    let chunk = (items.len() / (workers * 4)).max(1);
+    let n_chunks = items.len().div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+
+    let mut per_chunk: Vec<(usize, Vec<R>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let c = cursor.fetch_add(1, Ordering::Relaxed);
+                        if c >= n_chunks {
+                            break;
+                        }
+                        let lo = c * chunk;
+                        let hi = (lo + chunk).min(items.len());
+                        mine.push((c, items[lo..hi].iter().map(&f).collect()));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    per_chunk.sort_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(items.len());
+    for (_, mut rs) in per_chunk {
+        out.append(&mut rs);
+    }
+    out
+}
+
+/// `par_map` then flatten, preserving item order — the shape of a
+/// candidate loop where each item yields zero or more results.
+pub fn par_flat_map<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> Vec<R> + Sync,
+{
+    par_map(items, workers, f).into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for workers in [1, 2, 4, 7] {
+            let out = par_map(&items, workers, |&x| x * 3);
+            assert_eq!(out, items.iter().map(|&x| x * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn flat_map_matches_serial() {
+        let items: Vec<usize> = (0..257).collect();
+        let f = |&x: &usize| (0..x % 4).map(|i| x * 10 + i).collect::<Vec<_>>();
+        let serial: Vec<usize> = items.iter().flat_map(f).collect();
+        assert_eq!(par_flat_map(&items, 8, f), serial);
+    }
+
+    #[test]
+    fn handles_edge_sizes() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |&x| x).is_empty());
+        assert_eq!(par_map(&[42], 8, |&x| x + 1), vec![43]);
+        assert_eq!(par_map(&[1, 2], 64, |&x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn skewed_work_still_ordered() {
+        // Early items are much slower: exercises chunk stealing.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, 8, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn workers_for_is_bounded() {
+        assert_eq!(workers_for(0), 1);
+        assert!(workers_for(1000) >= 1);
+        assert!(workers_for(2) <= 2);
+    }
+}

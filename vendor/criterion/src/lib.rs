@@ -1,0 +1,199 @@
+//! Offline stand-in for the subset of `criterion` 0.5 used by this
+//! workspace's benches: `bench_function`, `benchmark_group` /
+//! `bench_with_input`, and the `criterion_group!` / `criterion_main!`
+//! macros. Measurement is a simple calibrated loop reporting the median
+//! and min of `sample_size` wall-clock samples — no statistics engine,
+//! no plots, but honest numbers on quiet machines.
+
+use std::time::{Duration, Instant};
+
+/// Per-sample measurement driver handed to `b.iter(...)`.
+pub struct Bencher {
+    samples: usize,
+    /// Collected ns-per-iteration samples, filled by `iter`.
+    results: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time the closure: calibrate an iteration count that runs for at
+    /// least ~2 ms, then take `sample_size` timed samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Calibration: find n with runtime >= 2 ms (capped for very slow bodies).
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(2) || n >= 1 << 20 {
+                break;
+            }
+            n *= 4;
+        }
+        self.results.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            self.results
+                .push(start.elapsed().as_nanos() as f64 / n as f64);
+        }
+    }
+}
+
+fn report(name: &str, results: &mut [f64]) {
+    if results.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = results[results.len() / 2];
+    let min = results[0];
+    println!("{name:<50} median {median:>12.1} ns/iter   (min {min:.1})");
+}
+
+/// Identifier for a parameterized benchmark within a group.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b, input);
+        let full = format!("{}/{}", self.name, id.text);
+        report(&full, &mut b.results);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.criterion.sample_size);
+        f(&mut b);
+        let full = format!("{}/{}", self.name, name);
+        report(&full, &mut b.results);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &mut b.results);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher::new(5);
+        let mut counter = 0u64;
+        b.iter(|| {
+            counter = counter.wrapping_add(1);
+            counter
+        });
+        assert_eq!(b.results.len(), 5);
+        assert!(b.results.iter().all(|&ns| ns >= 0.0));
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::new("case", 42), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

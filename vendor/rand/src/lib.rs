@@ -1,0 +1,202 @@
+//! Offline stand-in for the subset of `rand` 0.9 used by this workspace:
+//! `StdRng::seed_from_u64` plus `Rng::random_range` over integer and
+//! float ranges. The generator is xoshiro256++ seeded through SplitMix64
+//! — deterministic, high quality for workload generation, and with no
+//! dependency on the real crate (the build container has no network).
+//!
+//! Note the stream differs from the real `rand::rngs::StdRng` (ChaCha12),
+//! so seeds produce different-but-still-deterministic workloads.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (only the `seed_from_u64` entry point is needed).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+pub mod rngs {
+    use super::{splitmix64, SeedableRng};
+
+    /// xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64_impl(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_u64_impl()
+        }
+    }
+}
+
+/// A range that knows how to draw a uniform sample of `T` from an `Rng`.
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types that can be drawn uniformly from a range. One blanket
+/// `SampleRange` impl per range shape keeps type inference identical to
+/// the real crate (the element type is pinned by the range's own type).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_uniform(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self, inclusive: bool)
+        -> Self;
+}
+
+fn uniform_u64(next: &mut dyn FnMut() -> u64, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift bounded sampling (Lemire); the tiny residual bias of
+    // the no-rejection variant is irrelevant for workload generation.
+    ((next() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform(
+                next: &mut dyn FnMut() -> u64,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (hi as i128 - lo as i128 + inclusive as i128) as u64;
+                (lo as i128 + uniform_u64(next, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform(
+        next: &mut dyn FnMut() -> u64,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform(
+        next: &mut dyn FnMut() -> u64,
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+    ) -> Self {
+        let unit = (next() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        T::sample_uniform(&mut || rng.next_u64(), self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample from empty range");
+        T::sample_uniform(&mut || rng.next_u64(), lo, hi, true)
+    }
+}
+
+/// The user-facing generator trait.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open or inclusive range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: i64 = rng.random_range(-50i64..50);
+            assert!((-50..50).contains(&x));
+            let y: usize = rng.random_range(3..=9usize);
+            assert!((3..=9).contains(&y));
+            let f: f64 = rng.random_range(0.0..2.5);
+            assert!((0.0..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn covers_full_span() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+}
