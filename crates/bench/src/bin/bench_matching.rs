@@ -5,9 +5,12 @@
 //! cargo run -p mv-bench --release --bin bench_matching
 //! ```
 //!
-//! writes `BENCH_matching.json` with one record per (view count, mode):
-//! view count, query count, worker threads, p50/p95 per-query match
-//! latency in microseconds, and matching throughput in queries/second.
+//! appends to `BENCH_matching.json` a trajectory entry with one record
+//! per (view count, mode): view count, query count, worker threads,
+//! p50/p95 per-query match latency in microseconds, and matching
+//! throughput in queries/second. Earlier entries in the file are kept, so
+//! the file accumulates a performance trajectory across runs; a file in
+//! the pre-trajectory single-run format is absorbed as the first entry.
 //! Serial records drive `find_substitutes` one query at a time on an
 //! engine pinned to the serial path; parallel records drive
 //! `find_substitutes_batch` over the same queries sharing the engine
@@ -204,18 +207,21 @@ fn measure(w: &Workload, args: &Args, views: usize, workers: usize) -> (Record, 
     (serial, parallel)
 }
 
-fn json(records: &[Record], args: &Args, workers: usize) -> String {
-    let mut out = String::from("{\n");
-    out.push_str("  \"benchmark\": \"view-matching serial vs parallel\",\n");
-    out.push_str(
-        "  \"command\": \"cargo run -p mv-bench --release --bin bench_matching\",\n",
-    );
-    out.push_str(&format!("  \"queries\": {},\n", args.queries));
-    out.push_str(&format!("  \"threads\": {workers},\n"));
-    out.push_str("  \"runs\": [\n");
+/// One trajectory entry (this run), indented to sit inside the
+/// `"trajectory"` array.
+fn entry_json(records: &[Record], args: &Args, workers: usize) -> String {
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::from("    {\n");
+    out.push_str(&format!("      \"unix_time\": {unix_time},\n"));
+    out.push_str(&format!("      \"queries\": {},\n", args.queries));
+    out.push_str(&format!("      \"threads\": {workers},\n"));
+    out.push_str("      \"runs\": [\n");
     for (i, r) in records.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"views\": {}, \"mode\": \"{}\", \"threads\": {}, \"queries\": {}, \
+            "        {{\"views\": {}, \"mode\": \"{}\", \"threads\": {}, \"queries\": {}, \
              \"p50_match_latency_us\": {:.2}, \"p95_match_latency_us\": {:.2}, \
              \"throughput_qps\": {:.1}}}{}\n",
             r.views,
@@ -228,7 +234,44 @@ fn json(records: &[Record], args: &Args, workers: usize) -> String {
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// The trajectory entries already in `old`, as one pre-indented JSON blob
+/// (without the enclosing brackets), or `None` if the file holds nothing
+/// salvageable. A file in the pre-trajectory format — a single top-level
+/// object with a `"runs"` array — is kept whole as the first entry.
+fn prior_entries(old: &str) -> Option<String> {
+    const OPEN: &str = "\"trajectory\": [";
+    if let Some(start) = old.find(OPEN) {
+        let end = old.rfind("\n  ]")?;
+        let blob = old.get(start + OPEN.len()..end)?.trim_matches('\n');
+        if blob.trim().is_empty() {
+            None
+        } else {
+            Some(blob.to_string())
+        }
+    } else if old.trim_start().starts_with('{') && old.contains("\"runs\"") {
+        let indented: Vec<String> = old.trim().lines().map(|l| format!("    {l}")).collect();
+        Some(indented.join("\n"))
+    } else {
+        None
+    }
+}
+
+/// The full trajectory document: header plus all entries, oldest first.
+fn trajectory_json(prior: Option<String>, entry: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"benchmark\": \"view-matching serial vs parallel\",\n");
+    out.push_str("  \"command\": \"cargo run -p mv-bench --release --bin bench_matching\",\n");
+    out.push_str("  \"trajectory\": [\n");
+    if let Some(blob) = prior {
+        out.push_str(&blob);
+        out.push_str(",\n");
+    }
+    out.push_str(entry);
+    out.push_str("\n  ]\n}\n");
     out
 }
 
@@ -272,10 +315,19 @@ fn main() {
         records.push(parallel);
     }
 
-    let body = json(&records, &args, workers);
+    let entry = entry_json(&records, &args, workers);
+    let prior = std::fs::read_to_string(&args.out)
+        .ok()
+        .and_then(|old| prior_entries(&old));
+    let appended = prior.is_some();
+    let body = trajectory_json(prior, &entry);
     std::fs::write(&args.out, &body).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", args.out);
         std::process::exit(1);
     });
-    eprintln!("wrote {}", args.out);
+    eprintln!(
+        "{} {}",
+        if appended { "appended to" } else { "wrote" },
+        args.out
+    );
 }

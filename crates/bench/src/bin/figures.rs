@@ -85,7 +85,10 @@ fn view_counts(args: &Args) -> Vec<usize> {
 
 /// Figure 2: total optimization time vs number of views, four series.
 fn fig2(w: &Workload, args: &Args) {
-    println!("\n## Figure 2: optimization time vs number of views ({} queries)\n", args.queries);
+    println!(
+        "\n## Figure 2: optimization time vs number of views ({} queries)\n",
+        args.queries
+    );
     println!("| views | Alt & Filter (s) | NoAlt & Filter (s) | Alt & NoFilter (s) | NoAlt & NoFilter (s) |");
     println!("|---|---|---|---|---|");
     for &n in &view_counts(args) {
@@ -110,7 +113,9 @@ fn fig3(w: &Workload, args: &Args) {
             .as_secs_f64()
     };
     println!("baseline (0 views): {baseline:.3} s\n");
-    println!("| views | total increase (s) | view-matching time (s) | matching share of increase |");
+    println!(
+        "| views | total increase (s) | view-matching time (s) | matching share of increase |"
+    );
     println!("|---|---|---|---|");
     for &n in &view_counts(args) {
         if n == 0 {
@@ -131,7 +136,10 @@ fn fig3(w: &Workload, args: &Args) {
 
 /// Figure 4: number of final plans using materialized views.
 fn fig4(w: &Workload, args: &Args) {
-    println!("\n## Figure 4: final plans using materialized views ({} queries)\n", args.queries);
+    println!(
+        "\n## Figure 4: final plans using materialized views ({} queries)\n",
+        args.queries
+    );
     println!("| views | plans using views | fraction |");
     println!("|---|---|---|");
     for &n in &view_counts(args) {
@@ -180,7 +188,10 @@ fn stats(w: &Workload, args: &Args) {
 
 /// Ablations over the design choices called out in DESIGN.md.
 fn ablation(w: &Workload, args: &Args) {
-    println!("\n## Ablations (at {} views)\n", args.max_views.min(w.views.len()));
+    println!(
+        "\n## Ablations (at {} views)\n",
+        args.max_views.min(w.views.len())
+    );
     let n = args.max_views.min(w.views.len());
     let variants: Vec<(&str, MatchConfig)> = vec![
         ("default", MatchConfig::default()),

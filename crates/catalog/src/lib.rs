@@ -21,7 +21,7 @@ pub mod tpch;
 pub mod types;
 
 pub use schema::{
-    Catalog, Column, ColumnId, ForeignKey, ForeignKeyId, Key, KeyKind, Table, TableId,
+    Catalog, Column, ColumnId, ForeignKey, ForeignKeyId, Key, KeyKind, SchemaError, Table, TableId,
 };
 pub use stats::{ColumnStats, TableStats};
 pub use types::{ColumnType, Value};

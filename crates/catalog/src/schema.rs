@@ -94,9 +94,9 @@ impl Table {
 
     /// Whether `cols` is exactly equal (as a set) to some declared key.
     pub fn is_key(&self, cols: &[ColumnId]) -> bool {
-        self.keys.iter().any(|k| {
-            k.columns.len() == cols.len() && k.columns.iter().all(|kc| cols.contains(kc))
-        })
+        self.keys
+            .iter()
+            .any(|k| k.columns.len() == cols.len() && k.columns.iter().all(|kc| cols.contains(kc)))
     }
 }
 
@@ -246,9 +246,38 @@ impl Catalog {
     }
 }
 
+/// Error raised while defining a table through [`TableBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchemaError {
+    /// A key or unique constraint referenced a column name that was never
+    /// added to the table.
+    UnknownColumn {
+        /// The table being built.
+        table: String,
+        /// The unresolved column name.
+        column: String,
+    },
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchemaError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column} in {table}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
 /// Builder-style convenience for defining tables in tests and schemas.
 pub struct TableBuilder {
     table: Table,
+    /// First constraint-resolution failure, reported by
+    /// [`TableBuilder::try_build`] (chained builder calls cannot return
+    /// `Result` themselves).
+    error: Option<SchemaError>,
 }
 
 impl TableBuilder {
@@ -260,6 +289,7 @@ impl TableBuilder {
                 columns: Vec::new(),
                 keys: Vec::new(),
             },
+            error: None,
         }
     }
 
@@ -285,38 +315,58 @@ impl TableBuilder {
 
     /// Declare the primary key by column names (must already be added).
     pub fn primary_key(mut self, cols: &[&str]) -> Self {
-        let ids = self.resolve_cols(cols);
-        self.table.keys.push(Key {
-            kind: KeyKind::Primary,
-            columns: ids,
-        });
+        if let Some(ids) = self.resolve_cols(cols) {
+            self.table.keys.push(Key {
+                kind: KeyKind::Primary,
+                columns: ids,
+            });
+        }
         self
     }
 
     /// Declare a unique constraint by column names.
     pub fn unique(mut self, cols: &[&str]) -> Self {
-        let ids = self.resolve_cols(cols);
-        self.table.keys.push(Key {
-            kind: KeyKind::Unique,
-            columns: ids,
-        });
+        if let Some(ids) = self.resolve_cols(cols) {
+            self.table.keys.push(Key {
+                kind: KeyKind::Unique,
+                columns: ids,
+            });
+        }
         self
     }
 
-    fn resolve_cols(&self, cols: &[&str]) -> Vec<ColumnId> {
-        cols.iter()
-            .map(|n| {
-                self.table
-                    .column_by_name(n)
-                    .unwrap_or_else(|| panic!("unknown column {n} in {}", self.table.name))
-                    .0
-            })
-            .collect()
+    /// Resolve names to ids, recording the first failure for
+    /// [`TableBuilder::try_build`].
+    fn resolve_cols(&mut self, cols: &[&str]) -> Option<Vec<ColumnId>> {
+        let mut ids = Vec::with_capacity(cols.len());
+        for n in cols {
+            match self.table.column_by_name(n) {
+                Some((id, _)) => ids.push(id),
+                None => {
+                    self.error
+                        .get_or_insert_with(|| SchemaError::UnknownColumn {
+                            table: self.table.name.clone(),
+                            column: n.to_string(),
+                        });
+                    return None;
+                }
+            }
+        }
+        Some(ids)
     }
 
-    /// Finish the definition.
+    /// Finish the definition, surfacing any constraint-resolution error.
+    pub fn try_build(self) -> Result<Table, SchemaError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(self.table),
+        }
+    }
+
+    /// Finish the definition. Panics on an invalid constraint; use
+    /// [`TableBuilder::try_build`] to handle the error instead.
     pub fn build(self) -> Table {
-        self.table
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -409,5 +459,31 @@ mod tests {
     fn duplicate_table_rejected() {
         let mut cat = two_table_catalog();
         cat.add_table(TableBuilder::new("t").col("z", ColumnType::Int).build());
+    }
+
+    #[test]
+    fn try_build_reports_unknown_column() {
+        let err = TableBuilder::new("t")
+            .col("a", ColumnType::Int)
+            .primary_key(&["missing"])
+            .try_build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::UnknownColumn {
+                table: "t".into(),
+                column: "missing".into(),
+            }
+        );
+        assert_eq!(err.to_string(), "unknown column missing in t");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown column missing in t")]
+    fn build_panics_on_unknown_column() {
+        let _ = TableBuilder::new("t")
+            .col("a", ColumnType::Int)
+            .unique(&["missing"])
+            .build();
     }
 }

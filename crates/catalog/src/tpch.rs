@@ -161,33 +161,97 @@ pub fn tpch_catalog() -> (Catalog, TpchTables) {
             .build(),
     );
 
-    let fk = |cat: &mut Catalog, name: &str, from: TableId, fc: &[&str], to: TableId, tc: &[&str]| {
-        let from_columns = fc
-            .iter()
-            .map(|n| cat.table(from).column_by_name(n).expect("fk column").0)
-            .collect();
-        let to_columns = tc
-            .iter()
-            .map(|n| cat.table(to).column_by_name(n).expect("fk column").0)
-            .collect();
-        cat.add_foreign_key(ForeignKey {
-            name: name.to_string(),
-            from_table: from,
-            from_columns,
-            to_table: to,
-            to_columns,
-        });
-    };
+    let fk =
+        |cat: &mut Catalog, name: &str, from: TableId, fc: &[&str], to: TableId, tc: &[&str]| {
+            let from_columns = fc
+                .iter()
+                .map(|n| cat.table(from).column_by_name(n).expect("fk column").0)
+                .collect();
+            let to_columns = tc
+                .iter()
+                .map(|n| cat.table(to).column_by_name(n).expect("fk column").0)
+                .collect();
+            cat.add_foreign_key(ForeignKey {
+                name: name.to_string(),
+                from_table: from,
+                from_columns,
+                to_table: to,
+                to_columns,
+            });
+        };
 
-    fk(&mut cat, "nation_region", nation, &["n_regionkey"], region, &["r_regionkey"]);
-    fk(&mut cat, "supplier_nation", supplier, &["s_nationkey"], nation, &["n_nationkey"]);
-    fk(&mut cat, "customer_nation", customer, &["c_nationkey"], nation, &["n_nationkey"]);
-    fk(&mut cat, "partsupp_part", partsupp, &["ps_partkey"], part, &["p_partkey"]);
-    fk(&mut cat, "partsupp_supplier", partsupp, &["ps_suppkey"], supplier, &["s_suppkey"]);
-    fk(&mut cat, "orders_customer", orders, &["o_custkey"], customer, &["c_custkey"]);
-    fk(&mut cat, "lineitem_orders", lineitem, &["l_orderkey"], orders, &["o_orderkey"]);
-    fk(&mut cat, "lineitem_part", lineitem, &["l_partkey"], part, &["p_partkey"]);
-    fk(&mut cat, "lineitem_supplier", lineitem, &["l_suppkey"], supplier, &["s_suppkey"]);
+    fk(
+        &mut cat,
+        "nation_region",
+        nation,
+        &["n_regionkey"],
+        region,
+        &["r_regionkey"],
+    );
+    fk(
+        &mut cat,
+        "supplier_nation",
+        supplier,
+        &["s_nationkey"],
+        nation,
+        &["n_nationkey"],
+    );
+    fk(
+        &mut cat,
+        "customer_nation",
+        customer,
+        &["c_nationkey"],
+        nation,
+        &["n_nationkey"],
+    );
+    fk(
+        &mut cat,
+        "partsupp_part",
+        partsupp,
+        &["ps_partkey"],
+        part,
+        &["p_partkey"],
+    );
+    fk(
+        &mut cat,
+        "partsupp_supplier",
+        partsupp,
+        &["ps_suppkey"],
+        supplier,
+        &["s_suppkey"],
+    );
+    fk(
+        &mut cat,
+        "orders_customer",
+        orders,
+        &["o_custkey"],
+        customer,
+        &["c_custkey"],
+    );
+    fk(
+        &mut cat,
+        "lineitem_orders",
+        lineitem,
+        &["l_orderkey"],
+        orders,
+        &["o_orderkey"],
+    );
+    fk(
+        &mut cat,
+        "lineitem_part",
+        lineitem,
+        &["l_partkey"],
+        part,
+        &["p_partkey"],
+    );
+    fk(
+        &mut cat,
+        "lineitem_supplier",
+        lineitem,
+        &["l_suppkey"],
+        supplier,
+        &["s_suppkey"],
+    );
     fk(
         &mut cat,
         "lineitem_partsupp",

@@ -251,8 +251,8 @@ pub fn days_from_date(year: i32, month: u32, day: u32) -> i32 {
     let y = if month <= 2 { year - 1 } else { year };
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = (y - era * 400) as i64;
-    let doy = ((153 * (if month > 2 { month - 3 } else { month + 9 }) as i64 + 2) / 5) + day as i64
-        - 1;
+    let doy =
+        ((153 * (if month > 2 { month - 3 } else { month + 9 }) as i64 + 2) / 5) + day as i64 - 1;
     let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
     (era as i64 * 146_097 + doe - 719_468) as i32
 }

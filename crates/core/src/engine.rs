@@ -186,7 +186,10 @@ impl MatchingEngine {
                 ));
             }
         }
-        self.checks.entry(table).or_default().extend(classify(predicate));
+        self.checks
+            .entry(table)
+            .or_default()
+            .extend(classify(predicate));
         Ok(())
     }
 
@@ -222,6 +225,14 @@ impl MatchingEngine {
     /// The registered views.
     pub fn views(&self) -> &ViewSet {
         &self.views
+    }
+
+    /// The declared check constraints, pre-classified per table, with
+    /// column references in table space (`occ = 0`). Exposed so external
+    /// analyzers (`mv-verify`, `mv-lint`) can reason from the same
+    /// constraint knowledge the matcher uses.
+    pub fn check_constraints(&self) -> &HashMap<TableId, Vec<Conjunct>> {
+        &self.checks
     }
 
     /// Snapshot of the instrumentation counters.
@@ -398,9 +409,9 @@ impl MatchingEngine {
         for (occ, table) in expr.occurrences() {
             let def = catalog.table(table);
             let joinable = def.keys.iter().any(|key| {
-                key.columns.iter().all(|&c| {
-                    def.column(c).not_null && covered(ColRef { occ, col: c })
-                })
+                key.columns
+                    .iter()
+                    .all(|&c| def.column(c).not_null && covered(ColRef { occ, col: c }))
             });
             if joinable {
                 for c in 0..def.columns.len() as u32 {
@@ -585,6 +596,8 @@ impl MatchingEngine {
         let filter_time = filter_started.elapsed();
 
         let out = self.match_candidates(query, &qsum, &candidates);
+        #[cfg(debug_assertions)]
+        self.debug_verify(query, &out);
 
         self.stats.record(
             candidates.len(),
@@ -612,7 +625,7 @@ impl MatchingEngine {
             return None;
         }
         let qsum = self.query_summary(query);
-        match_view(
+        let result = match_view(
             &self.catalog,
             &self.config,
             query,
@@ -620,7 +633,38 @@ impl MatchingEngine {
             view,
             self.views.get(view),
             &self.summaries[view.0 as usize],
-        )
+        );
+        #[cfg(debug_assertions)]
+        if let Some(sub) = &result {
+            self.debug_verify(query, std::slice::from_ref(&(view, sub.clone())));
+        }
+        result
+    }
+
+    /// Debug-mode oracle: run the independent `mv-verify` analyzer over
+    /// every substitute the matcher just produced and panic on any
+    /// ERROR-severity diagnostic. Because the analyzer shares no logic
+    /// with the matcher, every test exercising the matching path doubles
+    /// as a soundness test for both sides. Compiled out of release builds.
+    #[cfg(debug_assertions)]
+    fn debug_verify(&self, query: &SpjgExpr, results: &[(ViewId, Substitute)]) {
+        let ctx = mv_verify::VerifyContext::new(&self.catalog, &self.checks);
+        for (id, sub) in results {
+            let view = self.views.get(*id);
+            let diags =
+                mv_verify::verify_substitute(&ctx, query, &view.expr, sub, &view.name, "query");
+            let errors: Vec<String> = diags
+                .iter()
+                .filter(|d| d.severity == mv_verify::Severity::Error)
+                .map(|d| d.to_json())
+                .collect();
+            assert!(
+                errors.is_empty(),
+                "mv-verify rejected a matcher-produced substitute for view `{}`:\n{}",
+                view.name,
+                errors.join("\n"),
+            );
+        }
     }
 }
 
@@ -742,7 +786,9 @@ mod tests {
             vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
             vec![NamedAgg::new(AggFunc::CountStar, "cnt")],
         );
-        engine.add_view(ViewDef::new("orders_by_cust", agg)).unwrap();
+        engine
+            .add_view(ViewDef::new("orders_by_cust", agg))
+            .unwrap();
         engine
     }
 
@@ -780,8 +826,11 @@ mod tests {
         });
         for (lo, hi) in [(600, 900), (400, 900), (0, 10_000), (5500, 6000)] {
             let q = part_query(lo, hi);
-            let mut a: Vec<ViewId> =
-                with.find_substitutes(&q).into_iter().map(|(v, _)| v).collect();
+            let mut a: Vec<ViewId> = with
+                .find_substitutes(&q)
+                .into_iter()
+                .map(|(v, _)| v)
+                .collect();
             let mut b: Vec<ViewId> = without
                 .find_substitutes(&q)
                 .into_iter()

@@ -70,22 +70,18 @@ pub fn build_fk_graph(
                 }
                 // The expression must equate every FK column with the
                 // corresponding key column (through equivalence classes).
-                let joined = fk
-                    .from_columns
-                    .iter()
-                    .zip(&fk.to_columns)
-                    .all(|(&f, &c)| {
-                        ec.same(
-                            ColRef {
-                                occ: from_occ,
-                                col: f,
-                            },
-                            ColRef {
-                                occ: to_occ,
-                                col: c,
-                            },
-                        )
-                    });
+                let joined = fk.from_columns.iter().zip(&fk.to_columns).all(|(&f, &c)| {
+                    ec.same(
+                        ColRef {
+                            occ: from_occ,
+                            col: f,
+                        },
+                        ColRef {
+                            occ: to_occ,
+                            col: c,
+                        },
+                    )
+                });
                 if joined {
                     edges.push(FkEdge {
                         from: from_occ,

@@ -342,11 +342,7 @@ mod tests {
             })
             .collect();
         assert_eq!(tops.len(), 3);
-        let roots = idx
-            .nodes
-            .iter()
-            .filter(|n| n.subsets.is_empty())
-            .count();
+        let roots = idx.nodes.iter().filter(|n| n.subsets.is_empty()).count();
         assert_eq!(roots, 3);
         // AB's minimal supersets are ABC and ABF; its maximal subsets are
         // A and B.
@@ -443,10 +439,7 @@ mod tests {
         let mut idx = LatticeIndex::new();
         idx.insert(vec![1], "a");
         idx.insert(vec![2], "b");
-        assert_eq!(
-            idx.nodes.iter().filter(|n| n.subsets.is_empty()).count(),
-            2
-        );
+        assert_eq!(idx.nodes.iter().filter(|n| n.subsets.is_empty()).count(), 2);
         assert_eq!(
             idx.nodes.iter().filter(|n| n.supersets.is_empty()).count(),
             2

@@ -15,12 +15,8 @@
 use crate::fkgraph::{build_fk_graph, eliminate};
 use crate::summary::{remap_col, remap_ec, remap_template, ExprSummary};
 use mv_catalog::{Catalog, TableId};
-use mv_expr::{
-    BoolExpr, ColRef, EquivClasses, Interval, OccId, ScalarExpr, Template,
-};
-use mv_plan::{
-    AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewDef, ViewId,
-};
+use mv_expr::{BoolExpr, ColRef, EquivClasses, Interval, OccId, ScalarExpr, Template};
+use mv_plan::{AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewDef, ViewId};
 use std::collections::HashMap;
 
 /// Tunables for the matcher and the filter tree.
@@ -419,10 +415,7 @@ fn map_scalar(e: &ScalarExpr, ec: &EquivClasses, vout: &ViewOutputs) -> Option<S
             return Some(out_col(*pos));
         }
     }
-    e.try_map_columns(&mut |c| {
-        vout.find_position(c, ec)
-            .map(|p| ColRef::new(0, p as u32))
-    })
+    e.try_map_columns(&mut |c| vout.find_position(c, ec).map(|p| ColRef::new(0, p as u32)))
 }
 
 /// Is `c` covered by a null-rejecting predicate in the query (other than
@@ -434,7 +427,10 @@ fn is_null_rejecting(qsum: &ExprSummary, c: ColRef) -> bool {
     let same = |x: ColRef| x == c || qsum.ec.same(x, c);
     qsum.residual_bools.iter().any(|p| match p {
         BoolExpr::Compare { .. } | BoolExpr::Like { .. } => p.columns().into_iter().any(same),
-        BoolExpr::IsNull { negated: true, expr } => expr.columns().into_iter().any(same),
+        BoolExpr::IsNull {
+            negated: true,
+            expr,
+        } => expr.columns().into_iter().any(same),
         _ => false,
     })
 }
@@ -478,14 +474,10 @@ fn try_match(
     let mut qec = qsum.ec.clone();
 
     if !extras.is_empty() {
-        let occs: Vec<(OccId, TableId)> = view
-            .expr
-            .occurrences()
-            .map(|(o, t)| (mapf(o), t))
-            .collect();
-        let nullable_ok = |c: ColRef| {
-            config.null_rejecting_fk && c.occ.0 < nq && is_null_rejecting(qsum, c)
-        };
+        let occs: Vec<(OccId, TableId)> =
+            view.expr.occurrences().map(|(o, t)| (mapf(o), t)).collect();
+        let nullable_ok =
+            |c: ColRef| config.null_rejecting_fk && c.occ.0 < nq && is_null_rejecting(qsum, c);
         let graph = build_fk_graph(catalog, &occs, &vec_q, &nullable_ok);
         let elim = eliminate(&graph, &|o| extras.contains(&o));
         if elim.remaining.iter().any(|o| extras.contains(o)) {
@@ -512,11 +504,8 @@ fn try_match(
 
     let mut vout = ViewOutputs::build(&view.expr, &mapf);
     if config.allow_backjoins {
-        let occs: Vec<(OccId, TableId)> = view
-            .expr
-            .occurrences()
-            .map(|(o, t)| (mapf(o), t))
-            .collect();
+        let occs: Vec<(OccId, TableId)> =
+            view.expr.occurrences().map(|(o, t)| (mapf(o), t)).collect();
         vout.offer_backjoins(catalog, &occs, &vec_q);
     }
     let mut predicates: Vec<BoolExpr> = Vec::new();
@@ -537,11 +526,7 @@ fn try_match(
         for w in parts.windows(2) {
             let a = vout.find_position(w[0].1, &vec_q)?;
             let b = vout.find_position(w[1].1, &vec_q)?;
-            predicates.push(BoolExpr::cmp(
-                out_col(a),
-                mv_expr::CmpOp::Eq,
-                out_col(b),
-            ));
+            predicates.push(BoolExpr::cmp(out_col(a), mv_expr::CmpOp::Eq, out_col(b)));
         }
     }
 
@@ -597,11 +582,7 @@ fn try_match(
         // Route through QUERY equivalence classes (section 3.1.3 point 2).
         let pos = vout.find_position(*qroot, &qec)?;
         for (op, value) in comps {
-            predicates.push(BoolExpr::cmp(
-                out_col(pos),
-                op,
-                ScalarExpr::Literal(value),
-            ));
+            predicates.push(BoolExpr::cmp(out_col(pos), op, ScalarExpr::Literal(value)));
         }
     }
 
@@ -663,8 +644,7 @@ fn build_output(
             let mapped = items
                 .iter()
                 .map(|ne| {
-                    map_scalar(&ne.expr, qec, vout)
-                        .map(|e| NamedExpr::new(e, ne.name.clone()))
+                    map_scalar(&ne.expr, qec, vout).map(|e| NamedExpr::new(e, ne.name.clone()))
                 })
                 .collect::<Option<Vec<_>>>()?;
             Some(OutputList::Spj(mapped))
@@ -677,8 +657,7 @@ fn build_output(
             let gb = group_by
                 .iter()
                 .map(|ne| {
-                    map_scalar(&ne.expr, qec, vout)
-                        .map(|e| NamedExpr::new(e, ne.name.clone()))
+                    map_scalar(&ne.expr, qec, vout).map(|e| NamedExpr::new(e, ne.name.clone()))
                 })
                 .collect::<Option<Vec<_>>>()?;
             let aggs = aggregates
@@ -750,12 +729,8 @@ fn build_output(
                         let func = match &na.func {
                             // count(*) rolls up as a zero-defaulting SUM
                             // over the view's count column.
-                            AggFunc::CountStar => {
-                                AggFunc::SumZero(out_col(vout.count_pos?))
-                            }
-                            AggFunc::Sum(arg) => {
-                                AggFunc::Sum(out_col(find_sum(vout, arg, &same)?))
-                            }
+                            AggFunc::CountStar => AggFunc::SumZero(out_col(vout.count_pos?)),
+                            AggFunc::Sum(arg) => AggFunc::Sum(out_col(find_sum(vout, arg, &same)?)),
                             AggFunc::SumZero(arg) => {
                                 AggFunc::SumZero(out_col(find_sum(vout, arg, &same)?))
                             }

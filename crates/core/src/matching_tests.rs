@@ -99,8 +99,8 @@ fn example2(t: &TpchTables) -> (SpjgExpr, SpjgExpr) {
 fn example2_matches_with_expected_compensations() {
     let (cat, t) = tpch_catalog();
     let (query, view) = example2(&t);
-    let sub = try_match_pair(&cat, &MatchConfig::default(), &query, &view)
-        .expect("Example 2 must match");
+    let sub =
+        try_match_pair(&cat, &MatchConfig::default(), &query, &view).expect("Example 2 must match");
     // Expected compensations: o_orderdate = l_shipdate, partkey < 160,
     // o_custkey = 123, l_quantity * l_extendedprice > 100. The LIKE and
     // the lower partkey bound are already enforced by the view.
@@ -116,10 +116,7 @@ fn example2_matches_with_expected_compensations() {
     // Upper bound on partkey: view outputs l_partkey at position 1.
     assert!(texts.iter().any(|s| s.contains("t0.c1 < 160")), "{texts:?}");
     // Point restriction on o_custkey (pos 2).
-    assert!(
-        texts.iter().any(|s| s.contains("t0.c2 = 123")),
-        "{texts:?}"
-    );
+    assert!(texts.iter().any(|s| s.contains("t0.c2 = 123")), "{texts:?}");
     // Residual compensation over l_quantity (pos 5) * l_extendedprice (6).
     assert!(
         texts
@@ -144,7 +141,12 @@ fn example2_rejected_when_view_range_too_narrow() {
     // Narrow the view's o_custkey range so it no longer contains the
     // query's point 123: change (50, 500) to (200, 500).
     for conj in &mut view.conjuncts {
-        if let mv_expr::Conjunct::Range { op: CmpOp::Gt, value, .. } = conj {
+        if let mv_expr::Conjunct::Range {
+            op: CmpOp::Gt,
+            value,
+            ..
+        } = conj
+        {
             if *value == Value::Int(50) {
                 *value = Value::Int(200);
             }
@@ -236,7 +238,11 @@ fn example3(t: &TpchTables) -> (SpjgExpr, SpjgExpr) {
     let query = SpjgExpr::spj(
         vec![t.lineitem],
         query_pred,
-        out(&[(0, 0, "l_orderkey"), (0, 1, "l_partkey"), (0, 4, "l_quantity")]),
+        out(&[
+            (0, 0, "l_orderkey"),
+            (0, 1, "l_partkey"),
+            (0, 4, "l_quantity"),
+        ]),
     );
     (query, view)
 }
@@ -265,14 +271,8 @@ fn example3_matches_once_dates_are_output() {
     let texts: Vec<String> = sub.predicates.iter().map(|p| p.to_string()).collect();
     // Compensations: l_orderkey in [1000, 1500] (the view only guarantees
     // >= 500) and the equality of the two dates.
-    assert!(
-        texts.iter().any(|s| s.contains(">= 1000")),
-        "{texts:?}"
-    );
-    assert!(
-        texts.iter().any(|s| s.contains("<= 1500")),
-        "{texts:?}"
-    );
+    assert!(texts.iter().any(|s| s.contains(">= 1000")), "{texts:?}");
+    assert!(texts.iter().any(|s| s.contains("<= 1500")), "{texts:?}");
     assert!(
         texts.iter().any(|s| s.contains("t0.c5 = t0.c6")),
         "{texts:?}"
@@ -407,7 +407,11 @@ fn aggregation_query_from_spj_view_groups_the_view() {
     let view = SpjgExpr::spj(
         vec![t.orders],
         BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Ge, S::lit(0i64)),
-        out(&[(0, 1, "o_custkey"), (0, 3, "o_totalprice"), (0, 0, "o_orderkey")]),
+        out(&[
+            (0, 1, "o_custkey"),
+            (0, 3, "o_totalprice"),
+            (0, 0, "o_orderkey"),
+        ]),
     );
     let query = SpjgExpr::aggregate(
         vec![t.orders],

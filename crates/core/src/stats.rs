@@ -169,8 +169,20 @@ mod tests {
     #[test]
     fn atomic_record_and_snapshot_round_trip() {
         let a = AtomicMatchStats::default();
-        a.record(3, 100, 1, Duration::from_micros(5), Duration::from_micros(9));
-        a.record(7, 100, 2, Duration::from_micros(1), Duration::from_micros(2));
+        a.record(
+            3,
+            100,
+            1,
+            Duration::from_micros(5),
+            Duration::from_micros(9),
+        );
+        a.record(
+            7,
+            100,
+            2,
+            Duration::from_micros(1),
+            Duration::from_micros(2),
+        );
         let s = a.snapshot();
         assert_eq!(s.invocations, 2);
         assert_eq!(s.candidates, 10);

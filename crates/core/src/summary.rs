@@ -85,10 +85,7 @@ impl ExprSummary {
                             genuine_residuals += 1;
                         }
                     } else if genuine {
-                        genuine_ranges
-                            .entry(root)
-                            .or_default()
-                            .apply(*op, value);
+                        genuine_ranges.entry(root).or_default().apply(*op, value);
                     }
                 }
                 Conjunct::Residual(p) => {

@@ -67,7 +67,11 @@ fn spj_backjoin_recovers_missing_column() {
     assert_eq!(sub.backjoins[0].table, t.lineitem);
     let got = execute_substitute_with(&db, &rows, sub);
     let want = execute_spjg(&db, &query);
-    assert!(bag_diff(&got, &want).is_none(), "{:?}", bag_diff(&got, &want));
+    assert!(
+        bag_diff(&got, &want).is_none(),
+        "{:?}",
+        bag_diff(&got, &want)
+    );
     assert!(!want.is_empty());
 }
 
@@ -178,7 +182,11 @@ fn aggregation_view_backjoin_with_regroup() {
     assert!(sub.regroups());
     let got = execute_substitute_with(&db, &rows, sub);
     let want = execute_spjg(&db, &query);
-    assert!(bag_diff(&got, &want).is_none(), "{:?}", bag_diff(&got, &want));
+    assert!(
+        bag_diff(&got, &want).is_none(),
+        "{:?}",
+        bag_diff(&got, &want)
+    );
 }
 
 /// No usable key → no backjoin: a view without key columns still rejects.

@@ -58,7 +58,11 @@ fn check_constraint_unlocks_redundant_view_range() {
     engine.add_view(view).unwrap();
     let subs = engine.find_substitutes(&plain_query(&t));
     assert_eq!(subs.len(), 1);
-    assert!(subs[0].1.predicates.is_empty(), "{:?}", subs[0].1.predicates);
+    assert!(
+        subs[0].1.predicates.is_empty(),
+        "{:?}",
+        subs[0].1.predicates
+    );
 }
 
 #[test]

@@ -26,7 +26,9 @@ fn engine(views: &[ViewDef], config: MatchConfig) -> MatchingEngine {
     let (catalog, _) = tpch_catalog();
     let mut engine = MatchingEngine::new(catalog, config);
     for v in views {
-        engine.add_view(v.clone()).expect("generated views are valid");
+        engine
+            .add_view(v.clone())
+            .expect("generated views are valid");
     }
     engine
 }
@@ -85,7 +87,10 @@ fn concurrent_matching_equals_serial() {
     let stats = engine.stats();
     assert_eq!(stats.invocations, THREADS * serial_stats.invocations);
     assert_eq!(stats.candidates, THREADS * serial_stats.candidates);
-    assert_eq!(stats.views_available, THREADS * serial_stats.views_available);
+    assert_eq!(
+        stats.views_available,
+        THREADS * serial_stats.views_available
+    );
     assert_eq!(stats.substitutes, THREADS * serial_stats.substitutes);
 }
 

@@ -74,11 +74,8 @@ impl Database {
                 .map(|r| fk.to_columns.iter().map(|c| &r[c.0 as usize]).collect())
                 .collect();
             for row in self.rows(fk.from_table) {
-                let vals: Vec<&Value> = fk
-                    .from_columns
-                    .iter()
-                    .map(|c| &row[c.0 as usize])
-                    .collect();
+                let vals: Vec<&Value> =
+                    fk.from_columns.iter().map(|c| &row[c.0 as usize]).collect();
                 if vals.iter().any(|v| v.is_null()) {
                     continue; // nulls are exempt from FK validation
                 }
@@ -204,7 +201,7 @@ mod tests {
             t,
             vec![
                 vec![Value::Int(1)],
-                vec![Value::Null], // exempt
+                vec![Value::Null],   // exempt
                 vec![Value::Int(9)], // violation
             ],
         );

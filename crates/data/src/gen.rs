@@ -68,12 +68,39 @@ impl TpchScale {
 
 const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 const NATIONS: [&str; 25] = [
-    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY",
-    "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE",
-    "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "ALGERIA",
+    "ARGENTINA",
+    "BRAZIL",
+    "CANADA",
+    "EGYPT",
+    "ETHIOPIA",
+    "FRANCE",
+    "GERMANY",
+    "INDIA",
+    "INDONESIA",
+    "IRAN",
+    "IRAQ",
+    "JAPAN",
+    "JORDAN",
+    "KENYA",
+    "MOROCCO",
+    "MOZAMBIQUE",
+    "PERU",
+    "CHINA",
+    "ROMANIA",
+    "SAUDI ARABIA",
+    "VIETNAM",
+    "RUSSIA",
+    "UNITED KINGDOM",
     "UNITED STATES",
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 const INSTRUCTIONS: [&str; 4] = [
@@ -83,19 +110,60 @@ const INSTRUCTIONS: [&str; 4] = [
     "TAKE BACK RETURN",
 ];
 const COLORS: [&str; 24] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "chartreuse", "chiffon", "coral", "cornflower", "cream",
-    "cyan", "steel", "copper", "nickel", "brass", "tin", "bronze",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "chartreuse",
+    "chiffon",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "steel",
+    "copper",
+    "nickel",
+    "brass",
+    "tin",
+    "bronze",
 ];
 const TYPES_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPES_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPES_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PACK", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PACK",
+    "WRAP JAR",
 ];
 const WORDS: [&str; 16] = [
-    "furiously", "quickly", "carefully", "slyly", "blithely", "deposits", "accounts", "pending",
-    "requests", "ideas", "foxes", "packages", "theodolites", "instructions", "platelets",
+    "furiously",
+    "quickly",
+    "carefully",
+    "slyly",
+    "blithely",
+    "deposits",
+    "accounts",
+    "pending",
+    "requests",
+    "ideas",
+    "foxes",
+    "packages",
+    "theodolites",
+    "instructions",
+    "platelets",
     "excuses",
 ];
 
@@ -155,7 +223,12 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
                 Value::Str(format!("Supplier#{k:09}")),
                 comment(&mut rng, 3),
                 Value::Int(rng.random_range(0..25)),
-                Value::Str(format!("{}-{:03}-{:03}", rng.random_range(10..35), k % 1000, k % 997)),
+                Value::Str(format!(
+                    "{}-{:03}-{:03}",
+                    rng.random_range(10..35),
+                    k % 1000,
+                    k % 997
+                )),
                 Value::Int(rng.random_range(-99_999..1_000_000)), // acctbal in cents
                 comment(&mut rng, 8),
             ]
@@ -171,7 +244,12 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
                 Value::Str(format!("Customer#{k:09}")),
                 comment(&mut rng, 3),
                 Value::Int(rng.random_range(0..25)),
-                Value::Str(format!("{}-{:03}-{:03}", rng.random_range(10..35), k % 1000, k % 991)),
+                Value::Str(format!(
+                    "{}-{:03}-{:03}",
+                    rng.random_range(10..35),
+                    k % 1000,
+                    k % 991
+                )),
                 Value::Int(rng.random_range(-99_999..1_000_000)),
                 Value::Str(SEGMENTS[rng.random_range(0..SEGMENTS.len())].to_string()),
                 comment(&mut rng, 8),
@@ -267,9 +345,7 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
                 Value::Int(extended),
                 Value::Int(rng.random_range(0..=10)), // discount in percent
                 Value::Int(rng.random_range(0..=8)),  // tax in percent
-                Value::Str(
-                    ["R", "A", "N"][rng.random_range(0..3)].to_string(),
-                ),
+                Value::Str(["R", "A", "N"][rng.random_range(0..3)].to_string()),
                 Value::Str(["O", "F"][rng.random_range(0..2)].to_string()),
                 Value::Date(shipdate),
                 Value::Date(commitdate),
@@ -344,7 +420,11 @@ mod tests {
             let Some(pk) = def.keys.first() else { continue };
             let mut seen = HashSet::new();
             for row in db.rows(table) {
-                let key: Vec<_> = pk.columns.iter().map(|c| row[c.0 as usize].clone()).collect();
+                let key: Vec<_> = pk
+                    .columns
+                    .iter()
+                    .map(|c| row[c.0 as usize].clone())
+                    .collect();
                 assert!(seen.insert(key), "duplicate PK in {}", def.name);
             }
         }

@@ -149,8 +149,8 @@ mod tests {
     use crate::compare::bag_eq;
     use crate::spjg::execute_spjg;
     use mv_data::{generate_tpch, TpchScale};
-    use mv_expr::{CmpOp, ScalarExpr as S};
     use mv_expr::BoolExpr;
+    use mv_expr::{CmpOp, ScalarExpr as S};
     use mv_plan::{AggFunc, NamedExpr, SpjgExpr};
 
     fn cr(col: u32) -> ColRef {

@@ -343,9 +343,7 @@ fn distribute(e: BoolExpr) -> BoolExpr {
         BoolExpr::Or(parts) => {
             let parts: Vec<BoolExpr> = parts.into_iter().map(distribute).collect();
             // Fold pairwise: or(A, B) where A, B are in CNF.
-            parts
-                .into_iter()
-                .fold(BoolExpr::Literal(false), or_of_cnfs)
+            parts.into_iter().fold(BoolExpr::Literal(false), or_of_cnfs)
         }
         other => other,
     }
@@ -535,9 +533,7 @@ mod tests {
         let clause = &cnf[0];
         match clause {
             BoolExpr::Or(parts) => {
-                assert!(parts
-                    .iter()
-                    .all(|p| matches!(p, BoolExpr::Compare { .. })));
+                assert!(parts.iter().all(|p| matches!(p, BoolExpr::Compare { .. })));
             }
             other => panic!("expected OR, got {other}"),
         }
@@ -582,9 +578,6 @@ mod tests {
                 negated: true,
             },
         ]);
-        assert_eq!(
-            e.to_string(),
-            "(t0.c0 = t0.c1 AND t0.c2 NOT LIKE '%x%')"
-        );
+        assert_eq!(e.to_string(), "(t0.c0 = t0.c1 AND t0.c2 NOT LIKE '%x%')");
     }
 }

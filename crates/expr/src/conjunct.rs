@@ -98,7 +98,11 @@ pub fn classify_one(conjunct: BoolExpr) -> Conjunct {
         if *op != CmpOp::Ne {
             // Column op constant.
             if let (Some(c), Some(v)) = (left.as_column(), fold_constant(right)) {
-                return Conjunct::Range { col: c, op: *op, value: v };
+                return Conjunct::Range {
+                    col: c,
+                    op: *op,
+                    value: v,
+                };
             }
             // Constant op column — flip.
             if let (Some(v), Some(c)) = (fold_constant(left), right.as_column()) {

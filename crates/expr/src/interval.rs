@@ -18,8 +18,7 @@ use std::cmp::Ordering;
 use std::fmt;
 
 /// One endpoint of an interval.
-#[derive(Debug, Clone, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Bound {
     /// No constraint (`-∞` or `+∞` depending on the side).
     #[default]
@@ -48,7 +47,6 @@ pub struct Interval {
     /// Upper bound.
     pub hi: Bound,
 }
-
 
 /// Compare two lower bounds: which admits fewer values (is *tighter*)?
 /// Returns `Greater` when `a` is tighter (higher) than `b`.

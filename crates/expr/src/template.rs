@@ -54,11 +54,7 @@ impl Template {
     pub fn matches(&self, other: &Template, same: &impl Fn(ColRef, ColRef) -> bool) -> bool {
         self.text == other.text
             && self.cols.len() == other.cols.len()
-            && self
-                .cols
-                .iter()
-                .zip(&other.cols)
-                .all(|(a, b)| same(*a, *b))
+            && self.cols.iter().zip(&other.cols).all(|(a, b)| same(*a, *b))
     }
 }
 
@@ -223,15 +219,15 @@ mod tests {
         // sophisticated matcher could do; ours (like the prototype) doesn't.
         let lhs = S::col(c(0, 0))
             .binary(BinOp::Div, S::lit(2i64))
-            .binary(
-                BinOp::Add,
-                S::col(c(0, 1)).binary(BinOp::Div, S::lit(5i64)),
-            )
+            .binary(BinOp::Add, S::col(c(0, 1)).binary(BinOp::Div, S::lit(5i64)))
             .binary(BinOp::Mul, S::lit(10i64));
         let rhs = S::col(c(0, 0))
             .binary(BinOp::Mul, S::lit(5i64))
             .binary(BinOp::Add, S::col(c(0, 1)).binary(BinOp::Mul, S::lit(2i64)));
-        assert_ne!(Template::of_scalar(&lhs).text, Template::of_scalar(&rhs).text);
+        assert_ne!(
+            Template::of_scalar(&lhs).text,
+            Template::of_scalar(&rhs).text
+        );
     }
 
     #[test]

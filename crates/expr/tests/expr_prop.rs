@@ -1,7 +1,7 @@
 //! Property tests for the expression layer.
 
 use mv_catalog::Value;
-use mv_expr::{classify, BoolExpr, CmpOp, ColRef, EquivClasses, Interval, ScalarExpr as S};
+use mv_expr::{classify, BoolExpr, Bound, CmpOp, ColRef, EquivClasses, Interval, ScalarExpr as S};
 use proptest::prelude::*;
 
 /// Strategy: a random interval built from a sequence of range predicates
@@ -132,5 +132,175 @@ proptest! {
         let conjuncts = classify(e);
         let again = mv_expr::conjuncts_to_bool(&conjuncts).eval(&row);
         prop_assert_eq!(direct, again);
+    }
+}
+
+/// Strategy: a raw interval endpoint — kind 0 is unbounded, 1 inclusive,
+/// 2 exclusive. Building bounds directly (instead of via `apply`) reaches
+/// open/closed corner cases such as `(4, 5)` and `[5, 5)` that predicate
+/// accumulation rarely produces.
+fn endpoint() -> impl Strategy<Value = (u32, i64)> {
+    (0u32..3, -10i64..10)
+}
+
+fn mk_bound((kind, v): (u32, i64)) -> Bound {
+    match kind {
+        0 => Bound::Unbounded,
+        1 => Bound::Incl(Value::Int(v)),
+        _ => Bound::Excl(Value::Int(v)),
+    }
+}
+
+fn mk_interval(lo: (u32, i64), hi: (u32, i64)) -> Interval {
+    Interval {
+        lo: mk_bound(lo),
+        hi: mk_bound(hi),
+    }
+}
+
+/// Integer points straddling the endpoint range, used as the brute-force
+/// point-membership model. Note the model is one-sided for emptiness and
+/// non-containment: open real intervals like `(4, 5)` contain no integers,
+/// so only the sound directions are asserted.
+const POINTS: std::ops::RangeInclusive<i64> = -12..=12;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, ..ProptestConfig::default() })]
+
+    /// Intersection is pointwise conjunction of memberships, and is
+    /// commutative, for arbitrary open/closed/unbounded endpoints.
+    #[test]
+    fn intersect_agrees_with_point_model(
+        alo in endpoint(), ahi in endpoint(),
+        blo in endpoint(), bhi in endpoint(),
+    ) {
+        let a = mk_interval(alo, ahi);
+        let b = mk_interval(blo, bhi);
+        let c = a.clone().intersect(&b).expect("Int bounds are comparable");
+        let c2 = b.clone().intersect(&a).expect("Int bounds are comparable");
+        prop_assert_eq!(&c, &c2, "intersection must be commutative");
+        for x in POINTS {
+            let v = Value::Int(x);
+            prop_assert_eq!(
+                c.contains_value(&v),
+                a.contains_value(&v) && b.contains_value(&v),
+                "x={} a={} b={} c={}", x, a, b, c
+            );
+        }
+    }
+
+    /// `contains` and `is_empty` are sound against the point model: a
+    /// claimed containment implies pointwise subset, a pointwise
+    /// counterexample refutes containment, and an empty interval holds no
+    /// integer points.
+    #[test]
+    fn contains_and_is_empty_are_sound_on_points(
+        alo in endpoint(), ahi in endpoint(),
+        blo in endpoint(), bhi in endpoint(),
+    ) {
+        let a = mk_interval(alo, ahi);
+        let b = mk_interval(blo, bhi);
+        let subset = POINTS.clone().all(|x| {
+            !b.contains_value(&Value::Int(x)) || a.contains_value(&Value::Int(x))
+        });
+        if a.contains(&b) == Some(true) {
+            prop_assert!(subset, "a={} claims to contain b={}", a, b);
+        }
+        if !subset {
+            prop_assert_ne!(a.contains(&b), Some(true), "a={} b={}", a, b);
+        }
+        for iv in [&a, &b] {
+            if iv.is_empty() {
+                for x in POINTS {
+                    prop_assert!(!iv.contains_value(&Value::Int(x)),
+                        "empty interval {} contains {}", iv, x);
+                }
+            }
+        }
+    }
+
+    /// Compensation narrows the containing interval exactly to the
+    /// contained one, for arbitrary endpoint kinds (the contained interval
+    /// is built by intersection, which guarantees containment).
+    #[test]
+    fn compensation_exact_on_contained_pairs(
+        alo in endpoint(), ahi in endpoint(),
+        rlo in endpoint(), rhi in endpoint(),
+    ) {
+        let a = mk_interval(alo, ahi);
+        let r = mk_interval(rlo, rhi);
+        let b = a.clone().intersect(&r).expect("Int bounds are comparable");
+        prop_assert_eq!(a.contains(&b), Some(true), "a={} b=a∩{}={}", a, r, b);
+        let comp = a.compensation(&b);
+        for x in POINTS {
+            let v = Value::Int(x);
+            let passes = comp.iter().all(|(op, cv)| match cv {
+                Value::Int(cv) => op.evaluate(x.cmp(cv)),
+                _ => unreachable!("integer intervals compensate with Int"),
+            });
+            prop_assert_eq!(
+                a.contains_value(&v) && passes,
+                b.contains_value(&v),
+                "x={} a={} b={} comp={:?}", x, a, b, comp
+            );
+        }
+    }
+
+    /// `absorb` is idempotent: absorbing the same classes a second time —
+    /// or absorbing a structure into itself — changes nothing.
+    #[test]
+    fn absorb_is_idempotent(
+        ea in prop::collection::vec((0u32..8, 0u32..8), 0..12),
+        eb in prop::collection::vec((0u32..8, 0u32..8), 0..12),
+    ) {
+        let col = |i: u32| ColRef::new(0, i);
+        let mut a = EquivClasses::from_pairs(ea.iter().map(|&(x, y)| (col(x), col(y))));
+        let b = EquivClasses::from_pairs(eb.iter().map(|&(x, y)| (col(x), col(y))));
+        a.absorb(&b);
+        let once = a.nontrivial_classes();
+        a.absorb(&b);
+        prop_assert_eq!(&a.nontrivial_classes(), &once, "second absorb changed classes");
+        let self_copy = a.clone();
+        a.absorb(&self_copy);
+        prop_assert_eq!(&a.nontrivial_classes(), &once, "self-absorb changed classes");
+    }
+
+    /// `from_pairs` is order-independent: reversing the edge list and
+    /// swapping edge endpoints yields the same equivalence classes.
+    #[test]
+    fn from_pairs_order_independent(
+        edges in prop::collection::vec((0u32..8, 0u32..8), 0..15),
+    ) {
+        let col = |i: u32| ColRef::new(0, i);
+        let forward = EquivClasses::from_pairs(edges.iter().map(|&(a, b)| (col(a), col(b))));
+        let backward =
+            EquivClasses::from_pairs(edges.iter().rev().map(|&(a, b)| (col(b), col(a))));
+        prop_assert_eq!(forward.nontrivial_classes(), backward.nontrivial_classes());
+    }
+
+    /// `nontrivial_classes` is in canonical form: every class sorted with
+    /// at least two members, classes sorted by first member, pairwise
+    /// disjoint, and membership agrees with `same`.
+    #[test]
+    fn nontrivial_classes_canonical(
+        edges in prop::collection::vec((0u32..8, 0u32..8), 0..15),
+    ) {
+        let col = |i: u32| ColRef::new(0, i);
+        let ec = EquivClasses::from_pairs(edges.iter().map(|&(a, b)| (col(a), col(b))));
+        let classes = ec.nontrivial_classes();
+        let mut seen = std::collections::HashSet::new();
+        for class in &classes {
+            prop_assert!(class.len() >= 2, "trivial class {:?}", class);
+            prop_assert!(class.windows(2).all(|w| w[0] < w[1]),
+                "class not strictly sorted: {:?}", class);
+            for &m in class {
+                prop_assert!(seen.insert(m), "member {:?} appears in two classes", m);
+                prop_assert!(ec.same(class[0], m));
+            }
+        }
+        prop_assert!(
+            classes.windows(2).all(|w| w[0][0] < w[1][0]),
+            "classes not sorted by first member"
+        );
     }
 }

@@ -1,0 +1,189 @@
+//! `mv-lint` — the CI gate around the `mv-verify` analyzer.
+//!
+//! Builds the paper's section 5 workload (TPC-H catalog, random views and
+//! queries with the benchmark seeds), registers the views in a matching
+//! engine, and then:
+//!
+//! 1. lints every view definition and every query expression
+//!    (`verify_view_expr` / `verify_expr`),
+//! 2. runs the matcher over every query and re-verifies each produced
+//!    substitute with the independent analyzer (`verify_substitute`),
+//! 3. optionally (`--exec-check N`) cross-checks substitutes by executing
+//!    both the substitute and the original query on small generated data
+//!    and comparing row bags (rule MV018).
+//!
+//! The JSON report goes to stdout (or `--out FILE`); a human summary goes
+//! to stderr. Exit code 1 on any ERROR diagnostic, and on warnings too
+//! under `--deny-warnings`.
+
+use mv_bench::{build_workload, engine_with, DATA_SEED};
+use mv_core::MatchConfig;
+use mv_data::{generate_tpch, TpchScale};
+use mv_exec::{bag_diff, execute_spjg, execute_substitute_with, materialize_view};
+use mv_verify::{verify_expr, verify_substitute, verify_view_expr};
+use mv_verify::{Diagnostic, Report, RuleId, Severity, VerifyContext};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mv-lint: static soundness lint over the TPC-H view-matching workload
+
+USAGE:
+    mv-lint [OPTIONS]
+
+OPTIONS:
+    --views N          views to generate and register   [default: 200]
+    --queries N        queries to generate and match    [default: 100]
+    --exec-check N     execute up to N (query, substitute) pairs on tiny
+                       generated data and compare row bags [default: 0]
+    --deny-warnings    exit nonzero on warnings, not just errors
+    --out FILE         write the JSON report to FILE instead of stdout
+    -h, --help         print this help
+";
+
+struct Args {
+    views: usize,
+    queries: usize,
+    exec_check: usize,
+    deny_warnings: bool,
+    out: Option<String>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        views: 200,
+        queries: 100,
+        exec_check: 0,
+        deny_warnings: false,
+        out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    let value = |it: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        it.next().unwrap_or_else(|| {
+            eprintln!("missing value for {flag}\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--views" => args.views = parse_num(&value(&mut it, "--views"), "--views"),
+            "--queries" => args.queries = parse_num(&value(&mut it, "--queries"), "--queries"),
+            "--exec-check" => {
+                args.exec_check = parse_num(&value(&mut it, "--exec-check"), "--exec-check")
+            }
+            "--deny-warnings" => args.deny_warnings = true,
+            "--out" => args.out = Some(value(&mut it, "--out")),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn parse_num(s: &str, flag: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("invalid number {s:?} for {flag}\n{USAGE}");
+        std::process::exit(2);
+    })
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let workload = build_workload(args.views, args.queries);
+    let engine = engine_with(&workload, args.views, MatchConfig::default());
+    let checks = engine.check_constraints();
+    let mut report = Report::new();
+
+    // Expression-level rules over every registered view and every query.
+    for (_, view) in engine.views().iter() {
+        report.extend(verify_view_expr(
+            &workload.catalog,
+            checks,
+            &view.expr,
+            &view.name,
+        ));
+    }
+    for (i, query) in workload.queries.iter().enumerate() {
+        report.extend(verify_expr(
+            &workload.catalog,
+            checks,
+            query,
+            &format!("q{i}"),
+        ));
+    }
+
+    // Substitute-level rules over everything the matcher produces.
+    let ctx = VerifyContext::new(&workload.catalog, checks);
+    let mut pairs = Vec::new();
+    for (i, query) in workload.queries.iter().enumerate() {
+        for (id, sub) in engine.find_substitutes(query) {
+            let view = engine.views().get(id);
+            let diags =
+                verify_substitute(&ctx, query, &view.expr, &sub, &view.name, &format!("q{i}"));
+            let flagged = diags.iter().any(|d| d.severity == Severity::Error);
+            report.extend(diags);
+            pairs.push((i, id, sub, flagged));
+        }
+    }
+    let substitutes = pairs.len();
+
+    // Executed-plan cross-check on tiny generated data, statically flagged
+    // substitutes first so a real unsoundness gets confirmed dynamically.
+    let mut exec_checked = 0usize;
+    if args.exec_check > 0 {
+        let (db, _) = generate_tpch(&TpchScale::tiny(), DATA_SEED);
+        pairs.sort_by_key(|(_, _, _, flagged)| !flagged);
+        for (i, id, sub, _) in pairs.iter().take(args.exec_check) {
+            let view = engine.views().get(*id);
+            let view_rows = materialize_view(&db, view);
+            let from_view = execute_substitute_with(&db, &view_rows, sub);
+            let direct = execute_spjg(&db, &workload.queries[*i]);
+            exec_checked += 1;
+            if let Some(diff) = bag_diff(&from_view, &direct) {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::ExecMismatch,
+                        format!("substitute rows differ from query rows: {diff}"),
+                    )
+                    .with_view(&view.name)
+                    .with_query(format!("q{i}")),
+                );
+            }
+        }
+    }
+
+    let title = format!(
+        "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked",
+        args.views, args.queries, substitutes, exec_checked
+    );
+    let json = report.to_json(&title);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("mv-lint: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{json}"),
+    }
+
+    let errors = report.count(Severity::Error);
+    let warnings = report.count(Severity::Warning);
+    eprintln!("mv-lint: {substitutes} substitutes verified, {errors} errors, {warnings} warnings");
+    for d in &report.diagnostics {
+        if d.severity == Severity::Error || (args.deny_warnings && d.severity == Severity::Warning)
+        {
+            eprintln!("  {d}");
+        }
+    }
+    if errors > 0 || (args.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -241,10 +241,7 @@ mod tests {
             vec![t.lineitem, t.orders],
             BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
             vec![NamedExpr::new(S::col(cr(1, 1)), "o_custkey")],
-            vec![NamedAgg::new(
-                AggFunc::Sum(S::col(cr(0, 5))),
-                "total",
-            )],
+            vec![NamedAgg::new(AggFunc::Sum(S::col(cr(0, 5))), "total")],
         );
         let info = BlockInfo::new(&block);
         assert!(info.output_columns.contains(&cr(0, 5)));

@@ -30,4 +30,4 @@ pub mod optimizer;
 
 pub use block::BlockInfo;
 pub use cost::CostModel;
-pub use optimizer::{Optimized, Optimizer, OptimizerConfig, OptimizerStats};
+pub use optimizer::{Optimized, Optimizer, OptimizerConfig, OptimizerStats, PlanInvariant};

@@ -4,11 +4,10 @@ use crate::block::{BlockInfo, Subset};
 use crate::cost::CostModel;
 use mv_core::MatchingEngine;
 use mv_expr::{BoolExpr, ColRef, Conjunct, OccId, ScalarExpr};
-use mv_plan::{
-    card, AggFunc, NamedAgg, NamedExpr, OutputList, PhysicalPlan, SpjgExpr, Substitute,
-};
+use mv_plan::{card, AggFunc, NamedAgg, NamedExpr, OutputList, PhysicalPlan, SpjgExpr, Substitute};
 use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Optimizer settings. The combinations of `use_views` and
 /// `produce_substitutes` reproduce the four series of the paper's Figure 2:
@@ -49,6 +48,38 @@ pub struct OptimizerStats {
     /// Substitute alternatives considered.
     pub substitute_alternatives: usize,
 }
+
+/// A violated optimizer invariant — the typed form of what used to be a
+/// panic deep inside plan construction, named after the `mv-verify`
+/// analyzer rule that covers the same condition.
+#[derive(Debug, Clone)]
+pub struct PlanInvariant {
+    /// Analyzer rule code (MV017, plan-invariant).
+    pub rule: &'static str,
+    /// Description of the violation.
+    pub detail: String,
+}
+
+impl PlanInvariant {
+    fn new(detail: String) -> Self {
+        PlanInvariant {
+            rule: "MV017",
+            detail,
+        }
+    }
+}
+
+impl fmt::Display for PlanInvariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] plan invariant violated: {}",
+            self.rule, self.detail
+        )
+    }
+}
+
+impl std::error::Error for PlanInvariant {}
 
 /// The result of optimization.
 #[derive(Debug, Clone)]
@@ -132,19 +163,45 @@ fn index_seek_factor(view: &mv_plan::ViewDef, predicates: &[BoolExpr]) -> f64 {
 }
 
 /// Position of a column in a layout.
-fn pos_in(layout: &[ColRef], c: ColRef) -> usize {
+fn pos_in(layout: &[ColRef], c: ColRef) -> Result<usize, PlanInvariant> {
     layout
         .binary_search(&c)
-        .unwrap_or_else(|_| panic!("column {c} missing from layout {layout:?}"))
+        .map_err(|_| PlanInvariant::new(format!("column {c} missing from layout {layout:?}")))
 }
 
 /// Rewrite an expression's columns to positions in `layout` (occ 0).
-fn scalar_to_layout(e: &ScalarExpr, layout: &[ColRef]) -> ScalarExpr {
-    e.map_columns(&mut |c| ColRef::new(0, pos_in(layout, c) as u32))
+fn scalar_to_layout(e: &ScalarExpr, layout: &[ColRef]) -> Result<ScalarExpr, PlanInvariant> {
+    let mut missing = None;
+    e.try_map_columns(&mut |c| match layout.binary_search(&c) {
+        Ok(p) => Some(ColRef::new(0, p as u32)),
+        Err(_) => {
+            missing = Some(c);
+            None
+        }
+    })
+    .ok_or_else(|| {
+        PlanInvariant::new(format!(
+            "column {} missing from layout {layout:?}",
+            missing.expect("recorded on failure")
+        ))
+    })
 }
 
-fn bool_to_layout(e: &BoolExpr, layout: &[ColRef]) -> BoolExpr {
-    e.map_columns(&mut |c| ColRef::new(0, pos_in(layout, c) as u32))
+fn bool_to_layout(e: &BoolExpr, layout: &[ColRef]) -> Result<BoolExpr, PlanInvariant> {
+    let mut missing = None;
+    e.try_map_columns(&mut |c| match layout.binary_search(&c) {
+        Ok(p) => Some(ColRef::new(0, p as u32)),
+        Err(_) => {
+            missing = Some(c);
+            None
+        }
+    })
+    .ok_or_else(|| {
+        PlanInvariant::new(format!(
+            "column {} missing from layout {layout:?}",
+            missing.expect("recorded on failure")
+        ))
+    })
 }
 
 impl<E: Borrow<MatchingEngine>> Optimizer<E> {
@@ -159,35 +216,62 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         self.engine.borrow()
     }
 
-    /// Optimize one SPJG block into a physical plan.
+    /// Optimize one SPJG block into a physical plan. Panics on a violated
+    /// internal invariant; use [`Optimizer::try_optimize`] to handle those
+    /// as typed [`PlanInvariant`] errors instead.
     pub fn optimize(&self, query: &SpjgExpr) -> Optimized {
-        assert!(
-            !query.tables.is_empty(),
-            "queries must reference at least one table"
-        );
+        self.try_optimize(query).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Optimize one SPJG block into a physical plan, reporting violated
+    /// internal invariants (a column missing from a derived layout, a
+    /// subset with no plan) as [`PlanInvariant`] errors.
+    pub fn try_optimize(&self, query: &SpjgExpr) -> Result<Optimized, PlanInvariant> {
+        if query.tables.is_empty() {
+            return Err(PlanInvariant::new(
+                "queries must reference at least one table".to_string(),
+            ));
+        }
         let info = BlockInfo::new(query);
         let mut stats = OptimizerStats::default();
         let mut memo: HashMap<Subset, Group> = HashMap::new();
 
         for s in info.connected_subsets() {
-            let group = self.optimize_subset(&info, s, &memo, &mut stats);
+            let group = self.optimize_subset(&info, s, &memo, &mut stats)?;
             memo.insert(s, group);
         }
         stats.groups = memo.len();
 
         // Disconnected queries (cross products) are glued together with
         // nested-loop joins over the connected components.
-        let top = self.glue_components(&info, &mut memo, &mut stats);
+        let top = self.glue_components(&info, &mut memo, &mut stats)?;
 
         let optimized = if query.is_aggregate() {
-            self.finish_aggregate(&info, top, &memo, &mut stats)
+            self.finish_aggregate(&info, top, &memo, &mut stats)?
         } else {
-            self.finish_spj(&info, top, &memo, &mut stats)
+            self.finish_spj(&info, top, &memo, &mut stats)?
         };
-        Optimized {
-            stats,
-            ..optimized
+        // Debug-mode oracle: the independent plan analyzer re-checks every
+        // column reference, join key, and aggregate argument of the winning
+        // plan against its input arities. Compiled out of release builds.
+        #[cfg(debug_assertions)]
+        {
+            let diags = mv_verify::verify_plan(
+                self.engine().catalog(),
+                self.engine().views(),
+                &optimized.plan,
+            );
+            assert!(
+                diags.is_empty(),
+                "mv-verify rejected the optimized plan:\n{}",
+                diags
+                    .iter()
+                    .map(|d| d.to_json())
+                    .collect::<Vec<_>>()
+                    .join("\n"),
+            );
         }
+        Ok(Optimized { stats, ..optimized })
     }
 
     /// Ensure a group exists covering all occurrences; returns its subset
@@ -197,9 +281,9 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         info: &BlockInfo,
         memo: &mut HashMap<Subset, Group>,
         stats: &mut OptimizerStats,
-    ) -> Subset {
+    ) -> Result<Subset, PlanInvariant> {
         if memo.contains_key(&info.all) {
-            return info.all;
+            return Ok(info.all);
         }
         // Combine the maximal connected components with cross joins.
         let mut components: Vec<Subset> = memo.keys().copied().collect();
@@ -222,9 +306,9 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
             let mut exprs = Vec::with_capacity(layout.len());
             for &col in &layout {
                 let pos = if a.layout.contains(&col) {
-                    pos_in(&a.layout, col)
+                    pos_in(&a.layout, col)?
                 } else {
-                    a.layout.len() + pos_in(&b.layout, col)
+                    a.layout.len() + pos_in(&b.layout, col)?
                 };
                 exprs.push(ScalarExpr::Column(ColRef::new(0, pos as u32)));
             }
@@ -236,8 +320,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
                 }),
                 exprs,
             };
-            let cost =
-                a.cost + b.cost + self.config.cost.nested_loop(a.rows, b.rows);
+            let cost = a.cost + b.cost + self.config.cost.nested_loop(a.rows, b.rows);
             stats.alternatives += 1;
             memo.insert(
                 combined,
@@ -250,7 +333,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
             );
             acc = combined;
         }
-        acc
+        Ok(acc)
     }
 
     /// The SPJ block for a subset: its tables (occurrences reindexed
@@ -365,7 +448,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         s: Subset,
         memo: &HashMap<Subset, Group>,
         stats: &mut OptimizerStats,
-    ) -> Group {
+    ) -> Result<Group, PlanInvariant> {
         let (block, layout) = self.subset_block(info, s);
         let rows = card::estimate_spj_rows(&block, self.engine().catalog());
         let mut best: Option<(f64, PhysicalPlan)> = None;
@@ -400,7 +483,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
                 .covered(s)
                 .into_iter()
                 .map(|i| bool_to_layout(&info.expr.conjuncts[i].to_bool(), &scan_layout))
-                .collect();
+                .collect::<Result<_, _>>()?;
             if !local.is_empty() {
                 plan = PhysicalPlan::Filter {
                     input: Box::new(plan),
@@ -410,8 +493,13 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
             }
             let exprs = layout
                 .iter()
-                .map(|&c| ScalarExpr::Column(ColRef::new(0, pos_in(&scan_layout, c) as u32)))
-                .collect();
+                .map(|&c| {
+                    Ok(ScalarExpr::Column(ColRef::new(
+                        0,
+                        pos_in(&scan_layout, c)? as u32,
+                    )))
+                })
+                .collect::<Result<_, PlanInvariant>>()?;
             plan = PhysicalPlan::Project {
                 input: Box::new(plan),
                 exprs,
@@ -425,8 +513,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
                 let b = s & !a;
                 if info.connected(a) && info.connected(b) {
                     if let (Some(ga), Some(gb)) = (memo.get(&a), memo.get(&b)) {
-                        let (cost, plan) =
-                            self.join_plan(info, a, b, ga, gb, &layout, rows);
+                        let (cost, plan) = self.join_plan(info, a, b, ga, gb, &layout, rows)?;
                         consider(cost, plan, stats);
                     }
                 }
@@ -446,13 +533,17 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
             }
         }
 
-        let (cost, plan) = best.expect("every connected subset has at least one plan");
-        Group {
+        let (cost, plan) = best.ok_or_else(|| {
+            PlanInvariant::new(format!(
+                "connected subset {s:#b} produced no plan alternative"
+            ))
+        })?;
+        Ok(Group {
             layout,
             rows,
             cost,
             plan,
-        }
+        })
     }
 
     /// A join alternative for `s = a | b`.
@@ -466,13 +557,13 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         gb: &Group,
         layout: &[ColRef],
         out_rows: f64,
-    ) -> (f64, PhysicalPlan) {
+    ) -> Result<(f64, PhysicalPlan), PlanInvariant> {
         // Concatenated layout position of a column.
-        let concat_pos = |c: ColRef| {
+        let concat_pos = |c: ColRef| -> Result<usize, PlanInvariant> {
             if a & (1 << c.occ.0) != 0 {
                 pos_in(&ga.layout, c)
             } else {
-                ga.layout.len() + pos_in(&gb.layout, c)
+                Ok(ga.layout.len() + pos_in(&gb.layout, c)?)
             }
         };
         let mut left_keys = Vec::new();
@@ -488,15 +579,24 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
                     } else {
                         (*y, *x)
                     };
-                    left_keys.push(pos_in(&ga.layout, l));
-                    right_keys.push(pos_in(&gb.layout, r));
+                    left_keys.push(pos_in(&ga.layout, l)?);
+                    right_keys.push(pos_in(&gb.layout, r)?);
                 }
                 other => {
-                    residual.push(
-                        other
-                            .to_bool()
-                            .map_columns(&mut |c| ColRef::new(0, concat_pos(c) as u32)),
-                    );
+                    let mut err = None;
+                    let mapped = other
+                        .to_bool()
+                        .try_map_columns(&mut |c| match concat_pos(c) {
+                            Ok(p) => Some(ColRef::new(0, p as u32)),
+                            Err(e) => {
+                                err = Some(e);
+                                None
+                            }
+                        });
+                    match mapped {
+                        Some(b) => residual.push(b),
+                        None => return Err(err.expect("recorded on failure")),
+                    }
                 }
             }
         }
@@ -528,14 +628,14 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         };
         let exprs = layout
             .iter()
-            .map(|&c| ScalarExpr::Column(ColRef::new(0, concat_pos(c) as u32)))
-            .collect();
+            .map(|&c| Ok(ScalarExpr::Column(ColRef::new(0, concat_pos(c)? as u32))))
+            .collect::<Result<_, PlanInvariant>>()?;
         let plan = PhysicalPlan::Project {
             input: Box::new(join),
             exprs,
         };
         let cost = ga.cost + gb.cost + join_cost + self.config.cost.project(out_rows);
-        (cost, plan)
+        Ok((cost, plan))
     }
 
     /// Final plan for an SPJ query: project the top group onto the query's
@@ -547,7 +647,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         top: Subset,
         memo: &HashMap<Subset, Group>,
         stats: &mut OptimizerStats,
-    ) -> Optimized {
+    ) -> Result<Optimized, PlanInvariant> {
         let g = &memo[&top];
         let OutputList::Spj(items) = &info.expr.output else {
             unreachable!("finish_spj on aggregate")
@@ -555,7 +655,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         let exprs = items
             .iter()
             .map(|ne| scalar_to_layout(&ne.expr, &g.layout))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let mut best_cost = g.cost + self.config.cost.project(g.rows);
         let mut best_plan = PhysicalPlan::Project {
             input: Box::new(g.plan.clone()),
@@ -575,12 +675,12 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
                 }
             }
         }
-        Optimized {
+        Ok(Optimized {
             plan: best_plan,
             cost: best_cost,
             rows: g.rows,
             stats: OptimizerStats::default(),
-        }
+        })
     }
 
     /// Final plan for an aggregation query: plain aggregation of the top
@@ -593,7 +693,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         top: Subset,
         memo: &HashMap<Subset, Group>,
         stats: &mut OptimizerStats,
-    ) -> Optimized {
+    ) -> Result<Optimized, PlanInvariant> {
         let g = &memo[&top];
         let OutputList::Aggregate {
             group_by,
@@ -608,15 +708,17 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         let gb_exprs: Vec<ScalarExpr> = group_by
             .iter()
             .map(|ne| scalar_to_layout(&ne.expr, &g.layout))
-            .collect();
+            .collect::<Result<_, _>>()?;
         let agg_funcs: Vec<AggFunc> = aggregates
             .iter()
-            .map(|na| match &na.func {
-                AggFunc::CountStar => AggFunc::CountStar,
-                AggFunc::Sum(e) => AggFunc::Sum(scalar_to_layout(e, &g.layout)),
-                AggFunc::SumZero(e) => AggFunc::SumZero(scalar_to_layout(e, &g.layout)),
+            .map(|na| {
+                Ok(match &na.func {
+                    AggFunc::CountStar => AggFunc::CountStar,
+                    AggFunc::Sum(e) => AggFunc::Sum(scalar_to_layout(e, &g.layout)?),
+                    AggFunc::SumZero(e) => AggFunc::SumZero(scalar_to_layout(e, &g.layout)?),
+                })
             })
-            .collect();
+            .collect::<Result<_, PlanInvariant>>()?;
         let mut best_cost = g.cost + self.config.cost.aggregate(g.rows, final_rows);
         let mut best_plan = PhysicalPlan::HashAggregate {
             input: Box::new(g.plan.clone()),
@@ -661,12 +763,12 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
             }
         }
 
-        Optimized {
+        Ok(Optimized {
             plan: best_plan,
             cost: best_cost,
             rows: final_rows,
             stats: OptimizerStats::default(),
-        }
+        })
     }
 
     /// Build the eager pre-aggregation alternative for the partition
@@ -718,10 +820,8 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
                     .any(|(conj, &m)| m & !s != 0 && conj.columns().contains(c))
             })
             .collect();
-        let mut pre_gb: Vec<ScalarExpr> = join_cols
-            .iter()
-            .map(|&c| ScalarExpr::Column(c))
-            .collect();
+        let mut pre_gb: Vec<ScalarExpr> =
+            join_cols.iter().map(|&c| ScalarExpr::Column(c)).collect();
         for ne in group_by {
             if in_side(&ne.expr.columns(), s) && !pre_gb.contains(&ne.expr) {
                 pre_gb.push(ne.expr.clone());
@@ -778,24 +878,30 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         };
         let pre_groups = card::estimate_rows(&pre_block, self.engine().catalog());
 
-        // Physical pre-aggregation over the subset's best plan.
+        // Physical pre-aggregation over the subset's best plan. A layout
+        // miss here (like any other `None` in this function) withdraws the
+        // alternative; the surviving plan is still invariant-checked in
+        // debug builds.
+        let pre_gb_phys: Vec<ScalarExpr> = pre_gb
+            .iter()
+            .map(|e| scalar_to_layout(e, &gs.layout).ok())
+            .collect::<Option<_>>()?;
+        let pre_agg_phys: Vec<AggFunc> = pre_aggs
+            .iter()
+            .map(|f| {
+                Some(match f {
+                    AggFunc::CountStar => AggFunc::CountStar,
+                    AggFunc::Sum(e) => AggFunc::Sum(scalar_to_layout(e, &gs.layout).ok()?),
+                    AggFunc::SumZero(e) => AggFunc::SumZero(scalar_to_layout(e, &gs.layout).ok()?),
+                })
+            })
+            .collect::<Option<_>>()?;
         let mut pre_plan = PhysicalPlan::HashAggregate {
             input: Box::new(gs.plan.clone()),
-            group_by: pre_gb
-                .iter()
-                .map(|e| scalar_to_layout(e, &gs.layout))
-                .collect(),
-            aggregates: pre_aggs
-                .iter()
-                .map(|f| match f {
-                    AggFunc::CountStar => AggFunc::CountStar,
-                    AggFunc::Sum(e) => AggFunc::Sum(scalar_to_layout(e, &gs.layout)),
-                    AggFunc::SumZero(e) => AggFunc::SumZero(scalar_to_layout(e, &gs.layout)),
-                })
-                .collect(),
+            group_by: pre_gb_phys,
+            aggregates: pre_agg_phys,
         };
-        let mut pre_cost =
-            gs.cost + self.config.cost.aggregate(gs.rows, pre_groups);
+        let mut pre_cost = gs.cost + self.config.cost.aggregate(gs.rows, pre_groups);
 
         // The view-matching rule on the pre-aggregated block (Example 4).
         if self.config.use_views {
@@ -839,14 +945,14 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
                         (*y, *x)
                     };
                     left_keys.push(pre_pos(sc)?);
-                    right_keys.push(pos_in(&gr.layout, rc));
+                    right_keys.push(pos_in(&gr.layout, rc).ok()?);
                 }
                 other => {
                     let mapped = other.to_bool().try_map_columns(&mut |c| {
                         let pos = if s & (1 << c.occ.0) != 0 {
                             pre_pos(c)?
                         } else {
-                            pre_width + pos_in(&gr.layout, c)
+                            pre_width + pos_in(&gr.layout, c).ok()?
                         };
                         Some(ColRef::new(0, pos as u32))
                     })?;
@@ -889,7 +995,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
                 let pos = if s & (1 << c.occ.0) != 0 {
                     pre_pos(c)?
                 } else {
-                    pre_width + pos_in(&gr.layout, c)
+                    pre_width + pos_in(&gr.layout, c).ok()?
                 };
                 Some(ColRef::new(0, pos as u32))
             })
@@ -925,10 +1031,8 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
             group_by: final_gb,
             aggregates: final_aggs,
         };
-        let cost = pre_cost
-            + gr.cost
-            + join_cost
-            + self.config.cost.aggregate(join_rows, final_rows);
+        let cost =
+            pre_cost + gr.cost + join_cost + self.config.cost.aggregate(join_rows, final_rows);
         Some((cost, plan))
     }
 }
@@ -964,6 +1068,17 @@ mod tests {
 
     fn range_pred(pos: u32) -> BoolExpr {
         BoolExpr::cmp(S::col(ColRef::new(0, pos)), CmpOp::Lt, S::lit(5i64))
+    }
+
+    #[test]
+    fn try_optimize_rejects_empty_queries() {
+        let (cat, _) = tpch_catalog();
+        let engine = MatchingEngine::new(cat, mv_core::MatchConfig::default());
+        let opt = Optimizer::new(&engine, OptimizerConfig::default());
+        let empty = SpjgExpr::spj(vec![], BoolExpr::Literal(true), vec![]);
+        let err = opt.try_optimize(&empty).unwrap_err();
+        assert_eq!(err.rule, "MV017");
+        assert!(err.to_string().contains("at least one table"), "{err}");
     }
 
     #[test]

@@ -55,10 +55,9 @@ fn interval_selectivity(stats: Option<&ColumnStats>, iv: &Interval) -> f64 {
         return DEFAULT_RESIDUAL_SELECTIVITY;
     };
     // Point interval: equality selectivity.
-    if iv.lo == iv.hi
-        && matches!(iv.lo, Bound::Incl(_)) {
-            return stats.eq_selectivity();
-        }
+    if iv.lo == iv.hi && matches!(iv.lo, Bound::Incl(_)) {
+        return stats.eq_selectivity();
+    }
     let lo = iv.lo.value().cloned().unwrap_or_else(|| stats.min.clone());
     let hi = iv.hi.value().cloned().unwrap_or_else(|| stats.max.clone());
     stats

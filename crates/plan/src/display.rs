@@ -94,7 +94,12 @@ pub fn sql_of(expr: &SpjgExpr, catalog: &Catalog) -> String {
                 if i > 0 {
                     out.push_str(", ");
                 }
-                let _ = write!(out, "{} AS {}", render_scalar(&item.expr, &namer), item.name);
+                let _ = write!(
+                    out,
+                    "{} AS {}",
+                    render_scalar(&item.expr, &namer),
+                    item.name
+                );
             }
         }
         OutputList::Aggregate {
@@ -107,7 +112,12 @@ pub fn sql_of(expr: &SpjgExpr, catalog: &Catalog) -> String {
                     out.push_str(", ");
                 }
                 first = false;
-                let _ = write!(out, "{} AS {}", render_scalar(&item.expr, &namer), item.name);
+                let _ = write!(
+                    out,
+                    "{} AS {}",
+                    render_scalar(&item.expr, &namer),
+                    item.name
+                );
             }
             for agg in aggregates {
                 if !first {
@@ -198,7 +208,12 @@ pub fn sql_of_substitute_with(
             }
             None => {
                 let start = names.len();
-                let max_col = bj.key.iter().map(|(_, c)| c.0 as usize + 1).max().unwrap_or(0);
+                let max_col = bj
+                    .key
+                    .iter()
+                    .map(|(_, c)| c.0 as usize + 1)
+                    .max()
+                    .unwrap_or(0);
                 // Without a catalog we do not know the arity; reserve
                 // generously using the largest key column plus headroom.
                 for i in 0..max_col.max(32) {
@@ -220,7 +235,12 @@ pub fn sql_of_substitute_with(
                 if i > 0 {
                     out.push_str(", ");
                 }
-                let _ = write!(out, "{} AS {}", render_scalar(&item.expr, &namer), item.name);
+                let _ = write!(
+                    out,
+                    "{} AS {}",
+                    render_scalar(&item.expr, &namer),
+                    item.name
+                );
             }
         }
         OutputList::Aggregate {
@@ -233,7 +253,12 @@ pub fn sql_of_substitute_with(
                     out.push_str(", ");
                 }
                 first = false;
-                let _ = write!(out, "{} AS {}", render_scalar(&item.expr, &namer), item.name);
+                let _ = write!(
+                    out,
+                    "{} AS {}",
+                    render_scalar(&item.expr, &namer),
+                    item.name
+                );
             }
             for agg in aggregates {
                 if !first {

@@ -112,7 +112,11 @@ impl PhysicalPlan {
 
     /// Number of operators in the tree.
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     fn fmt_indented(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {

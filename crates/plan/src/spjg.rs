@@ -358,10 +358,7 @@ mod tests {
     fn referenced_columns_deduplicated() {
         let e = sample_spj();
         let cols = e.referenced_columns();
-        assert_eq!(
-            cols,
-            vec![cr(0, 0), cr(1, 0), cr(1, 1), cr(0, 1), cr(0, 4)]
-        );
+        assert_eq!(cols, vec![cr(0, 0), cr(1, 0), cr(1, 1), cr(0, 1), cr(0, 4)]);
     }
 
     #[test]

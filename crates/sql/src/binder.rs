@@ -51,10 +51,7 @@ fn bind_select(select: AstSelect, catalog: &Catalog) -> Result<SpjgExpr, SqlErro
         for b in &from[i + 1..] {
             if a.label == b.label {
                 return Err(SqlError::new(
-                    format!(
-                        "duplicate table label {} — alias repeated tables",
-                        a.label
-                    ),
+                    format!("duplicate table label {} — alias repeated tables", a.label),
                     0,
                 ));
             }
@@ -128,9 +125,9 @@ fn bind_select(select: AstSelect, catalog: &Catalog) -> Result<SpjgExpr, SqlErro
                         ))
                     }
                 };
-                let name = alias.clone().ok_or_else(|| {
-                    SqlError::new("aggregate outputs must be named with AS", 0)
-                })?;
+                let name = alias
+                    .clone()
+                    .ok_or_else(|| SqlError::new("aggregate outputs must be named with AS", 0))?;
                 aggregates.push(NamedAgg::new(func, name));
             }
         }
@@ -164,25 +161,21 @@ impl<'a> Binder<'a> {
         }
     }
 
-    fn resolve_column(
-        &self,
-        qualifier: &Option<String>,
-        name: &str,
-    ) -> Result<ColRef, SqlError> {
+    fn resolve_column(&self, qualifier: &Option<String>, name: &str) -> Result<ColRef, SqlError> {
         match qualifier {
             Some(q) => {
                 let entry = self
                     .from
                     .iter()
-                    .find(|f| f.label == *q || (!f.aliased && self.catalog.table(f.table).name == *q))
+                    .find(|f| {
+                        f.label == *q || (!f.aliased && self.catalog.table(f.table).name == *q)
+                    })
                     .ok_or_else(|| SqlError::new(format!("unknown table or alias {q}"), 0))?;
                 let (col, _) = self
                     .catalog
                     .table(entry.table)
                     .column_by_name(name)
-                    .ok_or_else(|| {
-                        SqlError::new(format!("unknown column {q}.{name}"), 0)
-                    })?;
+                    .ok_or_else(|| SqlError::new(format!("unknown column {q}.{name}"), 0))?;
                 Ok(ColRef {
                     occ: entry.occ,
                     col,
@@ -191,13 +184,9 @@ impl<'a> Binder<'a> {
             None => {
                 let mut found: Option<ColRef> = None;
                 for entry in &self.from {
-                    if let Some((col, _)) = self.catalog.table(entry.table).column_by_name(name)
-                    {
+                    if let Some((col, _)) = self.catalog.table(entry.table).column_by_name(name) {
                         if found.is_some() {
-                            return Err(SqlError::new(
-                                format!("ambiguous column {name}"),
-                                0,
-                            ));
+                            return Err(SqlError::new(format!("ambiguous column {name}"), 0));
                         }
                         found = Some(ColRef {
                             occ: entry.occ,
@@ -219,8 +208,8 @@ impl<'a> Binder<'a> {
             AstScalar::Float(v) => ScalarExpr::Literal(Value::Float(*v)),
             AstScalar::Str(s) => ScalarExpr::Literal(Value::Str(s.clone())),
             AstScalar::DateLit(d) => {
-                let days = parse_date(d)
-                    .ok_or_else(|| SqlError::new(format!("invalid date {d}"), 0))?;
+                let days =
+                    parse_date(d).ok_or_else(|| SqlError::new(format!("invalid date {d}"), 0))?;
                 ScalarExpr::Literal(Value::Date(days))
             }
             AstScalar::Binary { op, left, right } => ScalarExpr::Binary {
@@ -381,13 +370,11 @@ mod tests {
             panic!()
         };
         assert!(matches!(value, Value::Date(_)));
-        assert!(
-            parse_query(
-                "select l_orderkey from lineitem where l_shipdate >= DATE '1994-13-01'",
-                &cat
-            )
-            .is_err()
-        );
+        assert!(parse_query(
+            "select l_orderkey from lineitem where l_shipdate >= DATE '1994-13-01'",
+            &cat
+        )
+        .is_err());
     }
 
     #[test]
@@ -412,10 +399,11 @@ mod tests {
         )
         .is_err());
         // Unnamed aggregate: error.
-        assert!(
-            parse_query("select o_custkey, count_big(*) from orders group by o_custkey", &cat)
-                .is_err()
-        );
+        assert!(parse_query(
+            "select o_custkey, count_big(*) from orders group by o_custkey",
+            &cat
+        )
+        .is_err());
         // AVG: rejected with guidance.
         let err = parse_query(
             "select o_custkey, avg(o_totalprice) as a from orders group by o_custkey",
@@ -454,7 +442,10 @@ mod tests {
         .unwrap();
         assert!(matches!(
             &q.conjuncts[0],
-            Conjunct::Range { value: Value::Int(-500), .. }
+            Conjunct::Range {
+                value: Value::Int(-500),
+                ..
+            }
         ));
     }
 

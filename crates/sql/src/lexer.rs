@@ -60,68 +60,116 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 }
             }
             '(' => {
-                out.push(Spanned { token: Token::LParen, offset: start });
+                out.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { token: Token::RParen, offset: start });
+                out.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { token: Token::Comma, offset: start });
+                out.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { token: Token::Dot, offset: start });
+                out.push(Spanned {
+                    token: Token::Dot,
+                    offset: start,
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { token: Token::Star, offset: start });
+                out.push(Spanned {
+                    token: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { token: Token::Plus, offset: start });
+                out.push(Spanned {
+                    token: Token::Plus,
+                    offset: start,
+                });
                 i += 1;
             }
             '-' => {
-                out.push(Spanned { token: Token::Minus, offset: start });
+                out.push(Spanned {
+                    token: Token::Minus,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                out.push(Spanned { token: Token::Slash, offset: start });
+                out.push(Spanned {
+                    token: Token::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { token: Token::Semicolon, offset: start });
+                out.push(Spanned {
+                    token: Token::Semicolon,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                out.push(Spanned { token: Token::Eq, offset: start });
+                out.push(Spanned {
+                    token: Token::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::Le, offset: start });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Spanned { token: Token::Ne, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Lt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Lt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::Ge, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    out.push(Spanned { token: Token::Gt, offset: start });
+                    out.push(Spanned {
+                        token: Token::Gt,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '!' if i + 1 < bytes.len() && bytes[i + 1] == b'=' => {
-                out.push(Spanned { token: Token::Ne, offset: start });
+                out.push(Spanned {
+                    token: Token::Ne,
+                    offset: start,
+                });
                 i += 2;
             }
             '\'' => {
@@ -144,7 +192,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                         i += 1;
                     }
                 }
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let mut end = i;
@@ -162,15 +213,20 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 }
                 let text = &input[i..end];
                 let token = if is_float {
-                    Token::Float(text.parse().map_err(|_| {
-                        SqlError::new(format!("invalid number {text}"), start)
-                    })?)
+                    Token::Float(
+                        text.parse()
+                            .map_err(|_| SqlError::new(format!("invalid number {text}"), start))?,
+                    )
                 } else {
-                    Token::Int(text.parse().map_err(|_| {
-                        SqlError::new(format!("invalid number {text}"), start)
-                    })?)
+                    Token::Int(
+                        text.parse()
+                            .map_err(|_| SqlError::new(format!("invalid number {text}"), start))?,
+                    )
                 };
-                out.push(Spanned { token, offset: start });
+                out.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = end;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -187,7 +243,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, SqlError> {
                 i = end;
             }
             other => {
-                return Err(SqlError::new(format!("unexpected character {other:?}"), start));
+                return Err(SqlError::new(
+                    format!("unexpected character {other:?}"),
+                    start,
+                ));
             }
         }
     }

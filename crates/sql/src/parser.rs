@@ -108,9 +108,30 @@ pub enum AstStatement {
 
 /// Keywords that terminate an expression and must not be taken as aliases.
 const RESERVED: &[&str] = &[
-    "select", "from", "where", "group", "by", "and", "or", "not", "like", "between", "is",
-    "null", "as", "create", "view", "with", "schemabinding", "sum", "count", "count_big",
-    "avg", "date", "order", "having",
+    "select",
+    "from",
+    "where",
+    "group",
+    "by",
+    "and",
+    "or",
+    "not",
+    "like",
+    "between",
+    "is",
+    "null",
+    "as",
+    "create",
+    "view",
+    "with",
+    "schemabinding",
+    "sum",
+    "count",
+    "count_big",
+    "avg",
+    "date",
+    "order",
+    "having",
 ];
 
 struct Parser<'a> {
@@ -579,8 +600,7 @@ mod tests {
 
     #[test]
     fn boolean_parentheses_and_precedence() {
-        let AstStatement::Select(s) =
-            parse_ok("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        let AstStatement::Select(s) = parse_ok("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3")
         else {
             panic!()
         };
@@ -593,8 +613,7 @@ mod tests {
     #[test]
     fn scalar_parentheses_in_comparison() {
         // The '(' here must backtrack to a scalar reading.
-        let AstStatement::Select(s) = parse_ok("SELECT a FROM t WHERE (a + b) * 2 > 10")
-        else {
+        let AstStatement::Select(s) = parse_ok("SELECT a FROM t WHERE (a + b) * 2 > 10") else {
             panic!()
         };
         assert!(matches!(s.where_clause.unwrap(), AstBool::Cmp { .. }));
@@ -609,7 +628,12 @@ mod tests {
             panic!()
         };
         // a + (b * c)
-        let AstScalar::Binary { op: BinOp::Add, right, .. } = expr else {
+        let AstScalar::Binary {
+            op: BinOp::Add,
+            right,
+            ..
+        } = expr
+        else {
             panic!("expected + at the top, got {expr:?}")
         };
         assert!(matches!(**right, AstScalar::Binary { op: BinOp::Mul, .. }));
@@ -617,9 +641,9 @@ mod tests {
 
     #[test]
     fn aliases_and_qualified_columns() {
-        let AstStatement::Select(s) =
-            parse_ok("SELECT l.l_orderkey AS k FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey")
-        else {
+        let AstStatement::Select(s) = parse_ok(
+            "SELECT l.l_orderkey AS k FROM lineitem l, orders o WHERE l.l_orderkey = o.o_orderkey",
+        ) else {
             panic!()
         };
         assert_eq!(s.from[0].alias.as_deref(), Some("l"));
@@ -652,7 +676,10 @@ mod tests {
         ));
         assert!(matches!(
             &parts[1],
-            AstBool::Cmp { right: AstScalar::Neg(_), .. }
+            AstBool::Cmp {
+                right: AstScalar::Neg(_),
+                ..
+            }
         ));
     }
 

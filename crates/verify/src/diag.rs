@@ -1,0 +1,354 @@
+//! The diagnostics framework: rule identifiers, severities, span-like
+//! context naming the view/query/conjunct a finding refers to, and a
+//! machine-readable JSON rendering for `mv-lint`.
+
+use std::fmt;
+
+/// Analyzer rules. Each rule independently re-derives one of the paper's
+/// soundness conditions (section references are to Goldstein & Larson,
+/// SIGMOD 2001); the analyzer shares no logic with the matcher, so a rule
+/// firing on matcher output means one of the two is wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RuleId {
+    /// MV001 — a column reference is outside the catalog's bounds for its
+    /// table, or a substitute references a column position past the end of
+    /// the view-output + backjoin column space.
+    ColumnBounds,
+    /// MV002 — an equivalence class pins a column to two different
+    /// constants, or equates columns of incomparable types (§3.1.1).
+    EcContradiction,
+    /// MV003 — the range conjunction on some equivalence class is
+    /// unsatisfiable (`Interval::is_empty` after intersection).
+    EmptyRange,
+    /// MV004 — the substitute's table mapping is broken: the query's table
+    /// multiset is not covered by the view's (§3.1).
+    TableCorrespondence,
+    /// MV005 — equijoin subsumption (§3.1.2): the view enforces a column
+    /// equality the query does not imply, so the view is missing rows.
+    EquijoinSubsumption,
+    /// MV006 — equijoin compensation (§3.1.3): a query column equality is
+    /// enforced neither by the view nor by a compensating predicate, or a
+    /// compensating equality is stronger than anything the query implies.
+    EquijoinCompensation,
+    /// MV007 — range subsumption (§3.1.2): the view's range on some
+    /// equivalence class does not contain the query's effective range.
+    RangeSubsumption,
+    /// MV008 — range compensation (§3.1.3): view range ∩ compensating
+    /// range differs from the query's range on some class — a dropped,
+    /// contradictory, or over-strong compensating conjunct.
+    RangeCompensation,
+    /// MV009 — residual subsumption (§3.1.2): a view residual predicate
+    /// matches no query residual, so the view may be missing rows.
+    ResidualSubsumption,
+    /// MV010 — residual compensation (§3.1.3): a query residual is neither
+    /// enforced by the view nor reapplied as a compensating predicate, or
+    /// a compensating residual matches nothing the query asked for.
+    ResidualCompensation,
+    /// MV011 — output mapping (§3.1.4): a substitute output expression is
+    /// not equivalent to the query output it stands in for, or an output
+    /// cannot be computed from the view's outputs.
+    OutputMapping,
+    /// MV012 — a substitute column position does not expand to a view
+    /// output / backjoin column where one is required (e.g. a compensating
+    /// predicate over an aggregate output).
+    SubstituteColumn,
+    /// MV013 — foreign-key join elimination (§3.2): an unmapped view table
+    /// is not eliminable by a cardinality-preserving FK join re-derived
+    /// from catalog keys and null-rejection.
+    FkElimination,
+    /// MV014 — a backjoin (§7 index extension) does not re-join on a
+    /// non-null unique key equated to existing substitute columns.
+    BackjoinKey,
+    /// MV015 — aggregate rollup (§3.3): an invalid regrouping — COUNT not
+    /// rolled up as SUM, a SUM drawn from a non-matching view aggregate,
+    /// grouping compensation that is not a coarsening, or an SPJ query
+    /// answered from an aggregate view.
+    AggRollup,
+    /// MV016 — an aggregate view exposes no COUNT(*) output, so COUNT and
+    /// AVG rollups over it are impossible (§3.3).
+    AggViewNoCount,
+    /// MV017 — a plan-construction invariant reported by the optimizer's
+    /// typed error path instead of a panic.
+    PlanInvariant,
+    /// MV018 — executed-plan cross-check: the substitute's rows differ
+    /// from the query's rows on generated data (`mv-lint --exec-check`).
+    ExecMismatch,
+}
+
+impl RuleId {
+    /// Stable machine-readable code.
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::ColumnBounds => "MV001",
+            RuleId::EcContradiction => "MV002",
+            RuleId::EmptyRange => "MV003",
+            RuleId::TableCorrespondence => "MV004",
+            RuleId::EquijoinSubsumption => "MV005",
+            RuleId::EquijoinCompensation => "MV006",
+            RuleId::RangeSubsumption => "MV007",
+            RuleId::RangeCompensation => "MV008",
+            RuleId::ResidualSubsumption => "MV009",
+            RuleId::ResidualCompensation => "MV010",
+            RuleId::OutputMapping => "MV011",
+            RuleId::SubstituteColumn => "MV012",
+            RuleId::FkElimination => "MV013",
+            RuleId::BackjoinKey => "MV014",
+            RuleId::AggRollup => "MV015",
+            RuleId::AggViewNoCount => "MV016",
+            RuleId::PlanInvariant => "MV017",
+            RuleId::ExecMismatch => "MV018",
+        }
+    }
+
+    /// Short rule name, as listed in DESIGN.md §9.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::ColumnBounds => "column-bounds",
+            RuleId::EcContradiction => "ec-contradiction",
+            RuleId::EmptyRange => "empty-range",
+            RuleId::TableCorrespondence => "table-correspondence",
+            RuleId::EquijoinSubsumption => "equijoin-subsumption",
+            RuleId::EquijoinCompensation => "equijoin-compensation",
+            RuleId::RangeSubsumption => "range-subsumption",
+            RuleId::RangeCompensation => "range-compensation",
+            RuleId::ResidualSubsumption => "residual-subsumption",
+            RuleId::ResidualCompensation => "residual-compensation",
+            RuleId::OutputMapping => "output-mapping",
+            RuleId::SubstituteColumn => "substitute-column",
+            RuleId::FkElimination => "fk-elimination",
+            RuleId::BackjoinKey => "backjoin-key",
+            RuleId::AggRollup => "agg-rollup",
+            RuleId::AggViewNoCount => "agg-view-no-count",
+            RuleId::PlanInvariant => "plan-invariant",
+            RuleId::ExecMismatch => "exec-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for RuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({})", self.code(), self.name())
+    }
+}
+
+/// Severity policy: `Error` means the substitute (or expression) can
+/// produce wrong results; `Warning` means degenerate-but-legal (an empty
+/// range, a rollup-limiting view shape); `Info` is advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    Info,
+    Warning,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Span-like context: which artifact a diagnostic refers to. All fields
+/// optional; renderers skip empty ones.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Context {
+    /// View name (or id) involved, if any.
+    pub view: Option<String>,
+    /// Query label, if any.
+    pub query: Option<String>,
+    /// The conjunct, output item, or column the rule fired on.
+    pub detail: Option<String>,
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub rule: RuleId,
+    pub severity: Severity,
+    pub message: String,
+    pub context: Context,
+}
+
+impl Diagnostic {
+    pub fn new(rule: RuleId, severity: Severity, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity,
+            message: message.into(),
+            context: Context::default(),
+        }
+    }
+
+    pub fn error(rule: RuleId, message: impl Into<String>) -> Self {
+        Self::new(rule, Severity::Error, message)
+    }
+
+    pub fn warning(rule: RuleId, message: impl Into<String>) -> Self {
+        Self::new(rule, Severity::Warning, message)
+    }
+
+    pub fn with_view(mut self, view: impl Into<String>) -> Self {
+        self.context.view = Some(view.into());
+        self
+    }
+
+    pub fn with_query(mut self, query: impl Into<String>) -> Self {
+        self.context.query = Some(query.into());
+        self
+    }
+
+    pub fn with_detail(mut self, detail: impl Into<String>) -> Self {
+        self.context.detail = Some(detail.into());
+        self
+    }
+
+    /// Render as a JSON object (no serde in the workspace; diagnostics are
+    /// flat enough to emit by hand, like the bench records).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"rule\": \"{}\", \"name\": \"{}\", \"severity\": \"{}\", \"message\": {}",
+            self.rule.code(),
+            self.rule.name(),
+            self.severity,
+            json_string(&self.message)
+        );
+        if let Some(v) = &self.context.view {
+            out.push_str(&format!(", \"view\": {}", json_string(v)));
+        }
+        if let Some(q) = &self.context.query {
+            out.push_str(&format!(", \"query\": {}", json_string(q)));
+        }
+        if let Some(d) = &self.context.detail {
+            out.push_str(&format!(", \"detail\": {}", json_string(d)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.severity, self.rule, self.message)?;
+        if let Some(v) = &self.context.view {
+            write!(f, " [view {v}]")?;
+        }
+        if let Some(q) = &self.context.query {
+            write!(f, " [query {q}]")?;
+        }
+        if let Some(d) = &self.context.detail {
+            write!(f, " [{d}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A collection of diagnostics with severity tallies, renderable as a JSON
+/// report.
+#[derive(Debug, Clone, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    pub fn extend(&mut self, ds: impl IntoIterator<Item = Diagnostic>) {
+        self.diagnostics.extend(ds);
+    }
+
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Render the whole report as a JSON document.
+    pub fn to_json(&self, title: &str) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"report\": {},\n", json_string(title)));
+        out.push_str(&format!(
+            "  \"errors\": {},\n  \"warnings\": {},\n  \"infos\": {},\n",
+            self.count(Severity::Error),
+            self.count(Severity::Warning),
+            self.count(Severity::Info)
+        ));
+        out.push_str("  \"diagnostics\": [\n");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            out.push_str("    ");
+            out.push_str(&d.to_json());
+            if i + 1 < self.diagnostics.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_rendering_escapes() {
+        let d = Diagnostic::error(RuleId::RangeSubsumption, "bad \"range\"")
+            .with_view("v1")
+            .with_detail("line\nbreak");
+        let j = d.to_json();
+        assert!(j.contains("\\\"range\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("MV007"));
+    }
+
+    #[test]
+    fn report_tallies() {
+        let mut r = Report::new();
+        r.push(Diagnostic::error(RuleId::ColumnBounds, "x"));
+        r.push(Diagnostic::warning(RuleId::EmptyRange, "y"));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Warning), 1);
+        let json = r.to_json("test");
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\"warnings\": 1"));
+    }
+}

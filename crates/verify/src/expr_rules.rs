@@ -1,0 +1,136 @@
+//! Expression-level rules: checks on a single `SpjgExpr` (a query or a
+//! view definition) independent of any substitute.
+
+use crate::analysis::{checks_of_expr, ec_of, out_of_bounds_columns, Profile, RangeState};
+use crate::diag::{Diagnostic, RuleId};
+use mv_catalog::{Catalog, TableId, Value};
+use mv_expr::{CmpOp, Conjunct};
+use mv_plan::SpjgExpr;
+use std::collections::HashMap;
+
+/// Run the expression-level rules over `expr`. `checks` are the engine's
+/// table check constraints (pass an empty map when none are declared);
+/// `who` labels the expression in diagnostics ("query 17", "view v42").
+pub fn verify_expr(
+    catalog: &Catalog,
+    checks: &HashMap<TableId, Vec<Conjunct>>,
+    expr: &SpjgExpr,
+    who: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // MV001 — column bounds. Nothing else is safe to compute on a
+    // malformed expression, so bail out afterwards.
+    let bad = out_of_bounds_columns(catalog, expr);
+    if !bad.is_empty() {
+        for c in bad {
+            diags.push(
+                Diagnostic::error(
+                    RuleId::ColumnBounds,
+                    format!("column reference {c} is outside the catalog bounds"),
+                )
+                .with_query(who),
+            );
+        }
+        return diags;
+    }
+
+    let ec = ec_of([expr.conjuncts.as_slice()]);
+
+    // MV002 — EC well-formedness: incomparable column types equated, or
+    // one class pinned to two distinct constants.
+    for class in ec.nontrivial_classes() {
+        let tys: Vec<_> = class.iter().map(|c| expr.col_type(catalog, *c)).collect();
+        for w in tys.windows(2) {
+            if !w[0].comparable_with(w[1]) {
+                diags.push(
+                    Diagnostic::warning(
+                        RuleId::EcContradiction,
+                        format!(
+                            "equivalence class {class:?} equates incomparable types {:?} and {:?}",
+                            w[0], w[1]
+                        ),
+                    )
+                    .with_query(who),
+                );
+                break;
+            }
+        }
+        let mut pinned: Option<&Value> = None;
+        for conj in &expr.conjuncts {
+            if let Conjunct::Range {
+                col,
+                op: CmpOp::Eq,
+                value,
+            } = conj
+            {
+                if class.contains(col) {
+                    match pinned {
+                        Some(v) if v != value => {
+                            diags.push(
+                                Diagnostic::warning(
+                                    RuleId::EcContradiction,
+                                    format!(
+                                        "class of {col} pinned to both {v} and {value}; \
+                                         the expression is unsatisfiable"
+                                    ),
+                                )
+                                .with_query(who),
+                            );
+                        }
+                        Some(_) => {}
+                        None => pinned = Some(value),
+                    }
+                }
+            }
+        }
+    }
+
+    // MV003 — unsatisfiable range conjunctions, including constraints the
+    // check constraints contribute.
+    let check_conjs = checks_of_expr(checks, expr);
+    let profile = Profile::build(expr.conjuncts.iter().chain(check_conjs.iter()), &ec);
+    let mut roots: Vec<_> = profile.ranges.keys().copied().collect();
+    roots.sort();
+    for root in roots {
+        if let Some(RangeState::Folded(iv)) = profile.ranges.get(&root) {
+            if iv.is_empty() {
+                diags.push(
+                    Diagnostic::warning(
+                        RuleId::EmptyRange,
+                        format!(
+                            "range conjunction on the class of {root} is unsatisfiable \
+                             ({iv:?}); the expression returns no rows"
+                        ),
+                    )
+                    .with_query(who),
+                );
+            }
+        }
+    }
+
+    diags
+}
+
+/// Additional rules for view definitions: an aggregate view without a
+/// COUNT(*) output cannot answer COUNT or AVG rollups (§3.3).
+pub fn verify_view_expr(
+    catalog: &Catalog,
+    checks: &HashMap<TableId, Vec<Conjunct>>,
+    expr: &SpjgExpr,
+    who: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = verify_expr(catalog, checks, expr, who);
+    if expr.is_aggregate() && expr.count_star_position().is_none() {
+        diags.push(
+            Diagnostic::warning(
+                RuleId::AggViewNoCount,
+                "aggregate view has no COUNT(*) output; COUNT/AVG rollups over it \
+                 are impossible"
+                    .to_string(),
+            )
+            .with_view(who),
+        );
+    }
+    diags
+}

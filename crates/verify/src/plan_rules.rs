@@ -1,0 +1,146 @@
+//! Plan-level invariants (MV017): bottom-up arity and column-reference
+//! checking over a [`PhysicalPlan`].
+//!
+//! Every operator's output arity is derived from the catalog and the view
+//! registry, and every column reference, join key, and aggregate argument
+//! is checked against the arity of the operator it reads from. A plan that
+//! passes cannot index past a row during execution.
+
+use crate::diag::{Diagnostic, RuleId};
+use mv_catalog::Catalog;
+use mv_expr::ColRef;
+use mv_plan::{PhysicalPlan, ViewSet};
+
+/// Verify a physical plan bottom-up. Empty result = structurally sound.
+pub fn verify_plan(catalog: &Catalog, views: &ViewSet, plan: &PhysicalPlan) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    arity_of(catalog, views, plan, &mut diags);
+    diags
+}
+
+fn bad(diags: &mut Vec<Diagnostic>, detail: String) {
+    diags.push(Diagnostic::error(RuleId::PlanInvariant, detail));
+}
+
+/// Check that every column reference reads occurrence 0 at a position
+/// below `arity`.
+fn check_cols(cols: &[ColRef], arity: usize, what: &str, diags: &mut Vec<Diagnostic>) {
+    for c in cols {
+        if c.occ.0 != 0 {
+            bad(
+                diags,
+                format!("{what} references {c}; plan rows are single-occurrence (occ 0)"),
+            );
+        } else if (c.col.0 as usize) >= arity {
+            bad(
+                diags,
+                format!(
+                    "{what} references column {} of a {arity}-column input row",
+                    c.col.0
+                ),
+            );
+        }
+    }
+}
+
+/// The operator's output arity; `None` after a shape error that makes the
+/// arity meaningless upstream (diagnostics already recorded).
+fn arity_of(
+    catalog: &Catalog,
+    views: &ViewSet,
+    plan: &PhysicalPlan,
+    diags: &mut Vec<Diagnostic>,
+) -> Option<usize> {
+    match plan {
+        PhysicalPlan::TableScan { table } => Some(catalog.table(*table).columns.len()),
+        PhysicalPlan::ViewScan { view } => {
+            if (view.0 as usize) >= views.len() {
+                bad(diags, format!("plan scans unregistered view {view}"));
+                return None;
+            }
+            Some(views.get(*view).expr.output_arity())
+        }
+        PhysicalPlan::Filter { input, predicate } => {
+            let arity = arity_of(catalog, views, input, diags)?;
+            check_cols(&predicate.columns(), arity, "filter predicate", diags);
+            Some(arity)
+        }
+        PhysicalPlan::HashJoin {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            residual,
+        } => {
+            let la = arity_of(catalog, views, left, diags);
+            let ra = arity_of(catalog, views, right, diags);
+            let (la, ra) = (la?, ra?);
+            if left_keys.len() != right_keys.len() {
+                bad(
+                    diags,
+                    format!(
+                        "hash join key lists differ in length ({} vs {})",
+                        left_keys.len(),
+                        right_keys.len()
+                    ),
+                );
+            }
+            for &k in left_keys {
+                if k >= la {
+                    bad(
+                        diags,
+                        format!("hash join left key {k} exceeds left arity {la}"),
+                    );
+                }
+            }
+            for &k in right_keys {
+                if k >= ra {
+                    bad(
+                        diags,
+                        format!("hash join right key {k} exceeds right arity {ra}"),
+                    );
+                }
+            }
+            if let Some(r) = residual {
+                check_cols(&r.columns(), la + ra, "hash join residual", diags);
+            }
+            Some(la + ra)
+        }
+        PhysicalPlan::NestedLoopJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let la = arity_of(catalog, views, left, diags);
+            let ra = arity_of(catalog, views, right, diags);
+            let (la, ra) = (la?, ra?);
+            if let Some(p) = predicate {
+                check_cols(&p.columns(), la + ra, "nested-loop predicate", diags);
+            }
+            Some(la + ra)
+        }
+        PhysicalPlan::Project { input, exprs } => {
+            let arity = arity_of(catalog, views, input, diags)?;
+            for e in exprs {
+                check_cols(&e.columns(), arity, "projection expression", diags);
+            }
+            Some(exprs.len())
+        }
+        PhysicalPlan::HashAggregate {
+            input,
+            group_by,
+            aggregates,
+        } => {
+            let arity = arity_of(catalog, views, input, diags)?;
+            for e in group_by {
+                check_cols(&e.columns(), arity, "grouping expression", diags);
+            }
+            for a in aggregates {
+                if let Some(arg) = a.argument() {
+                    check_cols(&arg.columns(), arity, "aggregate argument", diags);
+                }
+            }
+            Some(group_by.len() + aggregates.len())
+        }
+    }
+}

@@ -1,0 +1,492 @@
+//! The analyzer catches deliberately corrupted substitutes with the
+//! expected rule, while the genuine matcher-produced originals pass.
+//!
+//! Each test follows the same shape: run the real matcher over a
+//! (query, view) pair from the paper's running examples, assert the
+//! produced substitute verifies clean, then apply one targeted mutation —
+//! to the substitute, or to the view side of the triple — and assert the
+//! analyzer reports exactly the rule that condition re-derives.
+
+use mv_catalog::tpch::{tpch_catalog, TpchTables};
+use mv_core::{MatchConfig, MatchingEngine};
+use mv_expr::{BinOp, BoolExpr, CmpOp, ColRef, Conjunct, ScalarExpr as S};
+use mv_plan::{AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewDef};
+use mv_verify::{verify_substitute, Severity, VerifyContext};
+
+fn cr(occ: u32, col: u32) -> ColRef {
+    ColRef::new(occ, col)
+}
+
+fn out(items: &[(u32, u32, &str)]) -> Vec<NamedExpr> {
+    items
+        .iter()
+        .map(|(o, c, n)| NamedExpr::new(S::col(cr(*o, *c)), *n))
+        .collect()
+}
+
+/// Run the matcher over one (query, view) pair and return the substitute
+/// along with the engine (which owns the catalog and check constraints).
+fn matched(query: &SpjgExpr, view: SpjgExpr, config: MatchConfig) -> (MatchingEngine, Substitute) {
+    let (catalog, _) = tpch_catalog();
+    let mut engine = MatchingEngine::new(catalog, config);
+    engine.add_view(ViewDef::new("v", view)).unwrap();
+    let mut subs = engine.find_substitutes(query);
+    assert_eq!(subs.len(), 1, "the matcher must produce this substitute");
+    let (_, sub) = subs.pop().unwrap();
+    (engine, sub)
+}
+
+/// Error rule codes the analyzer reports for the triple, deduplicated in
+/// order of first appearance.
+fn error_codes(
+    engine: &MatchingEngine,
+    query: &SpjgExpr,
+    view: &SpjgExpr,
+    sub: &Substitute,
+) -> Vec<&'static str> {
+    let ctx = VerifyContext::new(engine.catalog(), engine.check_constraints());
+    let mut codes = Vec::new();
+    for d in verify_substitute(&ctx, query, view, sub, "v", "q") {
+        if d.severity == Severity::Error && !codes.contains(&d.rule.code()) {
+            codes.push(d.rule.code());
+        }
+    }
+    codes
+}
+
+fn assert_clean(engine: &MatchingEngine, query: &SpjgExpr, view: &SpjgExpr, sub: &Substitute) {
+    let codes = error_codes(engine, query, view, sub);
+    assert!(codes.is_empty(), "genuine substitute rejected: {codes:?}");
+}
+
+/// The SPJ running pair: view keeps l_quantity > 10, the query narrows to
+/// (10, 30]; the matcher compensates with a range predicate on the view's
+/// quantity output.
+fn range_pair(t: &TpchTables) -> (SpjgExpr, SpjgExpr) {
+    let view = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Gt, S::lit(10i64)),
+        out(&[
+            (0, 0, "l_orderkey"),
+            (0, 4, "l_quantity"),
+            (0, 5, "l_extendedprice"),
+        ]),
+    );
+    let query = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::and(vec![
+            BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Gt, S::lit(10i64)),
+            BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Le, S::lit(30i64)),
+        ]),
+        out(&[(0, 0, "l_orderkey"), (0, 5, "l_extendedprice")]),
+    );
+    (query, view)
+}
+
+/// Example 4's aggregate pair: the view groups by o_custkey with
+/// count_big(*) and sum(l_quantity * l_extendedprice); the scalar query
+/// rolls both up over all groups.
+fn rollup_pair(t: &TpchTables) -> (SpjgExpr, SpjgExpr) {
+    let revenue = S::col(cr(0, 4)).binary(BinOp::Mul, S::col(cr(0, 5)));
+    let view = SpjgExpr::aggregate(
+        vec![t.lineitem, t.orders],
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        vec![NamedExpr::new(S::col(cr(1, 1)), "o_custkey")],
+        vec![
+            NamedAgg::new(AggFunc::CountStar, "cnt"),
+            NamedAgg::new(AggFunc::Sum(revenue.clone()), "revenue"),
+        ],
+    );
+    let query = SpjgExpr::aggregate(
+        vec![t.lineitem, t.orders],
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        vec![],
+        vec![
+            NamedAgg::new(AggFunc::Sum(revenue), "rev"),
+            NamedAgg::new(AggFunc::CountStar, "n"),
+        ],
+    );
+    (query, view)
+}
+
+// ---------------------------------------------------------------------
+// Column-space corruptions
+// ---------------------------------------------------------------------
+
+/// MV001: an output column beyond the view + backjoin column space.
+#[test]
+fn out_of_range_column_caught_by_mv001() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    if let OutputList::Spj(items) = &mut bad.output {
+        items[0].expr = S::col(cr(0, 99));
+    }
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV001"]);
+}
+
+/// MV012: a substitute may only address occurrence 0 (the view scan).
+#[test]
+fn non_view_occurrence_caught_by_mv012() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    if let OutputList::Spj(items) = &mut bad.output {
+        items[0].expr = S::col(cr(1, 0));
+    }
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV012"]);
+}
+
+// ---------------------------------------------------------------------
+// Range compensation corruptions (§3.1.3)
+// ---------------------------------------------------------------------
+
+/// MV008: dropping the compensating range keeps rows the query filters
+/// out.
+#[test]
+fn dropped_range_compensation_caught_by_mv008() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert!(!sub.predicates.is_empty(), "this pair needs compensation");
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    bad.predicates.clear();
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV008"]);
+}
+
+/// MV008 (other direction): an over-strong compensating range drops query
+/// rows.
+#[test]
+fn contradictory_range_compensation_caught_by_mv008() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    // l_quantity is substitute column 1; the query allows up to 30.
+    bad.predicates
+        .push(BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Lt, S::lit(0i64)));
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV008"]);
+}
+
+// ---------------------------------------------------------------------
+// Equijoin compensation corruptions (§3.1.3)
+// ---------------------------------------------------------------------
+
+/// MV006: removing the compensating equality leaves a query equality
+/// enforced by nothing.
+#[test]
+fn dropped_equality_compensation_caught_by_mv006() {
+    let (_, t) = tpch_catalog();
+    let view = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::Literal(true),
+        out(&[
+            (0, 0, "l_orderkey"),
+            (0, 10, "l_shipdate"),
+            (0, 11, "l_commitdate"),
+        ]),
+    );
+    let query = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::col_eq(cr(0, 10), cr(0, 11)),
+        out(&[(0, 0, "l_orderkey")]),
+    );
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert!(!sub.predicates.is_empty(), "this pair needs compensation");
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    bad.predicates.clear();
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV006"]);
+}
+
+/// MV006 (other direction): a compensating equality the query does not
+/// imply drops query rows.
+#[test]
+fn unjustified_equality_compensation_caught_by_mv006() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    // orderkey = quantity (substitute columns 0 and 1) is nothing the
+    // query implies.
+    bad.predicates.push(BoolExpr::col_eq(cr(0, 0), cr(0, 1)));
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV006"]);
+}
+
+// ---------------------------------------------------------------------
+// Residual compensation corruptions (§3.1.3)
+// ---------------------------------------------------------------------
+
+/// MV010: dropping the compensating residual (a LIKE the query needs).
+#[test]
+fn dropped_residual_compensation_caught_by_mv010() {
+    let (_, t) = tpch_catalog();
+    let view = SpjgExpr::spj(
+        vec![t.customer],
+        BoolExpr::Literal(true),
+        out(&[(0, 0, "c_custkey"), (0, 1, "c_name")]),
+    );
+    let query = SpjgExpr::spj(
+        vec![t.customer],
+        BoolExpr::Like {
+            expr: S::col(cr(0, 1)),
+            pattern: "%Best%".into(),
+            negated: false,
+        },
+        out(&[(0, 0, "c_custkey")]),
+    );
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert!(!sub.predicates.is_empty(), "this pair needs compensation");
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    bad.predicates.clear();
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV010"]);
+}
+
+/// MV010 (other direction): a compensating residual the query never asked
+/// for drops query rows.
+#[test]
+fn unjustified_residual_compensation_caught_by_mv010() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    bad.predicates.push(BoolExpr::Like {
+        expr: S::col(cr(0, 0)),
+        pattern: "%7%".into(),
+        negated: true,
+    });
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV010"]);
+}
+
+// ---------------------------------------------------------------------
+// Output mapping corruption (§3.1.4)
+// ---------------------------------------------------------------------
+
+/// MV011: projecting the wrong view column.
+#[test]
+fn wrong_output_column_caught_by_mv011() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    if let OutputList::Spj(items) = &mut bad.output {
+        // l_quantity (column 1) instead of l_extendedprice (column 2).
+        items[1].expr = S::col(cr(0, 1));
+    }
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV011"]);
+}
+
+// ---------------------------------------------------------------------
+// Aggregate rollup corruptions (§3.3)
+// ---------------------------------------------------------------------
+
+/// MV015: COUNT(*) over regrouped view rows counts view groups, not base
+/// rows — it must roll up as SUM(view cnt).
+#[test]
+fn countstar_instead_of_sum_rollup_caught_by_mv015() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = rollup_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert!(sub.regroups(), "the scalar query must re-aggregate");
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    if let OutputList::Aggregate { aggregates, .. } = &mut bad.output {
+        aggregates[1].func = AggFunc::CountStar;
+    }
+    assert_eq!(error_codes(&engine, &query, &view, &bad), ["MV015"]);
+}
+
+/// MV015: grouping compensation must be a coarsening of the view's
+/// grouping — it may not regroup on an aggregate output.
+#[test]
+fn group_by_on_aggregate_output_caught_by_mv015() {
+    let (_, t) = tpch_catalog();
+    let revenue = S::col(cr(0, 4)).binary(BinOp::Mul, S::col(cr(0, 5)));
+    let (_, view) = rollup_pair(&t);
+    // Same as the rollup pair, but the query keeps the o_custkey grouping
+    // so the substitute has a group-by item to corrupt.
+    let query = SpjgExpr::aggregate(
+        vec![t.lineitem, t.orders],
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        vec![NamedExpr::new(S::col(cr(1, 1)), "o_custkey")],
+        vec![NamedAgg::new(AggFunc::Sum(revenue), "rev")],
+    );
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    match &mut bad.output {
+        // Same-grouping substitutes project; rewrite into a regrouping
+        // substitute whose group-by sits on the view's cnt output (1).
+        OutputList::Spj(items) => {
+            bad.output = OutputList::Aggregate {
+                group_by: vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+                aggregates: vec![NamedAgg::new(
+                    AggFunc::Sum(S::col(cr(0, 2))),
+                    items[1].name.clone(),
+                )],
+            };
+        }
+        OutputList::Aggregate { group_by, .. } => {
+            group_by[0].expr = S::col(cr(0, 1));
+        }
+    }
+    let codes = error_codes(&engine, &query, &view, &bad);
+    assert!(codes.contains(&"MV015"), "got {codes:?}");
+}
+
+// ---------------------------------------------------------------------
+// Backjoin corruption (§7 extension)
+// ---------------------------------------------------------------------
+
+/// MV014: a backjoin keyed on columns that do not cover a unique key (or
+/// are not view-equal to the joined substitute columns) multiplies or
+/// drops rows.
+#[test]
+fn broken_backjoin_key_caught_by_mv014() {
+    let (_, t) = tpch_catalog();
+    let view = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Gt, S::lit(10i64)),
+        out(&[
+            (0, 0, "l_orderkey"),
+            (0, 3, "l_linenumber"),
+            (0, 4, "l_quantity"),
+        ]),
+    );
+    let query = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::and(vec![
+            BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Gt, S::lit(10i64)),
+            BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Le, S::lit(30i64)),
+        ]),
+        out(&[(0, 0, "l_orderkey"), (0, 5, "l_extendedprice")]),
+    );
+    let config = MatchConfig {
+        allow_backjoins: true,
+        ..MatchConfig::default()
+    };
+    let (engine, sub) = matched(&query, view.clone(), config);
+    assert_eq!(sub.backjoins.len(), 1, "this pair needs a backjoin");
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut bad = sub;
+    // Key the backjoin on l_quantity alone — not a unique key of lineitem.
+    bad.backjoins[0].key = vec![(2, mv_catalog::ColumnId(4))];
+    let codes = error_codes(&engine, &query, &view, &bad);
+    assert!(codes.contains(&"MV014"), "got {codes:?}");
+}
+
+// ---------------------------------------------------------------------
+// Triple-level corruptions: the view side of the (query, view,
+// substitute) correspondence
+// ---------------------------------------------------------------------
+
+/// MV004: the view's tables cannot cover the query's.
+#[test]
+fn uncovered_tables_caught_by_mv004() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let other_query = SpjgExpr::spj(
+        vec![t.orders],
+        BoolExpr::Literal(true),
+        out(&[(0, 0, "o_orderkey"), (0, 3, "o_totalprice")]),
+    );
+    assert_eq!(error_codes(&engine, &other_query, &view, &sub), ["MV004"]);
+}
+
+/// MV013: an extra view table with no cardinality-preserving foreign-key
+/// join path cannot be eliminated.
+#[test]
+fn extra_table_without_fk_join_caught_by_mv013() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    // A cross-joined orders occurrence: tables still cover the query, but
+    // nothing eliminates the extra.
+    let mut cross = view.clone();
+    cross.tables.push(t.orders);
+    let codes = error_codes(&engine, &query, &cross, &sub);
+    assert!(codes.contains(&"MV013"), "got {codes:?}");
+}
+
+/// MV005: the view enforces a column equality the query does not imply.
+#[test]
+fn view_only_equality_caught_by_mv005() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut eq_view = view.clone();
+    eq_view
+        .conjuncts
+        .push(Conjunct::ColumnEq(cr(0, 10), cr(0, 11)));
+    let codes = error_codes(&engine, &query, &eq_view, &sub);
+    assert!(codes.contains(&"MV005"), "got {codes:?}");
+}
+
+/// MV007: the view's range does not contain the query's range.
+#[test]
+fn view_narrower_range_caught_by_mv007() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    // Tighten the view to l_quantity > 20; the query needs (10, 30].
+    let narrow = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Gt, S::lit(20i64)),
+        out(&[
+            (0, 0, "l_orderkey"),
+            (0, 4, "l_quantity"),
+            (0, 5, "l_extendedprice"),
+        ]),
+    );
+    let codes = error_codes(&engine, &query, &narrow, &sub);
+    assert!(codes.contains(&"MV007"), "got {codes:?}");
+}
+
+/// MV009: the view carries a residual predicate the query lacks.
+#[test]
+fn view_only_residual_caught_by_mv009() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = range_pair(&t);
+    let (engine, sub) = matched(&query, view.clone(), MatchConfig::default());
+    assert_clean(&engine, &query, &view, &sub);
+
+    let mut filtered = view.clone();
+    filtered.conjuncts.push(Conjunct::Residual(BoolExpr::Like {
+        expr: S::col(cr(0, 1)),
+        pattern: "%xyz%".into(),
+        negated: false,
+    }));
+    let codes = error_codes(&engine, &query, &filtered, &sub);
+    assert!(codes.contains(&"MV009"), "got {codes:?}");
+}

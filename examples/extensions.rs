@@ -55,7 +55,10 @@ fn main() {
     let rows = materialize_view(&db, &view);
     let direct = execute_spjg(&db, &query);
     assert!(bag_eq(&execute_substitute(&rows, &subs[0].1), &direct));
-    println!("verified against direct execution ({} rows)\n", direct.len());
+    println!(
+        "verified against direct execution ({} rows)\n",
+        direct.len()
+    );
 
     // ------------------------------------------------------------------
     // 2. Base-table backjoins.
@@ -100,7 +103,10 @@ fn main() {
     let got = matview::exec::execute_substitute_with(&db, &rows, sub);
     let direct = execute_spjg(&db, &query);
     assert!(bag_eq(&got, &direct));
-    println!("verified against direct execution ({} rows)\n", direct.len());
+    println!(
+        "verified against direct execution ({} rows)\n",
+        direct.len()
+    );
 
     // ------------------------------------------------------------------
     // 3. Aggregation backjoin with regrouping.
@@ -140,5 +146,8 @@ fn main() {
     let got = matview::exec::execute_substitute_with(&db, &rows, sub);
     let direct = execute_spjg(&db, &query);
     assert!(bag_eq(&got, &direct));
-    println!("verified against direct execution ({} groups)", direct.len());
+    println!(
+        "verified against direct execution ({} groups)",
+        direct.len()
+    );
 }

@@ -89,10 +89,7 @@ fn main() {
         let view_rows = execute_plan(&db, &store, &with_views.plan);
         let view_time = t1.elapsed();
 
-        assert!(
-            bag_eq(&base_rows, &view_rows),
-            "plans disagree for {label}"
-        );
+        assert!(bag_eq(&base_rows, &view_rows), "plans disagree for {label}");
         println!("query: {label}");
         println!(
             "  baseline: cost {:>12.0}  exec {:>9.3?}   with views: cost {:>12.0}  exec {:>9.3?}  ({})",
@@ -108,7 +105,10 @@ fn main() {
         );
         if with_views.plan.uses_view() {
             let speedup = base_time.as_secs_f64() / view_time.as_secs_f64().max(1e-9);
-            println!("  speedup: {speedup:.1}x, identical {} result rows", base_rows.len());
+            println!(
+                "  speedup: {speedup:.1}x, identical {} result rows",
+                base_rows.len()
+            );
         }
         println!();
     }

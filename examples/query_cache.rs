@@ -54,7 +54,11 @@ fn main() {
         } else {
             let t = Instant::now();
             let rows = execute_spjg(&db, &query);
-            (rows, "cache miss — executed from base tables".into(), t.elapsed())
+            (
+                rows,
+                "cache miss — executed from base tables".into(),
+                t.elapsed(),
+            )
         };
         println!("q{i}: {} rows in {:?} ({how})", rows.len(), elapsed);
 

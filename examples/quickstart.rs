@@ -31,7 +31,10 @@ fn main() {
         &db.catalog,
     )
     .expect("view parses");
-    println!("materialized view v1:\n{}\n", sql_of(&view.expr, &db.catalog));
+    println!(
+        "materialized view v1:\n{}\n",
+        sql_of(&view.expr, &db.catalog)
+    );
     let view_rows = materialize_view(&db, &view);
     println!("v1 materialized: {} rows\n", view_rows.len());
     engine.add_view(view).unwrap();

@@ -57,6 +57,7 @@
 //! | [`exec`] | `mv-exec` | row executor: oracle, substitutes, physical plans |
 //! | [`data`] | `mv-data` | deterministic TPC-H style data generator |
 //! | [`workload`] | `mv-workload` | the section 5 random view/query generator |
+//! | [`verify`] | `mv-verify` | independent static soundness analyzer + diagnostics |
 
 pub use mv_catalog as catalog;
 pub use mv_core as core;
@@ -66,6 +67,7 @@ pub use mv_expr as expr;
 pub use mv_optimizer as optimizer;
 pub use mv_plan as plan;
 pub use mv_sql as sql;
+pub use mv_verify as verify;
 pub use mv_workload as workload;
 
 /// The most commonly used items, re-exported flat.

@@ -220,10 +220,7 @@ fn example5_null_rejecting_extension() {
 
     // Data where the distinction matters: a row with NULL f.
     let mut db = Database::new(cat.clone());
-    db.load(
-        s,
-        (1..=100).map(|k| vec![Value::Int(k)]).collect(),
-    );
+    db.load(s, (1..=100).map(|k| vec![Value::Int(k)]).collect());
     db.load(
         t,
         vec![

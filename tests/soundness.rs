@@ -16,7 +16,13 @@ use proptest::prelude::*;
 /// Run one soundness round: generate views and queries from the given
 /// seeds, match every pair the engine proposes, and execute both sides.
 /// Returns the number of substitutes verified.
-fn soundness_round(view_seed: u64, query_seed: u64, data_seed: u64, n_views: usize, n_queries: usize) -> usize {
+fn soundness_round(
+    view_seed: u64,
+    query_seed: u64,
+    data_seed: u64,
+    n_views: usize,
+    n_queries: usize,
+) -> usize {
     soundness_round_cfg(
         view_seed,
         query_seed,
@@ -44,7 +50,8 @@ fn soundness_round_cfg(
         let id = engine.add_view(v).unwrap();
         materialized.push((id, rows));
     }
-    let queries = Generator::new(&db.catalog, WorkloadParams::queries(), query_seed).queries(n_queries);
+    let queries =
+        Generator::new(&db.catalog, WorkloadParams::queries(), query_seed).queries(n_queries);
     let mut verified = 0;
     for q in &queries {
         let direct = execute_spjg(&db, q);
@@ -131,8 +138,11 @@ fn backjoins_widen_the_match_set() {
     }
     let mut extra = 0usize;
     for q in &queries {
-        let a: std::collections::HashSet<ViewId> =
-            strict.find_substitutes(q).into_iter().map(|(v, _)| v).collect();
+        let a: std::collections::HashSet<ViewId> = strict
+            .find_substitutes(q)
+            .into_iter()
+            .map(|(v, _)| v)
+            .collect();
         let b: std::collections::HashSet<ViewId> = extended
             .find_substitutes(q)
             .into_iter()
@@ -164,7 +174,10 @@ fn optimized_plans_are_sound_over_random_workload() {
         let got = execute_plan(&db, &store, &optimized.plan);
         let want = execute_spjg(&db, q);
         if let Some(diff) = matview::exec::bag_diff(&got, &want) {
-            panic!("optimizer produced a wrong plan: {diff}\nplan:\n{}", optimized.plan);
+            panic!(
+                "optimizer produced a wrong plan: {diff}\nplan:\n{}",
+                optimized.plan
+            );
         }
         used_views += optimized.plan.uses_view() as usize;
     }

@@ -79,8 +79,7 @@ pub trait SampleRange<T> {
 /// the real crate (the element type is pinned by the range's own type).
 pub trait SampleUniform: Copy + PartialOrd {
     /// Draw from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
-    fn sample_uniform(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self, inclusive: bool)
-        -> Self;
+    fn sample_uniform(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self, inclusive: bool) -> Self;
 }
 
 fn uniform_u64(next: &mut dyn FnMut() -> u64, span: u64) -> u64 {
@@ -109,12 +108,7 @@ macro_rules! impl_sample_uniform_int {
 impl_sample_uniform_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
 impl SampleUniform for f64 {
-    fn sample_uniform(
-        next: &mut dyn FnMut() -> u64,
-        lo: Self,
-        hi: Self,
-        _inclusive: bool,
-    ) -> Self {
+    fn sample_uniform(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self, _inclusive: bool) -> Self {
         // 53 random mantissa bits in [0, 1).
         let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         lo + unit * (hi - lo)
@@ -122,12 +116,7 @@ impl SampleUniform for f64 {
 }
 
 impl SampleUniform for f32 {
-    fn sample_uniform(
-        next: &mut dyn FnMut() -> u64,
-        lo: Self,
-        hi: Self,
-        _inclusive: bool,
-    ) -> Self {
+    fn sample_uniform(next: &mut dyn FnMut() -> u64, lo: Self, hi: Self, _inclusive: bool) -> Self {
         let unit = (next() >> 40) as f32 * (1.0 / (1u32 << 24) as f32);
         lo + unit * (hi - lo)
     }
