@@ -1,0 +1,233 @@
+//! Pass 3 — schema metadata validation (rules MV120–MV126).
+//!
+//! §3.2's foreign-key join elimination silently assumes every declared FK
+//! is structurally sound, references a unique key, and (for the
+//! cardinality-preserving direction) rides on non-null columns. The
+//! matcher re-checks nullability at match time, but a catalog ingested
+//! from an external system can carry declarations that are broken in ways
+//! the matcher never re-validates — this pass checks every one of §3.2's
+//! preconditions offline, against the catalog alone.
+
+use mv_catalog::{Catalog, ColumnId, ForeignKey, KeyKind, TableId};
+use mv_verify::{Diagnostic, Report, RuleId, Severity};
+use std::collections::HashSet;
+
+/// Validate key and foreign-key declarations against §3.2's preconditions.
+pub fn audit_metadata(catalog: &Catalog) -> Report {
+    let mut report = Report::new();
+    audit_keys(catalog, &mut report);
+    audit_foreign_keys(catalog, &mut report);
+    report
+}
+
+fn audit_keys(catalog: &Catalog, report: &mut Report) {
+    for (_, table) in catalog.tables() {
+        let n_cols = table.columns.len() as u32;
+        for (ki, key) in table.keys.iter().enumerate() {
+            let label = format!("{} key #{ki}", table.name);
+            if key.columns.is_empty() {
+                report.push(
+                    Diagnostic::error(RuleId::KeyColumnBounds, "declared key has no columns")
+                        .with_detail(label.clone()),
+                );
+            }
+            let mut seen: HashSet<ColumnId> = HashSet::new();
+            for &c in &key.columns {
+                if c.0 >= n_cols {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::KeyColumnBounds,
+                            format!("key column #{} is out of bounds for `{}`", c.0, table.name),
+                        )
+                        .with_detail(label.clone()),
+                    );
+                    continue;
+                }
+                if !seen.insert(c) {
+                    report.push(
+                        Diagnostic::error(
+                            RuleId::KeyColumnBounds,
+                            format!("key lists column `{}` twice", table.column(c).name),
+                        )
+                        .with_detail(label.clone()),
+                    );
+                    continue;
+                }
+                if !table.column(c).not_null {
+                    // SQL NULLs are pairwise distinct, so a nullable
+                    // "unique" column does not guarantee the row
+                    // uniqueness §3.2's elimination relies on. A primary
+                    // key is implicitly NOT NULL — a nullable column in
+                    // one is an outright contradiction.
+                    let (severity, msg) = match key.kind {
+                        KeyKind::Primary => {
+                            (Severity::Error, "primary key includes a nullable column")
+                        }
+                        KeyKind::Unique => (
+                            Severity::Warning,
+                            "unique key includes a nullable column — uniqueness does \
+                             not hold across NULLs",
+                        ),
+                    };
+                    report.push(
+                        Diagnostic::new(RuleId::KeyNullableColumn, severity, msg)
+                            .with_detail(format!("{label}, column `{}`", table.column(c).name)),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn audit_foreign_keys(catalog: &Catalog, report: &mut Report) {
+    let n_tables = catalog.table_count() as u32;
+    let mut seen: HashSet<(TableId, Vec<ColumnId>, TableId, Vec<ColumnId>)> = HashSet::new();
+    for (_, fk) in catalog.foreign_keys() {
+        if !fk_structurally_valid(catalog, fk, n_tables, report) {
+            continue;
+        }
+
+        let signature = (
+            fk.from_table,
+            fk.from_columns.clone(),
+            fk.to_table,
+            fk.to_columns.clone(),
+        );
+        if !seen.insert(signature) {
+            report.push(
+                Diagnostic::warning(
+                    RuleId::DuplicateFk,
+                    "the same foreign key is declared more than once",
+                )
+                .with_detail(fk.name.clone()),
+            );
+        }
+
+        let from_t = catalog.table(fk.from_table);
+        let to_t = catalog.table(fk.to_table);
+
+        // MV121 — §3.2: the referenced side must be a unique key, or the
+        // join is not cardinality-preserving and eliminating the
+        // referenced table is unsound.
+        if !to_t.covers_key(&fk.to_columns) {
+            report.push(
+                Diagnostic::error(
+                    RuleId::FkNotUniqueKey,
+                    format!(
+                        "foreign key references columns of `{}` that cover no unique key",
+                        to_t.name
+                    ),
+                )
+                .with_detail(fk.name.clone()),
+            );
+        }
+
+        // MV120 — nullable referencing columns: rows with NULLs have no
+        // join partner, so the FK join only preserves cardinality under a
+        // null-rejecting predicate (the matcher checks this at match time
+        // when `null_rejecting_fk` is off; flag the declaration anyway).
+        for &c in &fk.from_columns {
+            if !from_t.column(c).not_null {
+                report.push(
+                    Diagnostic::warning(
+                        RuleId::FkNullableColumn,
+                        format!(
+                            "foreign-key column `{}.{}` is nullable — the join is \
+                             cardinality-preserving only under a null-rejecting predicate",
+                            from_t.name,
+                            from_t.column(c).name
+                        ),
+                    )
+                    .with_detail(fk.name.clone()),
+                );
+            }
+        }
+
+        // MV122 — paired column types must agree for the FK equijoin to
+        // be meaningful; incomparable types are an outright error.
+        for (&a, &b) in fk.from_columns.iter().zip(&fk.to_columns) {
+            let ta = from_t.column(a).ty;
+            let tb = to_t.column(b).ty;
+            if ta != tb {
+                let severity = if ta.comparable_with(tb) {
+                    Severity::Warning
+                } else {
+                    Severity::Error
+                };
+                report.push(
+                    Diagnostic::new(
+                        RuleId::FkTypeMismatch,
+                        severity,
+                        format!(
+                            "foreign-key column pair `{}.{}` ({ta}) vs `{}.{}` ({tb}) \
+                             disagrees in type",
+                            from_t.name,
+                            from_t.column(a).name,
+                            to_t.name,
+                            to_t.column(b).name
+                        ),
+                    )
+                    .with_detail(fk.name.clone()),
+                );
+            }
+        }
+    }
+}
+
+/// MV123 — structural validation; type/key checks only run on FKs that
+/// pass (they would index out of bounds otherwise).
+fn fk_structurally_valid(
+    catalog: &Catalog,
+    fk: &ForeignKey,
+    n_tables: u32,
+    report: &mut Report,
+) -> bool {
+    let mut ok = true;
+    if fk.from_table.0 >= n_tables || fk.to_table.0 >= n_tables {
+        report.push(
+            Diagnostic::error(
+                RuleId::FkColumnBounds,
+                "foreign key names a table id outside the catalog",
+            )
+            .with_detail(fk.name.clone()),
+        );
+        return false;
+    }
+    if fk.from_columns.len() != fk.to_columns.len() {
+        report.push(
+            Diagnostic::error(
+                RuleId::FkColumnBounds,
+                format!(
+                    "foreign key pairs {} referencing columns with {} referenced columns",
+                    fk.from_columns.len(),
+                    fk.to_columns.len()
+                ),
+            )
+            .with_detail(fk.name.clone()),
+        );
+        ok = false;
+    }
+    for (side, table, cols) in [
+        ("referencing", fk.from_table, &fk.from_columns),
+        ("referenced", fk.to_table, &fk.to_columns),
+    ] {
+        let n_cols = catalog.table(table).columns.len() as u32;
+        for &c in cols {
+            if c.0 >= n_cols {
+                report.push(
+                    Diagnostic::error(
+                        RuleId::FkColumnBounds,
+                        format!(
+                            "{side} column #{} is out of bounds for `{}`",
+                            c.0,
+                            catalog.table(table).name
+                        ),
+                    )
+                    .with_detail(fk.name.clone()),
+                );
+                ok = false;
+            }
+        }
+    }
+    ok
+}

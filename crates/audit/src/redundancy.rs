@@ -1,0 +1,115 @@
+//! Pass 2 — catalog redundancy (rules MV110–MV112).
+//!
+//! Runs the matcher *reflexively*: each registered view's SPJG definition
+//! is treated as a query against the whole catalog, which yields the
+//! view-subsumption DAG — an edge `a → b` means "`a` is computable from
+//! `b`" (`b` subsumes `a`). From the DAG the pass flags:
+//!
+//! * **MV110** (warning) — equivalent pairs: `a → b` and `b → a`. One of
+//!   the two is redundant storage, and both inflate every candidate set
+//!   their partition reaches.
+//! * **MV111** (warning) — strictly subsumed views: `a → b` without the
+//!   reverse. `a` adds no rewriting *power* over `b` (it may still win on
+//!   cost, so this is advisory).
+//! * **MV112** (info) — workload-dead views: views that produced no
+//!   substitute for any audited workload query.
+//!
+//! Severities are deliberately sub-error: a randomly generated §5 workload
+//! legitimately contains redundant and dead views, and CI must stay green
+//! on the unmutated workload.
+
+use mv_core::MatchingEngine;
+use mv_plan::{SpjgExpr, ViewId};
+use mv_verify::{Diagnostic, Report, RuleId, Severity};
+use std::collections::HashSet;
+
+/// The view-subsumption structure the pass derives.
+#[derive(Debug, Default)]
+pub struct RedundancyAudit {
+    /// `(a, b)` with `a ≠ b`: view `a`'s definition is computable from
+    /// view `b` (`b` subsumes `a`).
+    pub edges: Vec<(ViewId, ViewId)>,
+    /// Mutually-subsuming pairs, `(a, b)` with `a < b`.
+    pub equivalent: Vec<(ViewId, ViewId)>,
+    /// `(a, b)`: `a` strictly subsumed by `b` (no reverse edge).
+    pub subsumed: Vec<(ViewId, ViewId)>,
+    /// Live views that matched no workload query.
+    pub dead: Vec<ViewId>,
+}
+
+/// Build the subsumption DAG and report redundancy findings.
+pub fn audit_redundancy(
+    engine: &MatchingEngine,
+    queries: &[SpjgExpr],
+) -> (RedundancyAudit, Report) {
+    let mut audit = RedundancyAudit::default();
+    let mut report = Report::new();
+
+    let mut edge_set: HashSet<(ViewId, ViewId)> = HashSet::new();
+    for (id, view) in engine.views().iter() {
+        if engine.is_removed(id) {
+            continue;
+        }
+        for (other, _) in engine.find_substitutes(&view.expr) {
+            if other != id {
+                edge_set.insert((id, other));
+            }
+        }
+    }
+    audit.edges = edge_set.iter().copied().collect();
+    audit.edges.sort();
+
+    let name = |id: ViewId| engine.views().get(id).name.clone();
+    for &(a, b) in &audit.edges {
+        if a < b && edge_set.contains(&(b, a)) {
+            audit.equivalent.push((a, b));
+            report.push(
+                Diagnostic::warning(
+                    RuleId::EquivalentViews,
+                    "two registered views are equivalent — each is computable from \
+                     the other; one is redundant storage",
+                )
+                .with_view(name(a))
+                .with_detail(format!("equivalent to `{}`", name(b))),
+            );
+        } else if !edge_set.contains(&(b, a)) {
+            audit.subsumed.push((a, b));
+            report.push(
+                Diagnostic::warning(
+                    RuleId::SubsumedView,
+                    "view is strictly subsumed by another view and adds no \
+                     rewriting power",
+                )
+                .with_view(name(a))
+                .with_detail(format!("subsumed by `{}`", name(b))),
+            );
+        }
+    }
+
+    let mut used: HashSet<ViewId> = HashSet::new();
+    for query in queries {
+        for (id, _) in engine.find_substitutes(query) {
+            used.insert(id);
+        }
+    }
+    for (id, view) in engine.views().iter() {
+        if engine.is_removed(id) || used.contains(&id) {
+            continue;
+        }
+        audit.dead.push(id);
+        report.push(
+            Diagnostic::new(
+                RuleId::DeadView,
+                Severity::Info,
+                format!(
+                    "view produced no substitute for any of the {} audited \
+                     workload queries",
+                    queries.len()
+                ),
+            )
+            .with_view(&view.name),
+        );
+    }
+
+    (audit, report)
+}

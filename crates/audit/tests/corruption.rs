@@ -1,0 +1,417 @@
+//! The corruption suite: seed index and catalog mutations and pin each to
+//! the MV1xx rule that must catch it, mirroring `crates/verify`'s
+//! corruption tests for the soundness band. The dual sanity checks — the
+//! unmutated fixture and the unmutated §5 workload audit clean — keep the
+//! rules honest in both directions.
+
+use mv_audit::{audit_all, audit_index, audit_metadata, audit_redundancy};
+use mv_bench::{build_workload, engine_with};
+use mv_catalog::tpch::tpch_catalog;
+use mv_catalog::{
+    Catalog, Column, ColumnId, ColumnType, ForeignKey, Key, KeyKind, Table, TableBuilder, TableId,
+};
+use mv_core::{col_token, table_token, MatchConfig, MatchingEngine, SPJ_LEVELS};
+use mv_expr::{BoolExpr, CmpOp, ColRef, ScalarExpr as S};
+use mv_plan::{AggFunc, NamedAgg, NamedExpr, SpjgExpr, ViewDef, ViewId};
+use mv_verify::{Report, Severity};
+
+fn cr(occ: u32, col: u32) -> ColRef {
+    ColRef::new(occ, col)
+}
+
+fn part_view(lo: i64, hi: i64) -> SpjgExpr {
+    let (_, t) = tpch_catalog();
+    let pred = BoolExpr::and(vec![
+        BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Ge, S::lit(lo)),
+        BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Lt, S::lit(hi)),
+    ]);
+    SpjgExpr::spj(
+        vec![t.part],
+        pred,
+        vec![
+            NamedExpr::new(S::col(cr(0, 0)), "p_partkey"),
+            NamedExpr::new(S::col(cr(0, 5)), "p_size"),
+        ],
+    )
+}
+
+fn part_query(lo: i64, hi: i64) -> SpjgExpr {
+    let (_, t) = tpch_catalog();
+    let pred = BoolExpr::and(vec![
+        BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Ge, S::lit(lo)),
+        BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Lt, S::lit(hi)),
+    ]);
+    SpjgExpr::spj(
+        vec![t.part],
+        pred,
+        vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")],
+    )
+}
+
+/// Three overlapping-but-incomparable part views plus an unrelated orders
+/// aggregate — the engine-test fixture, re-used so index corruptions have
+/// live matching traffic to disturb.
+fn fixture() -> MatchingEngine {
+    let (cat, t) = tpch_catalog();
+    let mut engine = MatchingEngine::new(cat, MatchConfig::default());
+    for (name, lo, hi) in [
+        ("parts_low", 0, 1000),
+        ("parts_mid", 500, 2000),
+        ("parts_high", 5000, 9000),
+    ] {
+        engine
+            .add_view(ViewDef::new(name, part_view(lo, hi)))
+            .unwrap();
+    }
+    let agg = SpjgExpr::aggregate(
+        vec![t.orders],
+        BoolExpr::Literal(true),
+        vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+        vec![NamedAgg::new(AggFunc::CountStar, "cnt")],
+    );
+    engine
+        .add_view(ViewDef::new("orders_by_cust", agg))
+        .unwrap();
+    engine
+}
+
+fn queries() -> Vec<SpjgExpr> {
+    vec![part_query(600, 900), part_query(5500, 6000)]
+}
+
+/// Deduplicated rule codes at a given severity.
+fn codes(report: &Report, severity: Severity) -> Vec<&'static str> {
+    let mut out: Vec<&'static str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == severity)
+        .map(|d| d.rule.code())
+        .collect();
+    out.sort();
+    out.dedup();
+    out
+}
+
+// ---------------------------------------------------------------------
+// Sanity: unmutated fixtures audit clean (no errors).
+// ---------------------------------------------------------------------
+
+#[test]
+fn clean_fixture_audits_without_errors() {
+    let engine = fixture();
+    let report = audit_all(&engine, &queries());
+    assert_eq!(codes(&report, Severity::Error), Vec::<&str>::new());
+}
+
+#[test]
+fn clean_workload_audits_without_errors() {
+    // The §5 workload slice mv-lint audits in CI, shrunk for debug-build
+    // test time.
+    let workload = build_workload(40, 20);
+    let engine = engine_with(&workload, 40, MatchConfig::default());
+    let report = audit_all(&engine, &workload.queries);
+    assert_eq!(codes(&report, Severity::Error), Vec::<&str>::new());
+}
+
+// ---------------------------------------------------------------------
+// Index corruptions (MV101–MV104).
+// ---------------------------------------------------------------------
+
+#[test]
+fn evicted_view_caught_by_mv101() {
+    let mut engine = fixture();
+    assert!(engine.evict_view_for_audit(ViewId(0)));
+    let report = audit_index(&engine, &[]);
+    assert_eq!(codes(&report, Severity::Error), vec!["MV101"]);
+}
+
+#[test]
+fn evicted_view_differential_caught_by_mv102() {
+    let mut engine = fixture();
+    assert!(engine.evict_view_for_audit(ViewId(0)));
+    let mut report = Report::new();
+    mv_audit::audit_differential(&engine, &queries(), &mut report);
+    assert_eq!(codes(&report, Severity::Error), vec!["MV102"]);
+    let d = &report.diagnostics[0];
+    assert_eq!(d.context.view.as_deref(), Some("parts_low"));
+    assert!(d
+        .context
+        .detail
+        .as_deref()
+        .unwrap()
+        .contains("missing from its tree"));
+}
+
+#[test]
+fn stale_residual_key_caught_by_mv102_naming_the_level() {
+    let mut engine = fixture();
+    // File parts_low as if it carried a residual predicate no query has:
+    // the level-5 subset search now rejects it for every real query.
+    let mut keys = engine.view_filter_keys(ViewId(0)).unwrap();
+    keys.truncate(SPJ_LEVELS);
+    keys[4].push(999_999);
+    assert!(engine.refile_view_for_audit(ViewId(0), &keys));
+    let mut report = Report::new();
+    mv_audit::audit_differential(&engine, &queries(), &mut report);
+    assert_eq!(codes(&report, Severity::Error), vec!["MV102"]);
+    let detail = report.diagnostics[0].context.detail.as_deref().unwrap();
+    assert!(
+        detail.contains("residuals"),
+        "detail must name the failing level: {detail}"
+    );
+}
+
+#[test]
+fn foreign_hub_caught_by_mv103() {
+    let (_, t) = tpch_catalog();
+    let mut engine = fixture();
+    // A hub outside the view's own table set breaks the level-1
+    // containment argument.
+    let mut keys = engine.view_filter_keys(ViewId(0)).unwrap();
+    keys.truncate(SPJ_LEVELS);
+    keys[0] = vec![table_token(t.orders)];
+    assert!(engine.refile_view_for_audit(ViewId(0), &keys));
+    let report = audit_index(&engine, &[]);
+    let errs = codes(&report, Severity::Error);
+    assert!(errs.contains(&"MV103"), "got {errs:?}");
+}
+
+#[test]
+fn bogus_tokens_caught_by_mv104() {
+    let mut engine = fixture();
+    let mut keys = engine.view_filter_keys(ViewId(0)).unwrap();
+    keys.truncate(SPJ_LEVELS);
+    keys[5].push(col_token(TableId(999), ColumnId(7))); // no such table
+    keys[2].push(1_000_000); // never-interned template text
+    assert!(engine.refile_view_for_audit(ViewId(0), &keys));
+    let report = audit_index(&engine, &[]);
+    let errs = codes(&report, Severity::Error);
+    assert!(errs.contains(&"MV104"), "got {errs:?}");
+    let levels: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule.code() == "MV104")
+        .map(|d| d.context.detail.as_deref().unwrap())
+        .collect();
+    assert!(
+        levels.iter().any(|l| l.contains("range-cols")),
+        "{levels:?}"
+    );
+    assert!(
+        levels.iter().any(|l| l.contains("output-exprs")),
+        "{levels:?}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Catalog redundancy (MV110–MV112).
+// ---------------------------------------------------------------------
+
+#[test]
+fn equivalent_views_caught_by_mv110() {
+    let mut engine = fixture();
+    engine
+        .add_view(ViewDef::new("parts_low_copy", part_view(0, 1000)))
+        .unwrap();
+    let (audit, report) = audit_redundancy(&engine, &[]);
+    assert_eq!(audit.equivalent, vec![(ViewId(0), ViewId(4))]);
+    assert_eq!(codes(&report, Severity::Warning), vec!["MV110"]);
+}
+
+#[test]
+fn subsumed_view_caught_by_mv111() {
+    let mut engine = fixture();
+    // Strictly inside parts_low's range, same outputs: computable from
+    // parts_low but not vice versa.
+    engine
+        .add_view(ViewDef::new("parts_narrow", part_view(100, 200)))
+        .unwrap();
+    let (audit, report) = audit_redundancy(&engine, &[]);
+    assert!(audit.equivalent.is_empty());
+    assert!(audit.subsumed.contains(&(ViewId(4), ViewId(0))));
+    assert!(codes(&report, Severity::Warning).contains(&"MV111"));
+}
+
+#[test]
+fn dead_view_caught_by_mv112() {
+    let engine = fixture();
+    // Part-only queries: the orders aggregate never matches.
+    let (audit, report) = audit_redundancy(&engine, &queries());
+    assert!(audit.dead.contains(&ViewId(3)));
+    let dead: Vec<&str> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule.code() == "MV112")
+        .map(|d| d.context.view.as_deref().unwrap())
+        .collect();
+    assert!(dead.contains(&"orders_by_cust"), "{dead:?}");
+}
+
+// ---------------------------------------------------------------------
+// Metadata corruptions (MV120–MV126).
+// ---------------------------------------------------------------------
+
+/// Parent/child pair with a valid PK each; mutations below break specific
+/// §3.2 preconditions.
+fn meta_catalog() -> (Catalog, TableId, TableId) {
+    let mut cat = Catalog::new();
+    let parent = cat.add_table(
+        TableBuilder::new("parent")
+            .col("id", ColumnType::Int)
+            .col("code", ColumnType::Str)
+            .col("extra", ColumnType::Int)
+            .primary_key(&["id"])
+            .build(),
+    );
+    let child = cat.add_table(
+        TableBuilder::new("child")
+            .col("id", ColumnType::Int)
+            .nullable_col("pref", ColumnType::Int)
+            .col("pstr", ColumnType::Str)
+            .primary_key(&["id"])
+            .build(),
+    );
+    (cat, parent, child)
+}
+
+#[test]
+fn clean_meta_catalog_audits_without_findings() {
+    let (mut cat, parent, child) = meta_catalog();
+    cat.add_foreign_key(ForeignKey {
+        name: "child_parent".into(),
+        from_table: child,
+        from_columns: vec![ColumnId(0)],
+        to_table: parent,
+        to_columns: vec![ColumnId(0)],
+    });
+    let report = audit_metadata(&cat);
+    assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+}
+
+#[test]
+fn nullable_fk_column_caught_by_mv120() {
+    let (mut cat, parent, child) = meta_catalog();
+    cat.add_foreign_key(ForeignKey {
+        name: "nullable_ref".into(),
+        from_table: child,
+        from_columns: vec![ColumnId(1)], // child.pref is nullable
+        to_table: parent,
+        to_columns: vec![ColumnId(0)],
+    });
+    let report = audit_metadata(&cat);
+    assert_eq!(codes(&report, Severity::Warning), vec!["MV120"]);
+    assert!(!report.has_errors());
+}
+
+#[test]
+fn fk_to_non_unique_key_caught_by_mv121() {
+    let (mut cat, parent, child) = meta_catalog();
+    cat.add_foreign_key_unchecked(ForeignKey {
+        name: "not_a_key".into(),
+        from_table: child,
+        from_columns: vec![ColumnId(0)],
+        to_table: parent,
+        to_columns: vec![ColumnId(2)], // parent.extra covers no key
+    });
+    let report = audit_metadata(&cat);
+    assert_eq!(codes(&report, Severity::Error), vec!["MV121"]);
+}
+
+#[test]
+fn fk_type_mismatch_caught_by_mv122() {
+    let (mut cat, parent, child) = meta_catalog();
+    cat.add_foreign_key_unchecked(ForeignKey {
+        name: "str_to_int".into(),
+        from_table: child,
+        from_columns: vec![ColumnId(2)], // child.pstr: VARCHAR
+        to_table: parent,
+        to_columns: vec![ColumnId(0)], // parent.id: INT
+    });
+    let report = audit_metadata(&cat);
+    assert_eq!(codes(&report, Severity::Error), vec!["MV122"]);
+}
+
+#[test]
+fn fk_structural_breakage_caught_by_mv123() {
+    let (mut cat, parent, child) = meta_catalog();
+    cat.add_foreign_key_unchecked(ForeignKey {
+        name: "bad_arity".into(),
+        from_table: child,
+        from_columns: vec![ColumnId(0), ColumnId(1)],
+        to_table: parent,
+        to_columns: vec![ColumnId(0)],
+    });
+    cat.add_foreign_key_unchecked(ForeignKey {
+        name: "bad_col".into(),
+        from_table: child,
+        from_columns: vec![ColumnId(0)],
+        to_table: parent,
+        to_columns: vec![ColumnId(42)],
+    });
+    let report = audit_metadata(&cat);
+    assert_eq!(codes(&report, Severity::Error), vec!["MV123"]);
+    assert_eq!(report.count(Severity::Error), 2);
+}
+
+#[test]
+fn duplicate_fk_caught_by_mv124() {
+    let (mut cat, parent, child) = meta_catalog();
+    for name in ["dup_a", "dup_b"] {
+        cat.add_foreign_key(ForeignKey {
+            name: name.into(),
+            from_table: child,
+            from_columns: vec![ColumnId(0)],
+            to_table: parent,
+            to_columns: vec![ColumnId(0)],
+        });
+    }
+    let report = audit_metadata(&cat);
+    assert_eq!(codes(&report, Severity::Warning), vec!["MV124"]);
+}
+
+#[test]
+fn nullable_primary_key_caught_by_mv125() {
+    let mut cat = Catalog::new();
+    cat.add_table(
+        TableBuilder::new("t")
+            .nullable_col("a", ColumnType::Int)
+            .nullable_col("b", ColumnType::Int)
+            .primary_key(&["a"])
+            .unique(&["b"])
+            .build(),
+    );
+    let report = audit_metadata(&cat);
+    // Nullable PRIMARY KEY column is an error; nullable UNIQUE a warning.
+    assert_eq!(codes(&report, Severity::Error), vec!["MV125"]);
+    assert_eq!(codes(&report, Severity::Warning), vec!["MV125"]);
+}
+
+#[test]
+fn broken_key_declaration_caught_by_mv126() {
+    let mut cat = Catalog::new();
+    cat.add_table(Table {
+        name: "t".into(),
+        columns: vec![Column {
+            name: "a".into(),
+            ty: ColumnType::Int,
+            not_null: true,
+        }],
+        keys: vec![
+            Key {
+                kind: KeyKind::Unique,
+                columns: vec![],
+            },
+            Key {
+                kind: KeyKind::Primary,
+                columns: vec![ColumnId(0), ColumnId(0)],
+            },
+            Key {
+                kind: KeyKind::Unique,
+                columns: vec![ColumnId(99)],
+            },
+        ],
+    });
+    let report = audit_metadata(&cat);
+    assert_eq!(codes(&report, Severity::Error), vec!["MV126"]);
+    assert_eq!(report.count(Severity::Error), 3);
+}

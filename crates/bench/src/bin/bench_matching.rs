@@ -7,8 +7,9 @@
 //!
 //! appends to `BENCH_matching.json` a trajectory entry with one record
 //! per (view count, mode): view count, query count, worker threads,
-//! p50/p95 per-query match latency in microseconds, and matching
-//! throughput in queries/second. Earlier entries in the file are kept, so
+//! p50/p95 per-query match latency in microseconds, matching throughput
+//! in queries/second, and the filter-tree pruning ratio (candidates
+//! examined / catalog size). Earlier entries in the file are kept, so
 //! the file accumulates a performance trajectory across runs; a file in
 //! the pre-trajectory single-run format is absorbed as the first entry.
 //! Serial records drive `find_substitutes` one query at a time on an
@@ -96,6 +97,10 @@ struct Record {
     p50_us: f64,
     p95_us: f64,
     throughput_qps: f64,
+    /// Filter-tree pruning ratio: candidates examined / views available,
+    /// averaged over every `find_substitutes` call of the run (the paper
+    /// reports ~0.3 % — §5.2).
+    candidate_fraction: f64,
 }
 
 fn percentile_us(latencies: &mut [Duration], q: f64) -> f64 {
@@ -191,6 +196,7 @@ fn measure(w: &Workload, args: &Args, views: usize, workers: usize) -> (Record, 
         p50_us: percentile_us(&mut lat, 0.50),
         p95_us: percentile_us(&mut lat, 0.95),
         throughput_qps: qps,
+        candidate_fraction: engine.stats().candidate_fraction(),
     };
 
     let engine = engine_with(w, views, parallel_cfg);
@@ -203,6 +209,7 @@ fn measure(w: &Workload, args: &Args, views: usize, workers: usize) -> (Record, 
         p50_us: percentile_us(&mut lat, 0.50),
         p95_us: percentile_us(&mut lat, 0.95),
         throughput_qps: qps,
+        candidate_fraction: engine.stats().candidate_fraction(),
     };
     (serial, parallel)
 }
@@ -223,7 +230,7 @@ fn entry_json(records: &[Record], args: &Args, workers: usize) -> String {
         out.push_str(&format!(
             "        {{\"views\": {}, \"mode\": \"{}\", \"threads\": {}, \"queries\": {}, \
              \"p50_match_latency_us\": {:.2}, \"p95_match_latency_us\": {:.2}, \
-             \"throughput_qps\": {:.1}}}{}\n",
+             \"throughput_qps\": {:.1}, \"candidate_fraction\": {:.5}}}{}\n",
             r.views,
             r.mode,
             r.threads,
@@ -231,6 +238,7 @@ fn entry_json(records: &[Record], args: &Args, workers: usize) -> String {
             r.p50_us,
             r.p95_us,
             r.throughput_qps,
+            r.candidate_fraction,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -290,20 +298,23 @@ fn main() {
     let w = build_workload(max_views, args.queries);
 
     let mut records = Vec::new();
-    println!("| views | mode | threads | p50 (us) | p95 (us) | throughput (q/s) | speedup |");
-    println!("|---|---|---|---|---|---|---|");
+    println!(
+        "| views | mode | threads | p50 (us) | p95 (us) | throughput (q/s) | cand. frac | speedup |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     for &views in &args.sizes {
         let (serial, parallel) = measure(&w, &args, views, workers);
         let speedup = parallel.throughput_qps / serial.throughput_qps;
         for r in [&serial, &parallel] {
             println!(
-                "| {} | {} | {} | {:.1} | {:.1} | {:.0} | {} |",
+                "| {} | {} | {} | {:.1} | {:.1} | {:.0} | {:.3}% | {} |",
                 r.views,
                 r.mode,
                 r.threads,
                 r.p50_us,
                 r.p95_us,
                 r.throughput_qps,
+                r.candidate_fraction * 100.0,
                 if r.mode == "parallel" {
                     format!("{speedup:.2}x")
                 } else {

@@ -21,7 +21,8 @@ pub mod tpch;
 pub mod types;
 
 pub use schema::{
-    Catalog, Column, ColumnId, ForeignKey, ForeignKeyId, Key, KeyKind, SchemaError, Table, TableId,
+    Catalog, Column, ColumnId, ForeignKey, ForeignKeyId, Key, KeyKind, SchemaError, Table,
+    TableBuilder, TableId,
 };
 pub use stats::{ColumnStats, TableStats};
 pub use types::{ColumnType, Value};

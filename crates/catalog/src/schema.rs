@@ -155,19 +155,34 @@ impl Catalog {
 
     /// Register a foreign key. Validates that the referenced columns form a
     /// unique key of the referenced table, which the paper's extra-table
-    /// test assumes.
+    /// test assumes. Panics on an invalid declaration; use
+    /// [`Catalog::try_add_foreign_key`] to handle the error instead.
     pub fn add_foreign_key(&mut self, fk: ForeignKey) -> ForeignKeyId {
-        assert_eq!(
-            fk.from_columns.len(),
-            fk.to_columns.len(),
-            "foreign key {} has mismatched column counts",
-            fk.name
-        );
-        assert!(
-            self.table(fk.to_table).covers_key(&fk.to_columns),
-            "foreign key {} does not reference a unique key",
-            fk.name
-        );
+        self.try_add_foreign_key(fk)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// [`Catalog::add_foreign_key`] with a typed error instead of a panic.
+    pub fn try_add_foreign_key(&mut self, fk: ForeignKey) -> Result<ForeignKeyId, SchemaError> {
+        if fk.from_columns.len() != fk.to_columns.len() {
+            return Err(SchemaError::FkArityMismatch {
+                name: fk.name.clone(),
+            });
+        }
+        if !self.table(fk.to_table).covers_key(&fk.to_columns) {
+            return Err(SchemaError::FkNotUniqueKey {
+                name: fk.name.clone(),
+            });
+        }
+        Ok(self.add_foreign_key_unchecked(fk))
+    }
+
+    /// Register a foreign key **without** validating it. For ingesting
+    /// externally-sourced catalogs whose declarations cannot be trusted
+    /// (and for seeding corrupt metadata in the `mv-audit` test suite);
+    /// pair with `mv-audit`'s metadata validation pass, which reports
+    /// broken declarations as MV12x diagnostics instead of panicking.
+    pub fn add_foreign_key_unchecked(&mut self, fk: ForeignKey) -> ForeignKeyId {
         let id = ForeignKeyId(self.foreign_keys.len() as u32);
         self.fks_from.entry(fk.from_table).or_default().push(id);
         self.foreign_keys.push(fk);
@@ -246,7 +261,8 @@ impl Catalog {
     }
 }
 
-/// Error raised while defining a table through [`TableBuilder`].
+/// Error raised while defining a table through [`TableBuilder`] or a
+/// foreign key through [`Catalog::try_add_foreign_key`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SchemaError {
     /// A key or unique constraint referenced a column name that was never
@@ -257,6 +273,18 @@ pub enum SchemaError {
         /// The unresolved column name.
         column: String,
     },
+    /// A foreign key's referencing and referenced column lists differ in
+    /// length.
+    FkArityMismatch {
+        /// The constraint name.
+        name: String,
+    },
+    /// A foreign key's referenced columns cover no unique key of the
+    /// referenced table (required by the paper's §3.2 extra-table test).
+    FkNotUniqueKey {
+        /// The constraint name.
+        name: String,
+    },
 }
 
 impl fmt::Display for SchemaError {
@@ -264,6 +292,12 @@ impl fmt::Display for SchemaError {
         match self {
             SchemaError::UnknownColumn { table, column } => {
                 write!(f, "unknown column {column} in {table}")
+            }
+            SchemaError::FkArityMismatch { name } => {
+                write!(f, "foreign key {name} has mismatched column counts")
+            }
+            SchemaError::FkNotUniqueKey { name } => {
+                write!(f, "foreign key {name} does not reference a unique key")
             }
         }
     }
@@ -452,6 +486,51 @@ mod tests {
             to_table: tid,
             to_columns: vec![ColumnId(1)],
         });
+    }
+
+    #[test]
+    fn try_add_foreign_key_reports_typed_errors() {
+        let mut cat = two_table_catalog();
+        let tid = cat.table_by_name("t").unwrap();
+        let sid = cat.table_by_name("s").unwrap();
+        let err = cat
+            .try_add_foreign_key(ForeignKey {
+                name: "bad_arity".into(),
+                from_table: sid,
+                from_columns: vec![ColumnId(0), ColumnId(1)],
+                to_table: tid,
+                to_columns: vec![ColumnId(0)],
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SchemaError::FkArityMismatch {
+                name: "bad_arity".into()
+            }
+        );
+        let err = cat
+            .try_add_foreign_key(ForeignKey {
+                name: "bad_key".into(),
+                from_table: sid,
+                from_columns: vec![ColumnId(0)],
+                to_table: tid,
+                to_columns: vec![ColumnId(1)],
+            })
+            .unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "foreign key bad_key does not reference a unique key"
+        );
+        // The unchecked path records the declaration as given.
+        let before = cat.foreign_keys().count();
+        cat.add_foreign_key_unchecked(ForeignKey {
+            name: "bad_key".into(),
+            from_table: sid,
+            from_columns: vec![ColumnId(0)],
+            to_table: tid,
+            to_columns: vec![ColumnId(1)],
+        });
+        assert_eq!(cat.foreign_keys().count(), before + 1);
     }
 
     #[test]

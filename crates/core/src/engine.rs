@@ -16,9 +16,39 @@ use std::time::Instant;
 /// Number of filter-tree levels for SPJ views (hub, source tables, output
 /// expressions, output columns, residual predicates, range-constrained
 /// columns).
-const SPJ_LEVELS: usize = 6;
+pub const SPJ_LEVELS: usize = 6;
 /// Aggregation views add grouping expressions and grouping columns.
-const AGG_LEVELS: usize = 8;
+pub const AGG_LEVELS: usize = 8;
+
+/// Human-readable names of the filter-tree levels, in key order (the
+/// first [`SPJ_LEVELS`] apply to the SPJ tree). Diagnostics use these to
+/// say *which* partitioning condition wrongly pruned a view.
+pub const LEVEL_NAMES: [&str; AGG_LEVELS] = [
+    "hub",
+    "source-tables",
+    "output-exprs",
+    "output-cols",
+    "residuals",
+    "range-cols",
+    "grouping-exprs",
+    "grouping-cols",
+];
+
+/// Filter-tree levels at which the paper-faithful strict expression
+/// filter ([`MatchConfig::strict_expression_filter`], section 4.2.7) is
+/// *deliberately* incomplete: the matcher can recompute a complex output
+/// expression from a view's plain columns, but the strict filter requires
+/// the rendered template to appear in the view's output-expression key.
+/// A view pruned *only* at these levels while the matcher accepts it is
+/// documented conservatism, not an index fault; any other rejecting level
+/// is a genuine completeness violation (rule MV102).
+pub fn strict_filter_exempt_levels(is_aggregate_view: bool) -> &'static [usize] {
+    if is_aggregate_view {
+        &[2, 6]
+    } else {
+        &[2]
+    }
+}
 
 /// String interner mapping template texts to filter-key tokens.
 ///
@@ -38,7 +68,7 @@ struct Interner {
 /// collide. In a superset-level search an unknown token correctly empties
 /// the result (no view key contains it); in a subset-level search it
 /// merely widens the allowed set, which is equally harmless.
-const UNKNOWN_TOKEN: u64 = u64::MAX;
+pub const UNKNOWN_TOKEN: u64 = u64::MAX;
 
 impl Interner {
     /// Token for `s`, minting one only if the text was never seen —
@@ -59,8 +89,9 @@ impl Interner {
     }
 }
 
-/// Token for a base table.
-fn table_token(t: TableId) -> u64 {
+/// Token for a base table. Public so `mv-audit` can decode and rebuild
+/// level keys when validating the stored index entries.
+pub fn table_token(t: TableId) -> u64 {
     t.0 as u64
 }
 
@@ -68,8 +99,15 @@ fn table_token(t: TableId) -> u64 {
 /// the base-table level (not per occurrence), which is exact for
 /// expressions without self-joins and conservative (never drops a valid
 /// candidate) with them.
-fn col_token(table: TableId, col: ColumnId) -> u64 {
+pub fn col_token(table: TableId, col: ColumnId) -> u64 {
     ((table.0 as u64) << 32) | col.0 as u64
+}
+
+/// Inverse of [`col_token`]: the `(table, column)` pair a column-level
+/// key token denotes. Meaningful only for tokens taken from a
+/// column-keyed filter level.
+pub fn decode_col_token(token: u64) -> (TableId, ColumnId) {
+    (TableId((token >> 32) as u32), ColumnId(token as u32))
 }
 
 fn base_col_token(expr: &SpjgExpr, c: ColRef) -> u64 {
@@ -147,7 +185,7 @@ impl MatchingEngine {
         let keys = Self::view_keys(
             &self.catalog,
             &self.config,
-            &mut self.interner,
+            &mut |s| self.interner.intern(s),
             &def.expr,
             &vsum,
         );
@@ -202,10 +240,13 @@ impl MatchingEngine {
         for (occ, table) in query.occurrences() {
             if let Some(conjs) = self.checks.get(&table) {
                 for conj in conjs {
-                    extras.push(
-                        conj.try_map_columns(&mut |c| Some(ColRef { occ, col: c.col }))
-                            .expect("infallible remap"),
-                    );
+                    // The closure is total, so the remap cannot fail; if a
+                    // future edit breaks that, dropping the conjunct only
+                    // weakens the antecedent (safe direction) — flag it in
+                    // debug builds instead of panicking in release.
+                    let mapped = conj.try_map_columns(&mut |c| Some(ColRef { occ, col: c.col }));
+                    debug_assert!(mapped.is_some(), "total column remap cannot fail");
+                    extras.extend(mapped);
                 }
             }
         }
@@ -253,7 +294,7 @@ impl MatchingEngine {
         let keys = Self::view_keys(
             &self.catalog,
             &self.config,
-            &mut self.interner,
+            &mut |s| self.interner.intern(s),
             &def.expr,
             &vsum,
         );
@@ -286,10 +327,17 @@ impl MatchingEngine {
     /// used for SPJ views). An associated function over explicit fields —
     /// not a method — so the write-path callers can borrow the interner
     /// mutably while the view registry stays immutably borrowed.
+    ///
+    /// Template texts go through the `token` closure: the write path
+    /// passes [`Interner::intern`] (minting), while the audit path passes
+    /// the read-only [`Interner::lookup`] — for a registered view the two
+    /// agree, because every one of its texts was interned at `add_view`
+    /// time. That agreement is exactly what lets `mv-audit` re-derive a
+    /// view's keys without mutating the engine.
     fn view_keys(
         catalog: &Catalog,
         config: &MatchConfig,
-        interner: &mut Interner,
+        token: &mut dyn FnMut(&str) -> u64,
         expr: &SpjgExpr,
         vsum: &ExprSummary,
     ) -> Vec<Vec<u64>> {
@@ -309,12 +357,12 @@ impl MatchingEngine {
         let mut k_exprs: Vec<u64> = Vec::new();
         for ne in expr.scalar_outputs() {
             if ne.expr.as_column().is_none() && !ne.expr.is_constant() {
-                k_exprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
+                k_exprs.push(token(&Template::of_scalar(&ne.expr).text));
             }
         }
         for agg in expr.aggregate_outputs() {
             if let AggFunc::Sum(e) = &agg.func {
-                k_exprs.push(interner.intern(&Template::of_scalar(e).text));
+                k_exprs.push(token(&Template::of_scalar(e).text));
             }
         }
 
@@ -336,11 +384,7 @@ impl MatchingEngine {
         }
 
         // Level 5: residual predicate texts.
-        let k_residuals: Vec<u64> = vsum
-            .residuals
-            .iter()
-            .map(|t| interner.intern(&t.text))
-            .collect();
+        let k_residuals: Vec<u64> = vsum.residuals.iter().map(|t| token(&t.text)).collect();
 
         // Level 6: reduced range constraint list — constrained columns in
         // trivial equivalence classes (section 4.2.5).
@@ -362,7 +406,7 @@ impl MatchingEngine {
                         k_gcols.push(base_col_token(expr, m));
                     }
                 } else if !ne.expr.is_constant() {
-                    k_gexprs.push(interner.intern(&Template::of_scalar(&ne.expr).text));
+                    k_gexprs.push(token(&Template::of_scalar(&ne.expr).text));
                 }
             }
             if config.allow_backjoins {
@@ -597,7 +641,10 @@ impl MatchingEngine {
 
         let out = self.match_candidates(query, &qsum, &candidates);
         #[cfg(debug_assertions)]
-        self.debug_verify(query, &out);
+        {
+            self.debug_verify(query, &out);
+            self.debug_assert_filter_complete(query, &qsum, &candidates);
+        }
 
         self.stats.record(
             candidates.len(),
@@ -620,16 +667,33 @@ impl MatchingEngine {
     }
 
     /// Match the query against one specific view (bypassing the filter).
+    /// Returns `None` for removed and out-of-range view ids rather than
+    /// panicking — an id is data here, not a proven-valid handle.
     pub fn match_one(&self, query: &SpjgExpr, view: ViewId) -> Option<Substitute> {
-        if self.removed.contains(&view) {
+        if self.removed.contains(&view) || (view.0 as usize) >= self.views.len() {
             return None;
         }
         let qsum = self.query_summary(query);
+        self.match_one_prepared(query, &qsum, view)
+    }
+
+    /// [`MatchingEngine::match_one`] with a caller-supplied query summary,
+    /// so a driver probing many views against one query (the `mv-audit`
+    /// differential pass) analyzes the query once instead of per probe.
+    pub fn match_one_prepared(
+        &self,
+        query: &SpjgExpr,
+        qsum: &ExprSummary,
+        view: ViewId,
+    ) -> Option<Substitute> {
+        if self.removed.contains(&view) || (view.0 as usize) >= self.views.len() {
+            return None;
+        }
         let result = match_view(
             &self.catalog,
             &self.config,
             query,
-            &qsum,
+            qsum,
             view,
             self.views.get(view),
             &self.summaries[view.0 as usize],
@@ -639,6 +703,174 @@ impl MatchingEngine {
             self.debug_verify(query, std::slice::from_ref(&(view, sub.clone())));
         }
         result
+    }
+
+    // ------------------------------------------------------------------
+    // Audit API: read-only views into the filter index for `mv-audit`.
+    // ------------------------------------------------------------------
+
+    /// Has this view been dropped with [`MatchingEngine::remove_view`]?
+    pub fn is_removed(&self, id: ViewId) -> bool {
+        self.removed.contains(&id)
+    }
+
+    /// Re-derive the per-level filter keys of a registered live view,
+    /// read-only: template texts resolve through [`Interner::lookup`], so
+    /// no tokens are minted and the engine is not mutated. For a live view
+    /// this reproduces exactly the keys `add_view` computed (every text
+    /// was interned then). Returns `None` for removed or out-of-range ids.
+    pub fn view_filter_keys(&self, id: ViewId) -> Option<Vec<Vec<u64>>> {
+        if self.removed.contains(&id) || (id.0 as usize) >= self.views.len() {
+            return None;
+        }
+        let def = self.views.get(id);
+        let vsum = &self.summaries[id.0 as usize];
+        Some(Self::view_keys(
+            &self.catalog,
+            &self.config,
+            &mut |s| self.interner.lookup(s),
+            &def.expr,
+            vsum,
+        ))
+    }
+
+    /// Every `(view, stored per-level keys)` entry across both filter
+    /// trees, exactly as the index holds them (normalized). SPJ entries
+    /// carry [`SPJ_LEVELS`] keys, aggregation entries [`AGG_LEVELS`].
+    pub fn filter_entries(&self) -> Vec<(ViewId, Vec<Vec<u64>>)> {
+        let mut out = self.spj_tree.entries();
+        out.extend(self.agg_tree.entries());
+        out
+    }
+
+    /// Is the view filed in its tree under exactly the keys a fresh
+    /// derivation produces? `false` means the index lost the view or
+    /// holds it under stale keys — either way a search may never reach it.
+    pub fn view_in_tree(&self, id: ViewId) -> bool {
+        let Some(keys) = self.view_filter_keys(id) else {
+            return false;
+        };
+        if self.views.get(id).expr.is_aggregate() {
+            self.agg_tree.contains(&keys, id)
+        } else {
+            self.spj_tree.contains(&keys[..SPJ_LEVELS], id)
+        }
+    }
+
+    /// The per-level search conditions a query poses against the SPJ and
+    /// aggregation trees, in that order. Read-only (unknown template
+    /// texts resolve to the reserved [`UNKNOWN_TOKEN`]).
+    pub fn query_searches(
+        &self,
+        query: &SpjgExpr,
+        qsum: &ExprSummary,
+    ) -> (Vec<LevelSearch>, Vec<LevelSearch>) {
+        let tokens = self.query_tokens(query, qsum);
+        (tokens.spj_searches(), tokens.agg_searches())
+    }
+
+    /// Number of template-text tokens ever minted. Tokens are issued
+    /// sequentially from 0, so any stored text token `>= known_token_count`
+    /// (other than unreachable [`UNKNOWN_TOKEN`] query tokens) denotes a
+    /// corrupted index entry.
+    pub fn known_token_count(&self) -> u64 {
+        self.interner.map.len() as u64
+    }
+
+    /// Corruption hook for the `mv-audit` test suite: silently drop `id`
+    /// from its filter tree while the engine still believes it is live.
+    /// Simulates an index that lost an entry. Never call outside tests.
+    #[doc(hidden)]
+    pub fn evict_view_for_audit(&mut self, id: ViewId) -> bool {
+        let Some(keys) = self.view_filter_keys(id) else {
+            return false;
+        };
+        if self.views.get(id).expr.is_aggregate() {
+            self.agg_tree.remove(&keys, id)
+        } else {
+            self.spj_tree.remove(&keys[..SPJ_LEVELS], id)
+        }
+    }
+
+    /// Corruption hook for the `mv-audit` test suite: re-file `id` under
+    /// caller-chosen per-level keys (arity must match the view's tree).
+    /// Simulates an index whose stored keys drifted from the definition.
+    /// Never call outside tests.
+    #[doc(hidden)]
+    pub fn refile_view_for_audit(&mut self, id: ViewId, keys: &[Vec<u64>]) -> bool {
+        if !self.evict_view_for_audit(id) {
+            return false;
+        }
+        if self.views.get(id).expr.is_aggregate() {
+            self.agg_tree.insert(keys, id);
+        } else {
+            self.spj_tree.insert(keys, id);
+        }
+        true
+    }
+
+    /// Debug-mode completeness oracle, the dual of
+    /// [`MatchingEngine::debug_verify`]: after every filtered
+    /// `find_substitutes`, exhaustively re-match each live view the filter
+    /// tree pruned and panic if one of them actually matches — unless the
+    /// only rejecting levels are the documented strict-expression-filter
+    /// conservatism ([`strict_filter_exempt_levels`], section 4.2.7).
+    /// Every test exercising the matching path in a debug build therefore
+    /// doubles as a proof obligation that filter-tree candidates ⊇
+    /// exhaustive matches. Capped at a modest catalog size so large debug
+    /// workload tests stay fast; compiled out of release builds.
+    #[cfg(debug_assertions)]
+    fn debug_assert_filter_complete(
+        &self,
+        query: &SpjgExpr,
+        qsum: &ExprSummary,
+        candidates: &[ViewId],
+    ) {
+        const DEBUG_COMPLETENESS_CAP: usize = 512;
+        if !self.config.use_filter_tree || self.live_view_count() > DEBUG_COMPLETENESS_CAP {
+            return;
+        }
+        let (spj, agg) = self.query_searches(query, qsum);
+        for (id, view) in self.views.iter() {
+            // `candidates` is sorted (see `candidates_into`).
+            if self.removed.contains(&id) || candidates.binary_search(&id).is_ok() {
+                continue;
+            }
+            let vsum = &self.summaries[id.0 as usize];
+            if match_view(&self.catalog, &self.config, query, qsum, id, view, vsum).is_none() {
+                continue;
+            }
+            let is_agg = view.expr.is_aggregate();
+            assert!(
+                !is_agg || query.is_aggregate(),
+                "matcher accepted aggregation view `{}` for a non-aggregate \
+                 query — invalid per section 3.3",
+                view.name
+            );
+            let keys = self
+                .view_filter_keys(id)
+                .expect("live view has derivable keys");
+            let searches = if is_agg { &agg } else { &spj };
+            let rejecting: Vec<usize> = searches
+                .iter()
+                .enumerate()
+                .filter(|(lvl, s)| !s.accepts(&keys[*lvl]))
+                .map(|(lvl, _)| lvl)
+                .collect();
+            let exempt = strict_filter_exempt_levels(is_agg);
+            if self.config.strict_expression_filter
+                && !rejecting.is_empty()
+                && rejecting.iter().all(|l| exempt.contains(l))
+            {
+                continue;
+            }
+            let levels: Vec<&str> = rejecting.iter().map(|&l| LEVEL_NAMES[l]).collect();
+            panic!(
+                "filter tree dropped matching view `{}` (rejecting levels {levels:?}; \
+                 an empty list means the view is missing from its tree)",
+                view.name
+            );
+        }
     }
 
     /// Debug-mode oracle: run the independent `mv-verify` analyzer over
@@ -926,6 +1158,65 @@ mod tests {
             vec![NamedAgg::new(AggFunc::CountStar, "n")],
         );
         assert!(engine.find_substitutes(&agg).is_empty());
+    }
+
+    #[test]
+    fn audit_api_reports_index_state() {
+        let engine = engine_with_views(MatchConfig::default());
+        for id in 0..4 {
+            assert!(engine.view_in_tree(ViewId(id)));
+            assert!(!engine.is_removed(ViewId(id)));
+        }
+        assert!(engine.view_filter_keys(ViewId(99)).is_none());
+        assert!(engine
+            .match_one(&part_query(600, 900), ViewId(99))
+            .is_none());
+        let entries = engine.filter_entries();
+        assert_eq!(entries.len(), 4);
+        // Stored keys equal a fresh read-only derivation, up to the
+        // normalization the lattice applies on insert.
+        for (id, stored) in &entries {
+            let derived = engine.view_filter_keys(*id).unwrap();
+            assert!(stored.len() <= derived.len());
+            for (s, d) in stored.iter().zip(derived.iter()) {
+                let mut d = d.clone();
+                d.sort_unstable();
+                d.dedup();
+                assert_eq!(s, &d);
+            }
+        }
+        // Evicting drops the view from the index but not from the engine.
+        let mut engine = engine;
+        assert!(engine.evict_view_for_audit(ViewId(0)));
+        assert!(!engine.view_in_tree(ViewId(0)));
+        assert_eq!(engine.filter_entries().len(), 3);
+        assert_eq!(engine.live_view_count(), 4);
+        // Removed views have no keys and cannot be corrupted.
+        let mut engine = engine_with_views(MatchConfig::default());
+        engine.remove_view(ViewId(1));
+        assert!(engine.view_filter_keys(ViewId(1)).is_none());
+        assert!(!engine.evict_view_for_audit(ViewId(1)));
+        assert!(!engine.refile_view_for_audit(ViewId(1), &[]));
+    }
+
+    #[test]
+    fn refile_moves_the_index_entry() {
+        let mut engine = engine_with_views(MatchConfig::default());
+        let mut keys = engine.view_filter_keys(ViewId(0)).unwrap();
+        keys.truncate(SPJ_LEVELS);
+        keys[4].push(999_999); // bogus residual token
+        assert!(engine.refile_view_for_audit(ViewId(0), &keys));
+        assert!(!engine.view_in_tree(ViewId(0)), "stored keys are stale now");
+        assert_eq!(engine.filter_entries().len(), 4);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "filter tree dropped matching view")]
+    fn debug_hook_catches_evicted_view() {
+        let mut engine = engine_with_views(MatchConfig::default());
+        engine.evict_view_for_audit(ViewId(0));
+        engine.find_substitutes(&part_query(600, 900));
     }
 
     #[test]

@@ -31,6 +31,31 @@ pub enum LevelSearch {
     Hitting(Vec<Vec<u64>>),
 }
 
+impl LevelSearch {
+    /// Would this search condition accept a partition stored under `key`?
+    ///
+    /// This is the pointwise form of the monotone condition each level's
+    /// lattice search evaluates over whole branches; `mv-audit` uses it to
+    /// attribute a wrongly pruned view to the first level whose stored key
+    /// fails the query's condition. `key` need not be normalized.
+    pub fn accepts(&self, key: &[u64]) -> bool {
+        let mut key = key.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        match self {
+            LevelSearch::Subset(s) => {
+                let mut s = s.clone();
+                s.sort_unstable();
+                key.iter().all(|k| s.binary_search(k).is_ok())
+            }
+            LevelSearch::Superset(s) => s.iter().all(|e| key.binary_search(e).is_ok()),
+            LevelSearch::Hitting(classes) => classes
+                .iter()
+                .all(|cl| cl.iter().any(|e| key.binary_search(e).is_ok())),
+        }
+    }
+}
+
 /// One partition node of the filter tree.
 #[derive(Debug, Clone)]
 enum FilterNode {
@@ -130,6 +155,58 @@ impl FilterTree {
                 Some(child) => Self::remove_node(child, &keys[1..], view),
                 None => false,
             },
+        }
+    }
+
+    /// Is `view` stored under exactly these per-level keys? Keys need not
+    /// be normalized. Panics if `keys.len()` differs from the tree depth,
+    /// like [`FilterTree::insert`].
+    pub fn contains(&self, keys: &[Vec<u64>], view: ViewId) -> bool {
+        assert_eq!(keys.len(), self.depth, "level key count mismatch");
+        let mut node = &self.root;
+        for key in keys {
+            match node {
+                FilterNode::Leaf(_) => unreachable!("depth checked above"),
+                FilterNode::Internal(index) => match index.peek(key.clone()) {
+                    Some(child) => node = child,
+                    None => return false,
+                },
+            }
+        }
+        match node {
+            FilterNode::Leaf(views) => views.contains(&view),
+            FilterNode::Internal(_) => unreachable!("depth checked above"),
+        }
+    }
+
+    /// Every `(view, per-level keys)` pair stored in the tree, in
+    /// unspecified order. Keys come back normalized (sorted, deduplicated)
+    /// — the form the lattice indexes store. `mv-audit` walks this to
+    /// check each stored entry against a fresh re-derivation of the view's
+    /// keys.
+    pub fn entries(&self) -> Vec<(ViewId, Vec<Vec<u64>>)> {
+        let mut out = Vec::new();
+        let mut prefix = Vec::new();
+        Self::collect_entries(&self.root, &mut prefix, &mut out);
+        out
+    }
+
+    fn collect_entries(
+        node: &FilterNode,
+        prefix: &mut Vec<Vec<u64>>,
+        out: &mut Vec<(ViewId, Vec<Vec<u64>>)>,
+    ) {
+        match node {
+            FilterNode::Leaf(views) => {
+                out.extend(views.iter().map(|&v| (v, prefix.clone())));
+            }
+            FilterNode::Internal(index) => {
+                for (key, child) in index.iter() {
+                    prefix.push(key.to_vec());
+                    Self::collect_entries(child, prefix, out);
+                    prefix.pop();
+                }
+            }
         }
     }
 
@@ -237,6 +314,74 @@ mod tests {
     fn wrong_key_arity_panics() {
         let mut tree = FilterTree::new(2);
         tree.insert(&[vec![1]], v(0));
+    }
+
+    #[test]
+    fn accepts_mirrors_search_conditions() {
+        let sub = LevelSearch::Subset(vec![100, 200]);
+        assert!(sub.accepts(&[100]));
+        assert!(sub.accepts(&[]));
+        assert!(sub.accepts(&[200, 100, 100])); // unnormalized input
+        assert!(!sub.accepts(&[100, 300]));
+        let sup = LevelSearch::Superset(vec![1, 2]);
+        assert!(sup.accepts(&[2, 1, 3]));
+        assert!(!sup.accepts(&[1]));
+        let hit = LevelSearch::Hitting(vec![vec![10, 11], vec![30, 31]]);
+        assert!(hit.accepts(&[11, 30]));
+        assert!(!hit.accepts(&[10, 20]));
+        assert!(LevelSearch::Hitting(vec![]).accepts(&[]));
+    }
+
+    #[test]
+    fn accepts_agrees_with_tree_search() {
+        // Any view returned by a tree search must be accepted level-by-level
+        // by the same conditions, and vice versa.
+        let mut tree = FilterTree::new(2);
+        let keys: Vec<Vec<Vec<u64>>> = vec![
+            vec![vec![1, 2], vec![100]],
+            vec![vec![1, 2], vec![]],
+            vec![vec![1], vec![]],
+            vec![vec![1, 2, 3], vec![100, 200]],
+        ];
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(k, v(i as u32));
+        }
+        let searches = [
+            LevelSearch::Superset(vec![1, 2]),
+            LevelSearch::Subset(vec![100]),
+        ];
+        let mut found = tree.search(&searches);
+        found.sort();
+        let expected: Vec<ViewId> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| searches.iter().zip(k.iter()).all(|(s, key)| s.accepts(key)))
+            .map(|(i, _)| v(i as u32))
+            .collect();
+        assert_eq!(found, expected);
+    }
+
+    #[test]
+    fn contains_and_entries_report_stored_keys() {
+        let mut tree = FilterTree::new(2);
+        tree.insert(&[vec![2, 1, 1], vec![100]], v(0)); // stored normalized
+        tree.insert(&[vec![3], vec![]], v(1));
+        assert!(tree.contains(&[vec![1, 2], vec![100]], v(0)));
+        assert!(tree.contains(&[vec![2, 1], vec![100]], v(0))); // unnormalized probe
+        assert!(!tree.contains(&[vec![1, 2], vec![100]], v(1)));
+        assert!(!tree.contains(&[vec![1], vec![100]], v(0)));
+        let mut entries = tree.entries();
+        entries.sort();
+        assert_eq!(
+            entries,
+            vec![
+                (v(0), vec![vec![1, 2], vec![100]]),
+                (v(1), vec![vec![3], vec![]]),
+            ]
+        );
+        tree.remove(&[vec![1, 2], vec![100]], v(0));
+        assert!(!tree.contains(&[vec![1, 2], vec![100]], v(0)));
+        assert_eq!(tree.entries(), vec![(v(1), vec![vec![3], vec![]])]);
     }
 
     #[test]

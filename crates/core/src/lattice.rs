@@ -110,6 +110,24 @@ impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
         self.nodes[id].payload.first_mut()
     }
 
+    /// The first value stored under exactly `key`, read-only. The dual of
+    /// [`LatticeIndex::peek_mut`] for audit paths that must not mutate the
+    /// index (and in particular must not mint new interner tokens).
+    pub fn peek(&self, key: Vec<K>) -> Option<&V> {
+        let key = Self::normalize(key);
+        let &id = self.by_key.get(&key)?;
+        self.nodes[id].payload.first()
+    }
+
+    /// Every `(key, value)` pair in the index, in unspecified order. Keys
+    /// are the normalized (sorted, deduplicated) stored keys; a key with
+    /// several values is yielded once per value.
+    pub fn iter(&self) -> impl Iterator<Item = (&[K], &V)> {
+        self.nodes
+            .iter()
+            .flat_map(|n| n.payload.iter().map(move |v| (n.key.as_slice(), v)))
+    }
+
     /// Fetch the payload slot for `key`, creating the node (with a payload
     /// built by `make`) if absent. Used by the filter tree, where each key
     /// set owns exactly one child node.

@@ -49,8 +49,11 @@ mod matching_tests;
 pub mod stats;
 pub mod summary;
 
-pub use engine::MatchingEngine;
-pub use filter::FilterTree;
+pub use engine::{
+    col_token, decode_col_token, strict_filter_exempt_levels, table_token, MatchingEngine,
+    AGG_LEVELS, LEVEL_NAMES, SPJ_LEVELS, UNKNOWN_TOKEN,
+};
+pub use filter::{FilterTree, LevelSearch};
 pub use lattice::LatticeIndex;
 pub use matching::{match_view, MatchConfig};
 pub use stats::MatchStats;

@@ -86,6 +86,68 @@ proptest! {
     }
 
     #[test]
+    fn monotone_up_search_equals_naive(
+        keys in prop::collection::vec(prop::collection::vec(0u8..10, 0..5), 1..30),
+        forbidden in prop::collection::vec(0u8..10, 0..4),
+    ) {
+        let mut idx: LatticeIndex<u8, usize> = LatticeIndex::new();
+        for (i, k) in keys.iter().enumerate() {
+            idx.insert(k.clone(), i);
+        }
+        // "Avoids every forbidden element" fails for all supersets once it
+        // fails for a key — the shape of the range-column subset condition.
+        let qualifies = |k: &[u8]| !k.iter().any(|e| forbidden.contains(e));
+        let mut found: Vec<usize> = idx.find_monotone_up(qualifies).into_iter().copied().collect();
+        found.sort();
+        let mut naive: Vec<usize> = keys
+            .iter()
+            .enumerate()
+            .filter(|(_, k)| !k.iter().any(|e| forbidden.contains(e)))
+            .map(|(i, _)| i)
+            .collect();
+        naive.sort();
+        prop_assert_eq!(found, naive);
+    }
+
+    #[test]
+    fn duplicate_inserts_keep_every_payload(
+        key in prop::collection::vec(0u8..8, 0..5),
+        copies in 1usize..6,
+        probe_extra in prop::collection::vec(0u8..8, 0..3),
+    ) {
+        // Re-inserting under the same key (including the empty key) must
+        // accumulate payloads on one node, and every search that reaches
+        // the key must return all of them exactly once.
+        let mut idx: LatticeIndex<u8, usize> = LatticeIndex::new();
+        for i in 0..copies {
+            idx.insert(key.clone(), i);
+        }
+        prop_assert_eq!(idx.len(), copies);
+        prop_assert_eq!(idx.node_count(), 1);
+
+        let key_n = normalize(key.clone());
+        let mut probe = key_n.clone();
+        probe.extend(probe_extra.iter().copied());
+        let probe = normalize(probe);
+        let mut found: Vec<usize> = idx.find_subsets(&probe).into_iter().copied().collect();
+        found.sort();
+        prop_assert_eq!(found, (0..copies).collect::<Vec<_>>());
+
+        // The empty probe finds the key via the superset search, and via
+        // the subset search exactly when the key itself is empty.
+        let mut sup: Vec<usize> = idx.find_supersets(&[]).into_iter().copied().collect();
+        sup.sort();
+        prop_assert_eq!(sup, (0..copies).collect::<Vec<_>>());
+        let subs = idx.find_subsets(&[]).len();
+        prop_assert_eq!(subs, if key_n.is_empty() { copies } else { 0 });
+
+        // Removing one copy leaves the rest reachable.
+        prop_assert!(idx.remove(key.clone(), &0));
+        prop_assert_eq!(idx.len(), copies - 1);
+        prop_assert_eq!(idx.find_subsets(&probe).len(), copies - 1);
+    }
+
+    #[test]
     fn monotone_hitting_search_equals_naive(
         keys in prop::collection::vec(prop::collection::vec(0u8..10, 0..5), 1..30),
         classes in prop::collection::vec(prop::collection::vec(0u8..10, 1..4), 0..4),

@@ -10,7 +10,9 @@
 //!    substitute with the independent analyzer (`verify_substitute`),
 //! 3. optionally (`--exec-check N`) cross-checks substitutes by executing
 //!    both the substitute and the original query on small generated data
-//!    and comparing row bags (rule MV018).
+//!    and comparing row bags (rule MV018),
+//! 4. optionally (`--audit`) runs the `mv-audit` completeness & catalog
+//!    passes (rules MV101+) over the same engine and workload.
 //!
 //! The JSON report goes to stdout (or `--out FILE`); a human summary goes
 //! to stderr. Exit code 1 on any ERROR diagnostic, and on warnings too
@@ -35,6 +37,8 @@ OPTIONS:
     --queries N        queries to generate and match    [default: 100]
     --exec-check N     execute up to N (query, substitute) pairs on tiny
                        generated data and compare row bags [default: 0]
+    --audit            also run the mv-audit passes: filter-tree index
+                       completeness, catalog redundancy, metadata (MV101+)
     --deny-warnings    exit nonzero on warnings, not just errors
     --out FILE         write the JSON report to FILE instead of stdout
     -h, --help         print this help
@@ -44,6 +48,7 @@ struct Args {
     views: usize,
     queries: usize,
     exec_check: usize,
+    audit: bool,
     deny_warnings: bool,
     out: Option<String>,
 }
@@ -53,6 +58,7 @@ fn parse_args() -> Args {
         views: 200,
         queries: 100,
         exec_check: 0,
+        audit: false,
         deny_warnings: false,
         out: None,
     };
@@ -70,6 +76,7 @@ fn parse_args() -> Args {
             "--exec-check" => {
                 args.exec_check = parse_num(&value(&mut it, "--exec-check"), "--exec-check")
             }
+            "--audit" => args.audit = true,
             "--deny-warnings" => args.deny_warnings = true,
             "--out" => args.out = Some(value(&mut it, "--out")),
             "-h" | "--help" => {
@@ -157,9 +164,17 @@ fn main() -> ExitCode {
         }
     }
 
+    // Completeness & catalog audit (MV101+) over the same engine/workload.
+    let mut audit_findings = 0usize;
+    if args.audit {
+        let audit = mv_audit::audit_all(&engine, &workload.queries);
+        audit_findings = audit.diagnostics.len();
+        report.extend(audit.diagnostics);
+    }
+
     let title = format!(
-        "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked",
-        args.views, args.queries, substitutes, exec_checked
+        "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked, {} audit findings",
+        args.views, args.queries, substitutes, exec_checked, audit_findings
     );
     let json = report.to_json(&title);
     match &args.out {

@@ -73,6 +73,64 @@ pub enum RuleId {
     /// MV018 — executed-plan cross-check: the substitute's rows differ
     /// from the query's rows on generated data (`mv-lint --exec-check`).
     ExecMismatch,
+
+    // ------------------------------------------------------------------
+    // MV101+ — the `mv-audit` completeness & catalog band (DESIGN.md §10).
+    // MV10x audits the filter-tree index, MV11x the view catalog's
+    // redundancy structure, MV12x the schema metadata the matcher trusts.
+    // ------------------------------------------------------------------
+    /// MV101 — a live view is missing from its filter tree, or is stored
+    /// under keys that differ from a fresh derivation of its definition
+    /// (stale entry), or the tree holds an unknown/removed view id.
+    IndexEntry,
+    /// MV102 — filter completeness: the exhaustive matcher accepts a view
+    /// for a workload query but the filter-tree search prunes it, and the
+    /// rejecting levels are not the documented §4.2.7 strict-expression
+    /// conservatism. The detail names the first failing level.
+    FilterCompleteness,
+    /// MV103 — hub invariant (§4.2.1/§4.2.2): a stored hub key is not a
+    /// subset of the view's stored source-table key, so the subset search
+    /// at level 1 can prune the view for queries it should reach.
+    HubInvariant,
+    /// MV104 — a stored index token is out of bounds: a table/column token
+    /// decodes to nothing in the catalog, or a template-text token was
+    /// never minted by the interner.
+    IndexTokenBounds,
+    /// MV110 — two registered views are equivalent (each matches the
+    /// other's definition); one of them is redundant storage and doubles
+    /// candidate work.
+    EquivalentViews,
+    /// MV111 — a view is strictly subsumed: it can be computed from
+    /// another view but not vice versa, so it adds no rewriting power
+    /// beyond (possibly) performance.
+    SubsumedView,
+    /// MV112 — a view matched no query of the audited workload; dead
+    /// weight in every candidate set the filter cannot rule out.
+    DeadView,
+    /// MV120 — a foreign-key declaration uses nullable referencing
+    /// columns: §3.2's cardinality-preserving join elimination needs a
+    /// null-rejecting predicate before it may rely on this FK.
+    FkNullableColumn,
+    /// MV121 — a foreign key references columns that cover no unique key
+    /// of the referenced table: the join is not cardinality-preserving
+    /// and FK-based table elimination over it is unsound.
+    FkNotUniqueKey,
+    /// MV122 — the paired columns of a foreign key disagree in type.
+    FkTypeMismatch,
+    /// MV123 — a foreign-key declaration is structurally broken: arity
+    /// mismatch between the column lists, or a column id out of bounds
+    /// for its table.
+    FkColumnBounds,
+    /// MV124 — the same foreign key is declared more than once.
+    DuplicateFk,
+    /// MV125 — a declared key includes a nullable column: two NULL rows
+    /// are not equal, so the "unique key" does not guarantee uniqueness
+    /// the way §3.2's elimination assumes. Error for primary keys,
+    /// warning for secondary unique keys.
+    KeyNullableColumn,
+    /// MV126 — a declared key is structurally broken: empty column list,
+    /// duplicate columns, or a column id out of bounds.
+    KeyColumnBounds,
 }
 
 impl RuleId {
@@ -97,6 +155,20 @@ impl RuleId {
             RuleId::AggViewNoCount => "MV016",
             RuleId::PlanInvariant => "MV017",
             RuleId::ExecMismatch => "MV018",
+            RuleId::IndexEntry => "MV101",
+            RuleId::FilterCompleteness => "MV102",
+            RuleId::HubInvariant => "MV103",
+            RuleId::IndexTokenBounds => "MV104",
+            RuleId::EquivalentViews => "MV110",
+            RuleId::SubsumedView => "MV111",
+            RuleId::DeadView => "MV112",
+            RuleId::FkNullableColumn => "MV120",
+            RuleId::FkNotUniqueKey => "MV121",
+            RuleId::FkTypeMismatch => "MV122",
+            RuleId::FkColumnBounds => "MV123",
+            RuleId::DuplicateFk => "MV124",
+            RuleId::KeyNullableColumn => "MV125",
+            RuleId::KeyColumnBounds => "MV126",
         }
     }
 
@@ -121,6 +193,20 @@ impl RuleId {
             RuleId::AggViewNoCount => "agg-view-no-count",
             RuleId::PlanInvariant => "plan-invariant",
             RuleId::ExecMismatch => "exec-mismatch",
+            RuleId::IndexEntry => "index-entry",
+            RuleId::FilterCompleteness => "filter-completeness",
+            RuleId::HubInvariant => "hub-invariant",
+            RuleId::IndexTokenBounds => "index-token-bounds",
+            RuleId::EquivalentViews => "equivalent-views",
+            RuleId::SubsumedView => "subsumed-view",
+            RuleId::DeadView => "dead-view",
+            RuleId::FkNullableColumn => "fk-nullable-column",
+            RuleId::FkNotUniqueKey => "fk-not-unique-key",
+            RuleId::FkTypeMismatch => "fk-type-mismatch",
+            RuleId::FkColumnBounds => "fk-column-bounds",
+            RuleId::DuplicateFk => "duplicate-fk",
+            RuleId::KeyNullableColumn => "key-nullable-column",
+            RuleId::KeyColumnBounds => "key-column-bounds",
         }
     }
 }
