@@ -1,0 +1,166 @@
+//! The level-2 prepared match descriptor: everything `match_view` used to
+//! re-derive per probe, precomputed once at `add_view` time.
+//!
+//! "To speed up view matching we maintain in memory a description of every
+//! materialized view" (section 4). [`crate::ExprSummary`] already holds the
+//! predicate analysis; [`PreparedView`] extends it with the derived forms
+//! the matching tests consume directly, so a substitute-cache miss still
+//! does strictly less work per candidate than the original code path:
+//!
+//! - the non-trivial view equivalence classes in canonical order (the
+//!   §3.1.2 equijoin subsumption test walks them without recomputing the
+//!   class partition),
+//! - the per-class range intervals as a sorted list (deterministic
+//!   iteration, no per-probe `HashMap` walk),
+//! - the sorted residual template tokens (a query whose residual token
+//!   set does not cover the view's cannot match — a binary-search
+//!   prefilter before the full template tests),
+//! - the occurrences grouped by base table, sorted (table-correspondence
+//!   check and mapping enumeration without building per-probe maps),
+//! - the FK-join-graph incoming-edge set (§3.2: an extra table is only
+//!   eliminable if some cardinality-preserving edge points at it, so a
+//!   mapping that leaves an edge-less view occurrence unassigned is
+//!   rejected before the per-probe graph is built).
+
+use crate::fkgraph::build_fk_graph;
+use crate::matching::MatchConfig;
+use crate::summary::ExprSummary;
+use mv_catalog::{Catalog, TableId};
+use mv_expr::{ColRef, Interval, OccId};
+use mv_plan::SpjgExpr;
+
+/// Per-view prepared match descriptor. Built once per `add_view`; the
+/// matching path only reads it.
+#[derive(Debug, Clone)]
+pub struct PreparedView {
+    /// The predicate analysis of the view definition.
+    pub summary: ExprSummary,
+    /// `summary.ec.nontrivial_classes()`, canonical (classes and members
+    /// sorted).
+    pub nontrivial_ecs: Vec<Vec<ColRef>>,
+    /// `summary.ranges` as a list sorted by class representative.
+    pub ranges: Vec<(ColRef, Interval)>,
+    /// Interned tokens of the view's residual template texts, sorted.
+    /// Every view residual must textually match some query residual
+    /// (§3.1.2), so a candidate whose tokens are not a subset of the
+    /// query's residual tokens is rejected without running the tests.
+    /// Empty when the caller has no interner (the token prefilter is then
+    /// simply skipped).
+    pub residual_tokens: Vec<u64>,
+    /// View occurrences grouped by base table, sorted by table id.
+    pub by_table: Vec<(TableId, Vec<OccId>)>,
+    /// Per view occurrence: does any cardinality-preserving FK edge point
+    /// at it? Built with the *permissive* nullable-column rule (every
+    /// nullable FK accepted when [`MatchConfig::null_rejecting_fk`] is
+    /// on), so the edge set is a superset of what any per-query graph can
+    /// contain — absence here soundly implies absence there.
+    pub fk_incoming: Vec<bool>,
+}
+
+impl PreparedView {
+    /// Precompute the descriptor for a view definition. `residual_tokens`
+    /// are the interned tokens of `summary.residuals` (sorted here); pass
+    /// an empty list to skip the token prefilter.
+    pub fn prepare(
+        catalog: &Catalog,
+        config: &MatchConfig,
+        expr: &SpjgExpr,
+        summary: ExprSummary,
+        mut residual_tokens: Vec<u64>,
+    ) -> PreparedView {
+        let nontrivial_ecs = summary.ec.nontrivial_classes();
+        let mut ranges: Vec<(ColRef, Interval)> = summary
+            .ranges
+            .iter()
+            .map(|(c, iv)| (*c, iv.clone()))
+            .collect();
+        ranges.sort_by_key(|(c, _)| *c);
+        residual_tokens.sort_unstable();
+        let occs: Vec<(OccId, TableId)> = expr.occurrences().collect();
+        let graph = build_fk_graph(catalog, &occs, &summary.ec, &|_| config.null_rejecting_fk);
+        let mut fk_incoming = vec![false; expr.tables.len()];
+        for e in &graph.edges {
+            fk_incoming[e.to.0 as usize] = true;
+        }
+        PreparedView {
+            summary,
+            nontrivial_ecs,
+            ranges,
+            residual_tokens,
+            by_table: occurrences_by_table(expr),
+            fk_incoming,
+        }
+    }
+}
+
+/// Group an expression's occurrences by base table, sorted by table id
+/// (occurrences within a table keep FROM-list order). Shared by the view
+/// descriptor and the per-query [`crate::matching::PreparedQuery`].
+pub fn occurrences_by_table(expr: &SpjgExpr) -> Vec<(TableId, Vec<OccId>)> {
+    let mut out: Vec<(TableId, Vec<OccId>)> = Vec::new();
+    for (occ, t) in expr.occurrences() {
+        match out.binary_search_by_key(&t, |(bt, _)| *bt) {
+            Ok(i) => out[i].1.push(occ),
+            Err(i) => out.insert(i, (t, vec![occ])),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mv_catalog::tpch::tpch_catalog;
+    use mv_expr::{BoolExpr, CmpOp, ScalarExpr as S};
+    use mv_plan::NamedExpr;
+
+    fn cr(occ: u32, col: u32) -> ColRef {
+        ColRef::new(occ, col)
+    }
+
+    #[test]
+    fn descriptor_precomputes_canonical_forms() {
+        let (cat, t) = tpch_catalog();
+        // lineitem ⋈ orders on l_orderkey = o_orderkey, with a range.
+        let pred = BoolExpr::and(vec![
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            BoolExpr::cmp(S::col(cr(1, 3)), CmpOp::Lt, S::lit(100i64)),
+        ]);
+        let expr = SpjgExpr::spj(
+            vec![t.lineitem, t.orders],
+            pred,
+            vec![NamedExpr::new(S::col(cr(0, 0)), "k")],
+        );
+        let summary = ExprSummary::analyze(&expr);
+        let pv =
+            PreparedView::prepare(&cat, &MatchConfig::default(), &expr, summary, vec![9, 3, 3]);
+        assert_eq!(pv.nontrivial_ecs, vec![vec![cr(0, 0), cr(1, 0)]]);
+        assert_eq!(pv.ranges.len(), 1);
+        assert_eq!(pv.residual_tokens, vec![3, 3, 9], "tokens sorted");
+        // orders is the target of lineitem's FK edge; lineitem has no
+        // incoming edge.
+        assert_eq!(pv.fk_incoming, vec![false, true]);
+        // by_table sorted by table id, whatever the FROM order.
+        let flipped = SpjgExpr::spj(
+            vec![t.orders, t.lineitem],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "k")],
+        );
+        let by_table = occurrences_by_table(&flipped);
+        assert!(by_table.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(by_table.len(), 2);
+    }
+
+    #[test]
+    fn self_join_occurrences_grouped() {
+        let (_, t) = tpch_catalog();
+        let expr = SpjgExpr::spj(
+            vec![t.part, t.part],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "k")],
+        );
+        let by_table = occurrences_by_table(&expr);
+        assert_eq!(by_table.len(), 1);
+        assert_eq!(by_table[0].1, vec![OccId(0), OccId(1)]);
+    }
+}

@@ -2,16 +2,18 @@
 //! the `find_substitutes` entry point that a transformation-based optimizer
 //! invokes as its view-matching rule.
 
+use crate::cache::{fingerprint, CacheLookup, SubstituteCache};
+use crate::descriptor::PreparedView;
 use crate::filter::{FilterTree, LevelSearch};
 use crate::fkgraph::{build_fk_graph, compute_hub};
-use crate::matching::{match_view, MatchConfig};
+use crate::matching::{match_view_prepared, MatchConfig, PreparedQuery};
 use crate::stats::{AtomicMatchStats, MatchStats};
 use crate::summary::ExprSummary;
 use mv_catalog::{Catalog, ColumnId, TableId};
 use mv_expr::{classify, BoolExpr, ColRef, Conjunct, OccId, Template};
-use mv_plan::{AggFunc, SpjgExpr, Substitute, ViewDef, ViewId, ViewSet};
+use mv_plan::{AggFunc, OutputList, SpjgExpr, Substitute, ViewDef, ViewId, ViewSet};
 use std::collections::HashMap;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Number of filter-tree levels for SPJ views (hub, source tables, output
 /// expressions, output columns, residual predicates, range-constrained
@@ -133,7 +135,7 @@ pub struct MatchingEngine {
     catalog: Catalog,
     config: MatchConfig,
     views: ViewSet,
-    summaries: Vec<ExprSummary>,
+    prepared: Vec<PreparedView>,
     spj_tree: FilterTree,
     agg_tree: FilterTree,
     interner: Interner,
@@ -144,6 +146,13 @@ pub struct MatchingEngine {
     /// Views dropped with [`MatchingEngine::remove_view`]. Their slots (and
     /// names) stay reserved; matching skips them.
     removed: std::collections::HashSet<ViewId>,
+    /// Fingerprint-keyed cache of complete `find_substitutes` results.
+    cache: SubstituteCache,
+    /// Registration epoch: bumped by every `add_view`/`remove_view`/
+    /// `add_check_constraint`. Cache entries carry the epoch they were
+    /// computed under and are lazily discarded on mismatch. A plain `u64`
+    /// suffices: all writers hold `&mut self`, all readers `&self`.
+    epoch: u64,
 }
 
 // Compile-time guarantee that the engine stays shareable across threads:
@@ -157,17 +166,23 @@ const _: () = {
 impl MatchingEngine {
     /// Create an engine over a schema.
     pub fn new(catalog: Catalog, config: MatchConfig) -> Self {
+        let cache = SubstituteCache::new(
+            config.substitute_cache_capacity,
+            config.substitute_cache_shards,
+        );
         MatchingEngine {
             catalog,
             config,
             views: ViewSet::new(),
-            summaries: Vec::new(),
+            prepared: Vec::new(),
             spj_tree: FilterTree::new(SPJ_LEVELS),
             agg_tree: FilterTree::new(AGG_LEVELS),
             interner: Interner::default(),
             stats: AtomicMatchStats::default(),
             checks: HashMap::new(),
             removed: std::collections::HashSet::new(),
+            cache,
+            epoch: 0,
         }
     }
 
@@ -181,7 +196,7 @@ impl MatchingEngine {
             return false;
         }
         let def = self.views.get(id);
-        let vsum = self.summaries[id.0 as usize].clone();
+        let vsum = self.prepared[id.0 as usize].summary.clone();
         let keys = Self::view_keys(
             &self.catalog,
             &self.config,
@@ -196,6 +211,9 @@ impl MatchingEngine {
         };
         debug_assert!(in_tree, "registered view must be present in its tree");
         self.removed.insert(id);
+        // Invalidate cached results lazily: entries computed under an
+        // older epoch are discarded at their next lookup.
+        self.epoch += 1;
         true
     }
 
@@ -228,6 +246,9 @@ impl MatchingEngine {
             .entry(table)
             .or_default()
             .extend(classify(predicate));
+        // Check constraints change every query's effective summary, so
+        // cached results are stale.
+        self.epoch += 1;
         Ok(())
     }
 
@@ -298,14 +319,25 @@ impl MatchingEngine {
             &def.expr,
             &vsum,
         );
+        // Level 5 of the filter keys is exactly the view's interned
+        // residual tokens; the prepared descriptor reuses them for the
+        // per-candidate token-subset prefilter.
+        let prepared = PreparedView::prepare(
+            &self.catalog,
+            &self.config,
+            &def.expr,
+            vsum,
+            keys[4].clone(),
+        );
         let is_agg = def.expr.is_aggregate();
         let id = self.views.add(def)?;
-        self.summaries.push(vsum);
+        self.prepared.push(prepared);
         if is_agg {
             self.agg_tree.insert(&keys, id);
         } else {
             self.spj_tree.insert(&keys[..SPJ_LEVELS], id);
         }
+        self.epoch += 1;
         Ok(id)
     }
 
@@ -610,15 +642,31 @@ impl MatchingEngine {
         qsum: &ExprSummary,
         candidates: &[ViewId],
     ) -> Vec<(ViewId, Substitute)> {
+        let pq = PreparedQuery::new(query, qsum);
+        // Sorted query residual tokens for the per-candidate prefilter:
+        // every view residual must textually match a query residual, so a
+        // candidate whose token set is not a subset cannot match.
+        let mut q_res_tokens: Vec<u64> = qsum
+            .residuals
+            .iter()
+            .map(|t| self.interner.lookup(&t.text))
+            .collect();
+        q_res_tokens.sort_unstable();
         let try_candidate = |&id: &ViewId| -> Option<(ViewId, Substitute)> {
             let view = self.views.get(id);
-            let vsum = &self.summaries[id.0 as usize];
-            match_view(&self.catalog, &self.config, query, qsum, id, view, vsum)
-                .map(|sub| (id, sub))
+            let pv = &self.prepared[id.0 as usize];
+            if !pv
+                .residual_tokens
+                .iter()
+                .all(|t| q_res_tokens.binary_search(t).is_ok())
+            {
+                return None;
+            }
+            match_view_prepared(&self.catalog, &self.config, &pq, id, view, pv).map(|sub| (id, sub))
         };
         let workers = self.config.match_workers(candidates.len());
         if workers > 1 {
-            mv_parallel::par_map(candidates, workers, try_candidate)
+            mv_parallel::par_map_min_chunk(candidates, workers, 16, try_candidate)
                 .into_iter()
                 .flatten()
                 .collect()
@@ -627,17 +675,17 @@ impl MatchingEngine {
         }
     }
 
-    /// The view-matching rule: find every view from which `query` can be
-    /// computed and build the substitutes. Updates the instrumentation
-    /// counters. Callable concurrently from any number of threads sharing
-    /// the engine.
-    pub fn find_substitutes(&self, query: &SpjgExpr) -> Vec<(ViewId, Substitute)> {
-        let started = Instant::now();
+    /// Filter, match and debug-verify — the uncached matching pipeline.
+    /// Returns the substitutes, the candidate count, and the filter time.
+    fn compute_substitutes(
+        &self,
+        query: &SpjgExpr,
+    ) -> (Vec<(ViewId, Substitute)>, usize, Duration) {
         let qsum = self.query_summary(query);
 
-        let filter_started = Instant::now();
+        let filter_started = self.config.timing.then(Instant::now);
         let candidates = self.candidates(query, &qsum);
-        let filter_time = filter_started.elapsed();
+        let filter_time = elapsed(filter_started);
 
         let out = self.match_candidates(query, &qsum, &candidates);
         #[cfg(debug_assertions)]
@@ -645,15 +693,87 @@ impl MatchingEngine {
             self.debug_verify(query, &out);
             self.debug_assert_filter_complete(query, &qsum, &candidates);
         }
+        (out, candidates.len(), filter_time)
+    }
 
+    /// The view-matching rule: find every view from which `query` can be
+    /// computed and build the substitutes. Updates the instrumentation
+    /// counters. Callable concurrently from any number of threads sharing
+    /// the engine.
+    ///
+    /// With the substitute cache enabled (see
+    /// [`MatchConfig::substitute_cache_capacity`]), a repeated query shape
+    /// returns the cached result — byte-identical to a fresh computation,
+    /// which debug builds prove with a differential assertion on every
+    /// hit. Hits replay the original candidate count into the stats so
+    /// counter totals stay path-independent.
+    pub fn find_substitutes(&self, query: &SpjgExpr) -> Vec<(ViewId, Substitute)> {
+        let started = self.config.timing.then(Instant::now);
+        if !self.cache.is_enabled() {
+            let (out, n_candidates, filter_time) = self.compute_substitutes(query);
+            self.stats.record(
+                n_candidates,
+                self.live_view_count(),
+                out.len(),
+                filter_time,
+                elapsed(started),
+            );
+            return out;
+        }
+        let fp = fingerprint(query);
+        match self.cache.lookup(fp.hash, &fp.render, self.epoch) {
+            CacheLookup::Hit {
+                mut results,
+                candidates,
+            } => {
+                // Output names are the one query-specific part of a
+                // substitute the fingerprint deliberately ignores.
+                restamp_output_names(&mut results, query);
+                #[cfg(debug_assertions)]
+                {
+                    self.debug_verify(query, &results);
+                    let (fresh, _, _) = self.compute_substitutes(query);
+                    assert_eq!(
+                        results, fresh,
+                        "cached substitutes must be byte-identical to a fresh \
+                         computation for the probing query"
+                    );
+                }
+                self.stats.record_cache_hit();
+                self.stats.record(
+                    candidates,
+                    self.live_view_count(),
+                    results.len(),
+                    Duration::ZERO,
+                    elapsed(started),
+                );
+                return results;
+            }
+            CacheLookup::Stale => self.stats.record_cache_invalidation(),
+            CacheLookup::Miss | CacheLookup::Disabled => {}
+        }
+        let (out, n_candidates, filter_time) = self.compute_substitutes(query);
+        self.stats.record_cache_miss();
         self.stats.record(
-            candidates.len(),
+            n_candidates,
             self.live_view_count(),
             out.len(),
             filter_time,
-            started.elapsed(),
+            elapsed(started),
         );
+        self.cache
+            .insert(fp.hash, fp.render, self.epoch, n_candidates, out.clone());
         out
+    }
+
+    /// Drop every cached `find_substitutes` result (capacity unchanged).
+    pub fn clear_substitute_cache(&self) {
+        self.cache.clear();
+    }
+
+    /// Number of live entries in the substitute cache.
+    pub fn substitute_cache_len(&self) -> usize {
+        self.cache.len()
     }
 
     /// Match a whole batch of queries, fanning out across threads — the
@@ -689,14 +809,14 @@ impl MatchingEngine {
         if self.removed.contains(&view) || (view.0 as usize) >= self.views.len() {
             return None;
         }
-        let result = match_view(
+        let pq = PreparedQuery::new(query, qsum);
+        let result = match_view_prepared(
             &self.catalog,
             &self.config,
-            query,
-            qsum,
+            &pq,
             view,
             self.views.get(view),
-            &self.summaries[view.0 as usize],
+            &self.prepared[view.0 as usize],
         );
         #[cfg(debug_assertions)]
         if let Some(sub) = &result {
@@ -724,7 +844,7 @@ impl MatchingEngine {
             return None;
         }
         let def = self.views.get(id);
-        let vsum = &self.summaries[id.0 as usize];
+        let vsum = &self.prepared[id.0 as usize].summary;
         Some(Self::view_keys(
             &self.catalog,
             &self.config,
@@ -831,13 +951,14 @@ impl MatchingEngine {
             return;
         }
         let (spj, agg) = self.query_searches(query, qsum);
+        let pq = PreparedQuery::new(query, qsum);
         for (id, view) in self.views.iter() {
             // `candidates` is sorted (see `candidates_into`).
             if self.removed.contains(&id) || candidates.binary_search(&id).is_ok() {
                 continue;
             }
-            let vsum = &self.summaries[id.0 as usize];
-            if match_view(&self.catalog, &self.config, query, qsum, id, view, vsum).is_none() {
+            let pv = &self.prepared[id.0 as usize];
+            if match_view_prepared(&self.catalog, &self.config, &pq, id, view, pv).is_none() {
                 continue;
             }
             let is_agg = view.expr.is_aggregate();
@@ -896,6 +1017,48 @@ impl MatchingEngine {
                 view.name,
                 errors.join("\n"),
             );
+        }
+    }
+}
+
+/// `Instant::elapsed` for a gated timer: `Duration::ZERO` when timing is
+/// off ([`MatchConfig::timing`] = false).
+fn elapsed(started: Option<Instant>) -> Duration {
+    started.map_or(Duration::ZERO, |t| t.elapsed())
+}
+
+/// Overwrite the output names of cached substitutes with the probing
+/// query's names. The fingerprint deliberately ignores names (α-equivalent
+/// queries share an entry), and substitute outputs are positional with the
+/// query's outputs, so restamping by position restores byte identity with
+/// a fresh computation for this exact query.
+fn restamp_output_names(results: &mut [(ViewId, Substitute)], query: &SpjgExpr) {
+    let names = query.output_names();
+    for (_, sub) in results.iter_mut() {
+        match &mut sub.output {
+            OutputList::Spj(items) => {
+                for (item, name) in items.iter_mut().zip(&names) {
+                    if item.name != *name {
+                        item.name = (*name).to_string();
+                    }
+                }
+            }
+            OutputList::Aggregate {
+                group_by,
+                aggregates,
+            } => {
+                let (g_names, a_names) = names.split_at(group_by.len());
+                for (item, name) in group_by.iter_mut().zip(g_names) {
+                    if item.name != *name {
+                        item.name = (*name).to_string();
+                    }
+                }
+                for (item, name) in aggregates.iter_mut().zip(a_names) {
+                    if item.name != *name {
+                        item.name = (*name).to_string();
+                    }
+                }
+            }
         }
     }
 }

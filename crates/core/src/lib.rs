@@ -39,6 +39,8 @@
 //! assert_eq!(subs.len(), 1); // computable from the view, with p_size < 50 compensation
 //! ```
 
+pub mod cache;
+pub mod descriptor;
 pub mod engine;
 pub mod filter;
 pub mod fkgraph;
@@ -49,12 +51,14 @@ mod matching_tests;
 pub mod stats;
 pub mod summary;
 
+pub use cache::{fingerprint, CacheLookup, Fingerprint, SubstituteCache};
+pub use descriptor::PreparedView;
 pub use engine::{
     col_token, decode_col_token, strict_filter_exempt_levels, table_token, MatchingEngine,
     AGG_LEVELS, LEVEL_NAMES, SPJ_LEVELS, UNKNOWN_TOKEN,
 };
 pub use filter::{FilterTree, LevelSearch};
 pub use lattice::LatticeIndex;
-pub use matching::{match_view, MatchConfig};
+pub use matching::{match_view, match_view_prepared, MatchConfig, PreparedQuery};
 pub use stats::MatchStats;
 pub use summary::ExprSummary;

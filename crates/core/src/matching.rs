@@ -12,8 +12,9 @@
 //! 5. residual subsumption test + compensating residual predicates (type 3),
 //! 6. output-expression mapping (§3.1.4) and aggregation handling (§3.3).
 
+use crate::descriptor::{occurrences_by_table, PreparedView};
 use crate::fkgraph::{build_fk_graph, eliminate};
-use crate::summary::{remap_col, remap_ec, remap_template, ExprSummary};
+use crate::summary::{remap_col, remap_template, ExprSummary};
 use mv_catalog::{Catalog, TableId};
 use mv_expr::{BoolExpr, ColRef, EquivClasses, Interval, OccId, ScalarExpr, Template};
 use mv_plan::{AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewDef, ViewId};
@@ -69,17 +70,50 @@ pub struct MatchConfig {
     /// `find_substitutes_batch`'s per-query fan-out. `0` (the default)
     /// means use the machine's available parallelism.
     pub parallel_workers: usize,
+    /// Capacity (entries) of the fingerprint-keyed substitute cache on
+    /// [`crate::MatchingEngine::find_substitutes`]: repeated query shapes
+    /// skip the filter tree and the matching tests entirely and return the
+    /// cached substitute list (output names re-stamped from the probing
+    /// query). `0` disables the cache. Entries are invalidated lazily on
+    /// view registration/removal via an engine epoch.
+    pub substitute_cache_capacity: usize,
+    /// Mutex stripes of the substitute cache; concurrent matchers only
+    /// contend when their fingerprints share a stripe. Clamped to
+    /// `[1, capacity]`.
+    pub substitute_cache_shards: usize,
+    /// Record wall-clock filter/match durations in [`crate::MatchStats`].
+    /// With this off, `find_substitutes` performs zero clock reads — on
+    /// the cached hot path the only work left is the fingerprint render
+    /// and a shard probe.
+    pub timing: bool,
 }
 
 impl MatchConfig {
     /// Workers to use for a candidate loop of `n_items`, honoring the
-    /// threshold and cap; `1` means run serially.
+    /// threshold and cap; `1` means run serially. In auto mode
+    /// (`parallel_workers == 0`) the fan-out is additionally sized so each
+    /// worker gets at least [`MIN_CANDIDATES_PER_WORKER`] candidates —
+    /// per-candidate matching runs a few microseconds, so a thinner split
+    /// spends more on thread spawns than it saves (the bench trajectory
+    /// recorded parallel *losing* to serial at 10k views for exactly this
+    /// reason). An explicit worker count is honored as given.
+    ///
+    /// [`MIN_CANDIDATES_PER_WORKER`]: MatchConfig::MIN_CANDIDATES_PER_WORKER
     pub(crate) fn match_workers(&self, n_items: usize) -> usize {
         if n_items < self.parallel_threshold.max(2) {
             return 1;
         }
-        self.batch_workers(n_items)
+        let workers = self.batch_workers(n_items);
+        if self.parallel_workers == 0 {
+            workers.min((n_items / Self::MIN_CANDIDATES_PER_WORKER).max(1))
+        } else {
+            workers
+        }
     }
+
+    /// Smallest per-worker candidate share the auto-sized candidate-loop
+    /// fan-out will accept (see [`MatchConfig::match_workers`]).
+    pub const MIN_CANDIDATES_PER_WORKER: usize = 32;
 
     /// Workers for an unconditional fan-out over `n_items` (the batch
     /// entry point, which exists precisely to parallelize).
@@ -102,14 +136,45 @@ impl Default for MatchConfig {
             allow_backjoins: false,
             use_check_constraints: true,
             strict_expression_filter: true,
-            parallel_threshold: 64,
+            parallel_threshold: 256,
             parallel_workers: 0,
+            substitute_cache_capacity: 1024,
+            substitute_cache_shards: 8,
+            timing: true,
+        }
+    }
+}
+
+/// A query prepared for matching against many candidate views: the
+/// expression, its predicate summary, and the occurrences grouped by base
+/// table — computed once per `find_substitutes` instead of per candidate.
+pub struct PreparedQuery<'a> {
+    /// The query block.
+    pub expr: &'a SpjgExpr,
+    /// Its predicate analysis (with check constraints folded in, when the
+    /// engine has any).
+    pub summary: &'a ExprSummary,
+    /// Occurrences grouped by base table, sorted by table id.
+    pub by_table: Vec<(TableId, Vec<OccId>)>,
+}
+
+impl<'a> PreparedQuery<'a> {
+    /// Prepare a query for a candidate loop.
+    pub fn new(expr: &'a SpjgExpr, summary: &'a ExprSummary) -> PreparedQuery<'a> {
+        PreparedQuery {
+            expr,
+            summary,
+            by_table: occurrences_by_table(expr),
         }
     }
 }
 
 /// Decide whether `query` can be computed from `view` and build the
 /// substitute. `qsum`/`vsum` are the precomputed predicate summaries.
+///
+/// Convenience wrapper over [`match_view_prepared`] that builds the
+/// prepared forms on the fly; a candidate loop should prepare once and
+/// call [`match_view_prepared`] directly.
 pub fn match_view(
     catalog: &Catalog,
     config: &MatchConfig,
@@ -119,54 +184,74 @@ pub fn match_view(
     view: &ViewDef,
     vsum: &ExprSummary,
 ) -> Option<Substitute> {
+    let pq = PreparedQuery::new(query, qsum);
+    let pv = PreparedView::prepare(catalog, config, &view.expr, vsum.clone(), Vec::new());
+    match_view_prepared(catalog, config, &pq, view_id, view, &pv)
+}
+
+/// Decide whether the prepared query can be computed from the prepared
+/// view and build the substitute.
+pub fn match_view_prepared(
+    catalog: &Catalog,
+    config: &MatchConfig,
+    pq: &PreparedQuery<'_>,
+    view_id: ViewId,
+    view: &ViewDef,
+    pv: &PreparedView,
+) -> Option<Substitute> {
     // An SPJ query cannot be computed from an aggregation view: the view
     // is "more aggregated" (section 3.3, requirement 3).
-    if !query.is_aggregate() && view.expr.is_aggregate() {
+    if !pq.expr.is_aggregate() && view.expr.is_aggregate() {
         return None;
     }
 
     // Table correspondence: the query's table multiset must be a subset of
     // the view's (requirement: "There is no need to consider views with
     // fewer tables than the query").
-    let mut q_by_table: HashMap<TableId, Vec<OccId>> = HashMap::new();
-    for (occ, t) in query.occurrences() {
-        q_by_table.entry(t).or_default().push(occ);
-    }
-    let mut v_by_table: HashMap<TableId, Vec<OccId>> = HashMap::new();
-    for (occ, t) in view.expr.occurrences() {
-        v_by_table.entry(t).or_default().push(occ);
-    }
-    for (t, qoccs) in &q_by_table {
-        if v_by_table.get(t).map_or(0, |v| v.len()) < qoccs.len() {
+    for (t, qoccs) in &pq.by_table {
+        let available = pv
+            .by_table
+            .binary_search_by_key(t, |(vt, _)| *vt)
+            .map(|i| pv.by_table[i].1.len())
+            .unwrap_or(0);
+        if available < qoccs.len() {
             return None;
         }
     }
 
     // Enumerate injective assignments of query occurrences to view
     // occurrences, per base table. With no self-joins this is a single
-    // mapping.
+    // mapping. Both grouping lists are sorted by table id, so the
+    // enumeration order — and therefore which of several valid mappings
+    // wins — is deterministic.
     let mappings = enumerate_mappings(
         view.expr.tables.len(),
-        &q_by_table,
-        &v_by_table,
+        &pq.by_table,
+        &pv.by_table,
         config.max_table_mappings,
     );
     mappings
         .into_iter()
-        .find_map(|assign| try_match(catalog, config, query, qsum, view_id, view, vsum, &assign))
+        .find_map(|assign| try_match(catalog, config, pq, view_id, view, pv, &assign))
 }
 
 /// Build all injective mappings `view occurrence -> query occurrence`
 /// (as `assign[view_occ] = Some(query_occ)`, `None` = extra table).
+/// Both grouping lists are sorted by table id (see
+/// [`occurrences_by_table`]); the caller has verified the query tables
+/// are a subset of the view's.
 fn enumerate_mappings(
     n_view_occs: usize,
-    q_by_table: &HashMap<TableId, Vec<OccId>>,
-    v_by_table: &HashMap<TableId, Vec<OccId>>,
+    q_by_table: &[(TableId, Vec<OccId>)],
+    v_by_table: &[(TableId, Vec<OccId>)],
     cap: usize,
 ) -> Vec<Vec<Option<OccId>>> {
     let mut result: Vec<Vec<Option<OccId>>> = vec![vec![None; n_view_occs]];
     for (t, qoccs) in q_by_table {
-        let voccs = &v_by_table[t];
+        let voccs = &v_by_table[v_by_table
+            .binary_search_by_key(t, |(vt, _)| *vt)
+            .expect("table correspondence checked by the caller")]
+        .1;
         // All injective placements of `qoccs` into `voccs`.
         let placements = injections(qoccs, voccs);
         let mut next = Vec::new();
@@ -390,6 +475,21 @@ impl ViewOutputs {
             .into_iter()
             .find_map(|c2| self.col_pos.get(&c2).copied())
     }
+
+    /// Like [`ViewOutputs::find_position`], but *representative-blind*:
+    /// the whole class is scanned in sorted order with no shortcut for `c`
+    /// itself, so every member of a class resolves to the same position.
+    /// Used where the probed column is a class representative (whose
+    /// choice depends on predicate fold order) rather than a semantically
+    /// pinned column — fingerprint-equal queries must produce
+    /// byte-identical substitutes (see `crate::cache`).
+    fn canonical_position(&self, c: ColRef, ec: &EquivClasses) -> Option<usize> {
+        let class = ec.class_of(c); // sorted, contains at least `c`
+        if let Some(p) = class.iter().find_map(|m| self.col_pos.get(m).copied()) {
+            return Some(p);
+        }
+        class.into_iter().find_map(|m| self.backjoin_position(m))
+    }
 }
 
 /// Reference to view output column `pos`.
@@ -436,18 +536,31 @@ fn is_null_rejecting(qsum: &ExprSummary, c: ColRef) -> bool {
 }
 
 /// Attempt a match under one fixed occurrence assignment.
-#[allow(clippy::too_many_arguments)]
 fn try_match(
     catalog: &Catalog,
     config: &MatchConfig,
-    query: &SpjgExpr,
-    qsum: &ExprSummary,
+    pq: &PreparedQuery<'_>,
     view_id: ViewId,
     view: &ViewDef,
-    vsum: &ExprSummary,
+    pv: &PreparedView,
     assign: &[Option<OccId>],
 ) -> Option<Substitute> {
+    let query = pq.expr;
+    let qsum = pq.summary;
     let nq = query.tables.len() as u32;
+
+    // §3.2 precheck from the prepared descriptor: an extra view table can
+    // only be eliminated if some cardinality-preserving FK edge points at
+    // it, and the descriptor's edge set is a superset of any per-query
+    // graph's. A mapping leaving an edge-less occurrence unassigned can
+    // never survive elimination — reject before building the graph.
+    if assign
+        .iter()
+        .enumerate()
+        .any(|(i, a)| a.is_none() && !pv.fk_incoming[i])
+    {
+        return None;
+    }
 
     // View occurrence → query-space occurrence; extra tables get fresh
     // occurrence ids nq, nq+1, ...
@@ -466,8 +579,15 @@ fn try_match(
     }
     let mapf = |o: OccId| occ_map[o.0 as usize];
 
-    // View analysis rebased into query space.
-    let vec_q = remap_ec(&vsum.ec, &mapf);
+    // View equivalence classes rebased into query space, from the
+    // precomputed canonical class list. The occurrence substitution is
+    // injective, so distinct view classes stay distinct.
+    let mut vec_q = EquivClasses::new();
+    for class in &pv.nontrivial_ecs {
+        for pair in class.windows(2) {
+            vec_q.union(remap_col(pair[0], &mapf), remap_col(pair[1], &mapf));
+        }
+    }
 
     // Extended query equivalence classes (section 3.2: "we merely simulate
     // the addition of extra tables by updating query equivalence classes").
@@ -495,9 +615,12 @@ fn try_match(
     // ---- Equijoin subsumption test (section 3.1.2) ----
     // Every non-trivial view equivalence class must be a subset of some
     // query equivalence class.
-    for class in vec_q.nontrivial_classes() {
-        let root = qec.find(class[0]);
-        if class[1..].iter().any(|c| qec.find(*c) != root) {
+    for class in &pv.nontrivial_ecs {
+        let root = qec.find(remap_col(class[0], &mapf));
+        if class[1..]
+            .iter()
+            .any(|&c| qec.find(remap_col(c, &mapf)) != root)
+        {
             return None;
         }
     }
@@ -544,9 +667,11 @@ fn try_match(
             }
         }
     }
-    // Every view range must contain the corresponding query range.
+    // Every view range must contain the corresponding query range. The
+    // prepared range list is sorted by class representative, so `veff`
+    // accumulates in a deterministic order.
     let mut veff: HashMap<ColRef, Interval> = HashMap::new();
-    for (vroot, iv) in &vsum.ranges {
+    for (vroot, iv) in &pv.ranges {
         let c = remap_col(*vroot, &mapf);
         let qroot = qec.find(c);
         let qiv = qranges.get(&qroot).cloned().unwrap_or_default();
@@ -580,14 +705,19 @@ fn try_match(
             continue;
         }
         // Route through QUERY equivalence classes (section 3.1.3 point 2).
-        let pos = vout.find_position(*qroot, &qec)?;
+        // `qroot` is a class *representative*, which depends on the
+        // union-fold order — canonical_position scans the sorted class so
+        // the emitted predicate does not (fingerprint-equal queries must
+        // produce byte-identical substitutes; see `crate::cache`).
+        let pos = vout.canonical_position(*qroot, &qec)?;
         for (op, value) in comps {
             predicates.push(BoolExpr::cmp(out_col(pos), op, ScalarExpr::Literal(value)));
         }
     }
 
     // ---- Residual subsumption test + compensation (type 3) ----
-    let v_templates: Vec<Template> = vsum
+    let v_templates: Vec<Template> = pv
+        .summary
         .residuals
         .iter()
         .map(|t| remap_template(t, &mapf))
@@ -621,6 +751,13 @@ fn try_match(
 
     // ---- Output expressions (sections 3.1.4 and 3.3) ----
     let output = build_output(query, view.expr.is_aggregate(), &qec, &vout)?;
+
+    // Canonical predicate order: the compensations above are emitted in
+    // an order that can follow the query's conjunct order (residuals) or
+    // class representatives (ranges) — both of which differ between
+    // fingerprint-equal queries. Sorting by rendered text makes the
+    // substitute depend only on the predicate *set*.
+    predicates.sort_by_cached_key(|p| p.to_string());
 
     Some(Substitute {
         view: view_id,

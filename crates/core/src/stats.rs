@@ -29,6 +29,14 @@ pub struct MatchStats {
     /// Total time spent inside the view-matching rule (filtering plus
     /// checking plus substitute construction).
     pub match_time: Duration,
+    /// `find_substitutes` calls answered from the substitute cache.
+    pub cache_hits: u64,
+    /// `find_substitutes` calls that probed an enabled cache and had to
+    /// compute (includes stale hits, which recompute too).
+    pub cache_misses: u64,
+    /// Cached entries discarded because the engine epoch moved past them
+    /// (a view or constraint was added or removed since they were stored).
+    pub cache_invalidations: u64,
 }
 
 impl MatchStats {
@@ -62,6 +70,17 @@ impl MatchStats {
         }
     }
 
+    /// Fraction of cache probes answered from the cache
+    /// (hits / (hits + misses)); 0 when the cache was never probed.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let probes = self.cache_hits + self.cache_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / probes as f64
+        }
+    }
+
     /// Merge another stats block into this one.
     pub fn merge(&mut self, other: &MatchStats) {
         self.invocations += other.invocations;
@@ -70,6 +89,9 @@ impl MatchStats {
         self.substitutes += other.substitutes;
         self.filter_time += other.filter_time;
         self.match_time += other.match_time;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidations += other.cache_invalidations;
     }
 }
 
@@ -92,6 +114,9 @@ pub struct AtomicMatchStats {
     substitutes: AtomicU64,
     filter_nanos: AtomicU64,
     match_nanos: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_invalidations: AtomicU64,
 }
 
 impl AtomicMatchStats {
@@ -117,6 +142,21 @@ impl AtomicMatchStats {
             .fetch_add(match_time.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Record a substitute-cache hit.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a substitute-cache miss (probed, had to compute).
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a stale cached entry discarded by epoch invalidation.
+    pub fn record_cache_invalidation(&self) {
+        self.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Materialize the counters as a plain [`MatchStats`] value.
     pub fn snapshot(&self) -> MatchStats {
         MatchStats {
@@ -126,6 +166,9 @@ impl AtomicMatchStats {
             substitutes: self.substitutes.load(Ordering::Relaxed),
             filter_time: Duration::from_nanos(self.filter_nanos.load(Ordering::Relaxed)),
             match_time: Duration::from_nanos(self.match_nanos.load(Ordering::Relaxed)),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -137,6 +180,9 @@ impl AtomicMatchStats {
         self.substitutes.store(0, Ordering::Relaxed);
         self.filter_nanos.store(0, Ordering::Relaxed);
         self.match_nanos.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_invalidations.store(0, Ordering::Relaxed);
     }
 }
 
@@ -223,6 +269,9 @@ mod tests {
             substitutes: 4,
             filter_time: Duration::from_millis(5),
             match_time: Duration::from_millis(6),
+            cache_hits: 7,
+            cache_misses: 8,
+            cache_invalidations: 9,
         };
         a.merge(&a.clone());
         assert_eq!(a.invocations, 2);
@@ -230,5 +279,29 @@ mod tests {
         assert_eq!(a.views_available, 6);
         assert_eq!(a.substitutes, 8);
         assert_eq!(a.filter_time, Duration::from_millis(10));
+        assert_eq!(a.cache_hits, 14);
+        assert_eq!(a.cache_misses, 16);
+        assert_eq!(a.cache_invalidations, 18);
+    }
+
+    #[test]
+    fn cache_counters_record_and_hit_rate() {
+        let a = AtomicMatchStats::default();
+        assert_eq!(a.snapshot().cache_hit_rate(), 0.0, "no probes yet");
+        for _ in 0..3 {
+            a.record_cache_hit();
+        }
+        a.record_cache_miss();
+        a.record_cache_invalidation();
+        let s = a.snapshot();
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.cache_invalidations, 1);
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        a.reset();
+        let z = a.snapshot();
+        assert_eq!(z.cache_hits, 0);
+        assert_eq!(z.cache_misses, 0);
+        assert_eq!(z.cache_invalidations, 0);
     }
 }

@@ -121,6 +121,42 @@ fn batch_equals_query_at_a_time() {
     assert_eq!(engine.stats().invocations, queries.len() as u64);
 }
 
+/// Many threads hammering a small set of repeated queries against the
+/// shared cache: every hit must return exactly the serial answer, and
+/// with the working set far below capacity the cache must serve most of
+/// the repeated traffic.
+#[test]
+fn concurrent_cache_hits_are_identical() {
+    let (views, queries) = workload(80, 8);
+    let engine = Arc::new(engine(&views, MatchConfig::default()));
+    let serial: Vec<_> = queries.iter().map(|q| engine.find_substitutes(q)).collect();
+    engine.reset_stats();
+
+    const THREADS: usize = 4;
+    const ROUNDS: usize = 5;
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let engine = Arc::clone(&engine);
+            let queries = &queries;
+            let serial = &serial;
+            scope.spawn(move || {
+                for _ in 0..ROUNDS {
+                    for (q, expected) in queries.iter().zip(serial) {
+                        assert_eq!(&engine.find_substitutes(q), expected);
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = engine.stats();
+    let probes = (THREADS * ROUNDS * queries.len()) as u64;
+    assert_eq!(stats.cache_hits + stats.cache_misses, probes);
+    // The warm-up pass above already cached every query shape.
+    assert_eq!(stats.cache_hits, probes, "all repeated probes must hit");
+    assert_eq!(stats.cache_invalidations, 0);
+}
+
 /// `remove_view` (an exclusive `&mut` operation) interleaved with
 /// matching rounds: removed views drop out of the results immediately
 /// and never reappear, on both the serial and the parallel path.

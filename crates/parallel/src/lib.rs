@@ -39,15 +39,29 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_min_chunk(items, workers, 1, f)
+}
+
+/// [`par_map`] with a floor on the chunk size workers claim from the
+/// shared cursor. For loops over many cheap items (the per-candidate
+/// matching loop) a floor keeps the cursor contention and per-chunk
+/// bookkeeping amortized over enough real work; `min_chunk = 1` recovers
+/// plain `par_map`.
+pub fn par_map_min_chunk<T, R, F>(items: &[T], workers: usize, min_chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let workers = workers.min(items.len());
     if workers <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
 
     // Chunks are finer than the worker count so a skewed item cannot
-    // serialize the tail: aim for ~4 chunks per worker, at least 1 item
-    // per chunk.
-    let chunk = (items.len() / (workers * 4)).max(1);
+    // serialize the tail: aim for ~4 chunks per worker, at least
+    // `min_chunk` (>= 1) items per chunk.
+    let chunk = (items.len() / (workers * 4)).max(min_chunk.max(1));
     let n_chunks = items.len().div_ceil(chunk);
     let cursor = AtomicUsize::new(0);
 
@@ -134,6 +148,15 @@ mod tests {
             x
         });
         assert_eq!(out, items);
+    }
+
+    #[test]
+    fn min_chunk_matches_serial() {
+        let items: Vec<u64> = (0..500).collect();
+        let serial: Vec<u64> = items.iter().map(|&x| x ^ 7).collect();
+        for min_chunk in [0, 1, 16, 1000] {
+            assert_eq!(par_map_min_chunk(&items, 4, min_chunk, |&x| x ^ 7), serial);
+        }
     }
 
     #[test]
