@@ -53,7 +53,7 @@ fn part_query(lo: i64, hi: i64) -> SpjgExpr {
 /// live matching traffic to disturb.
 fn fixture() -> MatchingEngine {
     let (cat, t) = tpch_catalog();
-    let mut engine = MatchingEngine::new(cat, MatchConfig::default());
+    let engine = MatchingEngine::new(cat, MatchConfig::default());
     for (name, lo, hi) in [
         ("parts_low", 0, 1000),
         ("parts_mid", 500, 2000),
@@ -119,7 +119,7 @@ fn clean_workload_audits_without_errors() {
 
 #[test]
 fn evicted_view_caught_by_mv101() {
-    let mut engine = fixture();
+    let engine = fixture();
     assert!(engine.evict_view_for_audit(ViewId(0)));
     let report = audit_index(&engine, &[]);
     assert_eq!(codes(&report, Severity::Error), vec!["MV101"]);
@@ -127,7 +127,7 @@ fn evicted_view_caught_by_mv101() {
 
 #[test]
 fn evicted_view_differential_caught_by_mv102() {
-    let mut engine = fixture();
+    let engine = fixture();
     assert!(engine.evict_view_for_audit(ViewId(0)));
     let mut report = Report::new();
     mv_audit::audit_differential(&engine, &queries(), &mut report);
@@ -144,7 +144,7 @@ fn evicted_view_differential_caught_by_mv102() {
 
 #[test]
 fn stale_residual_key_caught_by_mv102_naming_the_level() {
-    let mut engine = fixture();
+    let engine = fixture();
     // File parts_low as if it carried a residual predicate no query has:
     // the level-5 subset search now rejects it for every real query.
     let mut keys = engine.view_filter_keys(ViewId(0)).unwrap();
@@ -164,7 +164,7 @@ fn stale_residual_key_caught_by_mv102_naming_the_level() {
 #[test]
 fn foreign_hub_caught_by_mv103() {
     let (_, t) = tpch_catalog();
-    let mut engine = fixture();
+    let engine = fixture();
     // A hub outside the view's own table set breaks the level-1
     // containment argument.
     let mut keys = engine.view_filter_keys(ViewId(0)).unwrap();
@@ -178,7 +178,7 @@ fn foreign_hub_caught_by_mv103() {
 
 #[test]
 fn bogus_tokens_caught_by_mv104() {
-    let mut engine = fixture();
+    let engine = fixture();
     let mut keys = engine.view_filter_keys(ViewId(0)).unwrap();
     keys.truncate(SPJ_LEVELS);
     keys[5].push(col_token(TableId(999), ColumnId(7))); // no such table
@@ -209,7 +209,7 @@ fn bogus_tokens_caught_by_mv104() {
 
 #[test]
 fn equivalent_views_caught_by_mv110() {
-    let mut engine = fixture();
+    let engine = fixture();
     engine
         .add_view(ViewDef::new("parts_low_copy", part_view(0, 1000)))
         .unwrap();
@@ -220,7 +220,7 @@ fn equivalent_views_caught_by_mv110() {
 
 #[test]
 fn subsumed_view_caught_by_mv111() {
-    let mut engine = fixture();
+    let engine = fixture();
     // Strictly inside parts_low's range, same outputs: computable from
     // parts_low but not vice versa.
     engine

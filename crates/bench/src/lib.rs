@@ -1,6 +1,8 @@
 //! Shared benchmark infrastructure: workload setup and the measurement
 //! loops behind the `figures` binary and the Criterion micro-benches.
 
+pub mod json;
+
 use mv_core::{MatchConfig, MatchingEngine};
 use mv_data::{generate_tpch, TpchScale};
 use mv_optimizer::{Optimizer, OptimizerConfig};
@@ -42,13 +44,13 @@ pub fn build_workload(n_views: usize, n_queries: usize) -> Workload {
 }
 
 /// Build a matching engine over the first `n` views of the workload.
+/// Registers them as one bulk batch: one snapshot build and one
+/// publication, so even 100k-view engines construct in O(n).
 pub fn engine_with(workload: &Workload, n: usize, config: MatchConfig) -> MatchingEngine {
-    let mut engine = MatchingEngine::new(workload.catalog.clone(), config);
-    for v in workload.views.iter().take(n) {
-        engine
-            .add_view(v.clone())
-            .expect("generated views are valid");
-    }
+    let engine = MatchingEngine::new(workload.catalog.clone(), config);
+    engine
+        .add_views(workload.views.iter().take(n).cloned().collect())
+        .expect("generated views are valid");
     engine
 }
 

@@ -16,11 +16,17 @@
 //!   predicates, permuted join order) collide on the same entry.
 //! - [`SubstituteCache`] is a mutex-striped shard array keyed by the
 //!   fingerprint hash, with a second-chance ("clock") eviction hand per
-//!   shard. Entries carry the engine *epoch* they were computed under;
-//!   registration (`add_view` / `remove_view` / `add_check_constraint`)
-//!   bumps the epoch and stale entries are lazily discarded on their next
-//!   lookup — registering a view never takes a stop-the-world pass over
-//!   the cache.
+//!   shard. Entries carry a *per-table epoch stamp*: the invalidation
+//!   epoch of each base table the fingerprinted query touches, captured
+//!   from the catalog snapshot the result was computed under. Registration
+//!   (`add_view` / `remove_view`) bumps only the epochs of the view's own
+//!   tables, and `add_check_constraint` only its table's — so an entry
+//!   whose query touches disjoint tables keeps a matching stamp and
+//!   survives the write. (A view can only answer a query whose tables are
+//!   a subset of the view's, so bumping the view's tables covers every
+//!   query whose result could change.) Stale entries are lazily discarded
+//!   on their next lookup — registering a view never takes a
+//!   stop-the-world pass over the cache.
 //!
 //! Cached results are returned byte-identical to what uncached matching
 //! produces (output names are re-stamped from the probing query, which is
@@ -146,9 +152,13 @@ pub fn fingerprint(query: &SpjgExpr) -> Fingerprint {
 struct Entry {
     hash: u64,
     render: String,
-    /// Engine epoch the result was computed under; a mismatch on lookup
-    /// means the view set (or check constraints) changed since.
-    epoch: u64,
+    /// Per-table invalidation epochs of the query's (sorted, deduplicated)
+    /// base tables, captured at computation time. A mismatch on lookup
+    /// means some table this query touches saw a view registration,
+    /// removal, or new check constraint since. Two probes with equal
+    /// renders reference the same table set in the same order, so the
+    /// stamps compare positionally.
+    stamp: Vec<u64>,
     /// Candidate count of the original computation, replayed into the
     /// stats on every hit so counter totals stay path-independent.
     candidates: usize,
@@ -175,8 +185,8 @@ pub enum CacheLookup {
         results: Vec<(ViewId, Substitute)>,
         candidates: usize,
     },
-    /// An entry existed but was computed under an older epoch; it has been
-    /// discarded (lazy invalidation).
+    /// An entry existed but some table its query touches changed since;
+    /// it has been discarded (lazy invalidation).
     Stale,
     /// No entry.
     Miss,
@@ -219,11 +229,12 @@ impl SubstituteCache {
         &self.shards[(hash as usize) % self.shards.len()]
     }
 
-    /// Probe for `render` under the current `epoch`. A present entry whose
-    /// epoch mismatches is removed and reported as [`CacheLookup::Stale`];
+    /// Probe for `render` under the current per-table epoch `stamp`
+    /// (epochs of the query's sorted table set). A present entry whose
+    /// stamp mismatches is removed and reported as [`CacheLookup::Stale`];
     /// a hash collision with a different render is a plain miss (the
     /// insert that follows will replace the colliding entry).
-    pub fn lookup(&self, hash: u64, render: &str, epoch: u64) -> CacheLookup {
+    pub fn lookup(&self, hash: u64, render: &str, stamp: &[u64]) -> CacheLookup {
         if !self.is_enabled() {
             return CacheLookup::Disabled;
         }
@@ -235,7 +246,7 @@ impl SubstituteCache {
         if entry.render != render {
             return CacheLookup::Miss;
         }
-        if entry.epoch != epoch {
+        if entry.stamp != stamp {
             shard.slots[slot] = None;
             shard.index.remove(&hash);
             return CacheLookup::Stale;
@@ -255,7 +266,7 @@ impl SubstituteCache {
         &self,
         hash: u64,
         render: String,
-        epoch: u64,
+        stamp: Vec<u64>,
         candidates: usize,
         results: Vec<(ViewId, Substitute)>,
     ) {
@@ -265,7 +276,7 @@ impl SubstituteCache {
         let entry = Entry {
             hash,
             render,
-            epoch,
+            stamp,
             candidates,
             results,
             referenced: false,
@@ -395,17 +406,23 @@ mod tests {
     }
 
     #[test]
-    fn lookup_insert_epoch_and_eviction() {
+    fn lookup_insert_stamp_and_eviction() {
         let cache = SubstituteCache::new(4, 2);
         assert!(cache.is_enabled());
         assert!(cache.is_empty());
         let fp = fingerprint(&query("a", 5));
         assert!(matches!(
-            cache.lookup(fp.hash, &fp.render, 0),
+            cache.lookup(fp.hash, &fp.render, &[0]),
             CacheLookup::Miss
         ));
-        cache.insert(fp.hash, fp.render.clone(), 0, 3, vec![(ViewId(1), sub(1))]);
-        match cache.lookup(fp.hash, &fp.render, 0) {
+        cache.insert(
+            fp.hash,
+            fp.render.clone(),
+            vec![0],
+            3,
+            vec![(ViewId(1), sub(1))],
+        );
+        match cache.lookup(fp.hash, &fp.render, &[0]) {
             CacheLookup::Hit {
                 results,
                 candidates,
@@ -415,19 +432,19 @@ mod tests {
             }
             other => panic!("expected hit, got {other:?}"),
         }
-        // Epoch bump: the entry is discarded on its next probe.
+        // A bumped table epoch: the entry is discarded on its next probe.
         assert!(matches!(
-            cache.lookup(fp.hash, &fp.render, 1),
+            cache.lookup(fp.hash, &fp.render, &[1]),
             CacheLookup::Stale
         ));
         assert!(matches!(
-            cache.lookup(fp.hash, &fp.render, 1),
+            cache.lookup(fp.hash, &fp.render, &[1]),
             CacheLookup::Miss
         ));
         // Capacity is bounded: many inserts never exceed it.
         for i in 0..50 {
             let fp = fingerprint(&query("a", i));
-            cache.insert(fp.hash, fp.render, 0, 0, Vec::new());
+            cache.insert(fp.hash, fp.render, vec![0], 0, Vec::new());
         }
         assert!(cache.len() <= 4, "clock eviction must bound the cache");
         cache.clear();
@@ -435,13 +452,30 @@ mod tests {
     }
 
     #[test]
+    fn per_table_stamps_compare_positionally() {
+        let cache = SubstituteCache::new(4, 1);
+        let fp = fingerprint(&query("a", 5));
+        cache.insert(fp.hash, fp.render.clone(), vec![2, 7], 0, Vec::new());
+        // Same epochs for the same tables: hit.
+        assert!(matches!(
+            cache.lookup(fp.hash, &fp.render, &[2, 7]),
+            CacheLookup::Hit { .. }
+        ));
+        // One table advanced: stale, even though the other is unchanged.
+        assert!(matches!(
+            cache.lookup(fp.hash, &fp.render, &[2, 8]),
+            CacheLookup::Stale
+        ));
+    }
+
+    #[test]
     fn disabled_cache_is_inert() {
         let cache = SubstituteCache::new(0, 8);
         assert!(!cache.is_enabled());
         let fp = fingerprint(&query("a", 5));
-        cache.insert(fp.hash, fp.render.clone(), 0, 0, Vec::new());
+        cache.insert(fp.hash, fp.render.clone(), vec![0], 0, Vec::new());
         assert!(matches!(
-            cache.lookup(fp.hash, &fp.render, 0),
+            cache.lookup(fp.hash, &fp.render, &[0]),
             CacheLookup::Disabled
         ));
         assert_eq!(cache.len(), 0);

@@ -78,10 +78,7 @@ impl PreparedView {
         residual_tokens.sort_unstable();
         let occs: Vec<(OccId, TableId)> = expr.occurrences().collect();
         let graph = build_fk_graph(catalog, &occs, &summary.ec, &|_| config.null_rejecting_fk);
-        let mut fk_incoming = vec![false; expr.tables.len()];
-        for e in &graph.edges {
-            fk_incoming[e.to.0 as usize] = true;
-        }
+        let fk_incoming = graph.incoming_flags(expr.tables.len());
         PreparedView {
             summary,
             nontrivial_ecs,
@@ -90,6 +87,16 @@ impl PreparedView {
             by_table: occurrences_by_table(expr),
             fk_incoming,
         }
+    }
+
+    /// The distinct base tables the view references, ascending. The
+    /// online catalog bumps exactly these tables' invalidation epochs when
+    /// the view is registered or removed: a view can only answer a query
+    /// whose tables are a subset of its own, so every cached result the
+    /// change could affect carries at least one of these tables in its
+    /// stamp.
+    pub fn tables(&self) -> impl Iterator<Item = TableId> + '_ {
+        self.by_table.iter().map(|(t, _)| *t)
     }
 }
 

@@ -11,8 +11,10 @@ use crate::stats::{AtomicMatchStats, MatchStats};
 use crate::summary::ExprSummary;
 use mv_catalog::{Catalog, ColumnId, TableId};
 use mv_expr::{classify, BoolExpr, ColRef, Conjunct, OccId, Template};
+use mv_parallel::Published;
 use mv_plan::{AggFunc, OutputList, SpjgExpr, Substitute, ViewDef, ViewId, ViewSet};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Number of filter-tree levels for SPJ views (hub, source tables, output
@@ -54,13 +56,14 @@ pub fn strict_filter_exempt_levels(is_aggregate_view: bool) -> &'static [usize] 
 
 /// String interner mapping template texts to filter-key tokens.
 ///
-/// Tokens are minted only on the **write path** (`add_view` /
-/// `remove_view`, both `&mut self`); the query-side read path uses
-/// [`Interner::lookup`], which never allocates or mutates. This is what
-/// lets [`MatchingEngine`] be `Sync` without a lock around the interner,
-/// and it also keeps the map's size proportional to the registered views
-/// instead of growing with every distinct query ever matched.
-#[derive(Debug, Default)]
+/// Tokens are minted only on the **write path** (`add_view`), which
+/// builds the next immutable catalog snapshot; the query-side read path
+/// uses [`Interner::lookup`] against its pinned snapshot, which never
+/// allocates or mutates. This is what lets the interner live lock-free
+/// inside [`CatalogSnapshot`], and it also keeps the map's size
+/// proportional to the registered views instead of growing with every
+/// distinct query ever matched.
+#[derive(Debug, Default, Clone)]
 struct Interner {
     map: HashMap<String, u64>,
 }
@@ -116,43 +119,120 @@ fn base_col_token(expr: &SpjgExpr, c: ColRef) -> u64 {
     col_token(expr.table_of(c.occ), c.col)
 }
 
-/// The engine owning the view registry, per-view summaries, the filter
-/// trees and the instrumentation counters.
+/// One immutable catalog state: the view registry, the prepared match
+/// descriptors, both filter trees, the interner, the check constraints and
+/// the removal set, published as a unit.
+///
+/// Every field a reader touches lives here, so a matcher that pins one
+/// snapshot sees one coherent catalog for its whole match — never a
+/// half-registered view (say, a registry entry whose filter-tree keys are
+/// not filed yet). Writers clone the snapshot (cheap: the registry stores
+/// `Arc`'d definitions, descriptors are `Arc`'d, and the filter trees
+/// share untouched subtrees structurally), apply their change to the
+/// clone, and publish it atomically.
+#[derive(Debug, Clone)]
+struct CatalogSnapshot {
+    /// The registered views (slots and names of removed views stay
+    /// reserved).
+    views: ViewSet,
+    /// Per-view prepared match descriptors, parallel to `views`.
+    prepared: Vec<Arc<PreparedView>>,
+    spj_tree: Arc<FilterTree>,
+    agg_tree: Arc<FilterTree>,
+    interner: Arc<Interner>,
+    /// Check constraints per table, pre-classified, with column references
+    /// in table space (`occ = 0`).
+    checks: Arc<HashMap<TableId, Vec<Conjunct>>>,
+    /// Views dropped with `remove_view`. Matching skips them.
+    removed: Arc<HashSet<ViewId>>,
+    /// Per-table invalidation epochs, indexed by `TableId`. A write bumps
+    /// exactly the tables it can affect (the view's tables, or the
+    /// constraint's table); cached results are stamped with the epochs of
+    /// their query's tables and go stale only when one of *those* moves.
+    table_epochs: Vec<u64>,
+    /// Monotone publication counter (diagnostics; every write bumps it).
+    epoch: u64,
+}
+
+impl CatalogSnapshot {
+    fn empty(catalog: &Catalog) -> CatalogSnapshot {
+        CatalogSnapshot {
+            views: ViewSet::new(),
+            prepared: Vec::new(),
+            spj_tree: Arc::new(FilterTree::new(SPJ_LEVELS)),
+            agg_tree: Arc::new(FilterTree::new(AGG_LEVELS)),
+            interner: Arc::new(Interner::default()),
+            checks: Arc::new(HashMap::new()),
+            removed: Arc::new(HashSet::new()),
+            table_epochs: vec![0; catalog.table_count()],
+            epoch: 0,
+        }
+    }
+
+    /// Bump the invalidation epoch of every given table.
+    fn bump_tables(&mut self, tables: impl IntoIterator<Item = TableId>) {
+        for t in tables {
+            if let Some(e) = self.table_epochs.get_mut(t.0 as usize) {
+                *e += 1;
+            }
+        }
+        self.epoch += 1;
+    }
+
+    /// The per-table epoch stamp of a query: the epochs of its distinct
+    /// source tables, ascending. Cached results carry the stamp they were
+    /// computed under; equal renders reference equal table sets, so two
+    /// stamps for the same fingerprint compare positionally.
+    fn table_stamp(&self, query: &SpjgExpr) -> Vec<u64> {
+        let mut tables: Vec<TableId> = query.tables.clone();
+        tables.sort_unstable();
+        tables.dedup();
+        tables
+            .iter()
+            .map(|t| {
+                self.table_epochs
+                    .get(t.0 as usize)
+                    .copied()
+                    .unwrap_or(u64::MAX)
+            })
+            .collect()
+    }
+
+    fn live_view_count(&self) -> usize {
+        self.views.len() - self.removed.len()
+    }
+}
+
+/// The engine owning the published catalog snapshot, the substitute cache
+/// and the instrumentation counters.
 ///
 /// # Concurrency
 ///
-/// The engine is `Send + Sync`: registration (`add_view`,
-/// `remove_view`, `add_check_constraint`) takes `&mut self`, while the
-/// whole matching path (`find_substitutes`, `find_substitutes_batch`,
-/// `candidates`, `match_one`) takes `&self` and touches no interior
-/// mutability beyond the atomic [`AtomicMatchStats`] counters. A
-/// multi-threaded optimizer host can therefore share one engine behind an
-/// `Arc` and match queries from any number of threads concurrently; see
-/// also [`MatchConfig::parallel_threshold`] for the intra-query fan-out
-/// of the candidate loop.
+/// The engine is an *online catalog*: every method — registration
+/// (`add_view`, `add_views`, `remove_view`, `add_check_constraint`) as
+/// well as the whole matching path (`find_substitutes`,
+/// `find_substitutes_batch`, `candidates`, `match_one`) — takes `&self`,
+/// so writers run concurrently with matchers. Writers serialize among
+/// themselves on an internal mutex, build the next immutable
+/// [`CatalogSnapshot`] by copy-on-write, and publish it with one atomic
+/// pointer swap; readers pin the current snapshot once per match and
+/// never observe a half-applied change. A multi-threaded optimizer host
+/// can therefore share one engine behind an `Arc`, match queries from any
+/// number of threads, and register views mid-traffic; see also
+/// [`MatchConfig::parallel_threshold`] for the intra-query fan-out of the
+/// candidate loop.
 #[derive(Debug)]
 pub struct MatchingEngine {
     catalog: Catalog,
     config: MatchConfig,
-    views: ViewSet,
-    prepared: Vec<PreparedView>,
-    spj_tree: FilterTree,
-    agg_tree: FilterTree,
-    interner: Interner,
+    /// The atomically published catalog snapshot.
+    shared: Published<CatalogSnapshot>,
+    /// Serializes snapshot builders; never held by readers.
+    writer: Mutex<()>,
     stats: AtomicMatchStats,
-    /// Check constraints per table, pre-classified, with column references
-    /// in table space (`occ = 0`).
-    checks: HashMap<TableId, Vec<Conjunct>>,
-    /// Views dropped with [`MatchingEngine::remove_view`]. Their slots (and
-    /// names) stay reserved; matching skips them.
-    removed: std::collections::HashSet<ViewId>,
-    /// Fingerprint-keyed cache of complete `find_substitutes` results.
+    /// Fingerprint-keyed cache of complete `find_substitutes` results,
+    /// invalidated per table via the snapshot's `table_epochs`.
     cache: SubstituteCache,
-    /// Registration epoch: bumped by every `add_view`/`remove_view`/
-    /// `add_check_constraint`. Cache entries carry the epoch they were
-    /// computed under and are lazily discarded on mismatch. A plain `u64`
-    /// suffices: all writers hold `&mut self`, all readers `&self`.
-    epoch: u64,
 }
 
 // Compile-time guarantee that the engine stays shareable across threads:
@@ -170,56 +250,76 @@ impl MatchingEngine {
             config.substitute_cache_capacity,
             config.substitute_cache_shards,
         );
+        let shared = Published::new(CatalogSnapshot::empty(&catalog));
         MatchingEngine {
             catalog,
             config,
-            views: ViewSet::new(),
-            prepared: Vec::new(),
-            spj_tree: FilterTree::new(SPJ_LEVELS),
-            agg_tree: FilterTree::new(AGG_LEVELS),
-            interner: Interner::default(),
+            shared,
+            writer: Mutex::new(()),
             stats: AtomicMatchStats::default(),
-            checks: HashMap::new(),
-            removed: std::collections::HashSet::new(),
             cache,
-            epoch: 0,
         }
+    }
+
+    /// Pin the current catalog snapshot.
+    fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        self.shared.load()
     }
 
     /// Drop a view from matching: it is removed from its filter tree and
     /// never considered again. The definition (and its name) stay
     /// registered — this mirrors dropping a cached query result, the
     /// intro's "cached results can be treated as temporary materialized
-    /// views" scenario, where entries come and go.
-    pub fn remove_view(&mut self, id: ViewId) -> bool {
-        if self.removed.contains(&id) || (id.0 as usize) >= self.views.len() {
+    /// views" scenario, where entries come and go. Runs concurrently with
+    /// matching: in-flight matchers keep their pinned snapshot, new
+    /// matches see the removal.
+    pub fn remove_view(&self, id: ViewId) -> bool {
+        let _writer = self.writer.lock().unwrap();
+        let cur = self.snapshot();
+        if cur.removed.contains(&id) || (id.0 as usize) >= cur.views.len() {
             return false;
         }
-        let def = self.views.get(id);
-        let vsum = self.prepared[id.0 as usize].summary.clone();
-        let keys = Self::view_keys(
-            &self.catalog,
-            &self.config,
-            &mut |s| self.interner.intern(s),
-            &def.expr,
-            &vsum,
-        );
-        let in_tree = if def.expr.is_aggregate() {
-            self.agg_tree.remove(&keys, id)
+        let mut next = (*cur).clone();
+        drop(cur);
+        let (keys, is_agg, tables) = {
+            let def = next.views.get(id);
+            let pv = &next.prepared[id.0 as usize];
+            // Read-only token lookup: every text of a registered view was
+            // interned when it was added.
+            let keys = Self::view_keys(
+                &self.catalog,
+                &self.config,
+                &mut |s| next.interner.lookup(s),
+                &def.expr,
+                &pv.summary,
+            );
+            let tables: Vec<TableId> = pv.tables().collect();
+            (keys, def.expr.is_aggregate(), tables)
+        };
+        let in_tree = if is_agg {
+            Arc::make_mut(&mut next.agg_tree).remove(&keys, id)
         } else {
-            self.spj_tree.remove(&keys[..SPJ_LEVELS], id)
+            Arc::make_mut(&mut next.spj_tree).remove(&keys[..SPJ_LEVELS], id)
         };
         debug_assert!(in_tree, "registered view must be present in its tree");
-        self.removed.insert(id);
-        // Invalidate cached results lazily: entries computed under an
-        // older epoch are discarded at their next lookup.
-        self.epoch += 1;
+        Arc::make_mut(&mut next.removed).insert(id);
+        // Invalidate lazily and precisely: only entries whose query
+        // touches one of the removed view's tables can have included it.
+        next.bump_tables(tables);
+        self.shared.store(Arc::new(next));
+        self.stats.record_removal();
         true
     }
 
     /// Number of live (non-removed) views.
     pub fn live_view_count(&self) -> usize {
-        self.views.len() - self.removed.len()
+        self.snapshot().live_view_count()
+    }
+
+    /// The publication count of the current snapshot (diagnostics: every
+    /// registration, removal or constraint declaration bumps it).
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.snapshot().epoch
     }
 
     /// Declare a check constraint on a base table. The predicate uses
@@ -228,11 +328,7 @@ impl MatchingEngine {
     /// "check constraints on the tables of a query can be added to the
     /// where-clause without changing the query result"), so view
     /// predicates implied by a constraint no longer block matching.
-    pub fn add_check_constraint(
-        &mut self,
-        table: TableId,
-        predicate: BoolExpr,
-    ) -> Result<(), String> {
+    pub fn add_check_constraint(&self, table: TableId, predicate: BoolExpr) -> Result<(), String> {
         let n_cols = self.catalog.table(table).columns.len() as u32;
         for c in predicate.columns() {
             if c.occ != OccId(0) || c.col.0 >= n_cols {
@@ -242,24 +338,33 @@ impl MatchingEngine {
                 ));
             }
         }
-        self.checks
+        let _writer = self.writer.lock().unwrap();
+        let mut next = (*self.snapshot()).clone();
+        Arc::make_mut(&mut next.checks)
             .entry(table)
             .or_default()
             .extend(classify(predicate));
-        // Check constraints change every query's effective summary, so
-        // cached results are stale.
-        self.epoch += 1;
+        // Only queries referencing `table` fold this constraint into their
+        // effective summary, so only their cached results can change.
+        next.bump_tables([table]);
+        self.shared.store(Arc::new(next));
         Ok(())
     }
 
     /// Analyze a query, folding in check constraints when enabled.
     pub fn query_summary(&self, query: &SpjgExpr) -> ExprSummary {
-        if !self.config.use_check_constraints || self.checks.is_empty() {
+        self.query_summary_in(&self.snapshot(), query)
+    }
+
+    /// [`MatchingEngine::query_summary`] against a pinned snapshot — the
+    /// matching pipeline calls this so one match sees one constraint set.
+    fn query_summary_in(&self, snap: &CatalogSnapshot, query: &SpjgExpr) -> ExprSummary {
+        if !self.config.use_check_constraints || snap.checks.is_empty() {
             return ExprSummary::analyze(query);
         }
         let mut extras = Vec::new();
         for (occ, table) in query.occurrences() {
-            if let Some(conjs) = self.checks.get(&table) {
+            if let Some(conjs) = snap.checks.get(&table) {
                 for conj in conjs {
                     // The closure is total, so the remap cannot fail; if a
                     // future edit breaks that, dropping the conjunct only
@@ -284,17 +389,25 @@ impl MatchingEngine {
         &self.config
     }
 
-    /// The registered views.
-    pub fn views(&self) -> &ViewSet {
-        &self.views
+    /// The registered views, pinned at the current snapshot. The guard
+    /// derefs to [`ViewSet`], so existing `engine.views().get(id)` call
+    /// sites keep working; hold it across several reads to see one
+    /// coherent registry while writers keep publishing.
+    pub fn views(&self) -> ViewsGuard {
+        ViewsGuard {
+            snap: self.snapshot(),
+        }
     }
 
     /// The declared check constraints, pre-classified per table, with
-    /// column references in table space (`occ = 0`). Exposed so external
-    /// analyzers (`mv-verify`, `mv-lint`) can reason from the same
-    /// constraint knowledge the matcher uses.
-    pub fn check_constraints(&self) -> &HashMap<TableId, Vec<Conjunct>> {
-        &self.checks
+    /// column references in table space (`occ = 0`), pinned at the
+    /// current snapshot. Exposed so external analyzers (`mv-verify`,
+    /// `mv-lint`) can reason from the same constraint knowledge the
+    /// matcher uses.
+    pub fn check_constraints(&self) -> ChecksGuard {
+        ChecksGuard {
+            snap: self.snapshot(),
+        }
     }
 
     /// Snapshot of the instrumentation counters.
@@ -308,14 +421,46 @@ impl MatchingEngine {
     }
 
     /// Register a materialized view: validates it, computes its summary
-    /// and filter keys, and inserts it into the appropriate filter tree.
-    pub fn add_view(&mut self, def: ViewDef) -> Result<ViewId, String> {
+    /// and filter keys, inserts it into the appropriate filter tree, and
+    /// publishes the next snapshot. Runs concurrently with matching.
+    pub fn add_view(&self, def: ViewDef) -> Result<ViewId, String> {
+        let _writer = self.writer.lock().unwrap();
+        let mut next = (*self.snapshot()).clone();
+        let id = self.register_into(&mut next, def)?;
+        self.shared.store(Arc::new(next));
+        self.stats.record_registrations(1);
+        Ok(id)
+    }
+
+    /// Register a batch of views with one snapshot clone and one
+    /// publication — all-or-nothing: if any definition is rejected,
+    /// nothing is published and the catalog is unchanged. Building a
+    /// 100k-view catalog this way costs one copy-on-write pass instead of
+    /// one per view.
+    pub fn add_views(&self, defs: Vec<ViewDef>) -> Result<Vec<ViewId>, String> {
+        let _writer = self.writer.lock().unwrap();
+        let mut next = (*self.snapshot()).clone();
+        let n = defs.len();
+        let mut ids = Vec::with_capacity(n);
+        for def in defs {
+            ids.push(self.register_into(&mut next, def)?);
+        }
+        self.shared.store(Arc::new(next));
+        self.stats.record_registrations(n);
+        Ok(ids)
+    }
+
+    /// Validate, prepare and file one view into a snapshot under
+    /// construction. Shared by `add_view` and `add_views`; the caller
+    /// holds the writer lock and publishes (or discards) `next`.
+    fn register_into(&self, next: &mut CatalogSnapshot, def: ViewDef) -> Result<ViewId, String> {
         def.expr.validate(&self.catalog)?;
         let vsum = ExprSummary::analyze(&def.expr);
+        let interner = Arc::make_mut(&mut next.interner);
         let keys = Self::view_keys(
             &self.catalog,
             &self.config,
-            &mut |s| self.interner.intern(s),
+            &mut |s| interner.intern(s),
             &def.expr,
             &vsum,
         );
@@ -330,14 +475,17 @@ impl MatchingEngine {
             keys[4].clone(),
         );
         let is_agg = def.expr.is_aggregate();
-        let id = self.views.add(def)?;
-        self.prepared.push(prepared);
+        let tables: Vec<TableId> = prepared.tables().collect();
+        let id = next.views.add(def)?;
+        next.prepared.push(Arc::new(prepared));
         if is_agg {
-            self.agg_tree.insert(&keys, id);
+            Arc::make_mut(&mut next.agg_tree).insert(&keys, id);
         } else {
-            self.spj_tree.insert(&keys[..SPJ_LEVELS], id);
+            Arc::make_mut(&mut next.spj_tree).insert(&keys[..SPJ_LEVELS], id);
         }
-        self.epoch += 1;
+        // A new view can only change results of queries over (a subset
+        // of) its own tables.
+        next.bump_tables(tables);
         Ok(id)
     }
 
@@ -503,7 +651,12 @@ impl MatchingEngine {
     /// an aggregate query no longer renders its output templates twice.
     /// Lookups go through the read-only [`Interner::lookup`] — the query
     /// path mints no tokens and performs no interner writes.
-    fn query_tokens(&self, query: &SpjgExpr, qsum: &ExprSummary) -> QueryTokens {
+    fn query_tokens(
+        &self,
+        snap: &CatalogSnapshot,
+        query: &SpjgExpr,
+        qsum: &ExprSummary,
+    ) -> QueryTokens {
         let source: Vec<u64> = query.tables.iter().copied().map(table_token).collect();
 
         // Textual output expressions. With the paper-faithful strict
@@ -519,12 +672,12 @@ impl MatchingEngine {
         if self.config.strict_expression_filter {
             for ne in query.scalar_outputs() {
                 if ne.expr.as_column().is_none() && !ne.expr.is_constant() {
-                    scalar_exprs.push(self.interner.lookup(&Template::of_scalar(&ne.expr).text));
+                    scalar_exprs.push(snap.interner.lookup(&Template::of_scalar(&ne.expr).text));
                 }
             }
             for agg in query.aggregate_outputs() {
                 if let AggFunc::Sum(e) = &agg.func {
-                    let token = self.interner.lookup(&Template::of_scalar(e).text);
+                    let token = snap.interner.lookup(&Template::of_scalar(e).text);
                     if e.as_column().is_none() && !e.is_constant() {
                         sum_exprs_complex.push(token);
                     } else {
@@ -566,7 +719,7 @@ impl MatchingEngine {
         let residuals: Vec<u64> = qsum
             .residuals
             .iter()
-            .map(|t| self.interner.lookup(&t.text))
+            .map(|t| snap.interner.lookup(&t.text))
             .collect();
 
         // Extended range constraint list — every column of every
@@ -603,24 +756,35 @@ impl MatchingEngine {
     /// Both trees append into the same buffer, which is then sorted and
     /// deduplicated once.
     pub fn candidates_into(&self, query: &SpjgExpr, qsum: &ExprSummary, out: &mut Vec<ViewId>) {
+        self.candidates_into_in(&self.snapshot(), query, qsum, out)
+    }
+
+    /// [`MatchingEngine::candidates_into`] against a pinned snapshot.
+    fn candidates_into_in(
+        &self,
+        snap: &CatalogSnapshot,
+        query: &SpjgExpr,
+        qsum: &ExprSummary,
+        out: &mut Vec<ViewId>,
+    ) {
         out.clear();
         if !self.config.use_filter_tree {
             out.extend(
-                self.views
+                snap.views
                     .iter()
                     .map(|(id, _)| id)
-                    .filter(|id| !self.removed.contains(id)),
+                    .filter(|id| !snap.removed.contains(id)),
             );
             return;
         }
-        let tokens = self.query_tokens(query, qsum);
-        self.spj_tree.search_into(&tokens.spj_searches(), out);
-        if query.is_aggregate() && !self.agg_tree.is_empty() {
-            self.agg_tree.search_into(&tokens.agg_searches(), out);
+        let tokens = self.query_tokens(snap, query, qsum);
+        snap.spj_tree.search_into(&tokens.spj_searches(), out);
+        if query.is_aggregate() && !snap.agg_tree.is_empty() {
+            snap.agg_tree.search_into(&tokens.agg_searches(), out);
         }
         // Removed views are already gone from the trees; the retain is a
         // cheap second line of defense for the matching invariant.
-        out.retain(|id| !self.removed.contains(id));
+        out.retain(|id| !snap.removed.contains(id));
         out.sort_unstable();
         // Each view lives in exactly one partition of exactly one tree, so
         // the merged result must already be duplicate-free.
@@ -638,6 +802,7 @@ impl MatchingEngine {
     /// (ascending `ViewId`), so both paths return byte-identical lists.
     fn match_candidates(
         &self,
+        snap: &CatalogSnapshot,
         query: &SpjgExpr,
         qsum: &ExprSummary,
         candidates: &[ViewId],
@@ -649,12 +814,12 @@ impl MatchingEngine {
         let mut q_res_tokens: Vec<u64> = qsum
             .residuals
             .iter()
-            .map(|t| self.interner.lookup(&t.text))
+            .map(|t| snap.interner.lookup(&t.text))
             .collect();
         q_res_tokens.sort_unstable();
         let try_candidate = |&id: &ViewId| -> Option<(ViewId, Substitute)> {
-            let view = self.views.get(id);
-            let pv = &self.prepared[id.0 as usize];
+            let view = snap.views.get(id);
+            let pv = &snap.prepared[id.0 as usize];
             if !pv
                 .residual_tokens
                 .iter()
@@ -679,19 +844,21 @@ impl MatchingEngine {
     /// Returns the substitutes, the candidate count, and the filter time.
     fn compute_substitutes(
         &self,
+        snap: &CatalogSnapshot,
         query: &SpjgExpr,
     ) -> (Vec<(ViewId, Substitute)>, usize, Duration) {
-        let qsum = self.query_summary(query);
+        let qsum = self.query_summary_in(snap, query);
 
         let filter_started = self.config.timing.then(Instant::now);
-        let candidates = self.candidates(query, &qsum);
+        let mut candidates = Vec::new();
+        self.candidates_into_in(snap, query, &qsum, &mut candidates);
         let filter_time = elapsed(filter_started);
 
-        let out = self.match_candidates(query, &qsum, &candidates);
+        let out = self.match_candidates(snap, query, &qsum, &candidates);
         #[cfg(debug_assertions)]
         {
-            self.debug_verify(query, &out);
-            self.debug_assert_filter_complete(query, &qsum, &candidates);
+            self.debug_verify(snap, query, &out);
+            self.debug_assert_filter_complete(snap, query, &qsum, &candidates);
         }
         (out, candidates.len(), filter_time)
     }
@@ -699,21 +866,25 @@ impl MatchingEngine {
     /// The view-matching rule: find every view from which `query` can be
     /// computed and build the substitutes. Updates the instrumentation
     /// counters. Callable concurrently from any number of threads sharing
-    /// the engine.
+    /// the engine, including while other threads register or remove
+    /// views: the whole match runs against one pinned snapshot.
     ///
     /// With the substitute cache enabled (see
     /// [`MatchConfig::substitute_cache_capacity`]), a repeated query shape
     /// returns the cached result — byte-identical to a fresh computation,
     /// which debug builds prove with a differential assertion on every
-    /// hit. Hits replay the original candidate count into the stats so
+    /// hit. Entries are stamped with the invalidation epochs of the
+    /// query's tables, so a registration over disjoint tables leaves them
+    /// valid. Hits replay the original candidate count into the stats so
     /// counter totals stay path-independent.
     pub fn find_substitutes(&self, query: &SpjgExpr) -> Vec<(ViewId, Substitute)> {
         let started = self.config.timing.then(Instant::now);
+        let snap = self.snapshot();
         if !self.cache.is_enabled() {
-            let (out, n_candidates, filter_time) = self.compute_substitutes(query);
+            let (out, n_candidates, filter_time) = self.compute_substitutes(&snap, query);
             self.stats.record(
                 n_candidates,
-                self.live_view_count(),
+                snap.live_view_count(),
                 out.len(),
                 filter_time,
                 elapsed(started),
@@ -721,7 +892,8 @@ impl MatchingEngine {
             return out;
         }
         let fp = fingerprint(query);
-        match self.cache.lookup(fp.hash, &fp.render, self.epoch) {
+        let stamp = snap.table_stamp(query);
+        match self.cache.lookup(fp.hash, &fp.render, &stamp) {
             CacheLookup::Hit {
                 mut results,
                 candidates,
@@ -731,8 +903,8 @@ impl MatchingEngine {
                 restamp_output_names(&mut results, query);
                 #[cfg(debug_assertions)]
                 {
-                    self.debug_verify(query, &results);
-                    let (fresh, _, _) = self.compute_substitutes(query);
+                    self.debug_verify(&snap, query, &results);
+                    let (fresh, _, _) = self.compute_substitutes(&snap, query);
                     assert_eq!(
                         results, fresh,
                         "cached substitutes must be byte-identical to a fresh \
@@ -742,7 +914,7 @@ impl MatchingEngine {
                 self.stats.record_cache_hit();
                 self.stats.record(
                     candidates,
-                    self.live_view_count(),
+                    snap.live_view_count(),
                     results.len(),
                     Duration::ZERO,
                     elapsed(started),
@@ -752,17 +924,17 @@ impl MatchingEngine {
             CacheLookup::Stale => self.stats.record_cache_invalidation(),
             CacheLookup::Miss | CacheLookup::Disabled => {}
         }
-        let (out, n_candidates, filter_time) = self.compute_substitutes(query);
+        let (out, n_candidates, filter_time) = self.compute_substitutes(&snap, query);
         self.stats.record_cache_miss();
         self.stats.record(
             n_candidates,
-            self.live_view_count(),
+            snap.live_view_count(),
             out.len(),
             filter_time,
             elapsed(started),
         );
         self.cache
-            .insert(fp.hash, fp.render, self.epoch, n_candidates, out.clone());
+            .insert(fp.hash, fp.render, stamp, n_candidates, out.clone());
         out
     }
 
@@ -790,11 +962,12 @@ impl MatchingEngine {
     /// Returns `None` for removed and out-of-range view ids rather than
     /// panicking — an id is data here, not a proven-valid handle.
     pub fn match_one(&self, query: &SpjgExpr, view: ViewId) -> Option<Substitute> {
-        if self.removed.contains(&view) || (view.0 as usize) >= self.views.len() {
+        let snap = self.snapshot();
+        if snap.removed.contains(&view) || (view.0 as usize) >= snap.views.len() {
             return None;
         }
-        let qsum = self.query_summary(query);
-        self.match_one_prepared(query, &qsum, view)
+        let qsum = self.query_summary_in(&snap, query);
+        self.match_one_in(&snap, query, &qsum, view)
     }
 
     /// [`MatchingEngine::match_one`] with a caller-supplied query summary,
@@ -806,7 +979,17 @@ impl MatchingEngine {
         qsum: &ExprSummary,
         view: ViewId,
     ) -> Option<Substitute> {
-        if self.removed.contains(&view) || (view.0 as usize) >= self.views.len() {
+        self.match_one_in(&self.snapshot(), query, qsum, view)
+    }
+
+    fn match_one_in(
+        &self,
+        snap: &CatalogSnapshot,
+        query: &SpjgExpr,
+        qsum: &ExprSummary,
+        view: ViewId,
+    ) -> Option<Substitute> {
+        if snap.removed.contains(&view) || (view.0 as usize) >= snap.views.len() {
             return None;
         }
         let pq = PreparedQuery::new(query, qsum);
@@ -815,12 +998,12 @@ impl MatchingEngine {
             &self.config,
             &pq,
             view,
-            self.views.get(view),
-            &self.prepared[view.0 as usize],
+            snap.views.get(view),
+            &snap.prepared[view.0 as usize],
         );
         #[cfg(debug_assertions)]
         if let Some(sub) = &result {
-            self.debug_verify(query, std::slice::from_ref(&(view, sub.clone())));
+            self.debug_verify(snap, query, std::slice::from_ref(&(view, sub.clone())));
         }
         result
     }
@@ -831,7 +1014,7 @@ impl MatchingEngine {
 
     /// Has this view been dropped with [`MatchingEngine::remove_view`]?
     pub fn is_removed(&self, id: ViewId) -> bool {
-        self.removed.contains(&id)
+        self.snapshot().removed.contains(&id)
     }
 
     /// Re-derive the per-level filter keys of a registered live view,
@@ -840,15 +1023,19 @@ impl MatchingEngine {
     /// this reproduces exactly the keys `add_view` computed (every text
     /// was interned then). Returns `None` for removed or out-of-range ids.
     pub fn view_filter_keys(&self, id: ViewId) -> Option<Vec<Vec<u64>>> {
-        if self.removed.contains(&id) || (id.0 as usize) >= self.views.len() {
+        self.view_filter_keys_in(&self.snapshot(), id)
+    }
+
+    fn view_filter_keys_in(&self, snap: &CatalogSnapshot, id: ViewId) -> Option<Vec<Vec<u64>>> {
+        if snap.removed.contains(&id) || (id.0 as usize) >= snap.views.len() {
             return None;
         }
-        let def = self.views.get(id);
-        let vsum = &self.prepared[id.0 as usize].summary;
+        let def = snap.views.get(id);
+        let vsum = &snap.prepared[id.0 as usize].summary;
         Some(Self::view_keys(
             &self.catalog,
             &self.config,
-            &mut |s| self.interner.lookup(s),
+            &mut |s| snap.interner.lookup(s),
             &def.expr,
             vsum,
         ))
@@ -858,8 +1045,9 @@ impl MatchingEngine {
     /// trees, exactly as the index holds them (normalized). SPJ entries
     /// carry [`SPJ_LEVELS`] keys, aggregation entries [`AGG_LEVELS`].
     pub fn filter_entries(&self) -> Vec<(ViewId, Vec<Vec<u64>>)> {
-        let mut out = self.spj_tree.entries();
-        out.extend(self.agg_tree.entries());
+        let snap = self.snapshot();
+        let mut out = snap.spj_tree.entries();
+        out.extend(snap.agg_tree.entries());
         out
     }
 
@@ -867,13 +1055,14 @@ impl MatchingEngine {
     /// derivation produces? `false` means the index lost the view or
     /// holds it under stale keys — either way a search may never reach it.
     pub fn view_in_tree(&self, id: ViewId) -> bool {
-        let Some(keys) = self.view_filter_keys(id) else {
+        let snap = self.snapshot();
+        let Some(keys) = self.view_filter_keys_in(&snap, id) else {
             return false;
         };
-        if self.views.get(id).expr.is_aggregate() {
-            self.agg_tree.contains(&keys, id)
+        if snap.views.get(id).expr.is_aggregate() {
+            snap.agg_tree.contains(&keys, id)
         } else {
-            self.spj_tree.contains(&keys[..SPJ_LEVELS], id)
+            snap.spj_tree.contains(&keys[..SPJ_LEVELS], id)
         }
     }
 
@@ -885,7 +1074,7 @@ impl MatchingEngine {
         query: &SpjgExpr,
         qsum: &ExprSummary,
     ) -> (Vec<LevelSearch>, Vec<LevelSearch>) {
-        let tokens = self.query_tokens(query, qsum);
+        let tokens = self.query_tokens(&self.snapshot(), query, qsum);
         (tokens.spj_searches(), tokens.agg_searches())
     }
 
@@ -894,22 +1083,35 @@ impl MatchingEngine {
     /// (other than unreachable [`UNKNOWN_TOKEN`] query tokens) denotes a
     /// corrupted index entry.
     pub fn known_token_count(&self) -> u64 {
-        self.interner.map.len() as u64
+        self.snapshot().interner.map.len() as u64
     }
 
     /// Corruption hook for the `mv-audit` test suite: silently drop `id`
     /// from its filter tree while the engine still believes it is live.
     /// Simulates an index that lost an entry. Never call outside tests.
+    /// Bumps every table epoch: a corrupted index invalidates all cached
+    /// results, by design.
     #[doc(hidden)]
-    pub fn evict_view_for_audit(&mut self, id: ViewId) -> bool {
-        let Some(keys) = self.view_filter_keys(id) else {
+    pub fn evict_view_for_audit(&self, id: ViewId) -> bool {
+        let _writer = self.writer.lock().unwrap();
+        let mut next = (*self.snapshot()).clone();
+        let Some(keys) = self.view_filter_keys_in(&next, id) else {
             return false;
         };
-        if self.views.get(id).expr.is_aggregate() {
-            self.agg_tree.remove(&keys, id)
+        let evicted = if next.views.get(id).expr.is_aggregate() {
+            Arc::make_mut(&mut next.agg_tree).remove(&keys, id)
         } else {
-            self.spj_tree.remove(&keys[..SPJ_LEVELS], id)
+            Arc::make_mut(&mut next.spj_tree).remove(&keys[..SPJ_LEVELS], id)
+        };
+        if !evicted {
+            return false;
         }
+        let all_tables: Vec<TableId> = (0..next.table_epochs.len())
+            .map(|i| TableId(i as u32))
+            .collect();
+        next.bump_tables(all_tables);
+        self.shared.store(Arc::new(next));
+        true
     }
 
     /// Corruption hook for the `mv-audit` test suite: re-file `id` under
@@ -917,15 +1119,19 @@ impl MatchingEngine {
     /// Simulates an index whose stored keys drifted from the definition.
     /// Never call outside tests.
     #[doc(hidden)]
-    pub fn refile_view_for_audit(&mut self, id: ViewId, keys: &[Vec<u64>]) -> bool {
+    pub fn refile_view_for_audit(&self, id: ViewId, keys: &[Vec<u64>]) -> bool {
         if !self.evict_view_for_audit(id) {
             return false;
         }
-        if self.views.get(id).expr.is_aggregate() {
-            self.agg_tree.insert(keys, id);
+        let _writer = self.writer.lock().unwrap();
+        let mut next = (*self.snapshot()).clone();
+        if next.views.get(id).expr.is_aggregate() {
+            Arc::make_mut(&mut next.agg_tree).insert(keys, id);
         } else {
-            self.spj_tree.insert(keys, id);
+            Arc::make_mut(&mut next.spj_tree).insert(keys, id);
         }
+        next.epoch += 1;
+        self.shared.store(Arc::new(next));
         true
     }
 
@@ -942,22 +1148,24 @@ impl MatchingEngine {
     #[cfg(debug_assertions)]
     fn debug_assert_filter_complete(
         &self,
+        snap: &CatalogSnapshot,
         query: &SpjgExpr,
         qsum: &ExprSummary,
         candidates: &[ViewId],
     ) {
         const DEBUG_COMPLETENESS_CAP: usize = 512;
-        if !self.config.use_filter_tree || self.live_view_count() > DEBUG_COMPLETENESS_CAP {
+        if !self.config.use_filter_tree || snap.live_view_count() > DEBUG_COMPLETENESS_CAP {
             return;
         }
-        let (spj, agg) = self.query_searches(query, qsum);
+        let tokens = self.query_tokens(snap, query, qsum);
+        let (spj, agg) = (tokens.spj_searches(), tokens.agg_searches());
         let pq = PreparedQuery::new(query, qsum);
-        for (id, view) in self.views.iter() {
+        for (id, view) in snap.views.iter() {
             // `candidates` is sorted (see `candidates_into`).
-            if self.removed.contains(&id) || candidates.binary_search(&id).is_ok() {
+            if snap.removed.contains(&id) || candidates.binary_search(&id).is_ok() {
                 continue;
             }
-            let pv = &self.prepared[id.0 as usize];
+            let pv = &snap.prepared[id.0 as usize];
             if match_view_prepared(&self.catalog, &self.config, &pq, id, view, pv).is_none() {
                 continue;
             }
@@ -969,7 +1177,7 @@ impl MatchingEngine {
                 view.name
             );
             let keys = self
-                .view_filter_keys(id)
+                .view_filter_keys_in(snap, id)
                 .expect("live view has derivable keys");
             let searches = if is_agg { &agg } else { &spj };
             let rejecting: Vec<usize> = searches
@@ -1000,10 +1208,15 @@ impl MatchingEngine {
     /// with the matcher, every test exercising the matching path doubles
     /// as a soundness test for both sides. Compiled out of release builds.
     #[cfg(debug_assertions)]
-    fn debug_verify(&self, query: &SpjgExpr, results: &[(ViewId, Substitute)]) {
-        let ctx = mv_verify::VerifyContext::new(&self.catalog, &self.checks);
+    fn debug_verify(
+        &self,
+        snap: &CatalogSnapshot,
+        query: &SpjgExpr,
+        results: &[(ViewId, Substitute)],
+    ) {
+        let ctx = mv_verify::VerifyContext::new(&self.catalog, &snap.checks);
         for (id, sub) in results {
-            let view = self.views.get(*id);
+            let view = snap.views.get(*id);
             let diags =
                 mv_verify::verify_substitute(&ctx, query, &view.expr, sub, &view.name, "query");
             let errors: Vec<String> = diags
@@ -1018,6 +1231,38 @@ impl MatchingEngine {
                 errors.join("\n"),
             );
         }
+    }
+}
+
+/// A pinned, read-only handle on the registered views: derefs to
+/// [`ViewSet`] and keeps the underlying [`CatalogSnapshot`] alive, so the
+/// registry it exposes stays coherent (and valid) however many writers
+/// publish while the guard is held. Returned by
+/// [`MatchingEngine::views`].
+#[derive(Debug, Clone)]
+pub struct ViewsGuard {
+    snap: Arc<CatalogSnapshot>,
+}
+
+impl std::ops::Deref for ViewsGuard {
+    type Target = ViewSet;
+    fn deref(&self) -> &ViewSet {
+        &self.snap.views
+    }
+}
+
+/// A pinned, read-only handle on the declared check constraints: derefs
+/// to the per-table conjunct map. Returned by
+/// [`MatchingEngine::check_constraints`].
+#[derive(Debug, Clone)]
+pub struct ChecksGuard {
+    snap: Arc<CatalogSnapshot>,
+}
+
+impl std::ops::Deref for ChecksGuard {
+    type Target = HashMap<TableId, Vec<Conjunct>>;
+    fn deref(&self) -> &HashMap<TableId, Vec<Conjunct>> {
+        &self.snap.checks
     }
 }
 
@@ -1166,7 +1411,7 @@ mod tests {
 
     fn engine_with_views(config: MatchConfig) -> MatchingEngine {
         let (cat, t) = tpch_catalog();
-        let mut engine = MatchingEngine::new(cat, config);
+        let engine = MatchingEngine::new(cat, config);
         for (name, v) in [
             part_view(0, 1000, "parts_low"),
             part_view(500, 2000, "parts_mid"),
@@ -1209,7 +1454,7 @@ mod tests {
         // Range [400, 900) only fits parts_low.
         let subs = engine.find_substitutes(&part_query(400, 900));
         assert_eq!(subs.len(), 1);
-        assert_eq!(engine.views.get(subs[0].0).name, "parts_low");
+        assert_eq!(engine.views().get(subs[0].0).name, "parts_low");
     }
 
     #[test]
@@ -1294,7 +1539,6 @@ mod tests {
         let engine = engine_with_views(MatchConfig::default());
         let q = part_query(600, 900);
         assert_eq!(engine.find_substitutes(&q).len(), 2);
-        let mut engine = engine;
         // Drop parts_low (ViewId 0).
         assert!(engine.remove_view(ViewId(0)));
         assert!(!engine.remove_view(ViewId(0)), "double remove is a no-op");
@@ -1304,14 +1548,14 @@ mod tests {
         assert_eq!(engine.views().get(subs[0].0).name, "parts_mid");
         assert!(engine.match_one(&q, ViewId(0)).is_none());
         // The same holds with the filter tree disabled.
-        let mut engine = engine_with_views(MatchConfig {
+        let engine = engine_with_views(MatchConfig {
             use_filter_tree: false,
             ..MatchConfig::default()
         });
         engine.remove_view(ViewId(0));
         assert_eq!(engine.find_substitutes(&q).len(), 1);
         // Aggregation-tree removal works too.
-        let mut engine = engine_with_views(MatchConfig::default());
+        let engine = engine_with_views(MatchConfig::default());
         assert!(engine.remove_view(ViewId(3))); // orders_by_cust
         let (_, t) = tpch_catalog();
         let agg = SpjgExpr::aggregate(
@@ -1349,13 +1593,12 @@ mod tests {
             }
         }
         // Evicting drops the view from the index but not from the engine.
-        let mut engine = engine;
         assert!(engine.evict_view_for_audit(ViewId(0)));
         assert!(!engine.view_in_tree(ViewId(0)));
         assert_eq!(engine.filter_entries().len(), 3);
         assert_eq!(engine.live_view_count(), 4);
         // Removed views have no keys and cannot be corrupted.
-        let mut engine = engine_with_views(MatchConfig::default());
+        let engine = engine_with_views(MatchConfig::default());
         engine.remove_view(ViewId(1));
         assert!(engine.view_filter_keys(ViewId(1)).is_none());
         assert!(!engine.evict_view_for_audit(ViewId(1)));
@@ -1364,7 +1607,7 @@ mod tests {
 
     #[test]
     fn refile_moves_the_index_entry() {
-        let mut engine = engine_with_views(MatchConfig::default());
+        let engine = engine_with_views(MatchConfig::default());
         let mut keys = engine.view_filter_keys(ViewId(0)).unwrap();
         keys.truncate(SPJ_LEVELS);
         keys[4].push(999_999); // bogus residual token
@@ -1377,7 +1620,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "filter tree dropped matching view")]
     fn debug_hook_catches_evicted_view() {
-        let mut engine = engine_with_views(MatchConfig::default());
+        let engine = engine_with_views(MatchConfig::default());
         engine.evict_view_for_audit(ViewId(0));
         engine.find_substitutes(&part_query(600, 900));
     }
@@ -1385,12 +1628,96 @@ mod tests {
     #[test]
     fn rejects_invalid_view() {
         let (cat, t) = tpch_catalog();
-        let mut engine = MatchingEngine::new(cat, MatchConfig::default());
+        let engine = MatchingEngine::new(cat, MatchConfig::default());
         let bad = SpjgExpr::spj(
             vec![t.part],
             BoolExpr::Literal(true),
             vec![NamedExpr::new(S::col(cr(5, 0)), "oops")],
         );
         assert!(engine.add_view(ViewDef::new("bad", bad)).is_err());
+    }
+
+    #[test]
+    fn add_views_bulk_is_all_or_nothing() {
+        let (cat, t) = tpch_catalog();
+        let engine = MatchingEngine::new(cat, MatchConfig::default());
+        let (n1, v1) = part_view(0, 100, "a");
+        let (n2, v2) = part_view(100, 200, "b");
+        let ids = engine
+            .add_views(vec![ViewDef::new(n1, v1), ViewDef::new(n2, v2)])
+            .unwrap();
+        assert_eq!(ids, vec![ViewId(0), ViewId(1)]);
+        assert_eq!(engine.live_view_count(), 2);
+        assert_eq!(engine.stats().registrations, 2);
+        let epoch_before = engine.snapshot_epoch();
+        // A batch with an invalid member registers nothing at all.
+        let (n3, v3) = part_view(200, 300, "c");
+        let bad = SpjgExpr::spj(
+            vec![t.part],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(5, 0)), "oops")],
+        );
+        assert!(engine
+            .add_views(vec![ViewDef::new(n3, v3), ViewDef::new("bad", bad)])
+            .is_err());
+        assert_eq!(engine.live_view_count(), 2);
+        assert_eq!(engine.stats().registrations, 2);
+        assert_eq!(engine.snapshot_epoch(), epoch_before, "nothing published");
+    }
+
+    #[test]
+    fn disjoint_writes_preserve_cache_entries() {
+        let engine = engine_with_views(MatchConfig::default());
+        let q = part_query(600, 900);
+        let first = engine.find_substitutes(&q);
+        // Removing the orders aggregate touches no table of the cached
+        // part query, so its entry must survive.
+        assert!(engine.remove_view(ViewId(3)));
+        let again = engine.find_substitutes(&q);
+        assert_eq!(first, again);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1, "disjoint removal must not evict");
+        assert_eq!(stats.cache_invalidations, 0);
+        assert_eq!(stats.removals, 1);
+        // A check constraint on a table the query never references keeps
+        // the entry valid too.
+        let (_, t) = tpch_catalog();
+        engine
+            .add_check_constraint(
+                t.orders,
+                BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Ge, S::lit(0i64)),
+            )
+            .unwrap();
+        engine.find_substitutes(&q);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_invalidations, 0);
+    }
+
+    #[test]
+    fn overlapping_writes_invalidate_cache_entries() {
+        let engine = engine_with_views(MatchConfig::default());
+        let q = part_query(600, 900);
+        engine.find_substitutes(&q);
+        // Registering another part view overlaps the cached query's
+        // tables: the entry must go stale and the new view must appear.
+        let (name, v) = part_view(0, 10_000, "parts_all");
+        engine.add_view(ViewDef::new(name, v)).unwrap();
+        let subs = engine.find_substitutes(&q);
+        assert_eq!(subs.len(), 3, "the freshly registered view matches too");
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_invalidations, 1);
+        assert_eq!(stats.registrations, 5, "4 initial + 1");
+        // A check constraint on the query's own table invalidates as well.
+        let (_, t) = tpch_catalog();
+        engine
+            .add_check_constraint(
+                t.part,
+                BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Ge, S::lit(0i64)),
+            )
+            .unwrap();
+        engine.find_substitutes(&q);
+        assert_eq!(engine.stats().cache_invalidations, 2);
     }
 }

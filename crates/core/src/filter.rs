@@ -18,6 +18,7 @@
 
 use crate::lattice::LatticeIndex;
 use mv_plan::ViewId;
+use std::sync::Arc;
 
 /// The search condition applied at one level.
 #[derive(Debug, Clone)]
@@ -56,16 +57,26 @@ impl LevelSearch {
     }
 }
 
-/// One partition node of the filter tree.
+/// One partition node of the filter tree. Children are held behind `Arc`
+/// so a cloned tree shares every untouched subtree with the original:
+/// the online catalog clones the published tree per registration and
+/// mutates only the root-to-leaf path of the affected partition
+/// (`Arc::make_mut` copies a shared node on first write), leaving the
+/// published snapshot untouched.
 #[derive(Debug, Clone)]
 enum FilterNode {
     /// Bottom level: the views in this partition.
     Leaf(Vec<ViewId>),
     /// Interior level: a lattice index over the next partitioning key.
-    Internal(LatticeIndex<u64, FilterNode>),
+    Internal(LatticeIndex<u64, Arc<FilterNode>>),
 }
 
 /// A filter tree with a fixed number of levels.
+///
+/// `Clone` is a *structural-sharing* copy: the root level's lattice node
+/// table is copied, but every child partition is shared behind an `Arc`
+/// until a write touches it. Cloning a 100k-view tree costs the root
+/// fan-out, not the whole index.
 #[derive(Debug, Clone)]
 pub struct FilterTree {
     depth: usize,
@@ -119,13 +130,16 @@ impl FilterTree {
             }
             FilterNode::Internal(index) => {
                 let child = index.get_or_insert_with(keys[0].clone(), || {
-                    if keys.len() == 1 {
+                    Arc::new(if keys.len() == 1 {
                         FilterNode::Leaf(Vec::new())
                     } else {
                         FilterNode::Internal(LatticeIndex::new())
-                    }
+                    })
                 });
-                Self::insert_node(child, &keys[1..], view);
+                // Copy-on-write: a child shared with a published snapshot
+                // is cloned here (one lattice level), an unshared one is
+                // mutated in place.
+                Self::insert_node(Arc::make_mut(child), &keys[1..], view);
             }
         }
     }
@@ -152,7 +166,7 @@ impl FilterTree {
                 None => false,
             },
             FilterNode::Internal(index) => match index.peek_mut(keys[0].clone()) {
-                Some(child) => Self::remove_node(child, &keys[1..], view),
+                Some(child) => Self::remove_node(Arc::make_mut(child), &keys[1..], view),
                 None => false,
             },
         }

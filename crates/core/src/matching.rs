@@ -105,7 +105,16 @@ impl MatchConfig {
         }
         let workers = self.batch_workers(n_items);
         if self.parallel_workers == 0 {
-            workers.min((n_items / Self::MIN_CANDIDATES_PER_WORKER).max(1))
+            // Auto mode falls back to serial whenever the fan-out cannot
+            // pay for itself: a single effective worker (one core, or a
+            // nested call from inside a batch worker) or a per-worker
+            // share below the floor.
+            let sized = workers.min(n_items / Self::MIN_CANDIDATES_PER_WORKER);
+            if sized <= 1 {
+                1
+            } else {
+                sized
+            }
         } else {
             workers
         }
@@ -116,7 +125,10 @@ impl MatchConfig {
     pub const MIN_CANDIDATES_PER_WORKER: usize = 32;
 
     /// Workers for an unconditional fan-out over `n_items` (the batch
-    /// entry point, which exists precisely to parallelize).
+    /// entry point, which exists precisely to parallelize). In auto mode
+    /// `mv_parallel::workers_for` already declines nested fan-outs and
+    /// single-core machines, so a batch on one CPU runs the plain serial
+    /// loop instead of paying per-call thread spawns for nothing.
     pub(crate) fn batch_workers(&self, n_items: usize) -> usize {
         if self.parallel_workers == 0 {
             mv_parallel::workers_for(n_items)

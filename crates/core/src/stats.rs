@@ -34,9 +34,14 @@ pub struct MatchStats {
     /// `find_substitutes` calls that probed an enabled cache and had to
     /// compute (includes stale hits, which recompute too).
     pub cache_misses: u64,
-    /// Cached entries discarded because the engine epoch moved past them
-    /// (a view or constraint was added or removed since they were stored).
+    /// Cached entries discarded because a table epoch moved past them (a
+    /// view or constraint over some table they touch was added or removed
+    /// since they were stored).
     pub cache_invalidations: u64,
+    /// Views registered (`add_view`/`add_views`) since the last reset.
+    pub registrations: u64,
+    /// Views dropped (`remove_view`) since the last reset.
+    pub removals: u64,
 }
 
 impl MatchStats {
@@ -92,6 +97,8 @@ impl MatchStats {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.cache_invalidations += other.cache_invalidations;
+        self.registrations += other.registrations;
+        self.removals += other.removals;
     }
 }
 
@@ -117,6 +124,8 @@ pub struct AtomicMatchStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_invalidations: AtomicU64,
+    registrations: AtomicU64,
+    removals: AtomicU64,
 }
 
 impl AtomicMatchStats {
@@ -157,6 +166,16 @@ impl AtomicMatchStats {
         self.cache_invalidations.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record `n` view registrations.
+    pub fn record_registrations(&self, n: usize) {
+        self.registrations.fetch_add(n as u64, Ordering::Relaxed);
+    }
+
+    /// Record one view removal.
+    pub fn record_removal(&self) {
+        self.removals.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Materialize the counters as a plain [`MatchStats`] value.
     pub fn snapshot(&self) -> MatchStats {
         MatchStats {
@@ -169,6 +188,8 @@ impl AtomicMatchStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_invalidations: self.cache_invalidations.load(Ordering::Relaxed),
+            registrations: self.registrations.load(Ordering::Relaxed),
+            removals: self.removals.load(Ordering::Relaxed),
         }
     }
 
@@ -183,6 +204,8 @@ impl AtomicMatchStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_invalidations.store(0, Ordering::Relaxed);
+        self.registrations.store(0, Ordering::Relaxed);
+        self.removals.store(0, Ordering::Relaxed);
     }
 }
 
@@ -272,6 +295,8 @@ mod tests {
             cache_hits: 7,
             cache_misses: 8,
             cache_invalidations: 9,
+            registrations: 10,
+            removals: 11,
         };
         a.merge(&a.clone());
         assert_eq!(a.invocations, 2);
@@ -282,6 +307,8 @@ mod tests {
         assert_eq!(a.cache_hits, 14);
         assert_eq!(a.cache_misses, 16);
         assert_eq!(a.cache_invalidations, 18);
+        assert_eq!(a.registrations, 20);
+        assert_eq!(a.removals, 22);
     }
 
     #[test]

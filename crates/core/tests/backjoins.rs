@@ -52,12 +52,12 @@ fn spj_backjoin_recovers_missing_column() {
     );
 
     // Baseline engine: rejected.
-    let mut strict = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let strict = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     strict.add_view(view.clone()).unwrap();
     assert!(strict.find_substitutes(&query).is_empty());
 
     // Backjoin engine: matched and exact.
-    let mut engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
+    let engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
     let rows = materialize_view(&db, &view);
     engine.add_view(view).unwrap();
     let subs = engine.find_substitutes(&query);
@@ -101,7 +101,7 @@ fn backjoin_key_through_equivalence_class() {
             NamedExpr::new(S::col(cr(1, 3)), "o_totalprice"),
         ],
     );
-    let mut engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
+    let engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
     let rows = materialize_view(&db, &view);
     engine.add_view(view).unwrap();
     let subs = engine.find_substitutes(&query);
@@ -131,7 +131,7 @@ fn compensating_predicate_on_backjoined_column() {
         BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Le, S::lit(10i64)),
         vec![NamedExpr::new(S::col(cr(0, 0)), "o_orderkey")],
     );
-    let mut engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
+    let engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
     let rows = materialize_view(&db, &view);
     engine.add_view(view).unwrap();
     let subs = engine.find_substitutes(&query);
@@ -172,7 +172,7 @@ fn aggregation_view_backjoin_with_regroup() {
             NamedAgg::new(AggFunc::Sum(S::col(cr(0, 4))), "qty"),
         ],
     );
-    let mut engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
+    let engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
     let rows = materialize_view(&db, &view);
     engine.add_view(view).unwrap();
     let subs = engine.find_substitutes(&query);
@@ -206,7 +206,7 @@ fn backjoin_requires_an_output_key() {
         BoolExpr::Literal(true),
         vec![NamedExpr::new(S::col(cr(0, 3)), "o_totalprice")],
     );
-    let mut engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
+    let engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
     engine.add_view(view).unwrap();
     assert!(engine.find_substitutes(&query).is_empty());
 }
@@ -229,7 +229,7 @@ fn optimizer_executes_backjoin_plans() {
             ],
         ),
     );
-    let mut engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
+    let engine = MatchingEngine::new(db.catalog.clone(), backjoin_config());
     let rows = materialize_view(&db, &view);
     let id = engine.add_view(view).unwrap();
     let mut store = ViewStore::new();

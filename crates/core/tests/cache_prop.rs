@@ -63,8 +63,8 @@ proptest! {
         ops in prop::collection::vec((0usize..3, 0usize..16), 1..40),
     ) {
         let (views, queries) = pools(16, 8);
-        let mut cached = engine_with(MatchConfig::default());
-        let mut uncached = engine_with(uncached_config());
+        let cached = engine_with(MatchConfig::default());
+        let uncached = engine_with(uncached_config());
         let mut live: Vec<ViewId> = Vec::new();
 
         for (kind, idx) in ops {
@@ -109,7 +109,7 @@ proptest! {
 #[test]
 fn epoch_bump_evicts_stale_hits() {
     let (views, queries) = pools(12, 4);
-    let mut engine = engine_with(MatchConfig::default());
+    let engine = engine_with(MatchConfig::default());
     for v in &views[..6] {
         engine
             .add_view(v.clone())
@@ -138,7 +138,7 @@ fn epoch_bump_evicts_stale_hits() {
 
     // The refreshed result must agree with a fresh uncached engine over
     // the full view set.
-    let mut fresh = engine_with(uncached_config());
+    let fresh = engine_with(uncached_config());
     for v in &views {
         fresh
             .add_view(v.clone())
@@ -152,7 +152,7 @@ fn epoch_bump_evicts_stale_hits() {
 #[test]
 fn renamed_outputs_hit_and_restamp() {
     let (views, queries) = pools(16, 8);
-    let mut engine = engine_with(MatchConfig::default());
+    let engine = engine_with(MatchConfig::default());
     for v in &views {
         engine
             .add_view(v.clone())
@@ -225,7 +225,7 @@ fn capacity_bounds_resident_entries() {
         substitute_cache_shards: 1,
         ..MatchConfig::default()
     };
-    let mut engine = engine_with(config);
+    let engine = engine_with(config);
     for v in &views {
         engine
             .add_view(v.clone())

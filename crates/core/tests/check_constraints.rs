@@ -43,12 +43,12 @@ fn check_constraint_unlocks_redundant_view_range() {
     let (cat, t, view) = view_with_redundant_range();
 
     // Without the constraint: rejected.
-    let mut engine = MatchingEngine::new(cat.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(cat.clone(), MatchConfig::default());
     engine.add_view(view.clone()).unwrap();
     assert!(engine.find_substitutes(&plain_query(&t)).is_empty());
 
     // With CHECK (o_totalprice >= 0): accepted with no compensation.
-    let mut engine = MatchingEngine::new(cat, MatchConfig::default());
+    let engine = MatchingEngine::new(cat, MatchConfig::default());
     engine
         .add_check_constraint(
             t.orders,
@@ -68,7 +68,7 @@ fn check_constraint_unlocks_redundant_view_range() {
 #[test]
 fn check_constraints_can_be_disabled() {
     let (cat, t, view) = view_with_redundant_range();
-    let mut engine = MatchingEngine::new(
+    let engine = MatchingEngine::new(
         cat,
         MatchConfig {
             use_check_constraints: false,
@@ -108,13 +108,13 @@ fn check_residual_satisfies_view_residual_without_compensation() {
         vec![NamedExpr::new(S::col(cr(0, 0)), "o_orderkey")],
     );
     // Without the constraint: the view's residual is not in the query.
-    let mut engine = MatchingEngine::new(cat.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(cat.clone(), MatchConfig::default());
     engine.add_view(view.clone()).unwrap();
     assert!(engine.find_substitutes(&query).is_empty());
     // With the constraint: matched, and crucially the check-derived
     // residual is NOT emitted as a compensating predicate (it could not
     // be: o_orderstatus is not a view output).
-    let mut engine = MatchingEngine::new(cat, MatchConfig::default());
+    let engine = MatchingEngine::new(cat, MatchConfig::default());
     engine.add_check_constraint(t.orders, like_o).unwrap();
     engine.add_view(view).unwrap();
     let subs = engine.find_substitutes(&query);
@@ -145,7 +145,7 @@ fn genuine_residuals_still_compensated_alongside_checks() {
         },
         vec![NamedExpr::new(S::col(cr(0, 0)), "o_orderkey")],
     );
-    let mut engine = MatchingEngine::new(cat, MatchConfig::default());
+    let engine = MatchingEngine::new(cat, MatchConfig::default());
     engine
         .add_check_constraint(
             t.orders,
@@ -163,7 +163,7 @@ fn genuine_residuals_still_compensated_alongside_checks() {
 #[test]
 fn invalid_check_constraint_rejected() {
     let (cat, t) = tpch_catalog();
-    let mut engine = MatchingEngine::new(cat, MatchConfig::default());
+    let engine = MatchingEngine::new(cat, MatchConfig::default());
     // Wrong occurrence.
     assert!(engine
         .add_check_constraint(t.orders, BoolExpr::col_eq(cr(1, 0), cr(0, 0)))

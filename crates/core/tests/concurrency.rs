@@ -24,7 +24,7 @@ fn workload(n_views: usize, n_queries: usize) -> (Vec<ViewDef>, Vec<SpjgExpr>) {
 
 fn engine(views: &[ViewDef], config: MatchConfig) -> MatchingEngine {
     let (catalog, _) = tpch_catalog();
-    let mut engine = MatchingEngine::new(catalog, config);
+    let engine = MatchingEngine::new(catalog, config);
     for v in views {
         engine
             .add_view(v.clone())
@@ -164,7 +164,7 @@ fn concurrent_cache_hits_are_identical() {
 fn remove_view_interleaved_with_matching() {
     for config in [serial_config(), parallel_config()] {
         let (views, queries) = workload(60, 24);
-        let mut engine = engine(&views, config);
+        let engine = engine(&views, config);
 
         let initial: Vec<_> = queries.iter().map(|q| engine.find_substitutes(q)).collect();
         let matched: Vec<_> = initial.iter().flatten().map(|(id, _)| *id).collect();

@@ -15,7 +15,7 @@ fn cr(occ: u32, col: u32) -> ColRef {
 
 fn check_pair(view: SpjgExpr, query: SpjgExpr, seed: u64) -> usize {
     let (db, _) = generate_tpch(&TpchScale::tiny(), seed);
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     let vdef = ViewDef::new("v", view);
     let rows = materialize_view(&db, &vdef);
     engine.add_view(vdef).unwrap();
@@ -258,7 +258,7 @@ fn commutativity_is_textual_not_positional() {
 #[test]
 fn multiple_views_all_produce_correct_substitutes() {
     let (db, t) = generate_tpch(&TpchScale::tiny(), 77);
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     let mut materialized = Vec::new();
     for (name, lo, hi) in [("wide", 0, 10_000), ("mid", 0, 5_000), ("snug", 50, 900)] {
         let view = ViewDef::new(
@@ -370,7 +370,7 @@ fn scalar_rollup_with_empty_compensation_window() {
         ),
     );
     let rows = materialize_view(&db, &view);
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     engine.add_view(view).unwrap();
     // Compensating window selects NO customers: count must be 0, not NULL.
     let query = SpjgExpr::aggregate(
@@ -408,7 +408,7 @@ fn equal_grouping_projects_count_directly() {
         ),
     );
     let rows = materialize_view(&db, &view);
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     engine.add_view(view).unwrap();
     let query = SpjgExpr::aggregate(
         vec![t.orders],
@@ -448,7 +448,7 @@ fn self_join_substitute_executes_correctly() {
     );
     let rows = materialize_view(&db, &view);
     assert_eq!(rows.len(), 125, "25 nations over 5 regions: 5 * 25 pairs");
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     engine.add_view(view).unwrap();
     let query = SpjgExpr::spj(
         vec![t.nation, t.nation],

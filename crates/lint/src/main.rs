@@ -110,7 +110,7 @@ fn main() -> ExitCode {
     for (_, view) in engine.views().iter() {
         report.extend(verify_view_expr(
             &workload.catalog,
-            checks,
+            &checks,
             &view.expr,
             &view.name,
         ));
@@ -118,18 +118,19 @@ fn main() -> ExitCode {
     for (i, query) in workload.queries.iter().enumerate() {
         report.extend(verify_expr(
             &workload.catalog,
-            checks,
+            &checks,
             query,
             &format!("q{i}"),
         ));
     }
 
     // Substitute-level rules over everything the matcher produces.
-    let ctx = VerifyContext::new(&workload.catalog, checks);
+    let ctx = VerifyContext::new(&workload.catalog, &checks);
     let mut pairs = Vec::new();
     for (i, query) in workload.queries.iter().enumerate() {
         for (id, sub) in engine.find_substitutes(query) {
-            let view = engine.views().get(id);
+            let views = engine.views();
+            let view = views.get(id);
             let diags =
                 verify_substitute(&ctx, query, &view.expr, &sub, &view.name, &format!("q{i}"));
             let flagged = diags.iter().any(|d| d.severity == Severity::Error);
@@ -145,8 +146,9 @@ fn main() -> ExitCode {
     if args.exec_check > 0 {
         let (db, _) = generate_tpch(&TpchScale::tiny(), DATA_SEED);
         pairs.sort_by_key(|(_, _, _, flagged)| !flagged);
+        let views = engine.views();
         for (i, id, sub, _) in pairs.iter().take(args.exec_check) {
-            let view = engine.views().get(*id);
+            let view = views.get(*id);
             let view_rows = materialize_view(&db, view);
             let from_view = execute_substitute_with(&db, &view_rows, sub);
             let direct = execute_spjg(&db, &workload.queries[*i]);

@@ -258,7 +258,7 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
         {
             let diags = mv_verify::verify_plan(
                 self.engine().catalog(),
-                self.engine().views(),
+                &self.engine().views(),
                 &optimized.plan,
             );
             assert!(
@@ -380,7 +380,8 @@ impl<E: Borrow<MatchingEngine>> Optimizer<E> {
     /// Build the physical alternative for a substitute: scan the view,
     /// apply the compensating predicates, project or re-aggregate.
     fn substitute_plan(&self, sub: &Substitute) -> (PhysicalPlan, f64) {
-        let view = self.engine().views().get(sub.view);
+        let views = self.engine().views();
+        let view = views.get(sub.view);
         let view_rows = card::estimate_rows(&view.expr, self.engine().catalog());
         // Index-aware scan costing: "any secondary indexes defined on a
         // materialized view will be considered automatically in the same

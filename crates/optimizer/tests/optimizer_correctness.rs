@@ -17,7 +17,7 @@ fn cr(occ: u32, col: u32) -> ColRef {
 /// Build an engine over generated data and materialize every view.
 fn setup(views: Vec<ViewDef>) -> (Database, MatchingEngine, ViewStore) {
     let (db, _) = generate_tpch(&TpchScale::tiny(), 20_260_706);
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     let mut store = ViewStore::new();
     for v in views {
         let rows = materialize_view(&db, &v);

@@ -20,14 +20,74 @@
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{OnceLock, RwLock};
+
+std::thread_local! {
+    /// Set while the current thread is a `par_map` worker, so nested
+    /// fan-outs can detect they are already inside one.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Is the current thread one of this crate's fan-out workers? A caller
+/// that is already running inside a `par_map` should not fan out again:
+/// every available core is busy with its siblings, so a nested spawn only
+/// adds thread-creation latency and oversubscription (the bench trajectory
+/// recorded the batch path *losing* to serial for exactly this reason).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// The machine's available parallelism, probed once and cached.
+/// `std::thread::available_parallelism` re-reads the cgroup/affinity state
+/// on every call, which is far too slow for a per-query decision.
+pub fn effective_parallelism() -> usize {
+    static HW: OnceLock<usize> = OnceLock::new();
+    *HW.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 /// Number of workers to use for `hint` work items: the machine's
-/// available parallelism, but never more workers than items.
+/// available parallelism (cached), but never more workers than items, and
+/// never a nested fan-out from inside another one.
 pub fn workers_for(hint: usize) -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    hw.min(hint).max(1)
+    if in_worker() {
+        return 1;
+    }
+    effective_parallelism().min(hint).max(1)
+}
+
+/// An atomically publishable shared pointer — the `arc-swap` shape on
+/// std alone. Readers `load` a pinned `Arc` snapshot (two atomic ops under
+/// an uncontended read lock); writers build a complete replacement value
+/// and `store` it, never blocking readers for longer than the pointer
+/// swap. The engine publishes its catalog snapshots through this.
+#[derive(Debug)]
+pub struct Published<T> {
+    inner: RwLock<std::sync::Arc<T>>,
+}
+
+impl<T> Published<T> {
+    /// Wrap an initial value.
+    pub fn new(value: T) -> Published<T> {
+        Published {
+            inner: RwLock::new(std::sync::Arc::new(value)),
+        }
+    }
+
+    /// Pin the current value. The returned `Arc` stays coherent however
+    /// many `store`s happen afterwards.
+    pub fn load(&self) -> std::sync::Arc<T> {
+        self.inner.read().unwrap().clone()
+    }
+
+    /// Atomically publish a replacement value. Readers that already hold
+    /// a pinned `Arc` keep it; new `load`s see the replacement.
+    pub fn store(&self, value: std::sync::Arc<T>) {
+        *self.inner.write().unwrap() = value;
+    }
 }
 
 /// Map `f` over `items` on up to `workers` threads, returning results in
@@ -69,6 +129,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
                     let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
@@ -164,5 +225,47 @@ mod tests {
         assert_eq!(workers_for(0), 1);
         assert!(workers_for(1000) >= 1);
         assert!(workers_for(2) <= 2);
+        assert_eq!(workers_for(1000), effective_parallelism().min(1000));
+    }
+
+    #[test]
+    fn no_nested_fanout_from_workers() {
+        // From the outside we are not a worker; from inside a par_map
+        // worker `workers_for` must refuse to fan out again.
+        assert!(!in_worker());
+        let items: Vec<u32> = (0..8).collect();
+        let inner_workers = par_map(&items, 4, |_| {
+            assert!(in_worker());
+            workers_for(1000)
+        });
+        assert!(inner_workers.iter().all(|&w| w == 1));
+        assert!(!in_worker(), "flag must not leak back to the caller");
+    }
+
+    #[test]
+    fn published_pointer_swaps_atomically() {
+        let p = Published::new(vec![1, 2, 3]);
+        let pinned = p.load();
+        p.store(std::sync::Arc::new(vec![9]));
+        assert_eq!(*pinned, vec![1, 2, 3], "pinned snapshot stays coherent");
+        assert_eq!(*p.load(), vec![9]);
+
+        // Concurrent readers always observe one of the published values.
+        let p = std::sync::Arc::new(Published::new(0u64));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let p = std::sync::Arc::clone(&p);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        let v = *p.load();
+                        assert!(v <= 1000);
+                    }
+                });
+            }
+            for i in 1..=1000 {
+                p.store(std::sync::Arc::new(i));
+            }
+        });
+        assert_eq!(*p.load(), 1000);
     }
 }

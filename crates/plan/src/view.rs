@@ -90,9 +90,14 @@ impl ViewDef {
 }
 
 /// The registry of materialized views.
+///
+/// Definitions are stored behind `Arc` so cloning the registry — which
+/// the online catalog does on every registration to build the next
+/// published snapshot — costs one pointer bump per view plus the name
+/// index, never a deep copy of the expressions.
 #[derive(Debug, Clone, Default)]
 pub struct ViewSet {
-    views: Vec<ViewDef>,
+    views: Vec<std::sync::Arc<ViewDef>>,
     by_name: HashMap<String, ViewId>,
 }
 
@@ -110,13 +115,13 @@ impl ViewSet {
         }
         let id = ViewId(self.views.len() as u32);
         self.by_name.insert(view.name.clone(), id);
-        self.views.push(view);
+        self.views.push(std::sync::Arc::new(view));
         Ok(id)
     }
 
     /// The definition of `id`. Panics if out of range.
     pub fn get(&self, id: ViewId) -> &ViewDef {
-        &self.views[id.0 as usize]
+        self.views[id.0 as usize].as_ref()
     }
 
     /// Look up a view by name.
@@ -129,7 +134,7 @@ impl ViewSet {
         self.views
             .iter()
             .enumerate()
-            .map(|(i, v)| (ViewId(i as u32), v))
+            .map(|(i, v)| (ViewId(i as u32), v.as_ref()))
     }
 
     /// Number of registered views.

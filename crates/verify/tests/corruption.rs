@@ -28,7 +28,7 @@ fn out(items: &[(u32, u32, &str)]) -> Vec<NamedExpr> {
 /// along with the engine (which owns the catalog and check constraints).
 fn matched(query: &SpjgExpr, view: SpjgExpr, config: MatchConfig) -> (MatchingEngine, Substitute) {
     let (catalog, _) = tpch_catalog();
-    let mut engine = MatchingEngine::new(catalog, config);
+    let engine = MatchingEngine::new(catalog, config);
     engine.add_view(ViewDef::new("v", view)).unwrap();
     let mut subs = engine.find_substitutes(query);
     assert_eq!(subs.len(), 1, "the matcher must produce this substitute");
@@ -44,7 +44,8 @@ fn error_codes(
     view: &SpjgExpr,
     sub: &Substitute,
 ) -> Vec<&'static str> {
-    let ctx = VerifyContext::new(engine.catalog(), engine.check_constraints());
+    let checks = engine.check_constraints();
+    let ctx = VerifyContext::new(engine.catalog(), &checks);
     let mut codes = Vec::new();
     for d in verify_substitute(&ctx, query, view, sub, "v", "q") {
         if d.severity == Severity::Error && !codes.contains(&d.rule.code()) {

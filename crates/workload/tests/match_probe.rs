@@ -7,7 +7,7 @@ use mv_workload::{Generator, WorkloadParams};
 #[test]
 fn workload_produces_matches() {
     let (db, _) = generate_tpch(&TpchScale::small(), 1);
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     let views = Generator::new(&db.catalog, WorkloadParams::views(), 101).views(200);
     for v in views {
         engine.add_view(v).unwrap();

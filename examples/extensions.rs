@@ -25,7 +25,7 @@ fn main() {
     .unwrap();
     let query = parse_query("SELECT o_orderkey FROM orders", &catalog).unwrap();
 
-    let mut plain = MatchingEngine::new(catalog.clone(), MatchConfig::default());
+    let plain = MatchingEngine::new(catalog.clone(), MatchConfig::default());
     plain.add_view(view.clone()).unwrap();
     println!(
         "without the constraint: {} substitutes (the view's o_totalprice >= 0 \
@@ -33,7 +33,7 @@ fn main() {
         plain.find_substitutes(&query).len()
     );
 
-    let mut engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
     let orders = catalog.table_by_name("orders").unwrap();
     engine
         .add_check_constraint(
@@ -77,14 +77,14 @@ fn main() {
     )
     .unwrap();
 
-    let mut plain = MatchingEngine::new(catalog.clone(), MatchConfig::default());
+    let plain = MatchingEngine::new(catalog.clone(), MatchConfig::default());
     plain.add_view(skinny.clone()).unwrap();
     println!(
         "strict matcher: {} substitutes (l_extendedprice is not a view output)",
         plain.find_substitutes(&query).len()
     );
 
-    let mut engine = MatchingEngine::new(
+    let engine = MatchingEngine::new(
         catalog.clone(),
         MatchConfig {
             allow_backjoins: true,
@@ -127,7 +127,7 @@ fn main() {
         &catalog,
     )
     .unwrap();
-    let mut engine = MatchingEngine::new(
+    let engine = MatchingEngine::new(
         catalog.clone(),
         MatchConfig {
             allow_backjoins: true,

@@ -35,7 +35,7 @@ fn main() {
          FROM dbo.lineitem, dbo.part WHERE l_partkey = p_partkey AND p_size <= 40",
     ];
 
-    let mut engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
     let mut store = ViewStore::new();
     for sql in views_sql {
         let view = parse_view(sql, &catalog).expect("view SQL");

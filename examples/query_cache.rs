@@ -19,7 +19,7 @@ use std::time::Instant;
 fn main() {
     let (db, _) = generate_tpch(&TpchScale::small(), 99);
     let catalog = db.catalog.clone();
-    let mut engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
     let mut cache: Vec<(ViewId, Vec<Vec<Value>>)> = Vec::new();
 
     // A drill-down session: each query narrows the previous one.

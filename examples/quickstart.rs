@@ -20,7 +20,7 @@ fn main() {
 
     // The paper's Example 1, lightly adapted: an indexed view precomputing
     // per-part gross revenue for cheap parts named like '%steel%'.
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     let view = parse_view(
         "CREATE VIEW v1 WITH SCHEMABINDING AS \
          SELECT p_partkey, p_name, p_retailprice, COUNT_BIG(*) AS cnt, \
@@ -56,7 +56,7 @@ fn main() {
     let (_, substitute) = &substitutes[0];
     println!(
         "matched! rewritten query:\n{}\n",
-        sql_of_substitute(substitute, engine.views())
+        sql_of_substitute(substitute, &engine.views())
     );
 
     // Correctness: the rewrite returns exactly the original rows.

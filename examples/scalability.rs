@@ -24,7 +24,7 @@ fn main() {
     println!("| views | avg optimize (ms) | candidates/invocation | % of views examined | substitutes/query |");
     println!("|---|---|---|---|---|");
     for n in [0usize, 250, 500, 750, 1000] {
-        let mut engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
+        let engine = MatchingEngine::new(catalog.clone(), MatchConfig::default());
         for v in views.iter().take(n) {
             engine.add_view(v.clone()).unwrap();
         }

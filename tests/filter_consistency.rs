@@ -16,8 +16,8 @@ fn filter_tree_is_lossless_on_generated_workload() {
     let views = Generator::new(&db.catalog, WorkloadParams::views(), 51).views(120);
     let queries = Generator::new(&db.catalog, WorkloadParams::queries(), 52).queries(60);
 
-    let mut with_tree = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
-    let mut without = MatchingEngine::new(
+    let with_tree = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let without = MatchingEngine::new(
         db.catalog.clone(),
         MatchConfig {
             use_filter_tree: false,
@@ -87,14 +87,14 @@ fn strict_expression_filter_prunes_recomputable_expressions() {
     );
 
     // Strict (paper) filter: pruned before the full tests.
-    let mut strict = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let strict = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     strict.add_view(view.clone()).unwrap();
     assert!(strict.find_substitutes(&query).is_empty());
     // Direct matching (no filter) accepts via recomputation.
     assert!(strict.match_one(&query, ViewId(0)).is_some());
 
     // Lenient filter: accepted end to end.
-    let mut lenient = MatchingEngine::new(
+    let lenient = MatchingEngine::new(
         db.catalog.clone(),
         MatchConfig {
             strict_expression_filter: false,

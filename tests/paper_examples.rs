@@ -13,7 +13,7 @@ fn setup() -> (Database, MatchingEngine) {
 /// Example 1: the indexed view v1 can be created and materialized.
 #[test]
 fn example1_create_and_materialize() {
-    let (db, mut engine) = setup();
+    let (db, engine) = setup();
     let view = parse_view(
         "create view v1 with schemabinding as \
          select p_partkey, p_name, p_retailprice, count_big(*) as cnt, \
@@ -42,7 +42,7 @@ fn example1_create_and_materialize() {
 /// Example 2: the full subsumption-test walkthrough, via SQL.
 #[test]
 fn example2_subsumption_and_compensation() {
-    let (db, mut engine) = setup();
+    let (db, engine) = setup();
     let view = parse_view(
         "create view v2 with schemabinding as \
          select l_orderkey, l_partkey, o_custkey, o_orderdate, l_shipdate, \
@@ -73,7 +73,7 @@ fn example2_subsumption_and_compensation() {
     let sub = &subs[0].1;
     // Four compensating predicates, as derived in the paper.
     assert_eq!(sub.predicates.len(), 4);
-    let rendered = sql_of_substitute(sub, engine.views());
+    let rendered = sql_of_substitute(sub, &engine.views());
     assert!(rendered.contains("l_partkey < 160") || rendered.contains("p_partkey < 160"));
     assert!(rendered.contains("o_custkey = 123"));
     // Execution equivalence (vacuously true if no row matches '%abc%';
@@ -88,7 +88,7 @@ fn example2_subsumption_and_compensation() {
 /// the dates needed by a compensating predicate.
 #[test]
 fn example3_extra_tables() {
-    let (db, mut engine) = setup();
+    let (db, engine) = setup();
     let v3 = parse_view(
         "create view v3 with schemabinding as \
          select c_custkey, c_name, l_orderkey, l_partkey, l_quantity \
@@ -137,7 +137,7 @@ fn example3_extra_tables() {
 /// revenue-per-nation query; the final plan uses the view and is correct.
 #[test]
 fn example4_preaggregation() {
-    let (db, mut engine) = setup();
+    let (db, engine) = setup();
     let v4 = parse_view(
         "create view v4 with schemabinding as \
          select o_custkey, count_big(*) as cnt, \
@@ -232,14 +232,14 @@ fn example5_null_rejecting_extension() {
     );
 
     // Strict engine: rejected.
-    let mut strict = MatchingEngine::new(cat.clone(), MatchConfig::default());
+    let strict = MatchingEngine::new(cat.clone(), MatchConfig::default());
     let vid = strict.add_view(ViewDef::new("v", view.clone())).unwrap();
     assert!(strict.find_substitutes(&query).is_empty());
     let _ = vid;
 
     // Extended engine: accepted, and the rewrite is exact because the
     // query's f > 50 discards the NULL row anyway.
-    let mut extended = MatchingEngine::new(
+    let extended = MatchingEngine::new(
         cat,
         MatchConfig {
             null_rejecting_fk: true,
@@ -261,7 +261,7 @@ fn example5_null_rejecting_extension() {
 /// equivalence classes.
 #[test]
 fn example6_output_column_rerouting() {
-    let (db, mut engine) = setup();
+    let (db, engine) = setup();
     // View outputs o_orderkey but not l_orderkey; equivalent via the join.
     let view = parse_view(
         "create view v6 with schemabinding as \

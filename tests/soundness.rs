@@ -42,7 +42,7 @@ fn soundness_round_cfg(
     config: MatchConfig,
 ) -> usize {
     let (db, _) = generate_tpch(&TpchScale::tiny(), data_seed);
-    let mut engine = MatchingEngine::new(db.catalog.clone(), config);
+    let engine = MatchingEngine::new(db.catalog.clone(), config);
     let views = Generator::new(&db.catalog, WorkloadParams::views(), view_seed).views(n_views);
     let mut materialized = Vec::new();
     for v in views {
@@ -124,8 +124,8 @@ fn backjoins_widen_the_match_set() {
     let (db, _) = generate_tpch(&TpchScale::tiny(), 23);
     let views = Generator::new(&db.catalog, WorkloadParams::views(), 81).views(100);
     let queries = Generator::new(&db.catalog, WorkloadParams::queries(), 82).queries(50);
-    let mut strict = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
-    let mut extended = MatchingEngine::new(
+    let strict = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let extended = MatchingEngine::new(
         db.catalog.clone(),
         MatchConfig {
             allow_backjoins: true,
@@ -159,7 +159,7 @@ fn backjoins_widen_the_match_set() {
 #[test]
 fn optimized_plans_are_sound_over_random_workload() {
     let (db, _) = generate_tpch(&TpchScale::tiny(), 5);
-    let mut engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
+    let engine = MatchingEngine::new(db.catalog.clone(), MatchConfig::default());
     let mut store = ViewStore::new();
     for v in Generator::new(&db.catalog, WorkloadParams::views(), 31).views(40) {
         let rows = materialize_view(&db, &v);
