@@ -41,10 +41,23 @@
 //!     [--out PATH] [--strict]
 //! ```
 //!
+//! Each scale point also emits a `batched` record driving
+//! `find_substitutes_many` over the skewed stream (cache off): the
+//! duplicate-heavy batch forms fingerprint groups, so the record
+//! measures what one-snapshot-pin, one-descent-per-group batching buys
+//! over the serial cold stream. Uniform-serial rows additionally carry
+//! `rss_bytes_per_view` (resident-set growth of the bulk registration,
+//! Linux only) and `bytes_per_view_arena` (the packed descriptor
+//! arena's deterministic share); both are `null` on rows that do not
+//! measure registration.
+//!
 //! `--strict` turns the built-in regression assertions into the exit
 //! code: the run fails if the parallel auto mode regresses serial
-//! throughput by more than 10 % at any scale point, or if the warm hit
-//! rate retained across the disjoint-table churn drops below 90 %.
+//! throughput by more than 10 % at any scale point, if the warm hit
+//! rate retained across the disjoint-table churn drops below 90 %, or
+//! — ratcheting against the best prior trajectory entry at the same
+//! scale — if memory per view (arena or RSS) exceeds 1.25x the prior
+//! best or the serial p50 exceeds 2x the prior best.
 
 use mv_bench::json::Json;
 use mv_bench::{build_workload, engine_with, Workload};
@@ -150,6 +163,28 @@ struct Record {
     /// Substitute-cache hit rate over the measured run; `None` when the
     /// cache is off.
     cache_hit_rate: Option<f64>,
+    /// Resident-set growth of registering the catalog, per view (from
+    /// `/proc/self/status`; `None` off Linux or on non-registration
+    /// rows). Carried by the uniform-serial row of each scale point.
+    rss_bytes_per_view: Option<f64>,
+    /// Packed-descriptor arena footprint per view
+    /// (`MatchingEngine::arena_bytes` / views) — deterministic, unlike
+    /// RSS, so the strict memory gate leans on it.
+    bytes_per_view_arena: Option<f64>,
+}
+
+/// Current VmRSS in bytes, `None` where `/proc` is unavailable.
+fn rss_bytes() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    let kb: f64 = line
+        .trim_start_matches("VmRSS:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()?;
+    Some(kb * 1024.0)
 }
 
 fn percentile_us(latencies: &mut [Duration], q: f64) -> f64 {
@@ -240,7 +275,15 @@ fn measure(w: &Workload, args: &Args, views: usize, workers: usize) -> (Record, 
         ..MatchConfig::default()
     };
 
+    // Registration cost per view: RSS growth around the bulk add (noisy,
+    // allocator-reuse-dependent, but what an operator sees) plus the
+    // deterministic packed-arena share.
+    let rss_before = rss_bytes();
     let engine = engine_with(w, views, serial_cfg);
+    let rss_per_view = rss_before
+        .zip(rss_bytes())
+        .map(|(before, after)| ((after - before).max(0.0)) / views as f64);
+    let arena_per_view = Some(engine.arena_bytes() as f64 / views as f64);
     let (mut lat, qps) = run_serial(&engine, &w.queries);
     let serial = Record {
         views,
@@ -254,6 +297,8 @@ fn measure(w: &Workload, args: &Args, views: usize, workers: usize) -> (Record, 
         throughput_qps: qps,
         candidate_fraction: engine.stats().candidate_fraction(),
         cache_hit_rate: None,
+        rss_bytes_per_view: rss_per_view,
+        bytes_per_view_arena: arena_per_view,
     };
 
     let engine = engine_with(w, views, parallel_cfg);
@@ -270,8 +315,54 @@ fn measure(w: &Workload, args: &Args, views: usize, workers: usize) -> (Record, 
         throughput_qps: qps,
         candidate_fraction: engine.stats().candidate_fraction(),
         cache_hit_rate: None,
+        rss_bytes_per_view: None,
+        bytes_per_view_arena: arena_per_view,
     };
     (serial, parallel)
+}
+
+/// Drive `find_substitutes_many` over the skewed stream, cache off: the
+/// duplicate-heavy batch makes real fingerprint groups, so the record
+/// measures the amortization the batched entry point buys (one snapshot
+/// pin, one tree descent per group). Per-query latency is the batch
+/// wall-clock divided evenly — individual queries are not timed inside
+/// the batch — so the percentiles describe batch-call variance.
+fn measure_batched(w: &Workload, views: usize, stream: &[SpjgExpr], workers: usize) -> Record {
+    let cfg = MatchConfig {
+        parallel_workers: workers,
+        substitute_cache_capacity: 0,
+        ..MatchConfig::default()
+    };
+    let engine = engine_with(w, views, cfg);
+    let once = {
+        let t = Instant::now();
+        std::hint::black_box(engine.find_substitutes_many(stream));
+        t.elapsed()
+    };
+    let reps = calibrate_reps(once, MEASURE_TARGET);
+    let mut per_query = Vec::with_capacity(reps);
+    let started = Instant::now();
+    for _ in 0..reps {
+        let t = Instant::now();
+        std::hint::black_box(engine.find_substitutes_many(stream));
+        per_query.push(t.elapsed() / stream.len() as u32);
+    }
+    let total = started.elapsed();
+    Record {
+        views,
+        mode: "batched",
+        threads: workers,
+        queries: stream.len(),
+        workload: "zipf-cold",
+        p50_us: percentile_us(&mut per_query, 0.50),
+        p95_us: percentile_us(&mut per_query, 0.95),
+        p99_us: percentile_us(&mut per_query, 0.99),
+        throughput_qps: (stream.len() * reps) as f64 / total.as_secs_f64(),
+        candidate_fraction: engine.stats().candidate_fraction(),
+        cache_hit_rate: None,
+        rss_bytes_per_view: None,
+        bytes_per_view_arena: Some(engine.arena_bytes() as f64 / views as f64),
+    }
 }
 
 /// Number of distinct query templates in the skewed stream.
@@ -338,6 +429,8 @@ fn measure_zipf(w: &Workload, views: usize, stream: &[SpjgExpr]) -> (Record, Rec
         throughput_qps: qps,
         candidate_fraction: engine.stats().candidate_fraction(),
         cache_hit_rate: hit_rate,
+        rss_bytes_per_view: None,
+        bytes_per_view_arena: Some(engine.arena_bytes() as f64 / views as f64),
     };
 
     let cold_cfg = MatchConfig {
@@ -496,6 +589,8 @@ fn measure_churn(
         throughput_qps: matched.load(Ordering::Relaxed) as f64 / total.as_secs_f64(),
         candidate_fraction: stats.candidate_fraction(),
         cache_hit_rate: Some(stats.cache_hit_rate()),
+        rss_bytes_per_view: None,
+        bytes_per_view_arena: Some(engine.arena_bytes() as f64 / views as f64),
     }
 }
 
@@ -506,7 +601,7 @@ fn round(v: f64, digits: u32) -> f64 {
 
 /// The uniform run-row schema every written row conforms to, new and
 /// migrated alike. Field order is fixed so the file diffs cleanly.
-const RUN_FIELDS: [&str; 11] = [
+const RUN_FIELDS: [&str; 13] = [
     "views",
     "mode",
     "workload",
@@ -518,6 +613,8 @@ const RUN_FIELDS: [&str; 11] = [
     "throughput_qps",
     "candidate_fraction",
     "cache_hit_rate",
+    "rss_bytes_per_view",
+    "bytes_per_view_arena",
 ];
 
 fn record_json(r: &Record) -> Json {
@@ -544,6 +641,18 @@ fn record_json(r: &Record) -> Json {
                 .map(|h| Json::Num(round(h, 4)))
                 .unwrap_or(Json::Null),
         ),
+        (
+            "rss_bytes_per_view".into(),
+            r.rss_bytes_per_view
+                .map(|b| Json::Num(round(b, 1)))
+                .unwrap_or(Json::Null),
+        ),
+        (
+            "bytes_per_view_arena".into(),
+            r.bytes_per_view_arena
+                .map(|b| Json::Num(round(b, 1)))
+                .unwrap_or(Json::Null),
+        ),
     ])
 }
 
@@ -567,7 +676,8 @@ fn migrate_run(run: &Json) -> Json {
 
 /// Migrate one legacy trajectory entry: `unix_time` defaults to 0 (the
 /// first revision never recorded it), the redundant per-entry
-/// `benchmark`/`command` copies are dropped, and every run row is
+/// `benchmark`/`command` copies are dropped, `note` (engine tuning in
+/// effect for the run) defaults to `null`, and every run row is
 /// normalized.
 fn migrate_entry(entry: &Json) -> Json {
     let num = |key: &str| {
@@ -586,6 +696,10 @@ fn migrate_entry(entry: &Json) -> Json {
         ("unix_time".into(), num("unix_time")),
         ("queries".into(), num("queries")),
         ("threads".into(), num("threads")),
+        (
+            "note".into(),
+            entry.get("note").cloned().unwrap_or(Json::Null),
+        ),
         ("runs".into(), Json::Arr(runs)),
     ])
 }
@@ -613,6 +727,30 @@ fn prior_entries(old: &str) -> Vec<Json> {
     }
 }
 
+/// Best (smallest positive) prior value of `field` across every prior
+/// entry's uniform-serial row at this scale point — the baseline the
+/// strict memory and latency gates ratchet against. `None` when no
+/// prior entry ever recorded the field at this scale (first run at a
+/// new scale passes trivially and becomes the baseline). Zero readings
+/// are excluded: a 0 B/view RSS delta is allocator reuse, not a real
+/// floor any future run could stay under.
+fn best_prior(entries: &[Json], views: usize, field: &str) -> Option<f64> {
+    entries
+        .iter()
+        .filter_map(|e| e.get("runs").and_then(Json::as_arr))
+        .flatten()
+        .filter(|r| {
+            r.get("views").and_then(Json::as_f64) == Some(views as f64)
+                && r.get("mode").and_then(Json::as_str) == Some("serial")
+                && r.get("workload").and_then(Json::as_str) == Some("uniform")
+        })
+        .filter_map(|r| r.get(field).and_then(Json::as_f64))
+        .filter(|&v| v > 0.0)
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
+}
+
 /// The full trajectory document, oldest entry first.
 fn trajectory_json(entries: Vec<Json>) -> Json {
     Json::Obj(vec![
@@ -637,6 +775,15 @@ fn entry_json(records: &[Record], args: &Args, workers: usize) -> Json {
         ("unix_time".into(), Json::Num(unix_time as f64)),
         ("queries".into(), Json::Num(args.queries as f64)),
         ("threads".into(), Json::Num(workers as f64)),
+        (
+            "note".into(),
+            Json::Str(
+                "parallel tuning: packed candidate scan min_chunk=64, auto mode falls back \
+                 to serial below 32 candidates/worker; batched rows drive \
+                 find_substitutes_many (one snapshot pin, fingerprint-grouped)"
+                    .into(),
+            ),
+        ),
         (
             "runs".into(),
             Json::Arr(records.iter().map(record_json).collect()),
@@ -667,16 +814,22 @@ fn main() {
         .as_ref()
         .map(|(templates, _)| zipf_stream(templates, args.queries));
 
+    // Prior entries serve double duty: the strict gates ratchet against
+    // their best recorded values, and the new entry appends after them.
+    let prior = std::fs::read_to_string(&args.out)
+        .map(|old| prior_entries(&old))
+        .unwrap_or_default();
+
     let mut records = Vec::new();
     let mut failures: Vec<String> = Vec::new();
     println!(
         "| views | workload | mode | threads | p50 (us) | p95 (us) | p99 (us) | \
-         throughput (q/s) | cand. frac | hit rate | speedup |"
+         throughput (q/s) | cand. frac | hit rate | arena B/view | speedup |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|---|");
     let print_record = |r: &Record, speedup: Option<f64>| {
         println!(
-            "| {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.0} | {:.3}% | {} | {} |",
+            "| {} | {} | {} | {} | {:.1} | {:.1} | {:.1} | {:.0} | {:.3}% | {} | {} | {} |",
             r.views,
             r.workload,
             r.mode,
@@ -688,6 +841,9 @@ fn main() {
             r.candidate_fraction * 100.0,
             r.cache_hit_rate
                 .map(|h| format!("{:.1}%", h * 100.0))
+                .unwrap_or_else(|| "-".to_string()),
+            r.bytes_per_view_arena
+                .map(|b| format!("{b:.0}"))
                 .unwrap_or_else(|| "-".to_string()),
             speedup
                 .map(|s| format!("{s:.2}x"))
@@ -708,17 +864,61 @@ fn main() {
                 parallel.throughput_qps, serial.throughput_qps
             ));
         }
+        // Memory-per-view gates: the packed arena share is deterministic
+        // (tight 1.25x tolerance); RSS is allocator- and noise-dependent
+        // but is what actually bounds catalog scale, so it gets the same
+        // tolerance against the *best* prior run.
+        if let (Some(base), Some(now)) = (
+            best_prior(&prior, views, "bytes_per_view_arena"),
+            serial.bytes_per_view_arena,
+        ) {
+            if now > 1.25 * base {
+                failures.push(format!(
+                    "at {views} views the packed arena costs {now:.0} B/view, more than \
+                     1.25x the best prior run ({base:.0} B/view)"
+                ));
+            }
+        }
+        if let (Some(base), Some(now)) = (
+            best_prior(&prior, views, "rss_bytes_per_view"),
+            serial.rss_bytes_per_view,
+        ) {
+            if now > 1.25 * base {
+                failures.push(format!(
+                    "at {views} views registration grows RSS by {now:.0} B/view, more than \
+                     1.25x the best prior run ({base:.0} B/view)"
+                ));
+            }
+        }
+        // Latency gate: generous 2x tolerance against the best prior p50
+        // — wide enough for scheduler noise, tight enough to catch the
+        // kind of structural regression the packed layout exists to
+        // prevent.
+        if let Some(base) = best_prior(&prior, views, "p50_match_latency_us") {
+            if serial.p50_us > 2.0 * base {
+                failures.push(format!(
+                    "at {views} views the serial p50 is {:.1} us, more than 2x the best \
+                     prior run ({base:.1} us)",
+                    serial.p50_us
+                ));
+            }
+        }
         print_record(&serial, None);
         print_record(&parallel, Some(speedup));
         records.push(serial);
         records.push(parallel);
 
         let (cold, warm) = measure_zipf(&w, views, &stream);
-        let warm_speedup = warm.throughput_qps / cold.throughput_qps;
+        let cold_qps = cold.throughput_qps;
+        let warm_speedup = warm.throughput_qps / cold_qps;
         print_record(&cold, None);
         print_record(&warm, Some(warm_speedup));
         records.push(cold);
         records.push(warm);
+
+        let batched = measure_batched(&w, views, &stream, workers);
+        print_record(&batched, Some(batched.throughput_qps / cold_qps));
+        records.push(batched);
 
         if let (Some((templates, churn_views)), Some(churn_stream)) = (&churn, &churn_stream) {
             let under_churn = measure_churn(&w, views, templates, churn_stream, churn_views);
@@ -743,9 +943,7 @@ fn main() {
         }
     }
 
-    let mut entries = std::fs::read_to_string(&args.out)
-        .map(|old| prior_entries(&old))
-        .unwrap_or_default();
+    let mut entries = prior;
     let appended = !entries.is_empty();
     entries.push(entry_json(&records, &args, workers));
     let body = trajectory_json(entries).to_pretty();
@@ -808,7 +1006,7 @@ mod tests {
             match entry {
                 Json::Obj(fields) => {
                     let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
-                    assert_eq!(keys, ["unix_time", "queries", "threads", "runs"]);
+                    assert_eq!(keys, ["unix_time", "queries", "threads", "note", "runs"]);
                 }
                 other => panic!("entry is not an object: {other:?}"),
             }
@@ -824,6 +1022,10 @@ mod tests {
         }
         // The first entry's gaps got their documented defaults.
         assert_eq!(entries[0].get("unix_time").unwrap().as_u64(), Some(0));
+        assert_eq!(entries[0].get("note"), Some(&Json::Null));
+        let first_run = &entries[0].get("runs").unwrap().as_arr().unwrap()[0];
+        assert_eq!(first_run.get("rss_bytes_per_view"), Some(&Json::Null));
+        assert_eq!(first_run.get("bytes_per_view_arena"), Some(&Json::Null));
         let first_run = &entries[0].get("runs").unwrap().as_arr().unwrap()[0];
         assert_eq!(first_run.get("workload").unwrap().as_str(), Some("uniform"));
         assert_eq!(first_run.get("p99_match_latency_us"), Some(&Json::Null));
@@ -852,6 +1054,34 @@ mod tests {
             Json::Arr(again),
             reparsed.get("trajectory").unwrap().clone()
         );
+    }
+
+    #[test]
+    fn gate_baseline_is_best_prior_uniform_serial_row() {
+        let entries = prior_entries(
+            r#"{"trajectory": [
+                {"queries": 10, "threads": 1, "runs": [
+                    {"views": 100, "mode": "serial", "workload": "uniform",
+                     "p50_match_latency_us": 40.0, "rss_bytes_per_view": 900.0},
+                    {"views": 100, "mode": "parallel", "workload": "uniform",
+                     "p50_match_latency_us": 10.0}]},
+                {"queries": 10, "threads": 1, "runs": [
+                    {"views": 100, "mode": "serial", "workload": "uniform",
+                     "p50_match_latency_us": 25.0},
+                    {"views": 100, "mode": "serial", "workload": "zipf-cold",
+                     "p50_match_latency_us": 5.0}]}
+            ]}"#,
+        );
+        // Best across entries, uniform-serial rows only — the parallel
+        // 10.0 and the zipf 5.0 must not become the baseline.
+        assert_eq!(
+            best_prior(&entries, 100, "p50_match_latency_us"),
+            Some(25.0)
+        );
+        assert_eq!(best_prior(&entries, 100, "rss_bytes_per_view"), Some(900.0));
+        // Unmeasured field / unseen scale: no baseline, gate passes.
+        assert_eq!(best_prior(&entries, 100, "bytes_per_view_arena"), None);
+        assert_eq!(best_prior(&entries, 1000, "p50_match_latency_us"), None);
     }
 
     #[test]

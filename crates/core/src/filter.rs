@@ -235,26 +235,52 @@ impl FilterTree {
     /// [`FilterTree::search`] into a caller-owned buffer: results are
     /// **appended** (the buffer is not cleared), so one buffer can collect
     /// the union over several trees without intermediate allocations.
+    ///
+    /// Each level's search set is normalized (sorted, deduplicated) once
+    /// up front; the per-partition lattice searches then run through the
+    /// allocation-free visitor API — a descent over a large tree does no
+    /// per-partition allocation.
     pub fn search_into(&self, searches: &[LevelSearch], out: &mut Vec<ViewId>) {
         assert_eq!(searches.len(), self.depth, "level search count mismatch");
-        Self::search_node(&self.root, searches, out);
+        let normalized: Vec<LevelSearch> = searches
+            .iter()
+            .map(|s| match s {
+                LevelSearch::Subset(v) => {
+                    let mut v = v.clone();
+                    v.sort_unstable();
+                    v.dedup();
+                    LevelSearch::Subset(v)
+                }
+                LevelSearch::Superset(v) => {
+                    let mut v = v.clone();
+                    v.sort_unstable();
+                    v.dedup();
+                    LevelSearch::Superset(v)
+                }
+                LevelSearch::Hitting(classes) => LevelSearch::Hitting(classes.clone()),
+            })
+            .collect();
+        Self::search_node(&self.root, &normalized, out);
     }
 
+    /// `searches` must already be normalized (sorted, deduplicated sets).
     fn search_node(node: &FilterNode, searches: &[LevelSearch], out: &mut Vec<ViewId>) {
         match node {
             FilterNode::Leaf(views) => out.extend(views.iter().copied()),
             FilterNode::Internal(index) => {
-                let children = match &searches[0] {
-                    LevelSearch::Subset(s) => index.find_subsets(s),
-                    LevelSearch::Superset(s) => index.find_supersets(s),
-                    LevelSearch::Hitting(classes) => index.find_monotone_down(|key| {
-                        classes
-                            .iter()
-                            .all(|cl| cl.iter().any(|e| key.binary_search(e).is_ok()))
-                    }),
-                };
-                for child in children {
-                    Self::search_node(child, &searches[1..], out);
+                let rest = &searches[1..];
+                let descend = |child: &Arc<FilterNode>| Self::search_node(child, rest, out);
+                match &searches[0] {
+                    LevelSearch::Subset(s) => index.for_each_subset_value(s, descend),
+                    LevelSearch::Superset(s) => index.for_each_superset_value(s, descend),
+                    LevelSearch::Hitting(classes) => index.for_each_monotone_down_value(
+                        |key| {
+                            classes
+                                .iter()
+                                .all(|cl| cl.iter().any(|e| key.binary_search(e).is_ok()))
+                        },
+                        descend,
+                    ),
                 }
             }
         }

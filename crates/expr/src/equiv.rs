@@ -142,6 +142,24 @@ impl EquivClasses {
         self.parent.keys().copied()
     }
 
+    /// Materialize every class once, for hot loops that would otherwise
+    /// call [`EquivClasses::class_of`] (a full scan) per probed column.
+    pub fn class_index(&self) -> ClassIndex {
+        let mut by_root: HashMap<ColRef, Vec<ColRef>> = HashMap::new();
+        for &k in self.parent.keys() {
+            by_root.entry(self.find(k)).or_default().push(k);
+        }
+        let mut classes: Vec<(ColRef, Vec<ColRef>)> = by_root
+            .into_iter()
+            .map(|(root, mut members)| {
+                members.sort();
+                (root, members)
+            })
+            .collect();
+        classes.sort_by_key(|(root, _)| *root);
+        ClassIndex { classes }
+    }
+
     /// Merge every equality from `other` into `self`. Used when the query's
     /// equivalence classes are extended with the join conditions of
     /// eliminated extra tables (section 3.2): "we scan the join conditions
@@ -153,6 +171,38 @@ impl EquivClasses {
                 self.union(pair[0], pair[1]);
             }
         }
+    }
+}
+
+/// Every class of an [`EquivClasses`] materialized once: `(root, sorted
+/// members)` pairs sorted by root. Built by
+/// [`EquivClasses::class_index`]; lookups replace the per-probe full
+/// scan of [`EquivClasses::class_of`] with a binary search.
+#[derive(Debug, Clone, Default)]
+pub struct ClassIndex {
+    classes: Vec<(ColRef, Vec<ColRef>)>,
+}
+
+impl ClassIndex {
+    /// The sorted members of the class rooted at `root` (the caller
+    /// passes `ec.find(c)`), or `None` for a column the structure never
+    /// saw — the probe's class is then just `[c]` itself.
+    pub fn members(&self, root: ColRef) -> Option<&[ColRef]> {
+        self.classes
+            .binary_search_by_key(&root, |(r, _)| *r)
+            .ok()
+            .map(|i| self.classes[i].1.as_slice())
+    }
+
+    /// The classes with two or more members, ascending by root — the same
+    /// class set as [`EquivClasses::nontrivial_classes`] (which orders by
+    /// smallest member instead; callers whose per-class work is
+    /// order-independent can iterate this without re-deriving the list).
+    pub fn nontrivial(&self) -> impl Iterator<Item = &[ColRef]> {
+        self.classes
+            .iter()
+            .filter(|(_, m)| m.len() >= 2)
+            .map(|(_, m)| m.as_slice())
     }
 }
 

@@ -38,7 +38,7 @@ pub mod template;
 pub use boolean::{BoolExpr, CmpOp};
 pub use colref::{ColRef, OccId};
 pub use conjunct::{classify, conjuncts_to_bool, Conjunct};
-pub use equiv::EquivClasses;
+pub use equiv::{ClassIndex, EquivClasses};
 pub use interval::{Bound, Interval};
 pub use scalar::{BinOp, ScalarExpr};
 pub use template::Template;
