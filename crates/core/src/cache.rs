@@ -34,11 +34,11 @@
 //! this with a differential assertion on every hit.
 
 use mv_expr::Template;
+use mv_parallel::sync::{lock_or_recover, Mutex};
 use mv_plan::{AggFunc, OutputList, SpjgExpr, Substitute, ViewId};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::Mutex;
 
 /// A canonical rendering of a query plus its 64-bit hash. The full render
 /// is kept and compared on lookup, so a hash collision degrades to a cache
@@ -238,7 +238,7 @@ impl SubstituteCache {
         if !self.is_enabled() {
             return CacheLookup::Disabled;
         }
-        let mut shard = self.shard(hash).lock().unwrap();
+        let mut shard = lock_or_recover(self.shard(hash));
         let Some(&slot) = shard.index.get(&hash) else {
             return CacheLookup::Miss;
         };
@@ -281,7 +281,7 @@ impl SubstituteCache {
             results,
             referenced: false,
         };
-        let mut shard = self.shard(hash).lock().unwrap();
+        let mut shard = lock_or_recover(self.shard(hash));
         if let Some(&slot) = shard.index.get(&hash) {
             shard.slots[slot] = Some(entry);
             return;
@@ -319,7 +319,7 @@ impl SubstituteCache {
     pub fn len(&self) -> usize {
         self.shards
             .iter()
-            .map(|s| s.lock().unwrap().index.len())
+            .map(|s| lock_or_recover(s).index.len())
             .sum()
     }
 
@@ -331,7 +331,7 @@ impl SubstituteCache {
     /// Drop every entry (capacity and shard count are unchanged).
     pub fn clear(&self) {
         for s in &self.shards {
-            let mut shard = s.lock().unwrap();
+            let mut shard = lock_or_recover(s);
             shard.slots.clear();
             shard.index.clear();
             shard.hand = 0;

@@ -11,10 +11,10 @@ use crate::stats::{AtomicMatchStats, MatchStats};
 use crate::summary::ExprSummary;
 use mv_catalog::{Catalog, ColumnId, TableId};
 use mv_expr::{classify, BoolExpr, ColRef, Conjunct, OccId, Template};
+use mv_parallel::sync::{lock_or_recover, Arc, Mutex, MutexGuard};
 use mv_parallel::Published;
 use mv_plan::{AggFunc, OutputList, SpjgExpr, Substitute, ViewDef, ViewId, ViewSet};
 use std::collections::{HashMap, HashSet};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Number of filter-tree levels for SPJ views (hub, source tables, output
@@ -268,6 +268,18 @@ impl MatchingEngine {
         self.shared.load()
     }
 
+    /// Serialize snapshot builders. Every clone-modify-publish sequence
+    /// holds this guard for its whole duration; under the model checker
+    /// the `SKIP_WRITER_LOCK` mutation drops it so the checker can prove
+    /// the serialization is load-bearing.
+    fn writer_guard(&self) -> Option<MutexGuard<'_, ()>> {
+        #[cfg(mv_model)]
+        if crate::mutation::active(crate::mutation::SKIP_WRITER_LOCK) {
+            return None;
+        }
+        Some(lock_or_recover(&self.writer))
+    }
+
     /// Drop a view from matching: it is removed from its filter tree and
     /// never considered again. The definition (and its name) stay
     /// registered — this mirrors dropping a cached query result, the
@@ -276,7 +288,7 @@ impl MatchingEngine {
     /// matching: in-flight matchers keep their pinned snapshot, new
     /// matches see the removal.
     pub fn remove_view(&self, id: ViewId) -> bool {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = self.writer_guard();
         let cur = self.snapshot();
         if cur.removed.contains(&id) || (id.0 as usize) >= cur.views.len() {
             return false;
@@ -307,6 +319,12 @@ impl MatchingEngine {
         Arc::make_mut(&mut next.removed).insert(id);
         // Invalidate lazily and precisely: only entries whose query
         // touches one of the removed view's tables can have included it.
+        #[cfg(mv_model)]
+        let tables = if crate::mutation::active(crate::mutation::SKIP_EPOCH_BUMP_ON_REMOVE) {
+            Vec::new()
+        } else {
+            tables
+        };
         next.bump_tables(tables);
         self.shared.store(Arc::new(next));
         self.stats.record_removal();
@@ -340,7 +358,7 @@ impl MatchingEngine {
                 ));
             }
         }
-        let _writer = self.writer.lock().unwrap();
+        let _writer = self.writer_guard();
         let mut next = (*self.snapshot()).clone();
         Arc::make_mut(&mut next.checks)
             .entry(table)
@@ -426,7 +444,7 @@ impl MatchingEngine {
     /// and filter keys, inserts it into the appropriate filter tree, and
     /// publishes the next snapshot. Runs concurrently with matching.
     pub fn add_view(&self, def: ViewDef) -> Result<ViewId, String> {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = self.writer_guard();
         let mut next = (*self.snapshot()).clone();
         let id = self.register_into(&mut next, def)?;
         self.shared.store(Arc::new(next));
@@ -440,7 +458,7 @@ impl MatchingEngine {
     /// 100k-view catalog this way costs one copy-on-write pass instead of
     /// one per view.
     pub fn add_views(&self, defs: Vec<ViewDef>) -> Result<Vec<ViewId>, String> {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = self.writer_guard();
         let mut next = (*self.snapshot()).clone();
         let n = defs.len();
         let mut ids = Vec::with_capacity(n);
@@ -488,6 +506,12 @@ impl MatchingEngine {
         }
         // A new view can only change results of queries over (a subset
         // of) its own tables.
+        #[cfg(mv_model)]
+        let tables = if crate::mutation::active(crate::mutation::SKIP_EPOCH_BUMP_ON_ADD) {
+            Vec::new()
+        } else {
+            tables
+        };
         next.bump_tables(tables);
         Ok(id)
     }
@@ -940,7 +964,13 @@ impl MatchingEngine {
             CacheLookup::Miss | CacheLookup::Disabled => {}
         }
         let (out, n_candidates, filter_time) = self.compute_substitutes(snap, query);
-        self.stats.record_cache_miss();
+        #[cfg(mv_model)]
+        let skip_miss_stat = crate::mutation::active(crate::mutation::SKIP_CACHE_MISS_STAT);
+        #[cfg(not(mv_model))]
+        let skip_miss_stat = false;
+        if !skip_miss_stat {
+            self.stats.record_cache_miss();
+        }
         self.stats.record(
             n_candidates,
             snap.live_view_count(),
@@ -948,6 +978,17 @@ impl MatchingEngine {
             filter_time,
             elapsed(started),
         );
+        // The entry MUST carry the stamp of the pinned snapshot the
+        // results were computed from. Re-deriving it from the currently
+        // published snapshot (the STAMP_AFTER_PUBLISH mutation) stamps
+        // pre-registration results with post-registration epochs,
+        // making a stale entry look fresh forever.
+        #[cfg(mv_model)]
+        let stamp = if crate::mutation::active(crate::mutation::STAMP_AFTER_PUBLISH) {
+            self.snapshot().table_stamp(query)
+        } else {
+            stamp
+        };
         self.cache
             .insert(fp.hash, fp.render, stamp, n_candidates, out.clone());
         (out, n_candidates)
@@ -1180,7 +1221,7 @@ impl MatchingEngine {
     /// results, by design.
     #[doc(hidden)]
     pub fn evict_view_for_audit(&self, id: ViewId) -> bool {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = self.writer_guard();
         let mut next = (*self.snapshot()).clone();
         let Some(keys) = self.view_filter_keys_in(&next, id) else {
             return false;
@@ -1210,7 +1251,7 @@ impl MatchingEngine {
         if !self.evict_view_for_audit(id) {
             return false;
         }
-        let _writer = self.writer.lock().unwrap();
+        let _writer = self.writer_guard();
         let mut next = (*self.snapshot()).clone();
         if next.views.get(id).expr.is_aggregate() {
             Arc::make_mut(&mut next.agg_tree).insert(keys, id);
@@ -1246,7 +1287,7 @@ impl MatchingEngine {
     /// corrupted arena invalidates all cached results, by design.
     #[doc(hidden)]
     pub fn corrupt_packed_span_for_audit(&self, id: ViewId) -> bool {
-        let _writer = self.writer.lock().unwrap();
+        let _writer = self.writer_guard();
         let mut next = (*self.snapshot()).clone();
         if next.removed.contains(&id) || (id.0 as usize) >= next.views.len() {
             return false;

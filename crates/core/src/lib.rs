@@ -48,6 +48,8 @@ pub mod lattice;
 pub mod matching;
 #[cfg(test)]
 mod matching_tests;
+#[cfg(mv_model)]
+pub mod mutation;
 pub mod stats;
 pub mod summary;
 

@@ -1,0 +1,14 @@
+//! MV204 fixture: an unconditional clock read on the match path. The
+//! engine's discipline is `config.timing.then(Instant::now)`, which
+//! compiles to zero clock reads when timing is off and keeps model-checker
+//! runs deterministic.
+
+use std::time::Instant;
+
+pub fn match_with_timing(queries: &[Query]) -> Duration {
+    let started = Instant::now();
+    for q in queries {
+        run(q);
+    }
+    started.elapsed()
+}

@@ -1,0 +1,6 @@
+//! `mv-lint` library surface: the source-discipline pass (MV2xx) used by
+//! the CLI's `--source` mode and by the fixture tests. The workload lint
+//! (MV0xx/MV1xx) lives in the binary, which drives `mv-verify` and
+//! `mv-audit` over the TPC-H workload.
+
+pub mod source;

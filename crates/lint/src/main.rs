@@ -14,6 +14,12 @@
 //! 4. optionally (`--audit`) runs the `mv-audit` completeness & catalog
 //!    passes (rules MV101+) over the same engine and workload.
 //!
+//! With `--source` the MV2xx source-discipline pass additionally lints
+//! every workspace crate's `.rs` sources for concurrency hygiene (raw
+//! sync primitives outside the `mv_parallel::sync` facade, relaxed
+//! orderings, unguarded snapshot state, bare clock reads, lock unwraps);
+//! `--source-only` runs just that pass, skipping the workload entirely.
+//!
 //! The JSON report goes to stdout (or `--out FILE`); a human summary goes
 //! to stderr. Exit code 1 on any ERROR diagnostic, and on warnings too
 //! under `--deny-warnings`.
@@ -39,6 +45,10 @@ OPTIONS:
                        generated data and compare row bags [default: 0]
     --audit            also run the mv-audit passes: filter-tree index
                        completeness, catalog redundancy, metadata (MV101+)
+    --source           also run the MV2xx source-discipline pass over the
+                       workspace's own .rs files
+    --source-only      run only the MV2xx source pass (skips the workload)
+    --source-root DIR  workspace root for --source [default: auto-detect]
     --deny-warnings    exit nonzero on warnings, not just errors
     --out FILE         write the JSON report to FILE instead of stdout
     -h, --help         print this help
@@ -49,6 +59,9 @@ struct Args {
     queries: usize,
     exec_check: usize,
     audit: bool,
+    source: bool,
+    source_only: bool,
+    source_root: Option<String>,
     deny_warnings: bool,
     out: Option<String>,
 }
@@ -59,6 +72,9 @@ fn parse_args() -> Args {
         queries: 100,
         exec_check: 0,
         audit: false,
+        source: false,
+        source_only: false,
+        source_root: None,
         deny_warnings: false,
         out: None,
     };
@@ -77,6 +93,12 @@ fn parse_args() -> Args {
                 args.exec_check = parse_num(&value(&mut it, "--exec-check"), "--exec-check")
             }
             "--audit" => args.audit = true,
+            "--source" => args.source = true,
+            "--source-only" => {
+                args.source = true;
+                args.source_only = true;
+            }
+            "--source-root" => args.source_root = Some(value(&mut it, "--source-root")),
             "--deny-warnings" => args.deny_warnings = true,
             "--out" => args.out = Some(value(&mut it, "--out")),
             "-h" | "--help" => {
@@ -101,10 +123,87 @@ fn parse_num(s: &str, flag: &str) -> usize {
 
 fn main() -> ExitCode {
     let args = parse_args();
+    let mut report = Report::new();
+
+    // MV2xx source-discipline pass over the workspace's own sources.
+    let mut source_summary = String::new();
+    if args.source {
+        let root = match &args.source_root {
+            Some(dir) => std::path::PathBuf::from(dir),
+            None => {
+                let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+                match mv_lint::source::find_workspace_root(&cwd) {
+                    Some(r) => r,
+                    None => {
+                        eprintln!(
+                            "mv-lint: cannot locate the workspace root for --source; \
+                             pass --source-root DIR"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        };
+        match mv_lint::source::lint_workspace(&root) {
+            Ok((diags, scanned)) => {
+                source_summary = format!(", {} source files / {} MV2xx", scanned, diags.len());
+                report.extend(diags);
+            }
+            Err(e) => {
+                eprintln!("mv-lint: source scan under {} failed: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let (substitutes, exec_checked, audit_findings) = if args.source_only {
+        (0, 0, 0)
+    } else {
+        workload_lint(&args, &mut report)
+    };
+
+    let title = if args.source_only {
+        format!("mv-lint: source-discipline pass{source_summary}")
+    } else {
+        format!(
+            "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked, {} audit findings{}",
+            args.views, args.queries, substitutes, exec_checked, audit_findings, source_summary
+        )
+    };
+    let json = report.to_json(&title);
+    match &args.out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &json) {
+                eprintln!("mv-lint: cannot write {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        None => print!("{json}"),
+    }
+
+    let errors = report.count(Severity::Error);
+    let warnings = report.count(Severity::Warning);
+    eprintln!("mv-lint: {substitutes} substitutes verified, {errors} errors, {warnings} warnings");
+    for d in &report.diagnostics {
+        if d.severity == Severity::Error || (args.deny_warnings && d.severity == Severity::Warning)
+        {
+            eprintln!("  {d}");
+        }
+    }
+    if errors > 0 || (args.deny_warnings && warnings > 0) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workload lint (MV0xx/MV1xx): verify every view, query, and
+/// produced substitute; optionally exec-check and audit. Returns
+/// (substitutes, exec_checked, audit_findings).
+fn workload_lint(args: &Args, report: &mut Report) -> (usize, usize, usize) {
     let workload = build_workload(args.views, args.queries);
     let engine = engine_with(&workload, args.views, MatchConfig::default());
     let checks = engine.check_constraints();
-    let mut report = Report::new();
 
     // Expression-level rules over every registered view and every query.
     for (_, view) in engine.views().iter() {
@@ -174,33 +273,5 @@ fn main() -> ExitCode {
         report.extend(audit.diagnostics);
     }
 
-    let title = format!(
-        "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked, {} audit findings",
-        args.views, args.queries, substitutes, exec_checked, audit_findings
-    );
-    let json = report.to_json(&title);
-    match &args.out {
-        Some(path) => {
-            if let Err(e) = std::fs::write(path, &json) {
-                eprintln!("mv-lint: cannot write {path}: {e}");
-                return ExitCode::from(2);
-            }
-        }
-        None => print!("{json}"),
-    }
-
-    let errors = report.count(Severity::Error);
-    let warnings = report.count(Severity::Warning);
-    eprintln!("mv-lint: {substitutes} substitutes verified, {errors} errors, {warnings} warnings");
-    for d in &report.diagnostics {
-        if d.severity == Severity::Error || (args.deny_warnings && d.severity == Severity::Warning)
-        {
-            eprintln!("  {d}");
-        }
-    }
-    if errors > 0 || (args.deny_warnings && warnings > 0) {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
-    }
+    (substitutes, exec_checked, audit_findings)
 }

@@ -1,0 +1,33 @@
+//! Thread-local link from a model thread to its execution.
+//!
+//! When the context is `None`, every shim primitive falls back to plain
+//! std behavior — this is what lets reference engines be built *outside*
+//! `explore` in the same mv_model-compiled binary.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+use crate::exec::Execution;
+
+std::thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_ctx(v: Option<(Arc<Execution>, usize)>) {
+    CTX.with(|c| *c.borrow_mut() = v);
+}
+
+pub(crate) fn panic_message(p: &Box<dyn Any + Send + 'static>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        format!("thread panicked: {s}")
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        format!("thread panicked: {s}")
+    } else {
+        "thread panicked (non-string payload)".to_string()
+    }
+}

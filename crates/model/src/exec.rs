@@ -1,0 +1,1010 @@
+//! The cooperative scheduler behind the shim primitives.
+//!
+//! One model thread runs at a time. Every shim operation enters
+//! [`Execution::admission`], which decides — deterministically, from a
+//! recorded decision vector — whether the calling thread keeps running
+//! or hands off to another runnable thread. The explorer in `lib.rs`
+//! drives depth-first search over those decision vectors, so every
+//! branch point (scheduling choice, or which store a relaxed load may
+//! observe) is enumerated rather than left to the OS.
+//!
+//! Threads are real OS threads parked on a condvar; "cooperative" means
+//! only the thread whose tid equals `ExecState::current` makes
+//! progress. A run aborts by setting the `aborted` flag and panicking
+//! with [`AbortSignal`], which every parked thread notices, re-raises,
+//! and catches at its own top level.
+
+use std::collections::HashSet;
+use std::panic;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as StdOrdering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to tear a run down without reporting a failure.
+pub(crate) struct AbortSignal;
+
+/// How many stores per atomic the memory model keeps visible to relaxed
+/// loads. Older stores are coherence-forbidden for everyone anyway once
+/// this many newer ones exist in a bounded program.
+const HIST_MAX: usize = 6;
+
+/// One recorded branch point: `alts` alternatives existed, `chosen` was
+/// taken. Only points with `alts > 1` are recorded.
+#[derive(Clone, Copy, Debug)]
+pub struct Decision {
+    pub alts: u32,
+    pub chosen: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum BlockOn {
+    Lock(usize),
+    Read(usize),
+    Write(usize),
+    Join(usize),
+    /// For operations that never block (atomics, yield points).
+    Never,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Ready,
+    Blocked(BlockOn),
+    Finished,
+}
+
+struct ThreadInfo {
+    status: Status,
+    /// Vector clock; index = tid. May be shorter than the thread count —
+    /// missing entries are zero.
+    clock: Vec<u64>,
+    /// Fold of everything this thread has observed. Two threads with the
+    /// same code and the same `obs` are in the same local state, which is
+    /// what makes the state fingerprint sound for prefix pruning.
+    obs: u64,
+    /// Local operation count (also the thread's lamport time).
+    ops: u64,
+}
+
+pub(crate) struct StoreRec {
+    val: u64,
+    /// `usize::MAX` marks the initial value, which happens-before everyone.
+    writer: usize,
+    wtime: u64,
+    /// Release clock, if the store (or the release-sequence head it
+    /// continues) had release semantics.
+    release: Option<Vec<u64>>,
+}
+
+pub(crate) enum Object {
+    Mutex {
+        owner: Option<usize>,
+        clock: Vec<u64>,
+        hist: u64,
+    },
+    RwLock {
+        writer: Option<usize>,
+        readers: Vec<usize>,
+        wclock: Vec<u64>,
+        rclock: Vec<u64>,
+        hist: u64,
+    },
+    Atomic {
+        /// Store history window; absolute index = `base` + position.
+        stores: Vec<StoreRec>,
+        base: usize,
+        /// Per-tid absolute index of the newest store each thread has
+        /// observed (coherence floor).
+        seen: Vec<usize>,
+        /// Absolute index of the newest SeqCst store.
+        last_sc: usize,
+        hist: u64,
+    },
+}
+
+impl Object {
+    pub(crate) fn new_mutex() -> Object {
+        Object::Mutex {
+            owner: None,
+            clock: Vec::new(),
+            hist: 0x6d75,
+        }
+    }
+    pub(crate) fn new_rwlock() -> Object {
+        Object::RwLock {
+            writer: None,
+            readers: Vec::new(),
+            wclock: Vec::new(),
+            rclock: Vec::new(),
+            hist: 0x7277,
+        }
+    }
+    pub(crate) fn new_atomic(init: u64) -> Object {
+        Object::Atomic {
+            stores: vec![StoreRec {
+                val: init,
+                writer: usize::MAX,
+                wtime: 0,
+                release: None,
+            }],
+            base: 0,
+            seen: Vec::new(),
+            last_sc: 0,
+            hist: mix(0x6174, init),
+        }
+    }
+}
+
+fn mix(h: u64, v: u64) -> u64 {
+    (h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .rotate_left(23)
+        .wrapping_mul(0x100_0000_01B3)
+}
+
+fn is_acquire(ord: StdOrdering) -> bool {
+    matches!(
+        ord,
+        StdOrdering::Acquire | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+fn is_release(ord: StdOrdering) -> bool {
+    matches!(
+        ord,
+        StdOrdering::Release | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+enum Admit {
+    Yes,
+    Block,
+    Fail(String),
+}
+
+enum Decide {
+    Chosen(usize),
+    Diverged(String),
+    Pruned,
+}
+
+pub(crate) struct RunOutcome {
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) failure: Option<String>,
+    pub(crate) pruned: bool,
+}
+
+struct ExecState {
+    threads: Vec<ThreadInfo>,
+    current: usize,
+    objects: Vec<Object>,
+    finished: usize,
+    /// Replayed decision prefix; beyond it DFS takes alternative 0.
+    prefix: Vec<u32>,
+    cursor: usize,
+    decisions: Vec<Decision>,
+    steps: u64,
+    max_steps: u64,
+    preemptions_left: u32,
+    failure: Option<String>,
+    pruned: bool,
+    /// Shared across runs of one `explore`: fingerprints of
+    /// (state, chosen alternative) pairs already fully explored.
+    seen: Option<Arc<Mutex<HashSet<u64>>>>,
+}
+
+impl ExecState {
+    fn ready_others(&self, me: usize) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|&(t, i)| t != me && i.status == Status::Ready)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    fn tick(&mut self, me: usize) {
+        let n = self.threads.len();
+        let t = &mut self.threads[me];
+        if t.clock.len() < n {
+            t.clock.resize(n, 0);
+        }
+        t.clock[me] += 1;
+        t.ops += 1;
+    }
+
+    fn join_clock(&mut self, me: usize, other: &[u64]) {
+        let t = &mut self.threads[me];
+        if t.clock.len() < other.len() {
+            t.clock.resize(other.len(), 0);
+        }
+        let mut acc = t.obs;
+        for (i, &v) in other.iter().enumerate() {
+            if v > t.clock[i] {
+                t.clock[i] = v;
+            }
+            acc = mix(acc, v);
+        }
+        t.obs = acc;
+    }
+
+    fn observe(&mut self, me: usize, tag: u64, a: u64, b: u64) {
+        let t = &mut self.threads[me];
+        t.obs = mix(mix(mix(t.obs, tag), a), b);
+    }
+
+    fn wake(&mut self, pred: impl Fn(BlockOn) -> bool) {
+        for t in &mut self.threads {
+            if let Status::Blocked(b) = t.status {
+                if pred(b) {
+                    t.status = Status::Ready;
+                }
+            }
+        }
+    }
+
+    /// Record a branch point, consulting the replay prefix and (beyond
+    /// the replayed region) the cross-run prune set.
+    fn decide_core(&mut self, alts: usize) -> Decide {
+        if alts <= 1 {
+            return Decide::Chosen(0);
+        }
+        let pos = self.cursor;
+        self.cursor += 1;
+        let chosen = if pos < self.prefix.len() {
+            let c = self.prefix[pos] as usize;
+            if c >= alts {
+                return Decide::Diverged(format!(
+                    "replay divergence at decision {pos}: seed chose {c} of {alts} \
+                     alternatives — the model program is not deterministic"
+                ));
+            }
+            c
+        } else {
+            0
+        };
+        // `pos + 1 >= prefix.len()` marks genuinely new exploration: every
+        // earlier position is a re-walk of a prefix whose (state, choice)
+        // pair was inserted when it was itself new.
+        if pos + 1 >= self.prefix.len() {
+            if let Some(seen) = self.seen.clone() {
+                let key = mix(self.fingerprint(), chosen as u64 + 1);
+                let mut set = seen.lock().unwrap_or_else(|e| e.into_inner());
+                if !set.insert(key) {
+                    self.decisions.push(Decision {
+                        alts: alts as u32,
+                        chosen: chosen as u32,
+                    });
+                    return Decide::Pruned;
+                }
+            }
+        }
+        self.decisions.push(Decision {
+            alts: alts as u32,
+            chosen: chosen as u32,
+        });
+        Decide::Chosen(chosen)
+    }
+
+    /// Hash of the full execution state. Thread-local state is captured
+    /// by `obs`/`ops` (a deterministic program's local state is a
+    /// function of what it has observed); shared state is hashed
+    /// directly. Includes the remaining preemption budget because it
+    /// constrains which continuations are explorable.
+    fn fingerprint(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        h = mix(h, self.current as u64);
+        h = mix(h, self.preemptions_left as u64);
+        for t in &self.threads {
+            let s = match t.status {
+                Status::Ready => 1,
+                Status::Finished => 2,
+                Status::Blocked(b) => {
+                    3 + match b {
+                        BlockOn::Lock(o) => o as u64 * 8,
+                        BlockOn::Read(o) => 1 + o as u64 * 8,
+                        BlockOn::Write(o) => 2 + o as u64 * 8,
+                        BlockOn::Join(t) => 3 + t as u64 * 8,
+                        BlockOn::Never => 4,
+                    }
+                }
+            };
+            h = mix(mix(mix(h, s), t.obs), t.ops);
+        }
+        for o in &self.objects {
+            match o {
+                Object::Mutex { owner, hist, .. } => {
+                    h = mix(mix(h, owner.map_or(0, |t| t as u64 + 1)), *hist);
+                }
+                Object::RwLock {
+                    writer,
+                    readers,
+                    hist,
+                    ..
+                } => {
+                    h = mix(mix(h, writer.map_or(0, |t| t as u64 + 1)), *hist);
+                    for &r in readers {
+                        h = mix(h, r as u64 + 1);
+                    }
+                }
+                Object::Atomic {
+                    stores,
+                    base,
+                    seen,
+                    last_sc,
+                    hist,
+                } => {
+                    h = mix(mix(mix(h, *base as u64), *last_sc as u64), *hist);
+                    for s in stores {
+                        h = mix(mix(h, s.val), s.wtime.wrapping_add(s.writer as u64));
+                    }
+                    for &s in seen {
+                        h = mix(h, s as u64);
+                    }
+                }
+            }
+        }
+        h
+    }
+}
+
+pub(crate) struct Execution {
+    /// Run generation; object cells tag themselves with it so stale
+    /// registrations from earlier runs are ignored.
+    pub(crate) gen: u64,
+    state: Mutex<ExecState>,
+    cv: Condvar,
+    aborted: AtomicBool,
+}
+
+impl Execution {
+    pub(crate) fn new(
+        gen: u64,
+        preemption_bound: u32,
+        max_steps: u64,
+        prefix: Vec<u32>,
+        seen: Option<Arc<Mutex<HashSet<u64>>>>,
+    ) -> Execution {
+        Execution {
+            gen,
+            state: Mutex::new(ExecState {
+                threads: vec![ThreadInfo {
+                    status: Status::Ready,
+                    clock: vec![1],
+                    obs: 0,
+                    ops: 0,
+                }],
+                current: 0,
+                objects: Vec::new(),
+                finished: 0,
+                prefix,
+                cursor: 0,
+                decisions: Vec::new(),
+                steps: 0,
+                max_steps,
+                preemptions_left: preemption_bound,
+                failure: None,
+                pruned: false,
+                seen,
+            }),
+            cv: Condvar::new(),
+            aborted: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(StdOrdering::SeqCst)
+    }
+
+    fn lock_state(&self) -> MutexGuard<'_, ExecState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn abort_now(&self, st: MutexGuard<'_, ExecState>) -> ! {
+        drop(st);
+        panic::panic_any(AbortSignal);
+    }
+
+    fn fail(&self, mut st: MutexGuard<'_, ExecState>, msg: String) -> ! {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        self.aborted.store(true, StdOrdering::SeqCst);
+        self.cv.notify_all();
+        self.abort_now(st)
+    }
+
+    fn prune_abort(&self, mut st: MutexGuard<'_, ExecState>) -> ! {
+        st.pruned = true;
+        self.aborted.store(true, StdOrdering::SeqCst);
+        self.cv.notify_all();
+        self.abort_now(st)
+    }
+
+    fn decide<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        alts: usize,
+    ) -> (MutexGuard<'a, ExecState>, usize) {
+        match st.decide_core(alts) {
+            Decide::Chosen(c) => (st, c),
+            Decide::Diverged(m) => self.fail(st, m),
+            Decide::Pruned => self.prune_abort(st),
+        }
+    }
+
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, ExecState>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecState> {
+        loop {
+            if self.is_aborted() {
+                self.abort_now(st);
+            }
+            if st.current == me {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// The single scheduling gate. Returns with the state lock held,
+    /// `me` current, and the operation admissible; the caller then
+    /// applies its effects under the same lock hold.
+    fn admission(
+        &self,
+        me: usize,
+        block: BlockOn,
+        can: impl Fn(&ExecState) -> Admit,
+    ) -> MutexGuard<'_, ExecState> {
+        let mut st = self.lock_state();
+        loop {
+            if self.is_aborted() {
+                self.abort_now(st);
+            }
+            st.steps += 1;
+            if st.steps > st.max_steps {
+                let cap = st.max_steps;
+                self.fail(
+                    st,
+                    format!("step cap ({cap}) exceeded — possible livelock in the model program"),
+                );
+            }
+            match can(&st) {
+                Admit::Fail(msg) => self.fail(st, msg),
+                Admit::Yes => {
+                    let others = st.ready_others(me);
+                    let alts = if st.preemptions_left > 0 {
+                        1 + others.len()
+                    } else {
+                        1
+                    };
+                    let (mut st2, choice) = self.decide(st, alts);
+                    if choice == 0 {
+                        return st2;
+                    }
+                    st2.preemptions_left -= 1;
+                    st2.current = others[choice - 1];
+                    self.cv.notify_all();
+                    st = self.wait_turn(st2, me);
+                }
+                Admit::Block => {
+                    st.threads[me].status = Status::Blocked(block);
+                    let ready = st.ready_others(me);
+                    if ready.is_empty() {
+                        self.fail(
+                            st,
+                            format!(
+                                "deadlock: thread {me} blocked on {block:?} with no runnable thread"
+                            ),
+                        );
+                    }
+                    let (mut st2, choice) = self.decide(st, ready.len());
+                    st2.current = ready[choice];
+                    self.cv.notify_all();
+                    st = self.wait_turn(st2, me);
+                }
+            }
+        }
+    }
+
+    // ---- object registry -------------------------------------------------
+
+    /// Resolve the object id a shim cell refers to in this run,
+    /// registering it on first touch. The cell packs (gen << 24 | id+1).
+    pub(crate) fn ensure_object(&self, cell: &AtomicU64, make: impl FnOnce() -> Object) -> usize {
+        let tag = cell.load(StdOrdering::SeqCst);
+        if tag >> 24 == self.gen && tag & 0xFF_FFFF != 0 {
+            return (tag & 0xFF_FFFF) as usize - 1;
+        }
+        let mut st = self.lock_state();
+        let tag = cell.load(StdOrdering::SeqCst);
+        if tag >> 24 == self.gen && tag & 0xFF_FFFF != 0 {
+            return (tag & 0xFF_FFFF) as usize - 1;
+        }
+        let id = st.objects.len();
+        st.objects.push(make());
+        cell.store((self.gen << 24) | (id as u64 + 1), StdOrdering::SeqCst);
+        id
+    }
+
+    // ---- mutex -----------------------------------------------------------
+
+    pub(crate) fn op_mutex_lock(&self, me: usize, obj: usize) {
+        let mut st = self.admission(me, BlockOn::Lock(obj), |st| match &st.objects[obj] {
+            Object::Mutex { owner, .. } => match owner {
+                Some(o) if *o == me => {
+                    Admit::Fail(format!("thread {me} re-locked a mutex it already holds"))
+                }
+                Some(_) => Admit::Block,
+                None => Admit::Yes,
+            },
+            _ => Admit::Fail("object kind confusion: expected mutex".into()),
+        });
+        st.tick(me);
+        let (mclock, mhist) = match &mut st.objects[obj] {
+            Object::Mutex { owner, clock, hist } => {
+                *owner = Some(me);
+                *hist = mix(mix(*hist, me as u64 + 1), 0x11);
+                (clock.clone(), *hist)
+            }
+            _ => unreachable!(),
+        };
+        st.join_clock(me, &mclock);
+        st.observe(me, 0x11, obj as u64, mhist);
+    }
+
+    pub(crate) fn op_mutex_unlock(&self, me: usize, obj: usize) {
+        let mut st = self.admission(me, BlockOn::Never, |_| Admit::Yes);
+        st.tick(me);
+        let myclock = st.threads[me].clock.clone();
+        if let Object::Mutex { owner, clock, hist } = &mut st.objects[obj] {
+            *owner = None;
+            *clock = myclock;
+            *hist = mix(mix(*hist, me as u64 + 1), 0x12);
+        }
+        st.observe(me, 0x12, obj as u64, 0);
+        st.wake(|b| b == BlockOn::Lock(obj));
+        self.cv.notify_all();
+    }
+
+    /// Release during unwinding or after an abort: fix the scheduler
+    /// state so other threads are not wedged, but never panic and never
+    /// branch — this path must be safe inside `Drop`.
+    pub(crate) fn quiet_release_mutex(&self, me: usize, obj: usize) {
+        let mut st = self.lock_state();
+        let myclock = st.threads[me].clock.clone();
+        if let Some(Object::Mutex { owner, clock, .. }) = st.objects.get_mut(obj) {
+            *owner = None;
+            *clock = myclock;
+        }
+        st.wake(|b| b == BlockOn::Lock(obj));
+        self.cv.notify_all();
+    }
+
+    // ---- rwlock ----------------------------------------------------------
+
+    pub(crate) fn op_rw_read(&self, me: usize, obj: usize) {
+        let mut st = self.admission(me, BlockOn::Read(obj), |st| match &st.objects[obj] {
+            Object::RwLock {
+                writer, readers, ..
+            } => {
+                if *writer == Some(me) || readers.contains(&me) {
+                    Admit::Fail(format!("thread {me} re-entered an rwlock it already holds"))
+                } else if writer.is_some() {
+                    Admit::Block
+                } else {
+                    Admit::Yes
+                }
+            }
+            _ => Admit::Fail("object kind confusion: expected rwlock".into()),
+        });
+        st.tick(me);
+        let (wclock, h) = match &mut st.objects[obj] {
+            Object::RwLock {
+                readers,
+                wclock,
+                hist,
+                ..
+            } => {
+                readers.push(me);
+                *hist = mix(mix(*hist, me as u64 + 1), 0x21);
+                (wclock.clone(), *hist)
+            }
+            _ => unreachable!(),
+        };
+        st.join_clock(me, &wclock);
+        st.observe(me, 0x21, obj as u64, h);
+    }
+
+    pub(crate) fn op_rw_read_unlock(&self, me: usize, obj: usize) {
+        let mut st = self.admission(me, BlockOn::Never, |_| Admit::Yes);
+        st.tick(me);
+        let myclock = st.threads[me].clock.clone();
+        if let Object::RwLock {
+            readers,
+            rclock,
+            hist,
+            ..
+        } = &mut st.objects[obj]
+        {
+            readers.retain(|&r| r != me);
+            if rclock.len() < myclock.len() {
+                rclock.resize(myclock.len(), 0);
+            }
+            for (i, &v) in myclock.iter().enumerate() {
+                if v > rclock[i] {
+                    rclock[i] = v;
+                }
+            }
+            *hist = mix(mix(*hist, me as u64 + 1), 0x22);
+        }
+        st.observe(me, 0x22, obj as u64, 0);
+        st.wake(|b| b == BlockOn::Write(obj));
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn op_rw_write(&self, me: usize, obj: usize) {
+        let mut st = self.admission(me, BlockOn::Write(obj), |st| match &st.objects[obj] {
+            Object::RwLock {
+                writer, readers, ..
+            } => {
+                if *writer == Some(me) || readers.contains(&me) {
+                    Admit::Fail(format!("thread {me} re-entered an rwlock it already holds"))
+                } else if writer.is_some() || !readers.is_empty() {
+                    Admit::Block
+                } else {
+                    Admit::Yes
+                }
+            }
+            _ => Admit::Fail("object kind confusion: expected rwlock".into()),
+        });
+        st.tick(me);
+        let (wclock, rclock, h) = match &mut st.objects[obj] {
+            Object::RwLock {
+                writer,
+                wclock,
+                rclock,
+                hist,
+                ..
+            } => {
+                *writer = Some(me);
+                *hist = mix(mix(*hist, me as u64 + 1), 0x23);
+                (wclock.clone(), rclock.clone(), *hist)
+            }
+            _ => unreachable!(),
+        };
+        st.join_clock(me, &wclock);
+        st.join_clock(me, &rclock);
+        st.observe(me, 0x23, obj as u64, h);
+    }
+
+    pub(crate) fn op_rw_write_unlock(&self, me: usize, obj: usize) {
+        let mut st = self.admission(me, BlockOn::Never, |_| Admit::Yes);
+        st.tick(me);
+        let myclock = st.threads[me].clock.clone();
+        if let Object::RwLock {
+            writer,
+            wclock,
+            hist,
+            ..
+        } = &mut st.objects[obj]
+        {
+            *writer = None;
+            *wclock = myclock;
+            *hist = mix(mix(*hist, me as u64 + 1), 0x24);
+        }
+        st.observe(me, 0x24, obj as u64, 0);
+        st.wake(|b| b == BlockOn::Read(obj) || b == BlockOn::Write(obj));
+        self.cv.notify_all();
+    }
+
+    pub(crate) fn quiet_release_rw(&self, me: usize, obj: usize, write: bool) {
+        let mut st = self.lock_state();
+        let myclock = st.threads[me].clock.clone();
+        if let Some(Object::RwLock {
+            writer,
+            readers,
+            wclock,
+            ..
+        }) = st.objects.get_mut(obj)
+        {
+            if write {
+                *writer = None;
+                *wclock = myclock;
+            } else {
+                readers.retain(|&r| r != me);
+            }
+        }
+        st.wake(|b| b == BlockOn::Read(obj) || b == BlockOn::Write(obj));
+        self.cv.notify_all();
+    }
+
+    // ---- atomics ---------------------------------------------------------
+
+    /// A load observes one of the coherence-admissible stores; when more
+    /// than one is admissible (a genuinely racy read) the choice is a DFS
+    /// branch point. Alternative 0 reads the newest store, so the first
+    /// explored schedule behaves sequentially consistently.
+    pub(crate) fn op_atomic_load(&self, me: usize, obj: usize, ord: StdOrdering) -> u64 {
+        let mut st = self.admission(me, BlockOn::Never, |_| Admit::Yes);
+        st.tick(me);
+        let (lo, hi) = {
+            let clock = st.threads[me].clock.clone();
+            match &mut st.objects[obj] {
+                Object::Atomic {
+                    stores,
+                    base,
+                    seen,
+                    last_sc,
+                    ..
+                } => {
+                    if seen.len() <= me {
+                        seen.resize(me + 1, *base);
+                    }
+                    let mut lo = seen[me].max(*base);
+                    if ord == StdOrdering::SeqCst {
+                        lo = lo.max(*last_sc);
+                    }
+                    for (pos, s) in stores.iter().enumerate() {
+                        let hb = s.writer == usize::MAX
+                            || clock.get(s.writer).copied().unwrap_or(0) >= s.wtime;
+                        if hb {
+                            lo = lo.max(*base + pos);
+                        }
+                    }
+                    (lo, *base + stores.len() - 1)
+                }
+                _ => panic!("object kind confusion: expected atomic"),
+            }
+        };
+        let alts = hi - lo + 1;
+        let (mut st, choice) = self.decide(st, alts);
+        let idx = hi - choice;
+        let (val, release) = match &mut st.objects[obj] {
+            Object::Atomic {
+                stores, base, seen, ..
+            } => {
+                seen[me] = idx;
+                let s = &stores[idx - *base];
+                (s.val, s.release.clone())
+            }
+            _ => unreachable!(),
+        };
+        if is_acquire(ord) {
+            if let Some(rel) = release {
+                st.join_clock(me, &rel);
+            }
+        }
+        st.observe(me, 0x31, obj as u64, mix(idx as u64, val));
+        val
+    }
+
+    pub(crate) fn op_atomic_store(
+        &self,
+        me: usize,
+        obj: usize,
+        val: u64,
+        ord: StdOrdering,
+        sync_back: impl FnOnce(u64),
+    ) {
+        let mut st = self.admission(me, BlockOn::Never, |_| Admit::Yes);
+        st.tick(me);
+        let clock = st.threads[me].clock.clone();
+        let wtime = clock[me];
+        if let Object::Atomic {
+            stores,
+            base,
+            seen,
+            last_sc,
+            hist,
+        } = &mut st.objects[obj]
+        {
+            stores.push(StoreRec {
+                val,
+                writer: me,
+                wtime,
+                release: is_release(ord).then(|| clock.clone()),
+            });
+            let idx = *base + stores.len() - 1;
+            if seen.len() <= me {
+                seen.resize(me + 1, *base);
+            }
+            seen[me] = idx;
+            if ord == StdOrdering::SeqCst {
+                *last_sc = idx;
+            }
+            *hist = mix(mix(*hist, val), me as u64 + 1);
+            while stores.len() > HIST_MAX {
+                stores.remove(0);
+                *base += 1;
+            }
+            let b = *base;
+            for s in seen.iter_mut() {
+                *s = (*s).max(b);
+            }
+        }
+        st.observe(me, 0x32, obj as u64, val);
+        // Push the value into the std backing while the state lock is
+        // held, so the backing's modification order matches the model's.
+        sync_back(val);
+    }
+
+    /// RMWs always read the newest store (atomicity), continue release
+    /// sequences, and never branch.
+    pub(crate) fn op_atomic_rmw(
+        &self,
+        me: usize,
+        obj: usize,
+        ord: StdOrdering,
+        f: impl FnOnce(u64) -> u64,
+        sync_back: impl FnOnce(u64),
+    ) -> u64 {
+        let mut st = self.admission(me, BlockOn::Never, |_| Admit::Yes);
+        st.tick(me);
+        let clock = st.threads[me].clock.clone();
+        let wtime = clock[me];
+        let (old, acquired) = match &mut st.objects[obj] {
+            Object::Atomic { stores, .. } => {
+                let s = stores.last().expect("atomic history never empty");
+                (s.val, s.release.clone())
+            }
+            _ => panic!("object kind confusion: expected atomic"),
+        };
+        if is_acquire(ord) {
+            if let Some(rel) = acquired {
+                st.join_clock(me, &rel);
+            }
+        }
+        let new = f(old);
+        let clock = st.threads[me].clock.clone();
+        if let Object::Atomic {
+            stores,
+            base,
+            seen,
+            last_sc,
+            hist,
+        } = &mut st.objects[obj]
+        {
+            let prev_release = stores.last().and_then(|s| s.release.clone());
+            stores.push(StoreRec {
+                val: new,
+                writer: me,
+                wtime,
+                release: if is_release(ord) {
+                    Some(clock)
+                } else {
+                    // A relaxed RMW continues the release sequence headed
+                    // by the store it read from.
+                    prev_release
+                },
+            });
+            let idx = *base + stores.len() - 1;
+            if seen.len() <= me {
+                seen.resize(me + 1, *base);
+            }
+            seen[me] = idx;
+            if ord == StdOrdering::SeqCst {
+                *last_sc = idx;
+            }
+            *hist = mix(mix(*hist, new), me as u64 + 1);
+            while stores.len() > HIST_MAX {
+                stores.remove(0);
+                *base += 1;
+            }
+            let b = *base;
+            for s in seen.iter_mut() {
+                *s = (*s).max(b);
+            }
+        }
+        st.observe(me, 0x33, obj as u64, mix(old, new));
+        sync_back(new);
+        old
+    }
+
+    // ---- threads ---------------------------------------------------------
+
+    pub(crate) fn register_thread(&self, parent: usize) -> usize {
+        let mut st = self.lock_state();
+        let tid = st.threads.len();
+        let mut clock = st.threads[parent].clock.clone();
+        clock.resize(tid + 1, 0);
+        st.threads.push(ThreadInfo {
+            status: Status::Ready,
+            clock,
+            obs: mix(0x7464, tid as u64),
+            ops: 0,
+        });
+        tid
+    }
+
+    /// A plain schedule point (spawn sites, `yield_now`).
+    pub(crate) fn op_yield(&self, me: usize) {
+        let mut st = self.admission(me, BlockOn::Never, |_| Admit::Yes);
+        st.tick(me);
+    }
+
+    /// First thing a spawned thread does: park until scheduled.
+    pub(crate) fn enter_thread(&self, me: usize) {
+        let st = self.lock_state();
+        let mut st = self.wait_turn(st, me);
+        st.tick(me);
+    }
+
+    pub(crate) fn op_join(&self, me: usize, target: usize) {
+        let mut st = self.admission(me, BlockOn::Join(target), |st| {
+            if st.threads[target].status == Status::Finished {
+                Admit::Yes
+            } else {
+                Admit::Block
+            }
+        });
+        st.tick(me);
+        let tclock = st.threads[target].clock.clone();
+        st.join_clock(me, &tclock);
+        st.observe(me, 0x41, target as u64, 0);
+    }
+
+    /// Thread teardown. Must not panic: it runs outside the thread's
+    /// `catch_unwind` region.
+    pub(crate) fn exit_thread(&self, me: usize, real_panic: Option<String>) {
+        let mut st = self.lock_state();
+        if let Some(msg) = real_panic {
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+            self.aborted.store(true, StdOrdering::SeqCst);
+        }
+        st.threads[me].status = Status::Finished;
+        st.finished += 1;
+        st.wake(|b| b == BlockOn::Join(me));
+        if !self.is_aborted() {
+            let ready = st.ready_others(me);
+            if !ready.is_empty() {
+                let choice = match st.decide_core(ready.len()) {
+                    Decide::Chosen(c) => c,
+                    Decide::Diverged(m) => {
+                        if st.failure.is_none() {
+                            st.failure = Some(m);
+                        }
+                        self.aborted.store(true, StdOrdering::SeqCst);
+                        0
+                    }
+                    Decide::Pruned => {
+                        st.pruned = true;
+                        self.aborted.store(true, StdOrdering::SeqCst);
+                        0
+                    }
+                };
+                st.current = ready[choice];
+            } else if st.finished < st.threads.len() {
+                if st.failure.is_none() {
+                    st.failure = Some(format!(
+                        "deadlock: thread {me} finished but every remaining thread is blocked"
+                    ));
+                }
+                self.aborted.store(true, StdOrdering::SeqCst);
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Called on the exploring thread after the program closure returns
+    /// (or unwinds): finish tid 0, hand off to any still-live threads,
+    /// and wait for every spawned thread to reach `Finished`.
+    pub(crate) fn main_finish(&self, real_panic: Option<String>) {
+        self.exit_thread(0, real_panic);
+        let mut st = self.lock_state();
+        while st.finished < st.threads.len() {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    pub(crate) fn collect(&self) -> RunOutcome {
+        let st = self.lock_state();
+        RunOutcome {
+            decisions: st.decisions.clone(),
+            failure: st.failure.clone(),
+            pruned: st.pruned,
+        }
+    }
+}

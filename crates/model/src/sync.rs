@@ -1,0 +1,233 @@
+//! `Mutex`/`RwLock` shims. API-compatible with the std types for the
+//! operations the engine uses (`new`, `lock`, `read`, `write`), but with
+//! acquisition admitted by the model scheduler when a model execution is
+//! active on the current thread.
+//!
+//! The std primitive underneath still stores the data and is acquired
+//! *after* scheduler admission, so it never actually contends: the
+//! scheduler guarantees exclusivity before the std lock is touched.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::AtomicU64 as Cell;
+use std::sync::{LockResult, PoisonError};
+
+pub use std::sync::Arc;
+
+use crate::ctx::ctx;
+use crate::exec::{Execution, Object};
+
+// ---- Mutex ----------------------------------------------------------------
+
+pub struct Mutex<T> {
+    cell: Cell,
+    inner: std::sync::Mutex<T>,
+}
+
+pub struct MutexGuard<'a, T> {
+    sched: Option<(Arc<Execution>, usize, usize)>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            cell: Cell::new(0),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match ctx() {
+            None => match self.inner.lock() {
+                Ok(g) => Ok(MutexGuard {
+                    sched: None,
+                    inner: Some(g),
+                }),
+                Err(e) => Err(PoisonError::new(MutexGuard {
+                    sched: None,
+                    inner: Some(e.into_inner()),
+                })),
+            },
+            Some((exec, me)) => {
+                let obj = exec.ensure_object(&self.cell, Object::new_mutex);
+                exec.op_mutex_lock(me, obj);
+                let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                Ok(MutexGuard {
+                    sched: Some((exec, me, obj)),
+                    inner: Some(g),
+                })
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("mutex guard used after drop")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("mutex guard used after drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, me, obj)) = self.sched.take() {
+            if std::thread::panicking() || exec.is_aborted() {
+                exec.quiet_release_mutex(me, obj);
+            } else {
+                exec.op_mutex_unlock(me, obj);
+            }
+        }
+    }
+}
+
+// ---- RwLock ---------------------------------------------------------------
+
+pub struct RwLock<T> {
+    cell: Cell,
+    inner: std::sync::RwLock<T>,
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    sched: Option<(Arc<Execution>, usize, usize)>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    sched: Option<(Arc<Execution>, usize, usize)>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            cell: Cell::new(0),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match ctx() {
+            None => match self.inner.read() {
+                Ok(g) => Ok(RwLockReadGuard {
+                    sched: None,
+                    inner: Some(g),
+                }),
+                Err(e) => Err(PoisonError::new(RwLockReadGuard {
+                    sched: None,
+                    inner: Some(e.into_inner()),
+                })),
+            },
+            Some((exec, me)) => {
+                let obj = exec.ensure_object(&self.cell, Object::new_rwlock);
+                exec.op_rw_read(me, obj);
+                let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+                Ok(RwLockReadGuard {
+                    sched: Some((exec, me, obj)),
+                    inner: Some(g),
+                })
+            }
+        }
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match ctx() {
+            None => match self.inner.write() {
+                Ok(g) => Ok(RwLockWriteGuard {
+                    sched: None,
+                    inner: Some(g),
+                }),
+                Err(e) => Err(PoisonError::new(RwLockWriteGuard {
+                    sched: None,
+                    inner: Some(e.into_inner()),
+                })),
+            },
+            Some((exec, me)) => {
+                let obj = exec.ensure_object(&self.cell, Object::new_rwlock);
+                exec.op_rw_write(me, obj);
+                let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+                Ok(RwLockWriteGuard {
+                    sched: Some((exec, me, obj)),
+                    inner: Some(g),
+                })
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("rwlock guard used after drop")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, me, obj)) = self.sched.take() {
+            if std::thread::panicking() || exec.is_aborted() {
+                exec.quiet_release_rw(me, obj, false);
+            } else {
+                exec.op_rw_read_unlock(me, obj);
+            }
+        }
+    }
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("rwlock guard used after drop")
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("rwlock guard used after drop")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some((exec, me, obj)) = self.sched.take() {
+            if std::thread::panicking() || exec.is_aborted() {
+                exec.quiet_release_rw(me, obj, true);
+            } else {
+                exec.op_rw_write_unlock(me, obj);
+            }
+        }
+    }
+}

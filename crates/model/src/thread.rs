@@ -1,0 +1,80 @@
+//! `thread::spawn` shim. Spawned closures run on real OS threads, but a
+//! model thread only makes progress while the scheduler has selected it,
+//! and `join` is a scheduler blocking point with a happens-before edge
+//! from the joined thread's final operation.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::ctx::{ctx, panic_message, set_ctx};
+use crate::exec::Execution;
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        handle: std::thread::JoinHandle<Option<T>>,
+        exec: Arc<Execution>,
+        tid: usize,
+    },
+}
+
+pub struct JoinHandle<T>(Inner<T>);
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        Some((exec, me)) => {
+            let tid = exec.register_thread(me);
+            let texec = Arc::clone(&exec);
+            let handle = std::thread::spawn(move || {
+                set_ctx(Some((Arc::clone(&texec), tid)));
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    texec.enter_thread(tid);
+                    f()
+                }));
+                let failure = match &result {
+                    Ok(_) => None,
+                    Err(p) if p.is::<crate::exec::AbortSignal>() => None,
+                    Err(p) => Some(panic_message(p)),
+                };
+                texec.exit_thread(tid, failure);
+                set_ctx(None);
+                result.ok()
+            });
+            // Schedule point: DFS may run the child before the parent's
+            // next operation.
+            exec.op_yield(me);
+            JoinHandle(Inner::Model { handle, exec, tid })
+        }
+    }
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { handle, exec, tid } => {
+                let (_, me) = ctx().expect("model thread joined from outside its execution");
+                exec.op_join(me, tid);
+                match handle.join() {
+                    Ok(Some(v)) => Ok(v),
+                    // The child unwound (abort or failure): this run is
+                    // being torn down, so tear the joiner down too.
+                    Ok(None) => panic::panic_any(crate::exec::AbortSignal),
+                    Err(e) => Err(e),
+                }
+            }
+        }
+    }
+}
+
+pub fn yield_now() {
+    match ctx() {
+        None => std::thread::yield_now(),
+        Some((exec, me)) => exec.op_yield(me),
+    }
+}

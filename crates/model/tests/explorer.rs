@@ -1,0 +1,261 @@
+//! Self-tests for the schedule explorer: known-racy programs must be
+//! pinned to failing schedules with replayable seeds, and correctly
+//! synchronized programs must pass over the full bounded-exhaustive
+//! space. These run in every build — the shims are exercised directly,
+//! no `--cfg mv_model` required.
+
+use std::sync::Arc as StdArc;
+
+use mv_model::{explore, replay, AtomicU64, Config, Mutex, Ordering, RwLock};
+
+fn cfg() -> Config {
+    Config::default()
+}
+
+/// Two threads increment a shared counter with a load/store pair (not an
+/// RMW). Some schedule must lose an update.
+#[test]
+fn unsynchronized_counter_loses_updates() {
+    let report = explore(&cfg(), || {
+        let counter = StdArc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = StdArc::clone(&counter);
+                mv_model::thread::spawn(move || {
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2, "lost update");
+    });
+    let failure = report.assert_fail("unsynchronized counter");
+    // The seed must replay to the same failure.
+    let msg = replay(&cfg(), &failure.seed, || {
+        let counter = StdArc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = StdArc::clone(&counter);
+                mv_model::thread::spawn(move || {
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2, "lost update");
+    });
+    assert!(
+        msg.is_some_and(|m| m.contains("lost update")),
+        "replay must reproduce the failure"
+    );
+}
+
+/// The same program with fetch_add is correct under every schedule.
+#[test]
+fn rmw_counter_is_sound() {
+    let report = explore(&cfg(), || {
+        let counter = StdArc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let counter = StdArc::clone(&counter);
+                mv_model::thread::spawn(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2);
+    });
+    report.assert_pass("fetch_add counter");
+    assert!(report.schedules > 1, "must explore more than one schedule");
+}
+
+/// Mutex-protected read-modify-write is correct under every schedule,
+/// including three-thread interleavings.
+#[test]
+fn mutex_counter_is_sound() {
+    let report = explore(&cfg(), || {
+        let counter = StdArc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let counter = StdArc::clone(&counter);
+                mv_model::thread::spawn(move || {
+                    let mut g = counter.lock().unwrap();
+                    *g += 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock().unwrap(), 3);
+    });
+    report.assert_pass("mutex counter");
+}
+
+/// Classic release/acquire message passing: the data write must be
+/// visible once the flag is observed set.
+#[test]
+fn release_acquire_publication_is_sound() {
+    let report = explore(&cfg(), || {
+        let data = StdArc::new(AtomicU64::new(0));
+        let flag = StdArc::new(AtomicU64::new(0));
+        let (d2, f2) = (StdArc::clone(&data), StdArc::clone(&flag));
+        let producer = mv_model::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Release);
+        });
+        if flag.load(Ordering::Acquire) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale read after acquire");
+        }
+        producer.join().unwrap();
+    });
+    report.assert_pass("release/acquire publication");
+}
+
+/// Concurrency mutation: weaken the publication protocol's orderings to
+/// Relaxed and the consumer can observe the flag without the data — the
+/// memory model must expose the stale read some schedule.
+#[test]
+fn relaxed_publication_is_pinned_to_a_failing_schedule() {
+    let program = || {
+        let data = StdArc::new(AtomicU64::new(0));
+        let flag = StdArc::new(AtomicU64::new(0));
+        let (d2, f2) = (StdArc::clone(&data), StdArc::clone(&flag));
+        let producer = mv_model::thread::spawn(move || {
+            d2.store(42, Ordering::Relaxed);
+            f2.store(1, Ordering::Relaxed);
+        });
+        if flag.load(Ordering::Relaxed) == 1 {
+            assert_eq!(data.load(Ordering::Relaxed), 42, "stale read");
+        }
+        producer.join().unwrap();
+    };
+    let report = explore(&cfg(), program);
+    let failure = report.assert_fail("relaxed publication");
+    let msg = replay(&cfg(), &failure.seed, program);
+    assert!(msg.is_some_and(|m| m.contains("stale read")));
+}
+
+/// AB-BA lock ordering must be reported as a deadlock, not hang.
+#[test]
+fn lock_order_inversion_deadlocks() {
+    let report = explore(&cfg(), || {
+        let a = StdArc::new(Mutex::new(()));
+        let b = StdArc::new(Mutex::new(()));
+        let (a2, b2) = (StdArc::clone(&a), StdArc::clone(&b));
+        let t = mv_model::thread::spawn(move || {
+            let _g1 = b2.lock().unwrap();
+            let _g2 = a2.lock().unwrap();
+        });
+        let _g1 = a.lock().unwrap();
+        let _g2 = b.lock().unwrap();
+        drop(_g2);
+        drop(_g1);
+        t.join().unwrap();
+    });
+    let failure = report.assert_fail("AB-BA deadlock");
+    assert!(failure.message.contains("deadlock"));
+}
+
+/// RwLock: writer exclusivity holds; a reader pinned before a write sees
+/// the old value, a reader after sees the new one, never anything else.
+#[test]
+fn rwlock_writer_exclusivity() {
+    let report = explore(&cfg(), || {
+        let shared = StdArc::new(RwLock::new(0u64));
+        let s2 = StdArc::clone(&shared);
+        let writer = mv_model::thread::spawn(move || {
+            *s2.write().unwrap() = 7;
+        });
+        let seen = *shared.read().unwrap();
+        assert!(seen == 0 || seen == 7, "torn rwlock read: {seen}");
+        writer.join().unwrap();
+    });
+    report.assert_pass("rwlock exclusivity");
+}
+
+/// Pruning must not change the verdict, only the work done.
+#[test]
+fn pruning_preserves_verdicts() {
+    let racy = || {
+        let c = StdArc::new(AtomicU64::new(0));
+        let c2 = StdArc::clone(&c);
+        let t = mv_model::thread::spawn(move || {
+            let v = c2.load(Ordering::Relaxed);
+            c2.store(v + 1, Ordering::Relaxed);
+        });
+        let v = c.load(Ordering::Relaxed);
+        c.store(v + 1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 2, "lost update");
+    };
+    let pruned = explore(
+        &Config {
+            prune: true,
+            ..cfg()
+        },
+        racy,
+    );
+    let full = explore(
+        &Config {
+            prune: false,
+            ..cfg()
+        },
+        racy,
+    );
+    assert!(pruned.failure.is_some() && full.failure.is_some());
+
+    let sound = || {
+        let c = StdArc::new(AtomicU64::new(0));
+        let c2 = StdArc::clone(&c);
+        let t = mv_model::thread::spawn(move || {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
+        c.fetch_add(1, Ordering::Relaxed);
+        t.join().unwrap();
+        assert_eq!(c.load(Ordering::Relaxed), 2);
+    };
+    let pruned = explore(
+        &Config {
+            prune: true,
+            ..cfg()
+        },
+        sound,
+    );
+    let full = explore(
+        &Config {
+            prune: false,
+            ..cfg()
+        },
+        sound,
+    );
+    assert!(pruned.failure.is_none() && full.failure.is_none());
+    assert!(
+        pruned.schedules <= full.schedules,
+        "pruning should never explore more complete schedules"
+    );
+}
+
+/// Shims fall back to plain std behavior outside an execution.
+#[test]
+fn shims_work_outside_explore() {
+    let m = Mutex::new(5u64);
+    *m.lock().unwrap() += 1;
+    assert_eq!(*m.lock().unwrap(), 6);
+    let rw = RwLock::new(1u64);
+    assert_eq!(*rw.read().unwrap(), 1);
+    *rw.write().unwrap() = 2;
+    assert_eq!(*rw.read().unwrap(), 2);
+    let a = AtomicU64::new(0);
+    a.fetch_add(3, Ordering::SeqCst);
+    assert_eq!(a.load(Ordering::SeqCst), 3);
+}

@@ -18,9 +18,15 @@
 //! and keeping the engine free of a resident pool keeps it trivially
 //! `Send + Sync`.
 
+pub mod sync;
+
 use std::num::NonZeroUsize;
+// The fan-out cursor and the parallelism override are plain counters in
+// the facade's home crate itself. mv-lint: allow(MV201)
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{OnceLock, RwLock};
+use std::sync::OnceLock;
+
+use sync::RwLock;
 
 std::thread_local! {
     /// Set while the current thread is a `par_map` worker, so nested
@@ -37,16 +43,33 @@ pub fn in_worker() -> bool {
     IN_WORKER.with(|w| w.get())
 }
 
+/// Test-only override for [`effective_parallelism`]; 0 means "no
+/// override, probe the machine".
+static PARALLELISM_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
 /// The machine's available parallelism, probed once and cached.
 /// `std::thread::available_parallelism` re-reads the cgroup/affinity state
 /// on every call, which is far too slow for a per-query decision.
 pub fn effective_parallelism() -> usize {
+    let forced = PARALLELISM_OVERRIDE.load(Ordering::SeqCst);
+    if forced != 0 {
+        return forced;
+    }
     static HW: OnceLock<usize> = OnceLock::new();
     *HW.get_or_init(|| {
         std::thread::available_parallelism()
             .map(NonZeroUsize::get)
             .unwrap_or(1)
     })
+}
+
+/// Force [`effective_parallelism`] to report a fixed worker count
+/// (`Some(n)`), or clear the override (`None`). For tests and model
+/// programs that need worker counts independent of host CPU topology —
+/// production code must never call this.
+#[doc(hidden)]
+pub fn set_effective_parallelism_override(n: Option<usize>) {
+    PARALLELISM_OVERRIDE.store(n.unwrap_or(0), Ordering::SeqCst);
 }
 
 /// Number of workers to use for `hint` work items: the machine's
@@ -80,13 +103,13 @@ impl<T> Published<T> {
     /// Pin the current value. The returned `Arc` stays coherent however
     /// many `store`s happen afterwards.
     pub fn load(&self) -> std::sync::Arc<T> {
-        self.inner.read().unwrap().clone()
+        sync::read_or_recover(&self.inner).clone()
     }
 
     /// Atomically publish a replacement value. Readers that already hold
     /// a pinned `Arc` keep it; new `load`s see the replacement.
     pub fn store(&self, value: std::sync::Arc<T>) {
-        *self.inner.write().unwrap() = value;
+        *sync::write_or_recover(&self.inner) = value;
     }
 }
 
@@ -114,7 +137,11 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let workers = workers.min(items.len());
-    if workers <= 1 || items.len() <= 1 {
+    // Under the model checker, fan-outs run serially: scoped worker
+    // threads cannot be routed through the cooperative scheduler, and
+    // the fan-out body is pure, so serial execution is observationally
+    // equivalent for the protocol being checked.
+    if workers <= 1 || items.len() <= 1 || cfg!(mv_model) {
         return items.iter().map(f).collect();
     }
 
@@ -132,6 +159,8 @@ where
                     IN_WORKER.with(|w| w.set(true));
                     let mut mine: Vec<(usize, Vec<R>)> = Vec::new();
                     loop {
+                        // Pure work distribution: the claimed index is the
+                        // only communication. mv-lint: allow(MV202)
                         let c = cursor.fetch_add(1, Ordering::Relaxed);
                         if c >= n_chunks {
                             break;
@@ -220,12 +249,45 @@ mod tests {
         }
     }
 
+    // One test body covers both the bounds and the override: the
+    // override mutates a process-global, and the test harness runs
+    // `#[test]` functions concurrently.
     #[test]
-    fn workers_for_is_bounded() {
+    fn workers_for_is_bounded_and_overridable() {
         assert_eq!(workers_for(0), 1);
         assert!(workers_for(1000) >= 1);
         assert!(workers_for(2) <= 2);
         assert_eq!(workers_for(1000), effective_parallelism().min(1000));
+
+        // Prime the real probe first so clearing the override falls back
+        // to a cached honest value.
+        let honest = effective_parallelism();
+        set_effective_parallelism_override(Some(3));
+        assert_eq!(effective_parallelism(), 3);
+        assert_eq!(workers_for(1000), 3);
+        set_effective_parallelism_override(Some(1));
+        assert_eq!(workers_for(1000), 1);
+        set_effective_parallelism_override(None);
+        assert_eq!(effective_parallelism(), honest);
+    }
+
+    #[test]
+    fn recover_helpers_survive_poisoning() {
+        let m = sync::Mutex::new(7u64);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock();
+            panic!("poison it");
+        }));
+        assert_eq!(*sync::lock_or_recover(&m), 7, "mutex value recovered");
+
+        let l = sync::RwLock::new(9u64);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = l.write();
+            panic!("poison it");
+        }));
+        assert_eq!(*sync::read_or_recover(&l), 9);
+        *sync::write_or_recover(&l) = 10;
+        assert_eq!(*sync::read_or_recover(&l), 10);
     }
 
     #[test]

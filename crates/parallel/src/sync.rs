@@ -1,0 +1,62 @@
+//! The workspace's synchronization facade.
+//!
+//! Engine code must name its sync primitives through this module rather
+//! than `std::sync` directly (`mv-lint --source` rule MV201 enforces
+//! this). In a normal build the re-exports *are* the std types — zero
+//! cost. Under `--cfg mv_model` they swap for the `mv-model` shims, so
+//! the model checker's cooperative scheduler sees every lock, publish,
+//! and atomic the concurrency protocol performs.
+//!
+//! The `*_or_recover` helpers are the blessed way to acquire a lock in
+//! non-test code: a matcher that panicked while holding a shard lock
+//! poisons it, and the engine's locks only guard data that is replaced
+//! wholesale (snapshot pointers) or rebuildable (cache entries), so
+//! recovering the poisoned value is always safe — and much better than
+//! cascading the panic into every later query (MV205 enforces this).
+
+// mv-lint: allow(MV201)
+
+use std::sync::PoisonError;
+
+#[cfg(not(mv_model))]
+pub use std::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(mv_model)]
+pub use mv_model::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    // mv-lint: allow(MV201)
+    #[cfg(not(mv_model))]
+    pub use std::sync::atomic::{AtomicU64, AtomicUsize};
+
+    #[cfg(mv_model)]
+    pub use mv_model::atomic::{AtomicU64, AtomicUsize};
+
+    pub use std::sync::atomic::Ordering;
+}
+
+pub mod thread {
+    #[cfg(not(mv_model))]
+    pub use std::thread::{spawn, JoinHandle};
+
+    #[cfg(mv_model)]
+    pub use mv_model::thread::{spawn, JoinHandle};
+}
+
+/// Acquire a mutex, recovering the inner value if a previous holder
+/// panicked.
+pub fn lock_or_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a read lock, recovering from poisoning.
+pub fn read_or_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Acquire a write lock, recovering from poisoning.
+pub fn write_or_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}

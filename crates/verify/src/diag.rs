@@ -137,6 +137,38 @@ pub enum RuleId {
     /// MV126 — a declared key is structurally broken: empty column list,
     /// duplicate columns, or a column id out of bounds.
     KeyColumnBounds,
+
+    // ------------------------------------------------------------------
+    // MV2xx — the `mv-lint --source` concurrency-discipline band
+    // (DESIGN.md §14): token-level rules over the workspace's own source
+    // files, keeping the online catalog's synchronization auditable by
+    // the mv-model schedule explorer.
+    // ------------------------------------------------------------------
+    /// MV201 — a raw `std::sync::Mutex`/`RwLock` or `std::sync::atomic`
+    /// type is used outside the `mv_parallel::sync` facade (and its
+    /// allowlisted homes): such a primitive is invisible to the
+    /// `--cfg mv_model` schedule explorer, so the interleavings it
+    /// creates are never model-checked.
+    RawSyncPrimitive,
+    /// MV202 — `Ordering::Relaxed` outside the statistics counters:
+    /// relaxed operations order nothing, which is only sound for counters
+    /// no other memory access depends on.
+    RelaxedOrdering,
+    /// MV203 — the engine's published snapshot field is touched outside
+    /// the snapshot-guard discipline: loads anywhere but the `snapshot`
+    /// accessor, or publishes in a function that never took the writer
+    /// guard.
+    RawEngineState,
+    /// MV204 — a bare `Instant::now` outside the bench crate and the
+    /// `timing.then(Instant::now)` gate: unconditional clock reads on the
+    /// match path defeat the zero-clock-read configuration and inject
+    /// nondeterminism under the model checker.
+    UnguardedClock,
+    /// MV205 — `.unwrap()` on a lock acquisition result in non-test
+    /// code: a panicking thread poisons the lock and every later
+    /// `.unwrap()` turns one panic into a cascade; use
+    /// `mv_parallel::sync::lock_or_recover` (or the read/write variants).
+    UnwrapOnLock,
 }
 
 impl RuleId {
@@ -176,6 +208,11 @@ impl RuleId {
             RuleId::DuplicateFk => "MV124",
             RuleId::KeyNullableColumn => "MV125",
             RuleId::KeyColumnBounds => "MV126",
+            RuleId::RawSyncPrimitive => "MV201",
+            RuleId::RelaxedOrdering => "MV202",
+            RuleId::RawEngineState => "MV203",
+            RuleId::UnguardedClock => "MV204",
+            RuleId::UnwrapOnLock => "MV205",
         }
     }
 
@@ -215,6 +252,11 @@ impl RuleId {
             RuleId::DuplicateFk => "duplicate-fk",
             RuleId::KeyNullableColumn => "key-nullable-column",
             RuleId::KeyColumnBounds => "key-column-bounds",
+            RuleId::RawSyncPrimitive => "raw-sync-primitive",
+            RuleId::RelaxedOrdering => "relaxed-ordering",
+            RuleId::RawEngineState => "raw-engine-state",
+            RuleId::UnguardedClock => "unguarded-clock",
+            RuleId::UnwrapOnLock => "unwrap-on-lock",
         }
     }
 }
