@@ -38,8 +38,14 @@
 //! ```text
 //! cargo run -p mv-bench --release --bin bench_matching -- \
 //!     [--sizes 100,1000,10000,100000] [--queries N] [--threads N] \
-//!     [--out PATH] [--strict]
+//!     [--out PATH] [--strict] [--prove-smoke N]
 //! ```
+//!
+//! `--prove-smoke N` additionally runs the `mv-prove` bounded
+//! equivalence checker over the first N substitutes the matcher
+//! produces at the largest scale point (k=2) and records the outcome
+//! counts and wall time in the trajectory entry's `note` field, so the
+//! prove cost rides along with the matching trajectory.
 //!
 //! Each scale point also emits a `batched` record driving
 //! `find_substitutes_many` over the skewed stream (cache off): the
@@ -74,6 +80,7 @@ struct Args {
     threads: usize,
     out: String,
     strict: bool,
+    prove_smoke: usize,
 }
 
 fn parse_args() -> Args {
@@ -83,6 +90,7 @@ fn parse_args() -> Args {
         threads: 0, // 0 = auto (available parallelism)
         out: concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_matching.json").to_string(),
         strict: false,
+        prove_smoke: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -127,6 +135,13 @@ fn parse_args() -> Args {
             "--strict" => {
                 args.strict = true;
                 i += 1;
+            }
+            "--prove-smoke" => {
+                args.prove_smoke = value(i).parse().unwrap_or_else(|_| {
+                    eprintln!("--prove-smoke requires a number of substitutes");
+                    std::process::exit(2);
+                });
+                i += 2;
             }
             other => {
                 eprintln!("unknown argument {other}");
@@ -766,29 +781,79 @@ fn trajectory_json(entries: Vec<Json>) -> Json {
     ])
 }
 
-fn entry_json(records: &[Record], args: &Args, workers: usize) -> Json {
+fn entry_json(records: &[Record], args: &Args, workers: usize, prove_note: Option<&str>) -> Json {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
+    let mut note = String::from(
+        "parallel tuning: packed candidate scan min_chunk=64, auto mode falls back \
+         to serial below 32 candidates/worker; batched rows drive \
+         find_substitutes_many (one snapshot pin, fingerprint-grouped)",
+    );
+    if let Some(p) = prove_note {
+        note.push_str("; ");
+        note.push_str(p);
+    }
     Json::Obj(vec![
         ("unix_time".into(), Json::Num(unix_time as f64)),
         ("queries".into(), Json::Num(args.queries as f64)),
         ("threads".into(), Json::Num(workers as f64)),
-        (
-            "note".into(),
-            Json::Str(
-                "parallel tuning: packed candidate scan min_chunk=64, auto mode falls back \
-                 to serial below 32 candidates/worker; batched rows drive \
-                 find_substitutes_many (one snapshot pin, fingerprint-grouped)"
-                    .into(),
-            ),
-        ),
+        ("note".into(), Json::Str(note)),
         (
             "runs".into(),
             Json::Arr(records.iter().map(record_json).collect()),
         ),
     ])
+}
+
+/// Run the `mv-prove` bounded equivalence checker over the first `n`
+/// substitutes the matcher produces at the `views` scale point; the
+/// returned line goes into the trajectory entry's `note` field.
+fn prove_smoke_note(w: &Workload, views: usize, n: usize) -> String {
+    let engine = engine_with(
+        w,
+        views,
+        MatchConfig {
+            parallel_threshold: usize::MAX,
+            substitute_cache_capacity: 0,
+            ..MatchConfig::default()
+        },
+    );
+    let checks = engine.check_constraints();
+    let ctx = mv_prove::ProveCtx::new(&w.catalog, &checks);
+    // A smoke, not a gate: a modest per-proof budget keeps the wall time
+    // proportionate (mv-lint --prove carries the exhaustive budget).
+    let cfg = mv_prove::ProveConfig {
+        max_databases: 500_000,
+        ..mv_prove::ProveConfig::default()
+    };
+    let views_guard = engine.views();
+    let mut proved = 0usize;
+    let mut refuted = 0usize;
+    let mut other = 0usize;
+    let started = Instant::now();
+    'outer: for query in &w.queries {
+        for (id, sub) in engine.find_substitutes(query) {
+            if proved + refuted + other == n {
+                break 'outer;
+            }
+            let outcome = mv_prove::prove(&ctx, query, &views_guard.get(id).expr, &sub, &cfg);
+            if outcome.is_proved() {
+                proved += 1;
+            } else if outcome.is_refuted() {
+                refuted += 1;
+            } else {
+                other += 1;
+            }
+        }
+    }
+    format!(
+        "prove smoke at {views} views: {proved} proved / {refuted} refuted / {other} \
+         inconclusive at k={} in {} ms",
+        cfg.k,
+        started.elapsed().as_millis()
+    )
 }
 
 fn main() {
@@ -943,9 +1008,15 @@ fn main() {
         }
     }
 
+    let prove_note = (args.prove_smoke > 0).then(|| {
+        let note = prove_smoke_note(&w, max_views, args.prove_smoke);
+        eprintln!("{note}");
+        note
+    });
+
     let mut entries = prior;
     let appended = !entries.is_empty();
-    entries.push(entry_json(&records, &args, workers));
+    entries.push(entry_json(&records, &args, workers, prove_note.as_deref()));
     let body = trajectory_json(entries).to_pretty();
     std::fs::write(&args.out, &body).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", args.out);

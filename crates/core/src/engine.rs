@@ -885,6 +885,7 @@ impl MatchingEngine {
         #[cfg(debug_assertions)]
         {
             self.debug_verify(snap, query, &out);
+            self.debug_prove(snap, query, &out);
             self.debug_assert_filter_complete(snap, query, &qsum, &candidates);
         }
         (out, candidates.len(), filter_time)
@@ -1396,6 +1397,49 @@ impl MatchingEngine {
                 view.name,
                 errors.join("\n"),
             );
+        }
+    }
+
+    /// Debug-mode semantic oracle: run the `mv-prove` bounded model
+    /// checker (DESIGN.md §15) over every substitute the matcher just
+    /// produced and panic on a refutation, rendering the witness
+    /// database. Off unless [`MatchConfig::prove_budget`] is nonzero —
+    /// proving enumerates databases and executes both plans, so it is
+    /// opt-in even for debug builds. Compiled out of release builds.
+    #[cfg(debug_assertions)]
+    fn debug_prove(
+        &self,
+        snap: &CatalogSnapshot,
+        query: &SpjgExpr,
+        results: &[(ViewId, Substitute)],
+    ) {
+        // Cap mirrors DEBUG_COMPLETENESS_CAP: proving is for functional
+        // tests, not the scale benchmarks.
+        const DEBUG_PROVE_CAP: usize = 64;
+        if self.config.prove_budget == 0 || snap.views.len() > DEBUG_PROVE_CAP {
+            return;
+        }
+        let ctx = mv_prove::ProveCtx::new(&self.catalog, &snap.checks);
+        let cfg = mv_prove::ProveConfig {
+            max_databases: self.config.prove_budget as u64,
+            ..mv_prove::ProveConfig::default()
+        };
+        for (id, sub) in results {
+            let view = snap.views.get(*id);
+            let outcome = mv_prove::prove(&ctx, query, &view.expr, sub, &cfg);
+            if outcome.is_refuted() {
+                let tables = mv_prove::pair_tables(query, &view.expr, sub);
+                let diags: Vec<String> =
+                    mv_prove::prove_diagnostics(&outcome, &view.name, "query", &tables, &cfg)
+                        .iter()
+                        .map(|d| d.to_json())
+                        .collect();
+                panic!(
+                    "mv-prove refuted a matcher-produced substitute for view `{}`:\n{}",
+                    view.name,
+                    diags.join("\n"),
+                );
+            }
         }
     }
 }

@@ -86,6 +86,14 @@ pub struct MatchConfig {
     /// the cached hot path the only work left is the fingerprint render
     /// and a shard probe.
     pub timing: bool,
+    /// Database budget for the debug-build bounded-equivalence oracle:
+    /// when nonzero (and `debug_assertions` are on), every substitute
+    /// `find_substitutes` produces is additionally run through the
+    /// `mv-prove` bounded model checker (DESIGN.md §15) at bound k = 2,
+    /// visiting at most this many enumerated databases per pair, and any
+    /// refutation (MV301/MV302) panics with the rendered witness. `0`
+    /// (the default) disables the oracle; release builds never prove.
+    pub prove_budget: usize,
 }
 
 impl MatchConfig {
@@ -153,6 +161,7 @@ impl Default for MatchConfig {
             substitute_cache_capacity: 1024,
             substitute_cache_shards: 8,
             timing: true,
+            prove_budget: 0,
         }
     }
 }

@@ -1,0 +1,104 @@
+//! The debug-build prove oracle: with [`MatchConfig::prove_budget`]
+//! nonzero, `find_substitutes` hands every substitute it is about to
+//! return to the `mv-prove` bounded equivalence checker and panics on a
+//! refutation (MV301/MV302). The engine is sound, so enabling the oracle
+//! must be invisible — these tests simply run real matches through it.
+//! In release builds the hook compiles out and the tests degrade to
+//! plain matching assertions.
+
+use mv_catalog::tpch::tpch_catalog;
+use mv_core::{MatchConfig, MatchingEngine};
+use mv_expr::{BoolExpr, CmpOp, ColRef, ScalarExpr as S};
+use mv_plan::{AggFunc, NamedAgg, NamedExpr, SpjgExpr, ViewDef};
+
+fn cr(occ: u32, col: u32) -> ColRef {
+    ColRef::new(occ, col)
+}
+
+fn prove_config() -> MatchConfig {
+    MatchConfig {
+        prove_budget: 20_000,
+        ..MatchConfig::default()
+    }
+}
+
+/// A range-compensated SPJ match runs through the oracle without
+/// tripping it.
+#[test]
+fn oracle_accepts_range_compensation() {
+    let (cat, t) = tpch_catalog();
+    let engine = MatchingEngine::new(cat, prove_config());
+    engine
+        .add_view(ViewDef::new(
+            "big_items",
+            SpjgExpr::spj(
+                vec![t.lineitem],
+                BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Gt, S::lit(10i64)),
+                vec![
+                    NamedExpr::new(S::col(cr(0, 0)), "l_orderkey"),
+                    NamedExpr::new(S::col(cr(0, 4)), "l_quantity"),
+                ],
+            ),
+        ))
+        .unwrap();
+    let query = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::cmp(S::col(cr(0, 4)), CmpOp::Gt, S::lit(30i64)),
+        vec![NamedExpr::new(S::col(cr(0, 0)), "l_orderkey")],
+    );
+    assert_eq!(engine.find_substitutes(&query).len(), 1);
+}
+
+/// An aggregation-rollup match (the paper's Example 4 shape) takes the
+/// enumerative path of the prover; still clean.
+#[test]
+fn oracle_accepts_aggregate_rollup() {
+    let (cat, t) = tpch_catalog();
+    let engine = MatchingEngine::new(cat, prove_config());
+    engine
+        .add_view(ViewDef::new(
+            "rev_by_order",
+            SpjgExpr::aggregate(
+                vec![t.lineitem],
+                BoolExpr::Literal(true),
+                vec![NamedExpr::new(S::col(cr(0, 0)), "l_orderkey")],
+                vec![
+                    NamedAgg::new(AggFunc::CountStar, "cnt"),
+                    NamedAgg::new(AggFunc::Sum(S::col(cr(0, 5))), "revenue"),
+                ],
+            ),
+        ))
+        .unwrap();
+    let query = SpjgExpr::aggregate(
+        vec![t.lineitem],
+        BoolExpr::Literal(true),
+        vec![],
+        vec![NamedAgg::new(AggFunc::Sum(S::col(cr(0, 5))), "revenue")],
+    );
+    assert_eq!(engine.find_substitutes(&query).len(), 1);
+}
+
+/// `prove_budget: 0` (the default) disables the oracle entirely: same
+/// matches, no proving.
+#[test]
+fn oracle_is_off_by_default() {
+    assert_eq!(MatchConfig::default().prove_budget, 0);
+    let (cat, t) = tpch_catalog();
+    let engine = MatchingEngine::new(cat, MatchConfig::default());
+    engine
+        .add_view(ViewDef::new(
+            "all_items",
+            SpjgExpr::spj(
+                vec![t.lineitem],
+                BoolExpr::Literal(true),
+                vec![NamedExpr::new(S::col(cr(0, 0)), "l_orderkey")],
+            ),
+        ))
+        .unwrap();
+    let query = SpjgExpr::spj(
+        vec![t.lineitem],
+        BoolExpr::Literal(true),
+        vec![NamedExpr::new(S::col(cr(0, 0)), "l_orderkey")],
+    );
+    assert_eq!(engine.find_substitutes(&query).len(), 1);
+}

@@ -18,7 +18,12 @@
 //! oracle sharp.
 
 pub mod db;
+pub mod enumerate;
 pub mod gen;
 
 pub use db::{Database, Row};
+pub use enumerate::{
+    topo_order, ColumnDomain, EnumOutcome, EnumSpec, EnumStats, Enumerator, TableSpec,
+    MAX_ROW_DOMAIN,
+};
 pub use gen::{generate_tpch, TpchScale};

@@ -17,19 +17,28 @@
 //! With `--source` the MV2xx source-discipline pass additionally lints
 //! every workspace crate's `.rs` sources for concurrency hygiene (raw
 //! sync primitives outside the `mv_parallel::sync` facade, relaxed
-//! orderings, unguarded snapshot state, bare clock reads, lock unwraps);
-//! `--source-only` runs just that pass, skipping the workload entirely.
+//! orderings, unguarded snapshot state, bare clock reads, lock unwraps
+//! and expects); `--source-only` runs just that pass, skipping the
+//! workload entirely.
+//!
+//! With `--prove` every substitute the matcher produces is additionally
+//! run through the `mv-prove` bounded equivalence checker (MV3xx): the
+//! symbolic pass first, then exhaustive enumeration of all constraint-
+//! satisfying databases up to `--prove-k` rows per table. A refuted
+//! rewrite reports MV301/MV302 with a replayable counterexample.
 //!
 //! The JSON report goes to stdout (or `--out FILE`); a human summary goes
-//! to stderr. Exit code 1 on any ERROR diagnostic, and on warnings too
-//! under `--deny-warnings`.
+//! to stderr. `--json` wraps the report in a machine-readable envelope
+//! with per-gate counts (verify/audit/source/prove). Exit code 1 on any
+//! ERROR diagnostic, and on warnings too under `--deny-warnings`.
 
 use mv_bench::{build_workload, engine_with, DATA_SEED};
 use mv_core::MatchConfig;
 use mv_data::{generate_tpch, TpchScale};
 use mv_exec::{bag_diff, execute_spjg, execute_substitute_with, materialize_view};
+use mv_prove::{pair_tables, prove, prove_diagnostics, ProveConfig, ProveCtx};
+use mv_verify::{json_string, Diagnostic, Report, RuleId, Severity, VerifyContext};
 use mv_verify::{verify_expr, verify_substitute, verify_view_expr};
-use mv_verify::{Diagnostic, Report, RuleId, Severity, VerifyContext};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -49,7 +58,13 @@ OPTIONS:
                        workspace's own .rs files
     --source-only      run only the MV2xx source pass (skips the workload)
     --source-root DIR  workspace root for --source [default: auto-detect]
+    --prove            prove every produced substitute equivalent with the
+                       mv-prove bounded checker (MV3xx)
+    --prove-k N        rows-per-table bound for --prove [default: 2]
+    --prove-budget N   databases enumerated per proof   [default: 20000]
     --deny-warnings    exit nonzero on warnings, not just errors
+    --json             wrap the report in a machine-readable envelope with
+                       per-gate counts (verify/audit/source/prove)
     --out FILE         write the JSON report to FILE instead of stdout
     -h, --help         print this help
 ";
@@ -62,7 +77,11 @@ struct Args {
     source: bool,
     source_only: bool,
     source_root: Option<String>,
+    prove: bool,
+    prove_k: usize,
+    prove_budget: u64,
     deny_warnings: bool,
+    json: bool,
     out: Option<String>,
 }
 
@@ -75,7 +94,11 @@ fn parse_args() -> Args {
         source: false,
         source_only: false,
         source_root: None,
+        prove: false,
+        prove_k: 2,
+        prove_budget: 20_000,
         deny_warnings: false,
+        json: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -99,7 +122,14 @@ fn parse_args() -> Args {
                 args.source_only = true;
             }
             "--source-root" => args.source_root = Some(value(&mut it, "--source-root")),
+            "--prove" => args.prove = true,
+            "--prove-k" => args.prove_k = parse_num(&value(&mut it, "--prove-k"), "--prove-k"),
+            "--prove-budget" => {
+                args.prove_budget =
+                    parse_num(&value(&mut it, "--prove-budget"), "--prove-budget") as u64
+            }
             "--deny-warnings" => args.deny_warnings = true,
+            "--json" => args.json = true,
             "--out" => args.out = Some(value(&mut it, "--out")),
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -156,21 +186,40 @@ fn main() -> ExitCode {
         }
     }
 
-    let (substitutes, exec_checked, audit_findings) = if args.source_only {
-        (0, 0, 0)
+    let stats = if args.source_only {
+        WorkloadStats::default()
     } else {
         workload_lint(&args, &mut report)
     };
+    let substitutes = stats.substitutes;
 
+    let prove_summary = if args.prove {
+        format!(
+            ", {} proved / {} refuted / {} inconclusive at k={} in {} ms",
+            stats.proved, stats.refuted, stats.inconclusive, args.prove_k, stats.prove_ms
+        )
+    } else {
+        String::new()
+    };
     let title = if args.source_only {
         format!("mv-lint: source-discipline pass{source_summary}")
     } else {
         format!(
-            "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked, {} audit findings{}",
-            args.views, args.queries, substitutes, exec_checked, audit_findings, source_summary
+            "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked, {} audit findings{}{}",
+            args.views,
+            args.queries,
+            substitutes,
+            stats.exec_checked,
+            stats.audit_findings,
+            source_summary,
+            prove_summary
         )
     };
-    let json = report.to_json(&title);
+    let json = if args.json {
+        envelope_json(&args, &report, &stats, &title)
+    } else {
+        report.to_json(&title)
+    };
     match &args.out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, &json) {
@@ -197,10 +246,23 @@ fn main() -> ExitCode {
     }
 }
 
-/// The workload lint (MV0xx/MV1xx): verify every view, query, and
-/// produced substitute; optionally exec-check and audit. Returns
-/// (substitutes, exec_checked, audit_findings).
-fn workload_lint(args: &Args, report: &mut Report) -> (usize, usize, usize) {
+/// Counters the workload lint reports back for the title line and the
+/// `--json` envelope.
+#[derive(Default)]
+struct WorkloadStats {
+    substitutes: usize,
+    exec_checked: usize,
+    audit_findings: usize,
+    proved: usize,
+    refuted: usize,
+    inconclusive: usize,
+    prove_ms: u128,
+}
+
+/// The workload lint (MV0xx/MV1xx, plus MV3xx under `--prove`): verify
+/// every view, query, and produced substitute; optionally exec-check,
+/// prove, and audit.
+fn workload_lint(args: &Args, report: &mut Report) -> WorkloadStats {
     let workload = build_workload(args.views, args.queries);
     let engine = engine_with(&workload, args.views, MatchConfig::default());
     let checks = engine.check_constraints();
@@ -237,11 +299,13 @@ fn workload_lint(args: &Args, report: &mut Report) -> (usize, usize, usize) {
             pairs.push((i, id, sub, flagged));
         }
     }
-    let substitutes = pairs.len();
+    let mut stats = WorkloadStats {
+        substitutes: pairs.len(),
+        ..WorkloadStats::default()
+    };
 
     // Executed-plan cross-check on tiny generated data, statically flagged
     // substitutes first so a real unsoundness gets confirmed dynamically.
-    let mut exec_checked = 0usize;
     if args.exec_check > 0 {
         let (db, _) = generate_tpch(&TpchScale::tiny(), DATA_SEED);
         pairs.sort_by_key(|(_, _, _, flagged)| !flagged);
@@ -251,7 +315,7 @@ fn workload_lint(args: &Args, report: &mut Report) -> (usize, usize, usize) {
             let view_rows = materialize_view(&db, view);
             let from_view = execute_substitute_with(&db, &view_rows, sub);
             let direct = execute_spjg(&db, &workload.queries[*i]);
-            exec_checked += 1;
+            stats.exec_checked += 1;
             if let Some(diff) = bag_diff(&from_view, &direct) {
                 report.push(
                     Diagnostic::error(
@@ -265,13 +329,99 @@ fn workload_lint(args: &Args, report: &mut Report) -> (usize, usize, usize) {
         }
     }
 
+    // Bounded equivalence proof of every produced substitute (MV3xx):
+    // the symbolic pass first, then exhaustive enumeration up to k.
+    if args.prove {
+        let prove_ctx = ProveCtx::new(&workload.catalog, &checks);
+        let cfg = ProveConfig {
+            k: args.prove_k,
+            max_databases: args.prove_budget,
+            symbolic: true,
+        };
+        let views = engine.views();
+        // Wall-clock for the report only: mv-lint: allow(MV204)
+        let start = std::time::Instant::now();
+        for (i, id, sub, _) in &pairs {
+            let view = views.get(*id);
+            let query = &workload.queries[*i];
+            let outcome = prove(&prove_ctx, query, &view.expr, sub, &cfg);
+            if outcome.is_proved() {
+                stats.proved += 1;
+            } else if outcome.is_refuted() {
+                stats.refuted += 1;
+            } else {
+                stats.inconclusive += 1;
+            }
+            let tables = pair_tables(query, &view.expr, sub);
+            report.extend(prove_diagnostics(
+                &outcome,
+                &view.name,
+                &format!("q{i}"),
+                &tables,
+                &cfg,
+            ));
+        }
+        stats.prove_ms = start.elapsed().as_millis();
+    }
+
     // Completeness & catalog audit (MV101+) over the same engine/workload.
-    let mut audit_findings = 0usize;
     if args.audit {
         let audit = mv_audit::audit_all(&engine, &workload.queries);
-        audit_findings = audit.diagnostics.len();
+        stats.audit_findings = audit.diagnostics.len();
         report.extend(audit.diagnostics);
     }
 
-    (substitutes, exec_checked, audit_findings)
+    stats
+}
+
+/// The `--json` envelope: the standard report fields plus a `gates`
+/// object with per-band diagnostic counts, so CI can route failures
+/// without parsing rule codes out of the flat list. Band = code prefix:
+/// MV0xx verify, MV1xx audit, MV2xx source, MV3xx prove.
+fn envelope_json(args: &Args, report: &Report, stats: &WorkloadStats, title: &str) -> String {
+    let band = |prefix: &str| {
+        report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule.code().starts_with(prefix))
+            .count()
+    };
+    let gate = |name: &str, enabled: bool, count: usize, extra: &str| {
+        format!(
+            "    {}: {{\"enabled\": {enabled}, \"diagnostics\": {count}{extra}}}",
+            json_string(name)
+        )
+    };
+    let prove_extra = format!(
+        ", \"proved\": {}, \"refuted\": {}, \"inconclusive\": {}, \"wall_ms\": {}",
+        stats.proved, stats.refuted, stats.inconclusive, stats.prove_ms
+    );
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"report\": {},\n", json_string(title)));
+    out.push_str(&format!(
+        "  \"errors\": {},\n  \"warnings\": {},\n  \"infos\": {},\n",
+        report.count(Severity::Error),
+        report.count(Severity::Warning),
+        report.count(Severity::Info)
+    ));
+    out.push_str("  \"gates\": {\n");
+    out.push_str(&gate("verify", !args.source_only, band("MV0"), ""));
+    out.push_str(",\n");
+    out.push_str(&gate("audit", args.audit, band("MV1"), ""));
+    out.push_str(",\n");
+    out.push_str(&gate("source", args.source, band("MV2"), ""));
+    out.push_str(",\n");
+    out.push_str(&gate("prove", args.prove, band("MV3"), &prove_extra));
+    out.push_str("\n  },\n");
+    out.push_str("  \"diagnostics\": [\n");
+    for (i, d) in report.diagnostics.iter().enumerate() {
+        out.push_str("    ");
+        out.push_str(&d.to_json());
+        if i + 1 < report.diagnostics.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    out
 }

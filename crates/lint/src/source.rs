@@ -19,6 +19,9 @@
 //! * **MV205** `unwrap-on-lock` — `.lock().unwrap()` (or `.read()` /
 //!   `.write()`) in non-test code; poisoning then cascades. Use
 //!   `mv_parallel::sync::lock_or_recover` and friends.
+//! * **MV206** `expect-on-lock` — `.lock().expect(…)` (or `.read()` /
+//!   `.write()`) in non-test code; the message dresses up the same
+//!   poisoning cascade MV205 flags. Use the recover helpers instead.
 //!
 //! Suppressions: a comment `mv-lint: allow(MVnnn)` disables rule `nnn`
 //! on its own line and the next line; placed in a file's comment header
@@ -570,6 +573,22 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                     .to_string(),
             ));
         }
+
+        // MV206 — .expect() on lock results in non-test code.
+        if !allows.permits("MV206", i)
+            && [".lock().expect(", ".read().expect(", ".write().expect("]
+                .iter()
+                .any(|p| squashed.contains(*p))
+        {
+            out.push(finding(
+                RuleId::ExpectOnLock,
+                path,
+                i,
+                "lock result expect()ed in non-test code; the message only renames the \
+                 poisoning cascade — use mv_parallel::sync::lock_or_recover and friends"
+                    .to_string(),
+            ));
+        }
     }
     out
 }
@@ -722,6 +741,17 @@ mod tests {
         assert_eq!(
             codes(&lint_source("crates/x/src/lib.rs", src)),
             vec!["MV205"]
+        );
+    }
+
+    #[test]
+    fn lock_expect_mv206_and_test_regions() {
+        let src = "fn f(m: &Mutex<u8>) { let _ = m.lock().expect(\"poisoned\"); }\n\
+                   fn g(r: &RwLock<u8>) { let _ = r.read().expect(\"poisoned\"); }\n\
+                   #[cfg(test)]\nmod tests {\n  fn h(m: &Mutex<u8>) { let _ = m.lock().expect(\"x\"); }\n}\n";
+        assert_eq!(
+            codes(&lint_source("crates/x/src/lib.rs", src)),
+            vec!["MV206", "MV206"]
         );
     }
 

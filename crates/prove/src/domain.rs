@@ -1,0 +1,357 @@
+//! Finite value-domain construction for the enumerative pass.
+//!
+//! The small-scope hypothesis only bites if the finite domain can
+//! actually exhibit a difference between query and substitute. The domain
+//! is therefore derived from the predicates themselves: every constant
+//! appearing in a comparison over a column family contributes itself and
+//! its immediate neighbours (`c-1`, `c`, `c+1` for discrete types), so
+//! strict-vs-inclusive bound mutations and off-by-one range widenings
+//! land on enumerable values. Column *families* — columns connected by
+//! foreign keys, join equalities, or check-constraint equalities — share
+//! one pooled domain so equijoins can both hit and miss.
+//!
+//! Columns no predicate or output references collapse to a single value
+//! (NULL when nullable): they cannot influence either plan's result, so
+//! enumerating them would only multiply the database count.
+
+use mv_catalog::{Catalog, ColumnId, ColumnType, TableId, Value};
+use mv_data::{topo_order, ColumnDomain, EnumSpec, TableSpec};
+use mv_expr::{classify, BoolExpr, ColRef, Conjunct, EquivClasses, ScalarExpr};
+use mv_plan::{OutputList, SpjgExpr, Substitute};
+use std::collections::{HashMap, HashSet};
+
+/// Cap on pooled values per column family; beyond it the domain is
+/// truncated and the prove outcome degrades to `MV303` (bound not fully
+/// explored) instead of a certificate.
+pub const MAX_FAMILY_VALUES: usize = 12;
+
+/// A constructed enumeration spec plus whether any family was truncated.
+pub(crate) struct DomainSpec {
+    pub spec: EnumSpec,
+    pub truncated: bool,
+}
+
+/// Encode a base-table column as a `ColRef` so `EquivClasses` (which is
+/// occurrence-keyed) can union-find over base columns: `occ` carries the
+/// table id.
+fn base(t: TableId, c: ColumnId) -> ColRef {
+    ColRef {
+        occ: mv_expr::OccId(t.0),
+        col: c,
+    }
+}
+
+/// Map a substitute-column-space position to the base-table column it
+/// reads, when it transparently reads one (plain-column view output /
+/// grouping expression, or a backjoin column).
+pub(crate) fn sub_pos_to_base(
+    catalog: &Catalog,
+    view: &SpjgExpr,
+    sub: &Substitute,
+    pos: usize,
+) -> Option<(TableId, ColumnId)> {
+    let arity = view.output_arity();
+    if pos < arity {
+        let expr = match &view.output {
+            OutputList::Spj(items) => &items[pos].expr,
+            OutputList::Aggregate { group_by, .. } => &group_by.get(pos)?.expr,
+        };
+        let c = expr.as_column()?;
+        Some((view.table_of(c.occ), c.col))
+    } else {
+        let mut start = arity;
+        for bj in &sub.backjoins {
+            let n = catalog.table(bj.table).columns.len();
+            if pos < start + n {
+                return Some((bj.table, ColumnId((pos - start) as u32)));
+            }
+            start += n;
+        }
+        None
+    }
+}
+
+/// Collect `(column, constant)` pairs from comparisons anywhere in a
+/// boolean tree (both orientations; LIKE patterns contribute their
+/// literal text so string domains can hit the pattern).
+fn constant_pairs(b: &BoolExpr, out: &mut Vec<(ColRef, Value)>) {
+    match b {
+        BoolExpr::And(ps) | BoolExpr::Or(ps) => ps.iter().for_each(|p| constant_pairs(p, out)),
+        BoolExpr::Not(p) => constant_pairs(p, out),
+        BoolExpr::Compare { left, right, .. } => {
+            if let (Some(c), true) = (left.as_column(), right.is_constant()) {
+                out.push((c, right.eval(&|_| Value::Null)));
+            }
+            if let (Some(c), true) = (right.as_column(), left.is_constant()) {
+                out.push((c, left.eval(&|_| Value::Null)));
+            }
+        }
+        BoolExpr::Like { expr, pattern, .. } => {
+            if let Some(c) = expr.as_column() {
+                out.push((c, Value::Str(pattern.replace(['%', '_'], ""))));
+            }
+        }
+        BoolExpr::IsNull { .. } | BoolExpr::Literal(_) => {}
+    }
+}
+
+/// Per-conjunct constant collection (ranges carry theirs directly).
+fn conjunct_constants(c: &Conjunct, out: &mut Vec<(ColRef, Value)>) {
+    match c {
+        Conjunct::Range { col, value, .. } => out.push((*col, value.clone())),
+        Conjunct::Residual(b) => constant_pairs(b, out),
+        Conjunct::ColumnEq(..) => {}
+    }
+}
+
+/// A constant plus its immediate neighbours, so mutated bounds separate.
+fn neighbourhood(v: &Value) -> Vec<Value> {
+    match v {
+        Value::Int(i) => vec![
+            Value::Int(i.saturating_sub(1)),
+            Value::Int(*i),
+            Value::Int(i.saturating_add(1)),
+        ],
+        Value::Date(d) => vec![
+            Value::Date(d.saturating_sub(1)),
+            Value::Date(*d),
+            Value::Date(d.saturating_add(1)),
+        ],
+        Value::Float(f) => vec![
+            Value::Float(f - 1.0),
+            Value::Float(*f),
+            Value::Float(f + 1.0),
+        ],
+        Value::Str(s) => vec![Value::Str(s.clone())],
+        Value::Null => vec![],
+    }
+}
+
+/// Fit a pooled constant to a column's type. SQL comparisons coerce
+/// integer literals against FLOAT/DATE columns (the TPC-H predicates
+/// write `l_quantity > 10` with `l_quantity` a FLOAT), so the domain
+/// must too, or the constants a predicate actually tests against would
+/// silently drop out of the enumeration.
+fn coerce(v: &Value, ty: ColumnType) -> Option<Value> {
+    match (v, ty) {
+        (Value::Int(i), ColumnType::Int) => Some(Value::Int(*i)),
+        (Value::Int(i), ColumnType::Float) => Some(Value::Float(*i as f64)),
+        (Value::Int(i), ColumnType::Date) => i32::try_from(*i).ok().map(Value::Date),
+        (Value::Float(f), ColumnType::Float) => Some(Value::Float(*f)),
+        (Value::Str(s), ColumnType::Str) => Some(Value::Str(s.clone())),
+        (Value::Date(d), ColumnType::Date) => Some(Value::Date(*d)),
+        _ => None,
+    }
+}
+
+/// Two default values per type: joins and disequalities need room to
+/// both hit and miss even when no predicate names a constant.
+fn default_values(ty: ColumnType) -> Vec<Value> {
+    match ty {
+        ColumnType::Int => vec![Value::Int(0), Value::Int(1)],
+        ColumnType::Float => vec![Value::Float(0.0), Value::Float(1.0)],
+        ColumnType::Str => vec![Value::Str("a".into()), Value::Str("b".into())],
+        ColumnType::Date => vec![Value::Date(0), Value::Date(1)],
+    }
+}
+
+/// Build the bounded-enumeration spec for a (query, view, substitute)
+/// triple: tables in FK topological order, per-column domains pooled by
+/// column family. `Err` when the pair is outside the supported fragment
+/// (FK cycle among the referenced tables).
+pub(crate) fn build_spec(
+    catalog: &Catalog,
+    checks: &HashMap<TableId, Vec<Conjunct>>,
+    query: &SpjgExpr,
+    view: &SpjgExpr,
+    sub: &Substitute,
+    k: usize,
+) -> Result<DomainSpec, String> {
+    let mut tables: Vec<TableId> = query.tables.iter().chain(&view.tables).copied().collect();
+    tables.extend(sub.backjoins.iter().map(|b| b.table));
+    tables.sort();
+    tables.dedup();
+    let order = topo_order(catalog, &tables)
+        .ok_or_else(|| "foreign-key cycle among referenced tables".to_string())?;
+    let in_set = |t: TableId| tables.binary_search(&t).is_ok();
+
+    // Union-find over base columns: FK edges, join equalities of either
+    // expression, substitute equalities, and check-constraint equalities
+    // all pool their endpoints into one family.
+    let mut ec = EquivClasses::new();
+    let mut referenced: HashSet<ColRef> = HashSet::new();
+    let mut constants: Vec<(ColRef, Value)> = Vec::new();
+
+    for (_, fk) in catalog.foreign_keys() {
+        if in_set(fk.from_table) && in_set(fk.to_table) {
+            for (f, t) in fk.from_columns.iter().zip(&fk.to_columns) {
+                ec.union(base(fk.from_table, *f), base(fk.to_table, *t));
+            }
+        }
+    }
+
+    let record = |expr_tables: &[TableId],
+                  conjuncts: &[Conjunct],
+                  ec: &mut EquivClasses,
+                  referenced: &mut HashSet<ColRef>,
+                  constants: &mut Vec<(ColRef, Value)>| {
+        let to_base = |c: ColRef| base(expr_tables[c.occ.0 as usize], c.col);
+        for conj in conjuncts {
+            for c in conj.columns() {
+                referenced.insert(to_base(c));
+            }
+            if let Conjunct::ColumnEq(a, b) = conj {
+                ec.union(to_base(*a), to_base(*b));
+            }
+            let mut pairs = Vec::new();
+            conjunct_constants(conj, &mut pairs);
+            constants.extend(pairs.into_iter().map(|(c, v)| (to_base(c), v)));
+        }
+    };
+    record(
+        &query.tables,
+        &query.conjuncts,
+        &mut ec,
+        &mut referenced,
+        &mut constants,
+    );
+    record(
+        &view.tables,
+        &view.conjuncts,
+        &mut ec,
+        &mut referenced,
+        &mut constants,
+    );
+    for (&t, cs) in checks {
+        if in_set(t) {
+            record(&[t], cs, &mut ec, &mut referenced, &mut constants);
+        }
+    }
+
+    // Substitute predicates live in the substitute's column space; only
+    // transparently-mapped positions pin down base columns.
+    let to_base_sub = |c: ColRef| {
+        sub_pos_to_base(catalog, view, sub, c.col.0 as usize).map(|(t, col)| base(t, col))
+    };
+    for pred in &sub.predicates {
+        for conj in classify(pred.clone()) {
+            for c in conj.columns() {
+                if let Some(b) = to_base_sub(c) {
+                    referenced.insert(b);
+                }
+            }
+            if let Conjunct::ColumnEq(a, b) = &conj {
+                if let (Some(a), Some(b)) = (to_base_sub(*a), to_base_sub(*b)) {
+                    ec.union(a, b);
+                }
+            }
+            let mut pairs = Vec::new();
+            conjunct_constants(&conj, &mut pairs);
+            for (c, v) in pairs {
+                if let Some(b) = to_base_sub(c) {
+                    constants.push((b, v));
+                }
+            }
+        }
+    }
+
+    // Output columns matter too: a projection difference only shows up
+    // if the projected columns take more than one value.
+    for c in query.referenced_columns() {
+        referenced.insert(base(query.tables[c.occ.0 as usize], c.col));
+    }
+    for c in view.referenced_columns() {
+        referenced.insert(base(view.tables[c.occ.0 as usize], c.col));
+    }
+    let sub_output_cols: Vec<ColRef> = match &sub.output {
+        OutputList::Spj(items) => items.iter().flat_map(|n| n.expr.columns()).collect(),
+        OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } => group_by
+            .iter()
+            .flat_map(|n| n.expr.columns())
+            .chain(aggregates.iter().flat_map(|a| {
+                a.func
+                    .argument()
+                    .map(ScalarExpr::columns)
+                    .unwrap_or_default()
+            }))
+            .collect(),
+    };
+    for c in sub_output_cols {
+        if let Some(b) = to_base_sub(c) {
+            referenced.insert(b);
+        }
+    }
+    for bj in &sub.backjoins {
+        for (pos, col) in &bj.key {
+            referenced.insert(base(bj.table, *col));
+            if let Some(b) = sub_pos_to_base(catalog, view, sub, *pos).map(|(t, c)| base(t, c)) {
+                referenced.insert(b);
+            }
+        }
+    }
+
+    // Pool constants and referenced-ness by family root.
+    let mut family_values: HashMap<ColRef, Vec<Value>> = HashMap::new();
+    for (c, v) in &constants {
+        family_values
+            .entry(ec.find(*c))
+            .or_default()
+            .extend(neighbourhood(v));
+    }
+    let family_referenced: HashSet<ColRef> = referenced.iter().map(|c| ec.find(*c)).collect();
+
+    let mut truncated = false;
+    let mut specs = Vec::with_capacity(order.len());
+    for &t in &order {
+        let table = catalog.table(t);
+        let mut columns = Vec::with_capacity(table.columns.len());
+        for (ci, col) in table.columns.iter().enumerate() {
+            let root = ec.find(base(t, ColumnId(ci as u32)));
+            let dom = if family_referenced.contains(&root) {
+                let mut vals: Vec<Value> = family_values
+                    .get(&root)
+                    .map(|vs| vs.iter().filter_map(|v| coerce(v, col.ty)).collect())
+                    .unwrap_or_default();
+                if col.ty == ColumnType::Str && !vals.is_empty() {
+                    // One value no pattern/constant names, so string
+                    // predicates can also miss.
+                    vals.push(Value::Str("\u{10FFFF}".into()));
+                }
+                if vals.is_empty() {
+                    vals = default_values(col.ty);
+                }
+                vals.sort_by(Value::total_cmp);
+                vals.dedup();
+                if vals.len() > MAX_FAMILY_VALUES {
+                    vals.truncate(MAX_FAMILY_VALUES);
+                    truncated = true;
+                }
+                ColumnDomain {
+                    values: vals,
+                    with_null: !col.not_null,
+                }
+            } else if col.not_null {
+                ColumnDomain::of(vec![ColumnDomain::default_value(col.ty)])
+            } else {
+                // Unreferenced nullable column: NULL alone is always
+                // constraint-legal (FKs and checks pass on NULL).
+                ColumnDomain {
+                    values: vec![],
+                    with_null: true,
+                }
+            };
+            columns.push(dom);
+        }
+        specs.push(TableSpec { table: t, columns });
+    }
+    Ok(DomainSpec {
+        spec: EnumSpec {
+            tables: specs,
+            max_rows: k,
+        },
+        truncated,
+    })
+}

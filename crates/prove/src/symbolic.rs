@@ -1,0 +1,260 @@
+//! The symbolic pass: abstract interpretation over the shared
+//! `EquivClasses` / `Interval` domains.
+//!
+//! Both plans are abstracted to a triple of (equivalence-class partition,
+//! per-class interval, residual-template set) over the *view's*
+//! occurrence space. If the triples are equal the pair is discharged
+//! without enumerating a single database; if they definitely differ the
+//! pass reports the separation (`MV301`) naming the offending column or
+//! predicate; anything the abstraction cannot decide falls through to the
+//! enumerative pass.
+//!
+//! Check constraints participate on **both** sides, but only when every
+//! column they mention is declared `NOT NULL`: SQL's `CHECK` passes on
+//! UNKNOWN, so a constraint over a nullable column does *not* hold on
+//! every row — folding it would wrongly discharge substitutes that differ
+//! exactly on NULL rows (the blind spot the corruption suite pins).
+
+use mv_catalog::{Catalog, TableId};
+use mv_expr::{classify, ColRef, Conjunct, EquivClasses, Interval, ScalarExpr, Template};
+use mv_plan::{OutputList, SpjgExpr, Substitute};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Outcome of the symbolic pass.
+pub(crate) enum Symbolic {
+    /// Abstract states equal on a fragment where abstraction is exact:
+    /// the pair is equivalent on all databases.
+    Discharged,
+    /// Abstract states definitely differ; the string names the column or
+    /// predicate that separates them.
+    Separated(String),
+    /// The abstraction cannot decide; enumerate.
+    Inconclusive(&'static str),
+}
+
+/// Run the symbolic pass on a (query, view, substitute) triple.
+pub(crate) fn symbolic_pass(
+    catalog: &Catalog,
+    checks: &HashMap<TableId, Vec<Conjunct>>,
+    query: &SpjgExpr,
+    view: &SpjgExpr,
+    sub: &Substitute,
+) -> Symbolic {
+    if query.is_aggregate() || view.is_aggregate() {
+        return Symbolic::Inconclusive("aggregation");
+    }
+    if !sub.backjoins.is_empty() {
+        return Symbolic::Inconclusive("backjoins");
+    }
+    if matches!(sub.output, OutputList::Aggregate { .. }) {
+        return Symbolic::Inconclusive("regrouping");
+    }
+    // The abstraction compares predicates occurrence-by-occurrence, so it
+    // needs a *unique* occurrence bijection: identical table multisets
+    // with no repeated table (a self-join admits several bijections).
+    let mut q_sorted = query.tables.clone();
+    let mut v_sorted = view.tables.clone();
+    q_sorted.sort();
+    v_sorted.sort();
+    if q_sorted != v_sorted {
+        return Symbolic::Inconclusive("table-mapping");
+    }
+    if q_sorted.windows(2).any(|w| w[0] == w[1]) {
+        return Symbolic::Inconclusive("self-join");
+    }
+    let bij: Vec<u32> = query
+        .tables
+        .iter()
+        .map(|t| view.tables.iter().position(|v| v == t).unwrap() as u32)
+        .collect();
+    let map_q = |c: ColRef| ColRef::new(bij[c.occ.0 as usize], c.col.0);
+
+    // Substitute column space -> view occurrence space: only plain-column
+    // view outputs are transparent to the abstraction.
+    let mut expand_sub_col = |c: ColRef| -> Option<ColRef> {
+        view.scalar_outputs()
+            .get(c.col.0 as usize)?
+            .expr
+            .as_column()
+    };
+
+    let q_conj: Vec<Conjunct> = query
+        .conjuncts
+        .iter()
+        .map(|c| c.try_map_columns(&mut |r| Some(map_q(r))).unwrap())
+        .collect();
+    let mut s_extra: Vec<Conjunct> = Vec::new();
+    for pred in &sub.predicates {
+        for conj in classify(pred.clone()) {
+            match conj.try_map_columns(&mut expand_sub_col) {
+                Some(mapped) => s_extra.push(mapped),
+                None => return Symbolic::Inconclusive("opaque-output"),
+            }
+        }
+    }
+    // Check constraints over all-NOT-NULL columns, remapped to each view
+    // occurrence of their table.
+    let mut nn_checks: Vec<Conjunct> = Vec::new();
+    for (occ, t) in view.occurrences() {
+        let Some(cs) = checks.get(&t) else { continue };
+        let table = catalog.table(t);
+        for c in cs {
+            if c.columns()
+                .iter()
+                .all(|r| table.columns[r.col.0 as usize].not_null)
+            {
+                nn_checks.push(
+                    c.try_map_columns(&mut |r| Some(ColRef { occ, col: r.col }))
+                        .unwrap(),
+                );
+            }
+        }
+    }
+
+    // (a) Equivalence-class partitions over every referenced column.
+    let build_ec = |lists: &[&[Conjunct]]| {
+        let mut ec = EquivClasses::new();
+        for list in lists {
+            for c in *list {
+                if let Conjunct::ColumnEq(a, b) = c {
+                    ec.union(*a, *b);
+                }
+            }
+        }
+        ec
+    };
+    let ec_q = build_ec(&[&q_conj, &nn_checks]);
+    let ec_s = build_ec(&[&view.conjuncts, &s_extra, &nn_checks]);
+    let mut cols: BTreeSet<ColRef> = BTreeSet::new();
+    for list in [&q_conj, &view.conjuncts, &s_extra, &nn_checks] {
+        for c in list {
+            cols.extend(c.columns());
+        }
+    }
+    let cols: Vec<ColRef> = cols.into_iter().collect();
+    for (i, &a) in cols.iter().enumerate() {
+        for &b in &cols[i + 1..] {
+            if ec_q.same(a, b) != ec_s.same(a, b) {
+                return Symbolic::Separated(format!(
+                    "equality {a} = {b} holds on {} side only",
+                    if ec_q.same(a, b) {
+                        "the query"
+                    } else {
+                        "the substitute"
+                    }
+                ));
+            }
+        }
+    }
+    let ec = ec_q; // partitions agree; use one for normalization
+
+    // (b) Folded per-class intervals.
+    let fold = |lists: &[&[Conjunct]]| -> Result<BTreeMap<ColRef, Interval>, ColRef> {
+        let mut out: BTreeMap<ColRef, Interval> = BTreeMap::new();
+        for list in lists {
+            for c in *list {
+                if let Conjunct::Range { col, op, value } = c {
+                    let root = ec.find(*col);
+                    let iv = out.entry(root).or_insert_with(Interval::unconstrained);
+                    if !iv.apply(*op, value) {
+                        return Err(root);
+                    }
+                }
+            }
+        }
+        Ok(out)
+    };
+    let q_ranges = match fold(&[&q_conj, &nn_checks]) {
+        Ok(r) => r,
+        Err(_) => return Symbolic::Inconclusive("unfoldable-range"),
+    };
+    let s_ranges = match fold(&[&view.conjuncts, &s_extra, &nn_checks]) {
+        Ok(r) => r,
+        Err(_) => return Symbolic::Inconclusive("unfoldable-range"),
+    };
+    let roots: BTreeSet<ColRef> = q_ranges.keys().chain(s_ranges.keys()).copied().collect();
+    for root in roots {
+        let unconstrained = Interval::unconstrained;
+        let qi = q_ranges.get(&root).cloned().unwrap_or_else(unconstrained);
+        let si = s_ranges.get(&root).cloned().unwrap_or_else(unconstrained);
+        if qi != si {
+            return Symbolic::Separated(format!(
+                "range on {root}: query requires {qi}, substitute enforces {si}"
+            ));
+        }
+    }
+
+    // (c) Residual-predicate sets, normalized to class roots via the
+    // matcher's own template canonicalization.
+    let residual_key = |c: &Conjunct| -> (String, Vec<ColRef>) {
+        let b = c.to_bool().map_columns(&mut |r| ec.find(r));
+        let t = Template::of_bool(&b);
+        (t.text, t.cols)
+    };
+    let residual_set = |lists: &[&[Conjunct]]| -> BTreeSet<(String, Vec<ColRef>)> {
+        lists
+            .iter()
+            .flat_map(|l| l.iter())
+            .filter(|c| matches!(c, Conjunct::Residual(_)))
+            .map(residual_key)
+            .collect()
+    };
+    let q_res = residual_set(&[&q_conj, &nn_checks]);
+    let s_res = residual_set(&[&view.conjuncts, &s_extra, &nn_checks]);
+    if q_res != s_res {
+        let only_q: Vec<_> = q_res.difference(&s_res).collect();
+        let only_s: Vec<_> = s_res.difference(&q_res).collect();
+        // One-sided difference = a predicate dropped or invented
+        // outright; a two-sided difference may just be two renderings of
+        // equivalent predicates, which only enumeration can tell apart.
+        return match (only_q.first(), only_s.first()) {
+            (Some(r), None) => Symbolic::Separated(format!(
+                "query residual {:?} is neither enforced by the view nor compensated",
+                r.0
+            )),
+            (None, Some(r)) => Symbolic::Separated(format!(
+                "substitute enforces residual {:?} the query never asked for",
+                r.0
+            )),
+            _ => Symbolic::Inconclusive("residual-mismatch"),
+        };
+    }
+
+    // (d) Outputs: expand substitute outputs through the view's output
+    // expressions and compare position by position up to class roots. A
+    // mismatch here is *not* a separation — two different expressions can
+    // agree on every constrained database — so it only blocks discharge.
+    let OutputList::Spj(sub_items) = &sub.output else {
+        return Symbolic::Inconclusive("regrouping");
+    };
+    let q_items = query.scalar_outputs();
+    if q_items.len() != sub_items.len() {
+        return Symbolic::Inconclusive("output-arity");
+    }
+    for (qi, si) in q_items.iter().zip(sub_items) {
+        let Some(expanded) = expand_scalar(&si.expr, view) else {
+            return Symbolic::Inconclusive("opaque-output");
+        };
+        let qn = qi.expr.map_columns(&mut |c| ec.find(map_q(c)));
+        let sn = expanded.map_columns(&mut |c| ec.find(c));
+        let (qt, st) = (Template::of_scalar(&qn), Template::of_scalar(&sn));
+        if qt.text != st.text || qt.cols != st.cols {
+            return Symbolic::Inconclusive("output-mapping");
+        }
+    }
+    Symbolic::Discharged
+}
+
+/// Replace substitute-space column references (`occ 0`, position `i`)
+/// with the view's `i`-th output expression.
+fn expand_scalar(e: &ScalarExpr, view: &SpjgExpr) -> Option<ScalarExpr> {
+    match e {
+        ScalarExpr::Column(c) => Some(view.scalar_outputs().get(c.col.0 as usize)?.expr.clone()),
+        ScalarExpr::Literal(v) => Some(ScalarExpr::Literal(v.clone())),
+        ScalarExpr::Binary { op, left, right } => Some(ScalarExpr::Binary {
+            op: *op,
+            left: Box::new(expand_scalar(left, view)?),
+            right: Box::new(expand_scalar(right, view)?),
+        }),
+    }
+}

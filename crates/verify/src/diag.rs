@@ -169,6 +169,30 @@ pub enum RuleId {
     /// `.unwrap()` turns one panic into a cascade; use
     /// `mv_parallel::sync::lock_or_recover` (or the read/write variants).
     UnwrapOnLock,
+    /// MV206 — `.expect(..)` on a lock acquisition result in non-test
+    /// code: same cascade hazard as MV205, just with a message attached;
+    /// use `mv_parallel::sync::lock_or_recover` (or the read/write
+    /// variants).
+    ExpectOnLock,
+    /// MV301 — the prover's symbolic pass separates query and substitute:
+    /// their abstract states (equivalence-class partition, per-column
+    /// interval, or residual-predicate set) differ, so the rewrite cannot
+    /// be equivalent. The diagnostic names the offending column or
+    /// predicate.
+    SymbolicMismatch,
+    /// MV302 — the prover's enumerative pass found a constraint-
+    /// satisfying database, within bound k, on which query and substitute
+    /// return different row bags. The diagnostic renders the full witness
+    /// database and a replayable seed.
+    Counterexample,
+    /// MV303 — the prove budget ran out (or a value domain was truncated)
+    /// before the bound-k space was exhausted: no counterexample in the
+    /// explored prefix, but equivalence is not certified even up to k.
+    ProveBudgetExhausted,
+    /// MV304 — the pair is outside the prover's supported fragment
+    /// (foreign-key cycle among the referenced tables, or a row domain
+    /// past the enumerator's hard cap): nothing was checked.
+    ProveUnsupported,
 }
 
 impl RuleId {
@@ -213,6 +237,11 @@ impl RuleId {
             RuleId::RawEngineState => "MV203",
             RuleId::UnguardedClock => "MV204",
             RuleId::UnwrapOnLock => "MV205",
+            RuleId::ExpectOnLock => "MV206",
+            RuleId::SymbolicMismatch => "MV301",
+            RuleId::Counterexample => "MV302",
+            RuleId::ProveBudgetExhausted => "MV303",
+            RuleId::ProveUnsupported => "MV304",
         }
     }
 
@@ -257,6 +286,11 @@ impl RuleId {
             RuleId::RawEngineState => "raw-engine-state",
             RuleId::UnguardedClock => "unguarded-clock",
             RuleId::UnwrapOnLock => "unwrap-on-lock",
+            RuleId::ExpectOnLock => "expect-on-lock",
+            RuleId::SymbolicMismatch => "symbolic-mismatch",
+            RuleId::Counterexample => "counterexample",
+            RuleId::ProveBudgetExhausted => "prove-budget-exhausted",
+            RuleId::ProveUnsupported => "prove-unsupported",
         }
     }
 }

@@ -31,7 +31,7 @@ pub mod expr_rules;
 pub mod plan_rules;
 pub mod substitute_rules;
 
-pub use diag::{Context, Diagnostic, Report, RuleId, Severity};
+pub use diag::{json_string, Context, Diagnostic, Report, RuleId, Severity};
 pub use expr_rules::{verify_expr, verify_view_expr};
 pub use plan_rules::verify_plan;
 pub use substitute_rules::{verify_substitute, VerifyContext};
