@@ -616,7 +616,7 @@ fn round(v: f64, digits: u32) -> f64 {
 
 /// The uniform run-row schema every written row conforms to, new and
 /// migrated alike. Field order is fixed so the file diffs cleanly.
-const RUN_FIELDS: [&str; 13] = [
+const RUN_FIELDS: [&str; 17] = [
     "views",
     "mode",
     "workload",
@@ -630,6 +630,10 @@ const RUN_FIELDS: [&str; 13] = [
     "cache_hit_rate",
     "rss_bytes_per_view",
     "bytes_per_view_arena",
+    "prove_wall_ms",
+    "proved",
+    "refuted",
+    "inconclusive",
 ];
 
 fn record_json(r: &Record) -> Json {
@@ -668,7 +672,48 @@ fn record_json(r: &Record) -> Json {
                 .map(|b| Json::Num(round(b, 1)))
                 .unwrap_or(Json::Null),
         ),
+        // Prove columns belong to the dedicated `mode: "prove"` row.
+        ("prove_wall_ms".into(), Json::Null),
+        ("proved".into(), Json::Null),
+        ("refuted".into(), Json::Null),
+        ("inconclusive".into(), Json::Null),
     ])
+}
+
+/// What one `--prove-smoke N` pass measured (structured, not prose: the
+/// trajectory's `mode: "prove"` row and the strict wall-time ratchet
+/// both read these fields).
+struct ProveSmoke {
+    views: usize,
+    threads: usize,
+    k: usize,
+    proved: usize,
+    refuted: usize,
+    inconclusive: usize,
+    wall_ms: u128,
+}
+
+/// The dedicated prove run row: matching-latency columns are `null`,
+/// the four prove columns carry the measurements. `queries` records the
+/// substitutes examined.
+fn prove_run_json(s: &ProveSmoke) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::with_capacity(RUN_FIELDS.len());
+    for &key in &RUN_FIELDS {
+        let v = match key {
+            "views" => Json::Num(s.views as f64),
+            "mode" => Json::Str("prove".into()),
+            "workload" => Json::Str("uniform".into()),
+            "threads" => Json::Num(s.threads as f64),
+            "queries" => Json::Num((s.proved + s.refuted + s.inconclusive) as f64),
+            "prove_wall_ms" => Json::Num(s.wall_ms as f64),
+            "proved" => Json::Num(s.proved as f64),
+            "refuted" => Json::Num(s.refuted as f64),
+            "inconclusive" => Json::Num(s.inconclusive as f64),
+            _ => Json::Null,
+        };
+        fields.push((key.to_string(), v));
+    }
+    Json::Obj(fields)
 }
 
 /// Migrate one legacy run row to the uniform schema: known fields are
@@ -750,13 +795,19 @@ fn prior_entries(old: &str) -> Vec<Json> {
 /// are excluded: a 0 B/view RSS delta is allocator reuse, not a real
 /// floor any future run could stay under.
 fn best_prior(entries: &[Json], views: usize, field: &str) -> Option<f64> {
+    best_prior_mode(entries, views, "serial", field)
+}
+
+/// [`best_prior`] for an explicit run `mode` — the prove wall-time
+/// ratchet reads the `mode: "prove"` rows.
+fn best_prior_mode(entries: &[Json], views: usize, mode: &str, field: &str) -> Option<f64> {
     entries
         .iter()
         .filter_map(|e| e.get("runs").and_then(Json::as_arr))
         .flatten()
         .filter(|r| {
             r.get("views").and_then(Json::as_f64) == Some(views as f64)
-                && r.get("mode").and_then(Json::as_str) == Some("serial")
+                && r.get("mode").and_then(Json::as_str) == Some(mode)
                 && r.get("workload").and_then(Json::as_str) == Some("uniform")
         })
         .filter_map(|r| r.get(field).and_then(Json::as_f64))
@@ -781,42 +832,41 @@ fn trajectory_json(entries: Vec<Json>) -> Json {
     ])
 }
 
-fn entry_json(records: &[Record], args: &Args, workers: usize, prove_note: Option<&str>) -> Json {
+fn entry_json(records: &[Record], args: &Args, workers: usize, extra_runs: Vec<Json>) -> Json {
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
-    let mut note = String::from(
+    let note = String::from(
         "parallel tuning: packed candidate scan min_chunk=64, auto mode falls back \
          to serial below 32 candidates/worker; batched rows drive \
-         find_substitutes_many (one snapshot pin, fingerprint-grouped)",
+         find_substitutes_many (one snapshot pin, fingerprint-grouped); prove \
+         smoke runs the compiled-program prover (structured prove row)",
     );
-    if let Some(p) = prove_note {
-        note.push_str("; ");
-        note.push_str(p);
-    }
+    let mut runs: Vec<Json> = records.iter().map(record_json).collect();
+    runs.extend(extra_runs);
     Json::Obj(vec![
         ("unix_time".into(), Json::Num(unix_time as f64)),
         ("queries".into(), Json::Num(args.queries as f64)),
         ("threads".into(), Json::Num(workers as f64)),
         ("note".into(), Json::Str(note)),
-        (
-            "runs".into(),
-            Json::Arr(records.iter().map(record_json).collect()),
-        ),
+        ("runs".into(), Json::Arr(runs)),
     ])
 }
 
 /// Run the `mv-prove` bounded equivalence checker over the first `n`
-/// substitutes the matcher produces at the `views` scale point; the
-/// returned line goes into the trajectory entry's `note` field.
-fn prove_smoke_note(w: &Workload, views: usize, n: usize) -> String {
+/// substitutes the matcher produces at the `views` scale point. The
+/// result lands in the trajectory as a dedicated `mode: "prove"` row
+/// (the four structured prove columns); earlier revisions wrote a
+/// free-text `note` line instead, which migration leaves as prose.
+fn prove_smoke(w: &Workload, views: usize, n: usize) -> ProveSmoke {
     let engine = engine_with(
         w,
         views,
         MatchConfig {
             parallel_threshold: usize::MAX,
             substitute_cache_capacity: 0,
+            prove_budget: 0,
             ..MatchConfig::default()
         },
     );
@@ -828,32 +878,35 @@ fn prove_smoke_note(w: &Workload, views: usize, n: usize) -> String {
         max_databases: 500_000,
         ..mv_prove::ProveConfig::default()
     };
+    let threads = mv_parallel::workers_for(usize::MAX);
     let views_guard = engine.views();
-    let mut proved = 0usize;
-    let mut refuted = 0usize;
-    let mut other = 0usize;
+    let mut smoke = ProveSmoke {
+        views,
+        threads,
+        k: cfg.k,
+        proved: 0,
+        refuted: 0,
+        inconclusive: 0,
+        wall_ms: 0,
+    };
     let started = Instant::now();
     'outer: for query in &w.queries {
         for (id, sub) in engine.find_substitutes(query) {
-            if proved + refuted + other == n {
+            if smoke.proved + smoke.refuted + smoke.inconclusive == n {
                 break 'outer;
             }
             let outcome = mv_prove::prove(&ctx, query, &views_guard.get(id).expr, &sub, &cfg);
             if outcome.is_proved() {
-                proved += 1;
+                smoke.proved += 1;
             } else if outcome.is_refuted() {
-                refuted += 1;
+                smoke.refuted += 1;
             } else {
-                other += 1;
+                smoke.inconclusive += 1;
             }
         }
     }
-    format!(
-        "prove smoke at {views} views: {proved} proved / {refuted} refuted / {other} \
-         inconclusive at k={} in {} ms",
-        cfg.k,
-        started.elapsed().as_millis()
-    )
+    smoke.wall_ms = started.elapsed().as_millis();
+    smoke
 }
 
 fn main() {
@@ -1000,6 +1053,35 @@ fn main() {
         }
     }
 
+    let mut prove_runs = Vec::new();
+    if args.prove_smoke > 0 {
+        let smoke = prove_smoke(&w, max_views, args.prove_smoke);
+        eprintln!(
+            "prove smoke at {} views: {} proved / {} refuted / {} inconclusive at k={} \
+             in {} ms ({} threads)",
+            smoke.views,
+            smoke.proved,
+            smoke.refuted,
+            smoke.inconclusive,
+            smoke.k,
+            smoke.wall_ms,
+            smoke.threads
+        );
+        // Prove wall-time ratchet: 1.5x the best prior prove row. Wall
+        // clocks are noisier than the deterministic memory gates, but a
+        // >1.5x slide means the prover lost an optimization, not jitter.
+        if let Some(base) = best_prior_mode(&prior, max_views, "prove", "prove_wall_ms") {
+            if smoke.wall_ms as f64 > 1.5 * base {
+                failures.push(format!(
+                    "at {} views the prove smoke took {} ms, more than 1.5x the best \
+                     prior run ({base:.0} ms)",
+                    smoke.views, smoke.wall_ms
+                ));
+            }
+        }
+        prove_runs.push(prove_run_json(&smoke));
+    }
+
     if failures.is_empty() {
         eprintln!("regression check: PASS (parallel auto mode and churn hit-rate retention)");
     } else {
@@ -1008,15 +1090,9 @@ fn main() {
         }
     }
 
-    let prove_note = (args.prove_smoke > 0).then(|| {
-        let note = prove_smoke_note(&w, max_views, args.prove_smoke);
-        eprintln!("{note}");
-        note
-    });
-
     let mut entries = prior;
     let appended = !entries.is_empty();
-    entries.push(entry_json(&records, &args, workers, prove_note.as_deref()));
+    entries.push(entry_json(&records, &args, workers, prove_runs));
     let body = trajectory_json(entries).to_pretty();
     std::fs::write(&args.out, &body).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", args.out);
@@ -1102,6 +1178,11 @@ mod tests {
         assert_eq!(first_run.get("p99_match_latency_us"), Some(&Json::Null));
         assert_eq!(first_run.get("candidate_fraction"), Some(&Json::Null));
         assert_eq!(first_run.get("cache_hit_rate"), Some(&Json::Null));
+        // Rows from before the structured prove columns null them.
+        assert_eq!(first_run.get("prove_wall_ms"), Some(&Json::Null));
+        assert_eq!(first_run.get("proved"), Some(&Json::Null));
+        assert_eq!(first_run.get("refuted"), Some(&Json::Null));
+        assert_eq!(first_run.get("inconclusive"), Some(&Json::Null));
         // Present measurements survive untouched.
         let second_run = &entries[1].get("runs").unwrap().as_arr().unwrap()[0];
         assert_eq!(
@@ -1152,6 +1233,41 @@ mod tests {
         assert_eq!(best_prior(&entries, 100, "rss_bytes_per_view"), Some(900.0));
         // Unmeasured field / unseen scale: no baseline, gate passes.
         assert_eq!(best_prior(&entries, 100, "bytes_per_view_arena"), None);
+        assert_eq!(best_prior(&entries, 1000, "p50_match_latency_us"), None);
+    }
+
+    #[test]
+    fn prove_row_is_uniform_and_feeds_the_ratchet() {
+        let smoke = ProveSmoke {
+            views: 1000,
+            threads: 4,
+            k: 2,
+            proved: 9,
+            refuted: 0,
+            inconclusive: 1,
+            wall_ms: 450,
+        };
+        let row = prove_run_json(&smoke);
+        match &row {
+            Json::Obj(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, RUN_FIELDS, "the prove row is schema-uniform");
+            }
+            other => panic!("prove row is not an object: {other:?}"),
+        }
+        assert_eq!(row.get("mode").unwrap().as_str(), Some("prove"));
+        assert_eq!(row.get("queries").unwrap().as_u64(), Some(10));
+        assert_eq!(row.get("prove_wall_ms").unwrap().as_u64(), Some(450));
+        assert_eq!(row.get("p50_match_latency_us"), Some(&Json::Null));
+        // The ratchet baseline reads prove rows and ignores serial ones
+        // (and vice versa: the latency gate must not see the prove row).
+        let entry = Json::Obj(vec![("runs".into(), Json::Arr(vec![row]))]);
+        let entries = vec![entry];
+        assert_eq!(
+            best_prior_mode(&entries, 1000, "prove", "prove_wall_ms"),
+            Some(450.0)
+        );
+        assert_eq!(best_prior(&entries, 1000, "prove_wall_ms"), None);
         assert_eq!(best_prior(&entries, 1000, "p50_match_latency_us"), None);
     }
 

@@ -9,6 +9,7 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 /// Static type of a column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,8 +66,8 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// String.
-    Str(String),
+    /// String (shared: cloning a row never reallocates the text).
+    Str(Arc<str>),
     /// Days since 1970-01-01.
     Date(i32),
 }
@@ -230,13 +231,13 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into())
     }
 }
 

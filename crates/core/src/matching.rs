@@ -92,7 +92,10 @@ pub struct MatchConfig {
     /// `mv-prove` bounded model checker (DESIGN.md §15) at bound k = 2,
     /// visiting at most this many enumerated databases per pair, and any
     /// refutation (MV301/MV302) panics with the rendered witness. `0`
-    /// (the default) disables the oracle; release builds never prove.
+    /// disables the oracle; release builds never prove. Since the
+    /// compiled-program prover (DESIGN.md §16) the oracle is cheap enough
+    /// to default **on** in debug builds (2 000 databases per pair);
+    /// release builds still default to `0`.
     pub prove_budget: usize,
 }
 
@@ -161,7 +164,7 @@ impl Default for MatchConfig {
             substitute_cache_capacity: 1024,
             substitute_cache_shards: 8,
             timing: true,
-            prove_budget: 0,
+            prove_budget: if cfg!(debug_assertions) { 2_000 } else { 0 },
         }
     }
 }

@@ -78,13 +78,25 @@ fn oracle_accepts_aggregate_rollup() {
     assert_eq!(engine.find_substitutes(&query).len(), 1);
 }
 
-/// `prove_budget: 0` (the default) disables the oracle entirely: same
-/// matches, no proving.
+/// The oracle defaults **on** in debug builds (the compiled-program
+/// prover made it cheap enough — DESIGN.md §16) and off in release,
+/// where the hook compiles out anyway. `prove_budget: 0` still disables
+/// it entirely: same matches, no proving.
 #[test]
-fn oracle_is_off_by_default() {
-    assert_eq!(MatchConfig::default().prove_budget, 0);
+fn oracle_default_tracks_build_profile() {
+    if cfg!(debug_assertions) {
+        assert!(MatchConfig::default().prove_budget > 0);
+    } else {
+        assert_eq!(MatchConfig::default().prove_budget, 0);
+    }
     let (cat, t) = tpch_catalog();
-    let engine = MatchingEngine::new(cat, MatchConfig::default());
+    let engine = MatchingEngine::new(
+        cat,
+        MatchConfig {
+            prove_budget: 0,
+            ..MatchConfig::default()
+        },
+    );
     engine
         .add_view(ViewDef::new(
             "all_items",

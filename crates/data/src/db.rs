@@ -1,7 +1,7 @@
 //! In-memory row storage and statistics collection.
 
 use mv_catalog::{Catalog, ColumnStats, TableId, TableStats, Value};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// One row: values in column order.
 pub type Row = Vec<Value>;
@@ -12,7 +12,12 @@ pub struct Database {
     /// The schema. Statistics are written back here by
     /// [`Database::collect_stats`].
     pub catalog: Catalog,
-    tables: HashMap<TableId, Vec<Row>>,
+    /// Rows per table, indexed densely by [`TableId`] — the prove loop
+    /// resolves scans on every database, so lookups must not hash.
+    tables: Vec<Vec<Row>>,
+    /// Which slots of `tables` have actually been loaded (an empty loaded
+    /// table still gets statistics; a never-loaded one does not).
+    loaded: Vec<bool>,
 }
 
 impl Database {
@@ -20,7 +25,8 @@ impl Database {
     pub fn new(catalog: Catalog) -> Self {
         Database {
             catalog,
-            tables: HashMap::new(),
+            tables: Vec::new(),
+            loaded: Vec::new(),
         }
     }
 
@@ -33,12 +39,43 @@ impl Database {
             "row arity mismatch for table {}",
             self.catalog.table(table).name
         );
-        self.tables.insert(table, rows);
+        let i = table.0 as usize;
+        if self.tables.len() <= i {
+            self.tables.resize_with(i + 1, Vec::new);
+            self.loaded.resize(i + 1, false);
+        }
+        self.tables[i] = rows;
+        self.loaded[i] = true;
+    }
+
+    /// Replace the rows of a table with clones of `candidates[combo[..]]`,
+    /// reusing the table's row buffers. Equivalent to
+    /// `load(table, combo.iter().map(|&i| candidates[i].clone()).collect())`
+    /// without the per-call allocations — the enumerator swaps configurations
+    /// hundreds of thousands of times per proof.
+    pub fn load_rows_by_index(&mut self, table: TableId, candidates: &[Row], combo: &[usize]) {
+        let i = table.0 as usize;
+        if self.tables.len() <= i {
+            self.tables.resize_with(i + 1, Vec::new);
+            self.loaded.resize(i + 1, false);
+        }
+        let rows = &mut self.tables[i];
+        rows.truncate(combo.len());
+        for (slot, &ci) in rows.iter_mut().zip(combo) {
+            slot.clone_from(&candidates[ci]);
+        }
+        for &ci in &combo[rows.len()..] {
+            rows.push(candidates[ci].clone());
+        }
+        self.loaded[i] = true;
     }
 
     /// The rows of a table (empty slice if never loaded).
     pub fn rows(&self, table: TableId) -> &[Row] {
-        self.tables.get(&table).map(|v| v.as_slice()).unwrap_or(&[])
+        self.tables
+            .get(table.0 as usize)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Row count of a table.
@@ -52,7 +89,12 @@ impl Database {
         let stats: Vec<(TableId, TableStats)> = self
             .tables
             .iter()
-            .map(|(&table, rows)| (table, table_stats(&self.catalog, table, rows)))
+            .enumerate()
+            .filter(|&(i, _)| self.loaded[i])
+            .map(|(i, rows)| {
+                let table = TableId(i as u32);
+                (table, table_stats(&self.catalog, table, rows))
+            })
             .collect();
         for (table, s) in stats {
             self.catalog.set_stats(table, s);

@@ -172,7 +172,7 @@ fn comment(rng: &mut StdRng, max_words: usize) -> Value {
     let words: Vec<&str> = (0..n)
         .map(|_| WORDS[rng.random_range(0..WORDS.len())])
         .collect();
-    Value::Str(words.join(" "))
+    Value::from(words.join(" "))
 }
 
 fn date_in(rng: &mut StdRng, lo: i32, hi: i32) -> i32 {
@@ -193,7 +193,7 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
         .map(|(i, name)| {
             vec![
                 Value::Int(i as i64),
-                Value::Str(name.to_string()),
+                Value::from(name.to_string()),
                 comment(&mut rng, 5),
             ]
         })
@@ -207,7 +207,7 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
         .map(|(i, name)| {
             vec![
                 Value::Int(i as i64),
-                Value::Str(name.to_string()),
+                Value::from(name.to_string()),
                 Value::Int((i % 5) as i64),
                 comment(&mut rng, 5),
             ]
@@ -220,10 +220,10 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
         .map(|k| {
             vec![
                 Value::Int(k),
-                Value::Str(format!("Supplier#{k:09}")),
+                Value::from(format!("Supplier#{k:09}")),
                 comment(&mut rng, 3),
                 Value::Int(rng.random_range(0..25)),
-                Value::Str(format!(
+                Value::from(format!(
                     "{}-{:03}-{:03}",
                     rng.random_range(10..35),
                     k % 1000,
@@ -241,17 +241,17 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
         .map(|k| {
             vec![
                 Value::Int(k),
-                Value::Str(format!("Customer#{k:09}")),
+                Value::from(format!("Customer#{k:09}")),
                 comment(&mut rng, 3),
                 Value::Int(rng.random_range(0..25)),
-                Value::Str(format!(
+                Value::from(format!(
                     "{}-{:03}-{:03}",
                     rng.random_range(10..35),
                     k % 1000,
                     k % 991
                 )),
                 Value::Int(rng.random_range(-99_999..1_000_000)),
-                Value::Str(SEGMENTS[rng.random_range(0..SEGMENTS.len())].to_string()),
+                Value::from(SEGMENTS[rng.random_range(0..SEGMENTS.len())].to_string()),
                 comment(&mut rng, 8),
             ]
         })
@@ -270,17 +270,17 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
             part_price.push(price);
             vec![
                 Value::Int(k),
-                Value::Str(name.join(" ")),
-                Value::Str(format!("Manufacturer#{}", 1 + k % 5)),
-                Value::Str(format!("Brand#{}{}", 1 + k % 5, 1 + k % 4)),
-                Value::Str(format!(
+                Value::from(name.join(" ")),
+                Value::from(format!("Manufacturer#{}", 1 + k % 5)),
+                Value::from(format!("Brand#{}{}", 1 + k % 5, 1 + k % 4)),
+                Value::from(format!(
                     "{} {} {}",
                     TYPES_1[rng.random_range(0..TYPES_1.len())],
                     TYPES_2[rng.random_range(0..TYPES_2.len())],
                     TYPES_3[rng.random_range(0..TYPES_3.len())]
                 )),
                 Value::Int(rng.random_range(1..=50)),
-                Value::Str(CONTAINERS[rng.random_range(0..CONTAINERS.len())].to_string()),
+                Value::from(CONTAINERS[rng.random_range(0..CONTAINERS.len())].to_string()),
                 Value::Int(price),
                 comment(&mut rng, 5),
             ]
@@ -345,24 +345,24 @@ pub fn generate_tpch(scale: &TpchScale, seed: u64) -> (Database, TpchTables) {
                 Value::Int(extended),
                 Value::Int(rng.random_range(0..=10)), // discount in percent
                 Value::Int(rng.random_range(0..=8)),  // tax in percent
-                Value::Str(["R", "A", "N"][rng.random_range(0..3)].to_string()),
-                Value::Str(["O", "F"][rng.random_range(0..2)].to_string()),
+                Value::from(["R", "A", "N"][rng.random_range(0..3)].to_string()),
+                Value::from(["O", "F"][rng.random_range(0..2)].to_string()),
                 Value::Date(shipdate),
                 Value::Date(commitdate),
                 Value::Date(receiptdate),
-                Value::Str(INSTRUCTIONS[rng.random_range(0..INSTRUCTIONS.len())].to_string()),
-                Value::Str(SHIPMODES[rng.random_range(0..SHIPMODES.len())].to_string()),
+                Value::from(INSTRUCTIONS[rng.random_range(0..INSTRUCTIONS.len())].to_string()),
+                Value::from(SHIPMODES[rng.random_range(0..SHIPMODES.len())].to_string()),
                 comment(&mut rng, 6),
             ]);
         }
         orders.push(vec![
             Value::Int(ok),
             Value::Int(custkey),
-            Value::Str(["O", "F", "P"][rng.random_range(0..3)].to_string()),
+            Value::from(["O", "F", "P"][rng.random_range(0..3)].to_string()),
             Value::Int(totalprice),
             Value::Date(orderdate),
-            Value::Str(PRIORITIES[rng.random_range(0..PRIORITIES.len())].to_string()),
-            Value::Str(format!("Clerk#{:09}", rng.random_range(1..1000))),
+            Value::from(PRIORITIES[rng.random_range(0..PRIORITIES.len())].to_string()),
+            Value::from(format!("Clerk#{:09}", rng.random_range(1..1000))),
             Value::Int(0),
             comment(&mut rng, 10),
         ]);

@@ -19,10 +19,14 @@
 pub mod agg;
 pub mod compare;
 pub mod physical;
+pub mod program;
 pub mod spjg;
 pub mod substitute;
 
 pub use compare::{bag_diff, bag_eq};
 pub use physical::{execute_plan, ViewStore};
+pub use program::{
+    rowbag_eq, ExecScratch, PlanProgram, RowBag, SubstitutePipeline, SubstituteProgram,
+};
 pub use spjg::execute_spjg;
 pub use substitute::{execute_substitute, execute_substitute_with, materialize_view};

@@ -1,0 +1,1528 @@
+//! Compiled plan programs for the prove hot path.
+//!
+//! The enumerative prover evaluates the same `(query, view, substitute)`
+//! triple over hundreds of thousands of tiny databases. Walking the
+//! expression trees for every row of every database dominates that loop:
+//! each `eval` call allocates closures, clones `Value`s for the accessor,
+//! and rebuilds hash maps per database. This module flattens a plan into a
+//! [`PlanProgram`] once — a postfix instruction stream per predicate and
+//! output expression plus a precomputed join schedule — and evaluates it
+//! over flat, reusable scratch buffers ([`ExecScratch`]).
+//!
+//! The execution representation never materializes joined rows: a joined
+//! "row" is a tuple of `u32` row indices, one per table occurrence, and
+//! every column reference resolves lazily through a [`Fetch`] back to the
+//! database's own storage. Values are cloned only at the two places a bag
+//! must own them — projected output cells and group keys on first insert —
+//! so the per-database cost is a few tight loops over integer tuples with
+//! no allocation on the common path. [`SubstitutePipeline`] extends the
+//! same idea across the view boundary: when the view's output is a bare
+//! column projection, the substitute runs directly over the view's join
+//! tuples and the view rows are never materialized at all.
+//!
+//! The tree-walking interpreter in [`crate::spjg`] / [`crate::substitute`]
+//! stays as the differential oracle: the compiled path must produce exactly
+//! the same row bags, which `exec/tests/program_differential.rs` checks over
+//! random plans × enumerated databases.
+
+use crate::agg::SumAcc;
+use mv_catalog::{Catalog, TableId, Value};
+use mv_data::{Database, Row};
+use mv_expr::like::like_match;
+use mv_expr::scalar::eval_binop;
+use mv_expr::{BinOp, BoolExpr, CmpOp, ColRef, Conjunct, OccId, ScalarExpr};
+use mv_plan::{AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute};
+
+/// Bits of an [`Op::Col`] operand holding the column index; the rest holds
+/// the table-occurrence index (plan programs) — substitute programs use the
+/// whole operand as a flat position instead.
+const COL_BITS: usize = 16;
+const COL_MASK: usize = (1 << COL_BITS) - 1;
+
+/// Upper bound on table occurrences per plan (and backjoins per
+/// substitute): lets execution keep its per-occurrence scan table on the
+/// stack instead of allocating per database.
+const MAX_OCCS: usize = 16;
+
+/// Resolve a fetch position to a value for the current index tuple. The
+/// two executors address columns differently (packed `(occ, col)` versus
+/// flat substitute-space positions), so the resolution is a trait and the
+/// programs stay agnostic.
+trait Fetch {
+    fn at<'a>(&'a self, tuple: &'a [u32], pos: usize) -> &'a Value;
+}
+
+/// Plan-program resolution: `pos` packs `(occurrence, column)`;
+/// `tuple[occ]` indexes that occurrence's scan.
+struct PlanFetch<'a> {
+    occ_rows: &'a [&'a [Row]],
+}
+
+impl Fetch for PlanFetch<'_> {
+    #[inline]
+    fn at<'a>(&'a self, tuple: &'a [u32], pos: usize) -> &'a Value {
+        let occ = pos >> COL_BITS;
+        &self.occ_rows[occ][tuple[occ] as usize][pos & COL_MASK]
+    }
+}
+
+/// Substitute resolution over materialized view rows: positions below the
+/// view arity index the view bag row `tuple[0]`; later positions fall into
+/// backjoin segments, resolved against the backjoin table's own rows.
+struct SubFetch<'a> {
+    view: &'a RowBag,
+    /// Flat position where each backjoin's column segment starts.
+    bj_offs: &'a [usize],
+    bj_rows: &'a [&'a [Row]],
+}
+
+impl Fetch for SubFetch<'_> {
+    #[inline]
+    fn at<'a>(&'a self, tuple: &'a [u32], pos: usize) -> &'a Value {
+        if pos < self.view.arity {
+            return &self.view.vals[tuple[0] as usize * self.view.arity + pos];
+        }
+        let seg = self
+            .bj_offs
+            .iter()
+            .rposition(|&o| o <= pos)
+            .expect("position past view arity with no backjoin segment");
+        &self.bj_rows[seg][tuple[1 + seg] as usize][pos - self.bj_offs[seg]]
+    }
+}
+
+/// Fused substitute resolution ([`SubstitutePipeline`]): view positions
+/// compose through the view's column projection straight to base-table
+/// storage; the view row is never materialized.
+struct FusedFetch<'a> {
+    /// Packed `(occ, col)` per view output position.
+    view_cols: &'a [usize],
+    /// Scans of the view plan's occurrences (`tuple[..n_view_occs]`).
+    occ_rows: &'a [&'a [Row]],
+    n_view_occs: usize,
+    bj_offs: &'a [usize],
+    bj_rows: &'a [&'a [Row]],
+}
+
+impl Fetch for FusedFetch<'_> {
+    #[inline]
+    fn at<'a>(&'a self, tuple: &'a [u32], pos: usize) -> &'a Value {
+        if pos < self.view_cols.len() {
+            let packed = self.view_cols[pos];
+            let occ = packed >> COL_BITS;
+            return &self.occ_rows[occ][tuple[occ] as usize][packed & COL_MASK];
+        }
+        let seg = self
+            .bj_offs
+            .iter()
+            .rposition(|&o| o <= pos)
+            .expect("position past view arity with no backjoin segment");
+        &self.bj_rows[seg][tuple[self.n_view_occs + seg] as usize][pos - self.bj_offs[seg]]
+    }
+}
+
+/// One postfix instruction. Value-producing ops work a value stack of
+/// [`Slot`]s (fetch positions or literal-pool indices, so pushing a column
+/// never clones); predicate ops work a tri-bool stack.
+#[derive(Debug, Clone, PartialEq)]
+enum Op {
+    /// Push a fetch position onto the value stack.
+    Col(usize),
+    /// Push literal-pool entry onto the value stack.
+    Lit(usize),
+    /// Pop two values, push the arithmetic result.
+    Bin(BinOp),
+    /// Pop two values, push a tri-bool comparison result.
+    Cmp(CmpOp),
+    /// Pop one value, push `expr [NOT] LIKE pattern`.
+    Like { pat: usize, negated: bool },
+    /// Pop one value, push `expr IS [NOT] NULL` (two-valued).
+    IsNull { negated: bool },
+    /// Push a constant tri-bool.
+    PushBool(bool),
+    /// Pop one tri-bool, push its 3VL negation.
+    Not,
+    /// Pop `n` tri-bools, push their 3VL conjunction.
+    And(usize),
+    /// Pop `n` tri-bools, push their 3VL disjunction.
+    Or(usize),
+}
+
+/// A value-stack entry. Column and literal pushes are indices — only
+/// arithmetic results are owned, and those are always numeric or NULL, so
+/// the stack never heap-allocates.
+#[derive(Debug, Clone)]
+enum Slot {
+    Pos(usize),
+    Lit(usize),
+    Owned(Value),
+}
+
+fn slot<'a, F: Fetch>(s: &'a Slot, f: &'a F, tuple: &'a [u32], lits: &'a [Value]) -> &'a Value {
+    match s {
+        Slot::Pos(i) => f.at(tuple, *i),
+        Slot::Lit(i) => &lits[*i],
+        Slot::Owned(v) => v,
+    }
+}
+
+/// Reusable evaluation stacks, cleared (not freed) per program run.
+#[derive(Debug, Default)]
+pub struct EvalStacks {
+    vals: Vec<Slot>,
+    bools: Vec<Option<bool>>,
+}
+
+/// A compiled expression: postfix ops plus literal and LIKE-pattern pools.
+#[derive(Debug, Clone, PartialEq)]
+struct Program {
+    ops: Vec<Op>,
+    lits: Vec<Value>,
+    pats: Vec<String>,
+    /// Peephole for the dominant predicate shape `column <op> literal`
+    /// (`(fetch position, op, literal index)`): evaluated directly, no
+    /// stack traffic.
+    fast_cmp: Option<(usize, CmpOp, usize)>,
+}
+
+impl Program {
+    fn new() -> Self {
+        Program {
+            ops: Vec::new(),
+            lits: Vec::new(),
+            pats: Vec::new(),
+            fast_cmp: None,
+        }
+    }
+
+    fn compile_scalar(e: &ScalarExpr, map: &impl Fn(ColRef) -> usize) -> Self {
+        let mut p = Program::new();
+        p.push_scalar(e, map);
+        p
+    }
+
+    fn compile_bool(e: &BoolExpr, map: &impl Fn(ColRef) -> usize) -> Self {
+        let mut p = Program::new();
+        p.push_bool(e, map);
+        if let [Op::Col(pos), Op::Lit(lit), Op::Cmp(c)] = p.ops.as_slice() {
+            p.fast_cmp = Some((*pos, *c, *lit));
+        }
+        p
+    }
+
+    /// The fetch position when this program is a single bare column.
+    fn single_col(&self) -> Option<usize> {
+        match self.ops.as_slice() {
+            [Op::Col(i)] => Some(*i),
+            _ => None,
+        }
+    }
+
+    fn push_scalar(&mut self, e: &ScalarExpr, map: &impl Fn(ColRef) -> usize) {
+        match e {
+            ScalarExpr::Column(c) => self.ops.push(Op::Col(map(*c))),
+            ScalarExpr::Literal(v) => {
+                self.lits.push(v.clone());
+                self.ops.push(Op::Lit(self.lits.len() - 1));
+            }
+            ScalarExpr::Binary { op, left, right } => {
+                self.push_scalar(left, map);
+                self.push_scalar(right, map);
+                self.ops.push(Op::Bin(*op));
+            }
+        }
+    }
+
+    fn push_bool(&mut self, e: &BoolExpr, map: &impl Fn(ColRef) -> usize) {
+        match e {
+            BoolExpr::Literal(b) => self.ops.push(Op::PushBool(*b)),
+            BoolExpr::And(parts) => {
+                for p in parts {
+                    self.push_bool(p, map);
+                }
+                self.ops.push(Op::And(parts.len()));
+            }
+            BoolExpr::Or(parts) => {
+                for p in parts {
+                    self.push_bool(p, map);
+                }
+                self.ops.push(Op::Or(parts.len()));
+            }
+            BoolExpr::Not(p) => {
+                self.push_bool(p, map);
+                self.ops.push(Op::Not);
+            }
+            BoolExpr::Compare { op, left, right } => {
+                self.push_scalar(left, map);
+                self.push_scalar(right, map);
+                self.ops.push(Op::Cmp(*op));
+            }
+            BoolExpr::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
+                self.push_scalar(expr, map);
+                self.pats.push(pattern.clone());
+                self.ops.push(Op::Like {
+                    pat: self.pats.len() - 1,
+                    negated: *negated,
+                });
+            }
+            BoolExpr::IsNull { expr, negated } => {
+                self.push_scalar(expr, map);
+                self.ops.push(Op::IsNull { negated: *negated });
+            }
+        }
+    }
+
+    fn run<F: Fetch>(&self, f: &F, tuple: &[u32], st: &mut EvalStacks) {
+        st.vals.clear();
+        st.bools.clear();
+        for op in &self.ops {
+            match op {
+                Op::Col(i) => st.vals.push(Slot::Pos(*i)),
+                Op::Lit(i) => st.vals.push(Slot::Lit(*i)),
+                Op::Bin(b) => {
+                    let r = st.vals.pop().expect("value stack underflow");
+                    let l = st.vals.pop().expect("value stack underflow");
+                    let v = eval_binop(
+                        *b,
+                        slot(&l, f, tuple, &self.lits),
+                        slot(&r, f, tuple, &self.lits),
+                    );
+                    st.vals.push(Slot::Owned(v));
+                }
+                Op::Cmp(c) => {
+                    let r = st.vals.pop().expect("value stack underflow");
+                    let l = st.vals.pop().expect("value stack underflow");
+                    let res = slot(&l, f, tuple, &self.lits)
+                        .sql_cmp(slot(&r, f, tuple, &self.lits))
+                        .map(|ord| c.evaluate(ord));
+                    st.bools.push(res);
+                }
+                Op::Like { pat, negated } => {
+                    let s = st.vals.pop().expect("value stack underflow");
+                    let res = match slot(&s, f, tuple, &self.lits) {
+                        Value::Null => None,
+                        Value::Str(s) => Some(like_match(s, &self.pats[*pat]) != *negated),
+                        // LIKE over a non-string is a type error; unknown.
+                        _ => None,
+                    };
+                    st.bools.push(res);
+                }
+                Op::IsNull { negated } => {
+                    let s = st.vals.pop().expect("value stack underflow");
+                    st.bools
+                        .push(Some(slot(&s, f, tuple, &self.lits).is_null() != *negated));
+                }
+                Op::PushBool(b) => st.bools.push(Some(*b)),
+                Op::Not => {
+                    let b = st.bools.pop().expect("bool stack underflow");
+                    st.bools.push(b.map(|x| !x));
+                }
+                Op::And(n) => {
+                    let mut saw_false = false;
+                    let mut saw_unknown = false;
+                    for _ in 0..*n {
+                        match st.bools.pop().expect("bool stack underflow") {
+                            Some(false) => saw_false = true,
+                            None => saw_unknown = true,
+                            Some(true) => {}
+                        }
+                    }
+                    st.bools.push(if saw_false {
+                        Some(false)
+                    } else if saw_unknown {
+                        None
+                    } else {
+                        Some(true)
+                    });
+                }
+                Op::Or(n) => {
+                    let mut saw_true = false;
+                    let mut saw_unknown = false;
+                    for _ in 0..*n {
+                        match st.bools.pop().expect("bool stack underflow") {
+                            Some(true) => saw_true = true,
+                            None => saw_unknown = true,
+                            Some(false) => {}
+                        }
+                    }
+                    st.bools.push(if saw_true {
+                        Some(true)
+                    } else if saw_unknown {
+                        None
+                    } else {
+                        Some(false)
+                    });
+                }
+            }
+        }
+    }
+
+    fn eval_bool<F: Fetch>(&self, f: &F, tuple: &[u32], st: &mut EvalStacks) -> Option<bool> {
+        if let Some((pos, op, lit)) = self.fast_cmp {
+            return f
+                .at(tuple, pos)
+                .sql_cmp(&self.lits[lit])
+                .map(|ord| op.evaluate(ord));
+        }
+        self.run(f, tuple, st);
+        st.bools.pop().expect("bool program left empty stack")
+    }
+
+    fn eval_scalar_owned<F: Fetch>(&self, f: &F, tuple: &[u32], st: &mut EvalStacks) -> Value {
+        self.run(f, tuple, st);
+        let s = st.vals.pop().expect("scalar program left empty stack");
+        match s {
+            Slot::Owned(v) => v,
+            other => slot(&other, f, tuple, &self.lits).clone(),
+        }
+    }
+
+    fn eval_scalar_into_sum<F: Fetch>(
+        &self,
+        f: &F,
+        tuple: &[u32],
+        st: &mut EvalStacks,
+        acc: &mut SumAcc,
+    ) {
+        self.run(f, tuple, st);
+        let s = st.vals.pop().expect("scalar program left empty stack");
+        acc.add(slot(&s, f, tuple, &self.lits));
+    }
+}
+
+/// One join step: append a table occurrence to the index-tuple prefix.
+#[derive(Debug, Clone, PartialEq)]
+struct JoinStep {
+    table: TableId,
+    /// Equijoin pairs `(packed prefix position, column of the new scan)`,
+    /// consumed from `ColumnEq` conjuncts exactly as the interpreter does.
+    keys: Vec<(usize, usize)>,
+    /// Conjuncts that become fully bound once this occurrence is joined,
+    /// compiled and applied in conjunct order.
+    filters: Vec<Program>,
+}
+
+/// Aggregate kinds mirroring [`AggFunc`] without the argument tree.
+#[derive(Debug, Clone, Copy)]
+enum AggKind {
+    CountStar,
+    Sum,
+    SumZero,
+}
+
+/// One compiled aggregate: the kind, its argument program, and — for the
+/// dominant bare-column argument shape — the direct fetch position, which
+/// skips the program stack entirely.
+#[derive(Debug, Clone)]
+struct AggProg {
+    kind: AggKind,
+    arg: Option<Program>,
+    arg_col: Option<usize>,
+}
+
+/// Compiled output side: projection programs or group-by/aggregate programs.
+#[derive(Debug, Clone)]
+enum OutputProgram {
+    Project(Vec<Program>),
+    Aggregate {
+        keys: Vec<Program>,
+        /// Fast path: every group key is a bare column (its fetch
+        /// position). Group lookups then compare in place and clone only
+        /// on first insert.
+        key_cols: Option<Vec<usize>>,
+        aggs: Vec<AggProg>,
+    },
+}
+
+impl OutputProgram {
+    fn compile(output: &OutputList, map: &impl Fn(ColRef) -> usize) -> Self {
+        match output {
+            OutputList::Spj(items) => OutputProgram::Project(
+                items
+                    .iter()
+                    .map(|ne| Program::compile_scalar(&ne.expr, map))
+                    .collect(),
+            ),
+            OutputList::Aggregate {
+                group_by,
+                aggregates,
+            } => {
+                let keys: Vec<Program> = group_by
+                    .iter()
+                    .map(|ne| Program::compile_scalar(&ne.expr, map))
+                    .collect();
+                let key_cols = keys.iter().map(Program::single_col).collect();
+                OutputProgram::Aggregate {
+                    keys,
+                    key_cols,
+                    aggs: aggregates
+                        .iter()
+                        .map(|na| {
+                            let kind = match na.func {
+                                AggFunc::CountStar => AggKind::CountStar,
+                                AggFunc::Sum(_) => AggKind::Sum,
+                                AggFunc::SumZero(_) => AggKind::SumZero,
+                            };
+                            let arg = na.func.argument().map(|e| Program::compile_scalar(e, map));
+                            let arg_col = arg.as_ref().and_then(Program::single_col);
+                            AggProg { kind, arg, arg_col }
+                        })
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    fn arity(&self) -> usize {
+        match self {
+            OutputProgram::Project(items) => items.len(),
+            OutputProgram::Aggregate { keys, aggs, .. } => keys.len() + aggs.len(),
+        }
+    }
+
+    fn begin(&self, groups: &mut GroupTable) {
+        if let OutputProgram::Aggregate { .. } = self {
+            groups.clear();
+        }
+    }
+
+    /// Feed one surviving tuple: push the projected row, or accumulate it
+    /// into its group.
+    fn feed<F: Fetch>(
+        &self,
+        f: &F,
+        tuple: &[u32],
+        st: &mut EvalStacks,
+        key_buf: &mut Vec<Value>,
+        groups: &mut GroupTable,
+        out: &mut RowBag,
+    ) {
+        match self {
+            OutputProgram::Project(items) => {
+                for item in items {
+                    out.vals.push(item.eval_scalar_owned(f, tuple, st));
+                }
+                out.count += 1;
+            }
+            OutputProgram::Aggregate {
+                keys,
+                key_cols,
+                aggs,
+            } => {
+                let state = match key_cols {
+                    Some(cols) => {
+                        groups.find_or_insert_by(cols.len(), aggs.len(), |k| f.at(tuple, cols[k]))
+                    }
+                    None => {
+                        key_buf.clear();
+                        for k in keys {
+                            key_buf.push(k.eval_scalar_owned(f, tuple, st));
+                        }
+                        groups.find_or_insert_by(key_buf.len(), aggs.len(), |k| &key_buf[k])
+                    }
+                };
+                state.count += 1;
+                for (i, agg) in aggs.iter().enumerate() {
+                    if let Some(pos) = agg.arg_col {
+                        state.sums[i].add(f.at(tuple, pos));
+                    } else if let Some(p) = &agg.arg {
+                        p.eval_scalar_into_sum(f, tuple, st, &mut state.sums[i]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Flush accumulated groups into the output bag (no-op for projections,
+    /// whose rows were emitted by [`OutputProgram::feed`]).
+    fn finish(&self, groups: &mut GroupTable, out: &mut RowBag) {
+        if let OutputProgram::Aggregate { keys, aggs, .. } = self {
+            // SQL: a scalar aggregate over empty input yields one row.
+            if groups.live == 0 && keys.is_empty() {
+                groups.find_or_insert_by(0, aggs.len(), |_| -> &Value { unreachable!() });
+            }
+            for g in 0..groups.live {
+                out.vals.extend_from_slice(&groups.keys[g]);
+                let state = &groups.states[g];
+                for (i, agg) in aggs.iter().enumerate() {
+                    out.vals.push(match agg.kind {
+                        AggKind::CountStar => Value::Int(state.count),
+                        AggKind::Sum => state.sums[i].finish(),
+                        AggKind::SumZero => state.sums[i].finish_zero(),
+                    });
+                }
+                out.count += 1;
+            }
+        }
+    }
+}
+
+/// Per-group accumulator state, mirroring [`crate::agg::GroupAcc`].
+#[derive(Debug, Default, Clone)]
+struct GroupState {
+    count: i64,
+    sums: Vec<SumAcc>,
+}
+
+/// A reusable linear-scan group table. Groups per database are few (bounded
+/// by the handful of enumerated rows), so a scan beats rebuilding a hash
+/// map; slots beyond `live` keep their capacity for the next database.
+#[derive(Debug, Default)]
+struct GroupTable {
+    keys: Vec<Vec<Value>>,
+    states: Vec<GroupState>,
+    live: usize,
+}
+
+impl GroupTable {
+    fn clear(&mut self) {
+        self.live = 0;
+    }
+
+    /// Find the group whose key matches `get(0..n_keys)`, inserting a fresh
+    /// one (cloning the key values — the only clone on the aggregate path)
+    /// when absent.
+    fn find_or_insert_by<'v>(
+        &mut self,
+        n_keys: usize,
+        n_aggs: usize,
+        get: impl Fn(usize) -> &'v Value,
+    ) -> &mut GroupState {
+        'groups: for i in 0..self.live {
+            for k in 0..n_keys {
+                if self.keys[i][k] != *get(k) {
+                    continue 'groups;
+                }
+            }
+            return &mut self.states[i];
+        }
+        if self.live == self.keys.len() {
+            self.keys
+                .push((0..n_keys).map(|k| get(k).clone()).collect());
+            self.states.push(GroupState {
+                count: 0,
+                sums: vec![SumAcc::default(); n_aggs],
+            });
+        } else {
+            let kv = &mut self.keys[self.live];
+            kv.clear();
+            kv.extend((0..n_keys).map(|k| get(k).clone()));
+            let s = &mut self.states[self.live];
+            s.count = 0;
+            s.sums.clear();
+            s.sums.resize(n_aggs, SumAcc::default());
+        }
+        self.live += 1;
+        &mut self.states[self.live - 1]
+    }
+}
+
+/// A flat, reusable bag of fixed-arity rows.
+#[derive(Debug, Default)]
+pub struct RowBag {
+    vals: Vec<Value>,
+    arity: usize,
+    count: usize,
+}
+
+impl RowBag {
+    /// An empty bag.
+    pub fn new() -> Self {
+        RowBag::default()
+    }
+
+    fn reset(&mut self, arity: usize) {
+        self.vals.clear();
+        self.arity = arity;
+        self.count = 0;
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// True iff the bag holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Materialize as owned rows (cold path: witnesses and tests).
+    pub fn to_rows(&self) -> Vec<Row> {
+        if self.arity == 0 {
+            return vec![Vec::new(); self.count];
+        }
+        self.vals
+            .chunks_exact(self.arity)
+            .map(|c| c.to_vec())
+            .collect()
+    }
+}
+
+/// Multiset equality over two flat bags without allocating (the `matched`
+/// bitmap is caller-provided scratch). Quadratic, but prove-time bags hold
+/// at most a few dozen rows.
+pub fn rowbag_eq(a: &RowBag, b: &RowBag, matched: &mut Vec<bool>) -> bool {
+    if a.count != b.count {
+        return false;
+    }
+    if a.count == 0 {
+        return true;
+    }
+    if a.arity != b.arity {
+        return false;
+    }
+    let w = a.arity;
+    matched.clear();
+    matched.resize(b.count, false);
+    'outer: for i in 0..a.count {
+        let ra = &a.vals[i * w..(i + 1) * w];
+        for (j, m) in matched.iter_mut().enumerate() {
+            if !*m && &b.vals[j * w..(j + 1) * w] == ra {
+                *m = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Reusable per-worker scratch: index-tuple ping-pong buffers, evaluation
+/// stacks, the group table, and the bag-equality bitmap. One of these per
+/// prove worker amortizes every allocation across all enumerated databases.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    cur: Vec<u32>,
+    nxt: Vec<u32>,
+    st: EvalStacks,
+    key_buf: Vec<Value>,
+    groups: GroupTable,
+    /// Scratch bitmap for [`rowbag_eq`].
+    pub matched: Vec<bool>,
+}
+
+impl ExecScratch {
+    /// Fresh (empty) scratch.
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+}
+
+fn conjunct_bound(conj: &Conjunct, bound: u32) -> bool {
+    conj.columns().iter().all(|c| c.occ.0 < bound)
+}
+
+/// Apply compiled filters in place over the tuple buffer, compacting
+/// surviving tuples to the front. Returns the new tuple count.
+fn filter_tuples<F: Fetch>(
+    filters: &[Program],
+    tuples: &mut Vec<u32>,
+    stride: usize,
+    mut n_rows: usize,
+    f: &F,
+    st: &mut EvalStacks,
+) -> usize {
+    for prog in filters {
+        let mut w = 0;
+        for r in 0..n_rows {
+            let keep = prog.eval_bool(f, &tuples[r * stride..(r + 1) * stride], st) == Some(true);
+            if keep {
+                if w != r {
+                    tuples.copy_within(r * stride..(r + 1) * stride, w * stride);
+                }
+                w += 1;
+            }
+        }
+        tuples.truncate(w * stride);
+        n_rows = w;
+    }
+    n_rows
+}
+
+/// Run the join schedule, leaving the surviving index tuples (stride =
+/// number of steps) in `cur`. Returns the tuple count.
+fn join_steps(
+    steps: &[JoinStep],
+    f: &PlanFetch<'_>,
+    cur: &mut Vec<u32>,
+    nxt: &mut Vec<u32>,
+    st: &mut EvalStacks,
+) -> usize {
+    cur.clear();
+    let mut n_rows = 1usize; // one empty prefix tuple
+    for (occ, step) in steps.iter().enumerate() {
+        let scan = f.occ_rows[occ];
+        nxt.clear();
+        for r in 0..n_rows {
+            let prefix = &cur[r * occ..r * occ + occ];
+            'scan: for (ri, trow) in scan.iter().enumerate() {
+                for &(pp, rc) in &step.keys {
+                    let a = f.at(prefix, pp);
+                    let b = &trow[rc];
+                    // SQL equality: NULL keys never join.
+                    if a.is_null() || b.is_null() || a != b {
+                        continue 'scan;
+                    }
+                }
+                nxt.extend_from_slice(prefix);
+                nxt.push(ri as u32);
+            }
+        }
+        std::mem::swap(cur, nxt);
+        n_rows = cur.len() / (occ + 1);
+        if !step.filters.is_empty() {
+            n_rows = filter_tuples(&step.filters, cur, occ + 1, n_rows, f, st);
+        }
+    }
+    n_rows
+}
+
+/// An [`SpjgExpr`] compiled once: the join schedule plus predicate and
+/// output programs, all addressed by packed `(occurrence, column)` fetch
+/// positions.
+#[derive(Debug, Clone)]
+pub struct PlanProgram {
+    steps: Vec<JoinStep>,
+    output: OutputProgram,
+    /// Packed per-output column positions when the output is a pure column
+    /// projection — the hook [`SubstitutePipeline`] uses to fuse a view
+    /// into the substitute without materializing its rows.
+    out_cols: Option<Vec<usize>>,
+}
+
+impl PlanProgram {
+    /// Compile an SPJG block. The conjunct schedule (which `ColumnEq`s
+    /// become join keys at which step, and when each remaining conjunct is
+    /// applied) replicates [`crate::spjg::execute_spj_part`] exactly.
+    pub fn compile(catalog: &Catalog, expr: &SpjgExpr) -> Self {
+        assert!(
+            expr.tables.len() <= MAX_OCCS,
+            "PlanProgram supports at most {MAX_OCCS} table occurrences"
+        );
+        let map = |c: ColRef| ((c.occ.0 as usize) << COL_BITS) | c.col.0 as usize;
+
+        let mut applied = vec![false; expr.conjuncts.len()];
+        let mut steps = Vec::with_capacity(expr.tables.len());
+        for (occ_idx, &table) in expr.tables.iter().enumerate() {
+            let occ = occ_idx as u32;
+            let mut keys = Vec::new();
+            for (i, conj) in expr.conjuncts.iter().enumerate() {
+                if applied[i] {
+                    continue;
+                }
+                if let Conjunct::ColumnEq(a, b) = conj {
+                    if a.occ.0 < occ && b.occ.0 == occ {
+                        keys.push((map(*a), b.col.0 as usize));
+                        applied[i] = true;
+                    } else if b.occ.0 < occ && a.occ.0 == occ {
+                        keys.push((map(*b), a.col.0 as usize));
+                        applied[i] = true;
+                    }
+                }
+            }
+            let mut filters = Vec::new();
+            for (i, conj) in expr.conjuncts.iter().enumerate() {
+                if applied[i] || !conjunct_bound(conj, occ + 1) {
+                    continue;
+                }
+                applied[i] = true;
+                filters.push(Program::compile_bool(&conj.to_bool(), &map));
+            }
+            steps.push(JoinStep {
+                table,
+                keys,
+                filters,
+            });
+        }
+        debug_assert!(applied.iter().all(|a| *a), "unapplied conjunct");
+        let output = OutputProgram::compile(&expr.output, &map);
+        let out_cols = match &output {
+            OutputProgram::Project(items) => items.iter().map(Program::single_col).collect(),
+            OutputProgram::Aggregate { .. } => None,
+        };
+        let _ = catalog; // schema is implied by the packed addressing
+        PlanProgram {
+            steps,
+            output,
+            out_cols,
+        }
+    }
+
+    /// Fill the per-occurrence scan table for `db`.
+    fn scans<'a>(&self, db: &'a Database, buf: &mut [&'a [Row]; MAX_OCCS]) {
+        for (i, s) in self.steps.iter().enumerate() {
+            buf[i] = db.rows(s.table);
+        }
+    }
+
+    /// Evaluate against one database, writing the output bag into `out`.
+    pub fn execute(&self, db: &Database, scratch: &mut ExecScratch, out: &mut RowBag) {
+        let ExecScratch {
+            cur,
+            nxt,
+            st,
+            key_buf,
+            groups,
+            ..
+        } = scratch;
+        let mut occ_rows: [&[Row]; MAX_OCCS] = [&[]; MAX_OCCS];
+        self.scans(db, &mut occ_rows);
+        let f = PlanFetch {
+            occ_rows: &occ_rows[..self.steps.len()],
+        };
+        let n_rows = join_steps(&self.steps, &f, cur, nxt, st);
+        let stride = self.steps.len();
+        out.reset(self.output.arity());
+        self.output.begin(groups);
+        for r in 0..n_rows {
+            self.output.feed(
+                &f,
+                &cur[r * stride..(r + 1) * stride],
+                st,
+                key_buf,
+                groups,
+                out,
+            );
+        }
+        self.output.finish(groups, out);
+    }
+}
+
+/// One compiled backjoin: extend each tuple with the base-table row its key
+/// identifies.
+#[derive(Debug, Clone)]
+struct BackJoinStep {
+    table: TableId,
+    /// `(position in the substitute row so far, column of the base table)`.
+    key: Vec<(usize, usize)>,
+    width: usize,
+}
+
+/// A [`Substitute`] compiled once: backjoin schedule, the ANDed
+/// compensating predicate, and the output programs, addressed by position
+/// in the substitute column space (view outputs, then backjoin columns).
+#[derive(Debug, Clone)]
+pub struct SubstituteProgram {
+    backjoins: Vec<BackJoinStep>,
+    pred: Program,
+    output: OutputProgram,
+}
+
+impl SubstituteProgram {
+    /// Compile a substitute. Column references resolve by position in the
+    /// substitute column space, so the view's arity is implicit.
+    pub fn compile(catalog: &Catalog, sub: &Substitute) -> Self {
+        assert!(
+            sub.backjoins.len() < MAX_OCCS,
+            "SubstituteProgram supports at most {} backjoins",
+            MAX_OCCS - 1
+        );
+        let map = |c: ColRef| c.col.0 as usize;
+        SubstituteProgram {
+            backjoins: sub
+                .backjoins
+                .iter()
+                .map(|bj| BackJoinStep {
+                    table: bj.table,
+                    key: bj.key.iter().map(|(p, c)| (*p, c.0 as usize)).collect(),
+                    width: catalog.table(bj.table).columns.len(),
+                })
+                .collect(),
+            pred: Program::compile_bool(&BoolExpr::and(sub.predicates.clone()), &map),
+            output: OutputProgram::compile(&sub.output, &map),
+        }
+    }
+
+    /// Fill the backjoin scan/offset tables; segment offsets start at the
+    /// view arity (backjoin key positions may reach into earlier segments).
+    fn backjoin_tables<'a>(
+        &self,
+        db: &'a Database,
+        view_arity: usize,
+        rows: &mut [&'a [Row]; MAX_OCCS],
+        offs: &mut [usize; MAX_OCCS],
+    ) {
+        let mut off = view_arity;
+        for (i, bj) in self.backjoins.iter().enumerate() {
+            rows[i] = db.rows(bj.table);
+            offs[i] = off;
+            off += bj.width;
+        }
+    }
+
+    /// Run the backjoins, predicate, and output over tuples whose view
+    /// segment is already seeded (one tuple at a time — backjoins never fan
+    /// out, they extend a tuple or drop it).
+    ///
+    /// Backjoin semantics replicate [`crate::substitute::execute_substitute_with`]:
+    /// the interpreter's key index is built by inserting base rows in order
+    /// (so on duplicate keys the *last* row wins — hence the reverse scan)
+    /// and keys compare with `Value::eq`, under which NULL equals NULL.
+    #[allow(clippy::too_many_arguments)]
+    fn feed_tuple<F: Fetch>(
+        &self,
+        f: &F,
+        tup: &mut [u32],
+        view_slots: usize,
+        bj_rows: &[&[Row]; MAX_OCCS],
+        st: &mut EvalStacks,
+        key_buf: &mut Vec<Value>,
+        groups: &mut GroupTable,
+        out: &mut RowBag,
+    ) {
+        for (i, bj) in self.backjoins.iter().enumerate() {
+            let scan = bj_rows[i];
+            let hit = scan
+                .iter()
+                .enumerate()
+                .rev()
+                .find(|(_, trow)| bj.key.iter().all(|&(p, c)| *f.at(tup, p) == trow[c]));
+            match hit {
+                Some((ri, _)) => tup[view_slots + i] = ri as u32,
+                None => return,
+            }
+        }
+        if self.pred.eval_bool(f, tup, st) != Some(true) {
+            return;
+        }
+        self.output.feed(f, tup, st, key_buf, groups, out);
+    }
+
+    /// Evaluate against materialized view rows (and base tables for
+    /// backjoins), writing the output bag into `out`.
+    pub fn execute(
+        &self,
+        db: &Database,
+        view_rows: &RowBag,
+        scratch: &mut ExecScratch,
+        out: &mut RowBag,
+    ) {
+        let ExecScratch {
+            cur,
+            st,
+            key_buf,
+            groups,
+            ..
+        } = scratch;
+        let mut bj_rows: [&[Row]; MAX_OCCS] = [&[]; MAX_OCCS];
+        let mut bj_offs: [usize; MAX_OCCS] = [0; MAX_OCCS];
+        self.backjoin_tables(db, view_rows.arity, &mut bj_rows, &mut bj_offs);
+        let nb = self.backjoins.len();
+        let f = SubFetch {
+            view: view_rows,
+            bj_offs: &bj_offs[..nb],
+            bj_rows: &bj_rows[..nb],
+        };
+        out.reset(self.output.arity());
+        self.output.begin(groups);
+        cur.clear();
+        cur.resize(1 + nb, 0);
+        for r in 0..view_rows.count {
+            cur[0] = r as u32;
+            self.feed_tuple(&f, cur, 1, &bj_rows, st, key_buf, groups, out);
+        }
+        self.output.finish(groups, out);
+    }
+}
+
+/// A compiled `(view, substitute)` pair. When the view's output is a bare
+/// column projection (`out_cols`), the substitute runs *fused* over the
+/// view's join tuples — view rows are never materialized, and every column
+/// reference resolves through the projection straight to base-table
+/// storage. Otherwise (aggregate or computed-output views) the view is
+/// materialized into the caller's bag and the substitute runs over it.
+#[derive(Debug, Clone)]
+pub struct SubstitutePipeline {
+    view: PlanProgram,
+    sub: SubstituteProgram,
+}
+
+impl SubstitutePipeline {
+    /// Compile the pair.
+    pub fn compile(catalog: &Catalog, view_expr: &SpjgExpr, sub: &Substitute) -> Self {
+        SubstitutePipeline {
+            view: PlanProgram::compile(catalog, view_expr),
+            sub: SubstituteProgram::compile(catalog, sub),
+        }
+    }
+
+    /// Evaluate the substitute against one database. `view_bag` is scratch
+    /// for the unfused fallback (left untouched on the fused path).
+    pub fn execute(
+        &self,
+        db: &Database,
+        scratch: &mut ExecScratch,
+        view_bag: &mut RowBag,
+        out: &mut RowBag,
+    ) {
+        let Some(view_cols) = &self.view.out_cols else {
+            self.view.execute(db, scratch, view_bag);
+            self.sub.execute(db, view_bag, scratch, out);
+            return;
+        };
+        let ExecScratch {
+            cur,
+            nxt,
+            st,
+            key_buf,
+            groups,
+            ..
+        } = scratch;
+        let n_vocc = self.view.steps.len();
+        let mut occ_rows: [&[Row]; MAX_OCCS] = [&[]; MAX_OCCS];
+        self.view.scans(db, &mut occ_rows);
+        let pf = PlanFetch {
+            occ_rows: &occ_rows[..n_vocc],
+        };
+        let n_view = join_steps(&self.view.steps, &pf, cur, nxt, st);
+        let mut bj_rows: [&[Row]; MAX_OCCS] = [&[]; MAX_OCCS];
+        let mut bj_offs: [usize; MAX_OCCS] = [0; MAX_OCCS];
+        self.sub
+            .backjoin_tables(db, view_cols.len(), &mut bj_rows, &mut bj_offs);
+        let nb = self.sub.backjoins.len();
+        let f = FusedFetch {
+            view_cols,
+            occ_rows: &occ_rows[..n_vocc],
+            n_view_occs: n_vocc,
+            bj_offs: &bj_offs[..nb],
+            bj_rows: &bj_rows[..nb],
+        };
+        out.reset(self.sub.output.arity());
+        self.sub.output.begin(groups);
+        let mut tup_buf = [0u32; 2 * MAX_OCCS];
+        let tup = &mut tup_buf[..n_vocc + nb];
+        for r in 0..n_view {
+            tup[..n_vocc].copy_from_slice(&cur[r * n_vocc..(r + 1) * n_vocc]);
+            self.sub
+                .feed_tuple(&f, tup, n_vocc, &bj_rows, st, key_buf, groups, out);
+        }
+        self.sub.output.finish(groups, out);
+    }
+
+    /// True when the fused path applies *and* the view's join schedule is
+    /// step-identical to `query`'s — same tables, join keys, and filter
+    /// programs. The two sides then enumerate exactly the same index-tuple
+    /// stream, so [`Self::execute_shared`] can run the join once and feed
+    /// both outputs from it.
+    pub fn shares_join(&self, query: &PlanProgram) -> bool {
+        self.view.out_cols.is_some() && self.view.steps == query.steps
+    }
+
+    /// A query program suitable for [`Self::execute_shared`]: `query`
+    /// itself when it already [`Self::shares_join`], otherwise — when the
+    /// two SPJ blocks join the same tables under the same conjunct set,
+    /// merely numbering the occurrences differently — the query's output
+    /// recompiled against the view's occurrence numbering (the join
+    /// schedule is then the view's own, so `shares_join` holds for the
+    /// result by construction). `None` when the joins genuinely differ or
+    /// the pipeline is unfused; callers then run the two sides separately.
+    pub fn shared_query(
+        &self,
+        catalog: &Catalog,
+        query: &PlanProgram,
+        query_expr: &SpjgExpr,
+        view_expr: &SpjgExpr,
+    ) -> Option<PlanProgram> {
+        self.view.out_cols.as_ref()?;
+        if self.view.steps == query.steps {
+            return Some(query.clone());
+        }
+        let perm = occ_bijection(query_expr, view_expr)?;
+        let remapped = SpjgExpr {
+            tables: view_expr.tables.clone(),
+            conjuncts: view_expr.conjuncts.clone(),
+            output: remap_output(&query_expr.output, &perm),
+        };
+        Some(PlanProgram::compile(catalog, &remapped))
+    }
+
+    /// Evaluate the query *and* the substitute over one shared join pass.
+    /// Requires [`Self::shares_join`]`(query)`; each output bag is exactly
+    /// what the two separate `execute` calls would produce — the common
+    /// case on the prove hot path, where the substitute's view is the
+    /// query's own SPJ block, halves its join work.
+    pub fn execute_shared(
+        &self,
+        query: &PlanProgram,
+        db: &Database,
+        scratch: &mut ExecScratch,
+        query_out: &mut RowBag,
+        out: &mut RowBag,
+    ) {
+        debug_assert!(self.shares_join(query));
+        let view_cols = self.view.out_cols.as_ref().expect("shares_join holds");
+        let ExecScratch {
+            cur,
+            nxt,
+            st,
+            key_buf,
+            groups,
+            ..
+        } = scratch;
+        let n_vocc = self.view.steps.len();
+        let mut occ_rows: [&[Row]; MAX_OCCS] = [&[]; MAX_OCCS];
+        self.view.scans(db, &mut occ_rows);
+        let pf = PlanFetch {
+            occ_rows: &occ_rows[..n_vocc],
+        };
+        let n_view = join_steps(&self.view.steps, &pf, cur, nxt, st);
+        query_out.reset(query.output.arity());
+        query.output.begin(groups);
+        for r in 0..n_view {
+            query.output.feed(
+                &pf,
+                &cur[r * n_vocc..(r + 1) * n_vocc],
+                st,
+                key_buf,
+                groups,
+                query_out,
+            );
+        }
+        query.output.finish(groups, query_out);
+        let mut bj_rows: [&[Row]; MAX_OCCS] = [&[]; MAX_OCCS];
+        let mut bj_offs: [usize; MAX_OCCS] = [0; MAX_OCCS];
+        self.sub
+            .backjoin_tables(db, view_cols.len(), &mut bj_rows, &mut bj_offs);
+        let nb = self.sub.backjoins.len();
+        let f = FusedFetch {
+            view_cols,
+            occ_rows: &occ_rows[..n_vocc],
+            n_view_occs: n_vocc,
+            bj_offs: &bj_offs[..nb],
+            bj_rows: &bj_rows[..nb],
+        };
+        out.reset(self.sub.output.arity());
+        self.sub.output.begin(groups);
+        let mut tup_buf = [0u32; 2 * MAX_OCCS];
+        let tup = &mut tup_buf[..n_vocc + nb];
+        for r in 0..n_view {
+            tup[..n_vocc].copy_from_slice(&cur[r * n_vocc..(r + 1) * n_vocc]);
+            self.sub
+                .feed_tuple(&f, tup, n_vocc, &bj_rows, st, key_buf, groups, out);
+        }
+        self.sub.output.finish(groups, out);
+    }
+}
+
+/// Occurrence bijection `perm` (query occurrence `i` plays view occurrence
+/// `perm[i]`) under which the two SPJ blocks join the same tables with the
+/// same conjunct set. Join results are schedule-independent — the
+/// assignments of rows to occurrences satisfying all conjuncts — so equal
+/// signatures mean one join pass serves both sides (tuple *order* may
+/// differ from the query's own schedule, which multiset bag comparison
+/// absorbs). Self-joins make the bijection ambiguous; bail to `None`.
+fn occ_bijection(query: &SpjgExpr, view: &SpjgExpr) -> Option<Vec<usize>> {
+    if query.tables.len() != view.tables.len() {
+        return None;
+    }
+    let distinct = |ts: &[TableId]| {
+        let mut s = ts.to_vec();
+        s.sort();
+        s.windows(2).all(|w| w[0] != w[1])
+    };
+    if !distinct(&query.tables) || !distinct(&view.tables) {
+        return None;
+    }
+    let perm: Vec<usize> = query
+        .tables
+        .iter()
+        .map(|t| view.tables.iter().position(|v| v == t))
+        .collect::<Option<_>>()?;
+    if same_conjuncts(&query.conjuncts, &view.conjuncts, &perm) {
+        Some(perm)
+    } else {
+        None
+    }
+}
+
+/// Remap a conjunct's occurrences and normalize `a = b` symmetry.
+fn normalize_conjunct(c: &Conjunct, m: &mut impl FnMut(ColRef) -> ColRef) -> Conjunct {
+    match c {
+        Conjunct::ColumnEq(a, b) => {
+            let (x, y) = (m(*a), m(*b));
+            if y < x {
+                Conjunct::ColumnEq(y, x)
+            } else {
+                Conjunct::ColumnEq(x, y)
+            }
+        }
+        Conjunct::Range { col, op, value } => Conjunct::Range {
+            col: m(*col),
+            op: *op,
+            value: value.clone(),
+        },
+        Conjunct::Residual(b) => Conjunct::Residual(b.map_columns(m)),
+    }
+}
+
+/// Conjunct multisets equal after remapping query occurrences via `perm`.
+/// Residuals compare syntactically — unequal spellings conservatively fail.
+fn same_conjuncts(query: &[Conjunct], view: &[Conjunct], perm: &[usize]) -> bool {
+    if query.len() != view.len() {
+        return false;
+    }
+    let qn: Vec<Conjunct> = query
+        .iter()
+        .map(|c| {
+            normalize_conjunct(c, &mut |r: ColRef| ColRef {
+                occ: OccId(perm[r.occ.0 as usize] as u32),
+                col: r.col,
+            })
+        })
+        .collect();
+    let vn: Vec<Conjunct> = view
+        .iter()
+        .map(|c| normalize_conjunct(c, &mut |r| r))
+        .collect();
+    let mut used = vec![false; vn.len()];
+    qn.iter().all(
+        |c| match vn.iter().enumerate().position(|(i, v)| !used[i] && v == c) {
+            Some(i) => {
+                used[i] = true;
+                true
+            }
+            None => false,
+        },
+    )
+}
+
+/// Remap an output list's occurrences via `perm`.
+fn remap_output(out: &OutputList, perm: &[usize]) -> OutputList {
+    fn remap(perm: &[usize]) -> impl FnMut(ColRef) -> ColRef + '_ {
+        |r: ColRef| ColRef {
+            occ: OccId(perm[r.occ.0 as usize] as u32),
+            col: r.col,
+        }
+    }
+    let ne = |n: &NamedExpr| NamedExpr {
+        expr: n.expr.map_columns(&mut remap(perm)),
+        name: n.name.clone(),
+    };
+    match out {
+        OutputList::Spj(items) => OutputList::Spj(items.iter().map(ne).collect()),
+        OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } => OutputList::Aggregate {
+            group_by: group_by.iter().map(ne).collect(),
+            aggregates: aggregates
+                .iter()
+                .map(|a| NamedAgg {
+                    func: match &a.func {
+                        AggFunc::CountStar => AggFunc::CountStar,
+                        AggFunc::Sum(e) => AggFunc::Sum(e.map_columns(&mut remap(perm))),
+                        AggFunc::SumZero(e) => AggFunc::SumZero(e.map_columns(&mut remap(perm))),
+                    },
+                    name: a.name.clone(),
+                })
+                .collect(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compare::bag_eq;
+    use crate::spjg::execute_spjg;
+    use crate::substitute::{execute_substitute_with, materialize_view};
+    use mv_data::{generate_tpch, TpchScale};
+    use mv_expr::ScalarExpr as S;
+    use mv_plan::{NamedAgg, NamedExpr, ViewDef, ViewId};
+
+    fn cr(occ: u32, col: u32) -> ColRef {
+        ColRef::new(occ, col)
+    }
+
+    fn run_plan(db: &Database, e: &SpjgExpr) -> Vec<Row> {
+        let prog = PlanProgram::compile(&db.catalog, e);
+        let mut scratch = ExecScratch::new();
+        let mut out = RowBag::new();
+        prog.execute(db, &mut scratch, &mut out);
+        out.to_rows()
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_join_filter_project() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 5);
+        let pred = BoolExpr::and(vec![
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            BoolExpr::col_eq(cr(1, 1), cr(2, 0)),
+            BoolExpr::cmp(S::col(cr(2, 0)), CmpOp::Le, S::lit(10i64)),
+        ]);
+        let e = SpjgExpr::spj(
+            vec![t.lineitem, t.orders, t.customer],
+            pred,
+            vec![
+                NamedExpr::new(S::col(cr(0, 0)), "l_orderkey"),
+                NamedExpr::new(
+                    S::col(cr(0, 4)).binary(BinOp::Mul, S::col(cr(0, 5))),
+                    "product",
+                ),
+            ],
+        );
+        let want = execute_spjg(&db, &e);
+        let got = run_plan(&db, &e);
+        assert!(!want.is_empty());
+        assert!(bag_eq(&got, &want));
+    }
+
+    #[test]
+    fn compiled_matches_interpreter_on_aggregation() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 5);
+        let e = SpjgExpr::aggregate(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+            vec![
+                NamedAgg::new(AggFunc::CountStar, "cnt"),
+                NamedAgg::new(AggFunc::Sum(S::col(cr(0, 3))), "total"),
+            ],
+        );
+        let want = execute_spjg(&db, &e);
+        let got = run_plan(&db, &e);
+        assert!(bag_eq(&got, &want));
+    }
+
+    #[test]
+    fn compiled_scalar_aggregate_over_empty_input() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 5);
+        let e = SpjgExpr::aggregate(
+            vec![t.part],
+            BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Lt, S::lit(0i64)),
+            vec![],
+            vec![
+                NamedAgg::new(AggFunc::CountStar, "cnt"),
+                NamedAgg::new(AggFunc::Sum(S::col(cr(0, 5))), "s"),
+                NamedAgg::new(AggFunc::SumZero(S::col(cr(0, 5))), "z"),
+            ],
+        );
+        let got = run_plan(&db, &e);
+        assert_eq!(got, vec![vec![Value::Int(0), Value::Null, Value::Int(0)]]);
+    }
+
+    #[test]
+    fn compiled_substitute_matches_interpreter() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 17);
+        let view = ViewDef::new(
+            "v",
+            SpjgExpr::spj(
+                vec![t.part],
+                BoolExpr::Literal(true),
+                vec![
+                    NamedExpr::new(S::col(cr(0, 0)), "p_partkey"),
+                    NamedExpr::new(S::col(cr(0, 5)), "p_size"),
+                ],
+            ),
+        );
+        let view_rows = materialize_view(&db, &view);
+        let sub = Substitute {
+            view: ViewId(0),
+            backjoins: vec![],
+            predicates: vec![BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Lt, S::lit(20i64))],
+            output: OutputList::Spj(vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")]),
+        };
+        let want = execute_substitute_with(&db, &view_rows, &sub);
+
+        let vprog = PlanProgram::compile(&db.catalog, &view.expr);
+        let sprog = SubstituteProgram::compile(&db.catalog, &sub);
+        let mut scratch = ExecScratch::new();
+        let mut vbag = RowBag::new();
+        let mut obag = RowBag::new();
+        vprog.execute(&db, &mut scratch, &mut vbag);
+        sprog.execute(&db, &vbag, &mut scratch, &mut obag);
+        assert!(bag_eq(&obag.to_rows(), &want));
+        assert!(!want.is_empty());
+
+        // The fused pipeline (column-projection view) agrees too.
+        let pipe = SubstitutePipeline::compile(&db.catalog, &view.expr, &sub);
+        let mut vscratch = RowBag::new();
+        let mut fused = RowBag::new();
+        pipe.execute(&db, &mut scratch, &mut vscratch, &mut fused);
+        assert!(bag_eq(&fused.to_rows(), &want));
+        // Fused path never touched the view scratch bag.
+        assert!(vscratch.is_empty());
+    }
+
+    #[test]
+    fn shared_query_remaps_permuted_occurrences() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 29);
+        // Query and view join the same tables with occurrences numbered in
+        // opposite orders.
+        let query = SpjgExpr::aggregate(
+            vec![t.orders, t.lineitem],
+            BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+            vec![NamedExpr::new(S::col(cr(0, 1)), "o_custkey")],
+            vec![
+                NamedAgg::new(AggFunc::CountStar, "cnt"),
+                NamedAgg::new(AggFunc::Sum(S::col(cr(1, 4))), "qty"),
+            ],
+        );
+        let view = SpjgExpr::spj(
+            vec![t.lineitem, t.orders],
+            BoolExpr::col_eq(cr(1, 0), cr(0, 0)),
+            vec![
+                NamedExpr::new(S::col(cr(0, 0)), "l_orderkey"),
+                NamedExpr::new(S::col(cr(0, 4)), "l_quantity"),
+                NamedExpr::new(S::col(cr(1, 1)), "o_custkey"),
+            ],
+        );
+        let sub = Substitute {
+            view: ViewId(0),
+            backjoins: vec![],
+            predicates: vec![],
+            output: OutputList::Aggregate {
+                group_by: vec![NamedExpr::new(S::col(cr(0, 2)), "o_custkey")],
+                aggregates: vec![
+                    NamedAgg::new(AggFunc::CountStar, "cnt"),
+                    NamedAgg::new(AggFunc::Sum(S::col(cr(0, 1))), "qty"),
+                ],
+            },
+        };
+        let qprog = PlanProgram::compile(&db.catalog, &query);
+        let pipe = SubstitutePipeline::compile(&db.catalog, &view, &sub);
+        // Step-identical fails (different occurrence numbering) …
+        assert!(!pipe.shares_join(&qprog));
+        // … but the bijection remap recovers a shared-join query program.
+        let shared = pipe
+            .shared_query(&db.catalog, &qprog, &query, &view)
+            .expect("same join up to occurrence order");
+        assert!(pipe.shares_join(&shared));
+
+        let mut scratch = ExecScratch::new();
+        let (mut qbag, mut vbag, mut sbag) = (RowBag::new(), RowBag::new(), RowBag::new());
+        qprog.execute(&db, &mut scratch, &mut qbag);
+        pipe.execute(&db, &mut scratch, &mut vbag, &mut sbag);
+        let (mut q2, mut s2) = (RowBag::new(), RowBag::new());
+        pipe.execute_shared(&shared, &db, &mut scratch, &mut q2, &mut s2);
+        assert!(!qbag.is_empty());
+        assert!(bag_eq(&q2.to_rows(), &qbag.to_rows()));
+        assert!(bag_eq(&s2.to_rows(), &sbag.to_rows()));
+    }
+
+    #[test]
+    fn rowbag_eq_detects_multiplicity() {
+        let (db, t) = generate_tpch(&TpchScale::tiny(), 3);
+        let e = SpjgExpr::spj(
+            vec![t.region],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "k")],
+        );
+        let prog = PlanProgram::compile(&db.catalog, &e);
+        let mut scratch = ExecScratch::new();
+        let mut a = RowBag::new();
+        let mut b = RowBag::new();
+        prog.execute(&db, &mut scratch, &mut a);
+        prog.execute(&db, &mut scratch, &mut b);
+        let mut matched = Vec::new();
+        assert!(rowbag_eq(&a, &b, &mut matched));
+        // Perturb one value.
+        b.vals[0] = Value::Int(-999);
+        assert!(!rowbag_eq(&a, &b, &mut matched));
+    }
+}

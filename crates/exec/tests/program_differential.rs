@@ -1,0 +1,342 @@
+//! Differential property test: the compiled [`PlanProgram`] /
+//! [`SubstituteProgram`] path must produce byte-identical row bags to the
+//! tree-walking interpreter over random SPJG plans × enumerated databases.
+//!
+//! The generator is a hand-rolled splitmix64 stream (no external crates):
+//! deterministic, so every failure names the plan seed that reproduces it.
+
+use mv_catalog::schema::{ForeignKey, TableBuilder};
+use mv_catalog::{Catalog, ColumnId, ColumnType, TableId, Value};
+use mv_data::{ColumnDomain, EnumSpec, Enumerator, TableSpec};
+use mv_exec::{
+    bag_diff, bag_eq, execute_spjg, execute_substitute_with, ExecScratch, PlanProgram, RowBag,
+    SubstituteProgram,
+};
+use mv_expr::{BinOp, BoolExpr, CmpOp, ColRef, Conjunct, ScalarExpr};
+use mv_plan::{AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewId};
+use std::collections::HashMap;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        splitmix64(&mut self.0)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+struct Fixture {
+    catalog: Catalog,
+    r: TableId,
+    t: TableId,
+}
+
+/// Two tables with a key, a nullable FK, strings, floats and NULLs — every
+/// value shape the executor distinguishes.
+fn fixture() -> Fixture {
+    let mut catalog = Catalog::new();
+    let r = catalog.add_table(
+        TableBuilder::new("r")
+            .col("pk", ColumnType::Int)
+            .nullable_col("a", ColumnType::Int)
+            .nullable_col("s", ColumnType::Str)
+            .primary_key(&["pk"])
+            .build(),
+    );
+    let t = catalog.add_table(
+        TableBuilder::new("t")
+            .nullable_col("fk", ColumnType::Int)
+            .nullable_col("b", ColumnType::Int)
+            .col("c", ColumnType::Float)
+            .build(),
+    );
+    catalog.add_foreign_key(ForeignKey {
+        name: "t_fk".into(),
+        from_table: t,
+        from_columns: vec![ColumnId(0)],
+        to_table: r,
+        to_columns: vec![ColumnId(0)],
+    });
+    Fixture { catalog, r, t }
+}
+
+fn enum_spec(f: &Fixture) -> EnumSpec {
+    let ints = |vals: &[i64], with_null: bool| ColumnDomain {
+        values: vals.iter().map(|&v| Value::Int(v)).collect(),
+        with_null,
+    };
+    EnumSpec {
+        tables: vec![
+            TableSpec {
+                table: f.r,
+                columns: vec![
+                    ints(&[1, 2], false),
+                    ints(&[0, 7], true),
+                    ColumnDomain {
+                        values: vec![Value::Str("steel wire".into())],
+                        with_null: true,
+                    },
+                ],
+            },
+            TableSpec {
+                table: f.t,
+                columns: vec![
+                    ints(&[1, 2], true),
+                    ints(&[0], true),
+                    ColumnDomain {
+                        values: vec![Value::Float(1.5)],
+                        with_null: false,
+                    },
+                ],
+            },
+        ],
+        max_rows: 2,
+    }
+}
+
+/// A random scalar expression over the given wide arity.
+fn gen_scalar(rng: &mut Rng, occs: &[(u32, u32)], depth: u32) -> ScalarExpr {
+    if depth == 0 || rng.chance(50) {
+        if rng.chance(70) {
+            let &(occ, arity) = &occs[rng.below(occs.len() as u64) as usize];
+            ScalarExpr::col(ColRef::new(occ, rng.below(arity as u64) as u32))
+        } else {
+            match rng.below(3) {
+                0 => ScalarExpr::lit(rng.below(5) as i64 - 1),
+                1 => ScalarExpr::lit(Value::Float(rng.below(4) as f64 / 2.0)),
+                _ => ScalarExpr::lit(Value::Null),
+            }
+        }
+    } else {
+        let op = match rng.below(4) {
+            0 => BinOp::Add,
+            1 => BinOp::Sub,
+            2 => BinOp::Mul,
+            _ => BinOp::Div,
+        };
+        gen_scalar(rng, occs, depth - 1).binary(op, gen_scalar(rng, occs, depth - 1))
+    }
+}
+
+fn gen_bool(rng: &mut Rng, occs: &[(u32, u32)], depth: u32) -> BoolExpr {
+    if depth == 0 || rng.chance(40) {
+        match rng.below(4) {
+            0 => {
+                let op = match rng.below(6) {
+                    0 => CmpOp::Lt,
+                    1 => CmpOp::Le,
+                    2 => CmpOp::Eq,
+                    3 => CmpOp::Ge,
+                    4 => CmpOp::Gt,
+                    _ => CmpOp::Ne,
+                };
+                BoolExpr::cmp(gen_scalar(rng, occs, 1), op, gen_scalar(rng, occs, 1))
+            }
+            1 => BoolExpr::Like {
+                expr: gen_scalar(rng, occs, 0),
+                pattern: if rng.chance(50) { "%steel%" } else { "a%" }.into(),
+                negated: rng.chance(30),
+            },
+            2 => BoolExpr::IsNull {
+                expr: gen_scalar(rng, occs, 1),
+                negated: rng.chance(50),
+            },
+            _ => BoolExpr::cmp(
+                gen_scalar(rng, occs, 0),
+                CmpOp::Le,
+                ScalarExpr::lit(rng.below(4) as i64),
+            ),
+        }
+    } else {
+        let parts = vec![
+            gen_bool(rng, occs, depth - 1),
+            gen_bool(rng, occs, depth - 1),
+        ];
+        match rng.below(3) {
+            0 => BoolExpr::and(parts),
+            1 => BoolExpr::or(parts),
+            _ => BoolExpr::Not(Box::new(gen_bool(rng, occs, depth - 1))),
+        }
+    }
+}
+
+fn gen_plan(rng: &mut Rng, f: &Fixture) -> SpjgExpr {
+    // 1–2 occurrences drawn from {r, t}; arities 3 each.
+    let n_occ = 1 + rng.below(2) as usize;
+    let mut tables = Vec::new();
+    let mut occs: Vec<(u32, u32)> = Vec::new();
+    for i in 0..n_occ {
+        let t = if rng.chance(50) { f.r } else { f.t };
+        tables.push(t);
+        occs.push((i as u32, 3));
+    }
+    let mut preds = Vec::new();
+    if n_occ == 2 {
+        // An equijoin between int columns keeps join cardinality sane and
+        // exercises the key-consumption schedule.
+        preds.push(BoolExpr::col_eq(
+            ColRef::new(0, rng.below(2) as u32),
+            ColRef::new(1, rng.below(2) as u32),
+        ));
+    }
+    for _ in 0..rng.below(3) {
+        preds.push(gen_bool(rng, &occs, 2));
+    }
+    let pred = BoolExpr::and(preds);
+    if rng.chance(60) {
+        let n_out = 1 + rng.below(3) as usize;
+        let items = (0..n_out)
+            .map(|i| NamedExpr::new(gen_scalar(rng, &occs, 2), format!("o{i}")))
+            .collect();
+        SpjgExpr::spj(tables, pred, items)
+    } else {
+        let n_keys = rng.below(3) as usize;
+        let group_by = (0..n_keys)
+            .map(|i| NamedExpr::new(gen_scalar(rng, &occs, 1), format!("g{i}")))
+            .collect();
+        let mut aggs = vec![NamedAgg::new(AggFunc::CountStar, "cnt")];
+        for i in 0..rng.below(3) {
+            let arg = gen_scalar(rng, &occs, 1);
+            let func = if rng.chance(50) {
+                AggFunc::Sum(arg)
+            } else {
+                AggFunc::SumZero(arg)
+            };
+            aggs.push(NamedAgg::new(func, format!("s{i}")));
+        }
+        SpjgExpr::aggregate(tables, pred, group_by, aggs)
+    }
+}
+
+const PLANS: u64 = 60;
+const DBS_PER_PLAN: u64 = 150;
+
+#[test]
+fn compiled_plan_matches_interpreter_over_enumerated_databases() {
+    let f = fixture();
+    let spec = enum_spec(&f);
+    let checks: HashMap<TableId, Vec<Conjunct>> = HashMap::new();
+    let enumerator = Enumerator::new(&f.catalog, &checks, &spec);
+    let mut rng = Rng(0x5EED_D1FF);
+    let mut scratch = ExecScratch::new();
+    let mut bag = RowBag::new();
+    let mut checked = 0u64;
+    for plan_idx in 0..PLANS {
+        let plan = gen_plan(&mut rng, &f);
+        let prog = PlanProgram::compile(&f.catalog, &plan);
+        // Stride through the space so later (fuller) databases are hit too.
+        let stride = 1 + plan_idx % 7;
+        enumerator.for_each(DBS_PER_PLAN * stride, |seed, db| {
+            if seed % stride != 0 {
+                return true;
+            }
+            let want = execute_spjg(db, &plan);
+            prog.execute(db, &mut scratch, &mut bag);
+            let got = bag.to_rows();
+            assert!(
+                bag_eq(&got, &want),
+                "plan {plan_idx} seed {seed}: {:?}\nplan: {plan:?}",
+                bag_diff(&got, &want)
+            );
+            checked += 1;
+            true
+        });
+    }
+    assert!(checked > 2000, "differential coverage too thin: {checked}");
+}
+
+#[test]
+fn compiled_substitute_matches_interpreter_over_enumerated_databases() {
+    let f = fixture();
+    let spec = enum_spec(&f);
+    let checks: HashMap<TableId, Vec<Conjunct>> = HashMap::new();
+    let enumerator = Enumerator::new(&f.catalog, &checks, &spec);
+    let mut rng = Rng(0xBAC_0FF);
+    let mut scratch = ExecScratch::new();
+    let mut vbag = RowBag::new();
+    let mut sbag = RowBag::new();
+    // View: r's three columns verbatim; substitutes compensate over the
+    // view outputs, optionally backjoining r through the pk in output 0.
+    let view = SpjgExpr::spj(
+        vec![f.r],
+        BoolExpr::Literal(true),
+        vec![
+            NamedExpr::new(ScalarExpr::col(ColRef::new(0, 0)), "pk"),
+            NamedExpr::new(ScalarExpr::col(ColRef::new(0, 1)), "a"),
+            NamedExpr::new(ScalarExpr::col(ColRef::new(0, 2)), "s"),
+        ],
+    );
+    let vprog = PlanProgram::compile(&f.catalog, &view);
+    let mut checked = 0u64;
+    for sub_idx in 0..40u64 {
+        let backjoin = rng.chance(50);
+        // Substitute column space: 3 view outputs (+3 backjoined r cols).
+        let occs: Vec<(u32, u32)> = vec![(0, if backjoin { 6 } else { 3 })];
+        let backjoins = if backjoin {
+            vec![mv_plan::BackJoin {
+                table: f.r,
+                key: vec![(0, ColumnId(0))],
+            }]
+        } else {
+            vec![]
+        };
+        let mut predicates = Vec::new();
+        for _ in 0..rng.below(3) {
+            predicates.push(gen_bool(&mut rng, &occs, 2));
+        }
+        let output = if rng.chance(60) {
+            OutputList::Spj(
+                (0..1 + rng.below(2))
+                    .map(|i| NamedExpr::new(gen_scalar(&mut rng, &occs, 2), format!("o{i}")))
+                    .collect(),
+            )
+        } else {
+            OutputList::Aggregate {
+                group_by: (0..rng.below(2))
+                    .map(|i| NamedExpr::new(gen_scalar(&mut rng, &occs, 1), format!("g{i}")))
+                    .collect(),
+                aggregates: vec![
+                    NamedAgg::new(AggFunc::CountStar, "cnt"),
+                    NamedAgg::new(AggFunc::Sum(gen_scalar(&mut rng, &occs, 1)), "s"),
+                ],
+            }
+        };
+        let sub = Substitute {
+            view: ViewId(0),
+            backjoins,
+            predicates,
+            output,
+        };
+        let sprog = SubstituteProgram::compile(&f.catalog, &sub);
+        enumerator.for_each(120, |seed, db| {
+            let view_rows = execute_spjg(db, &view);
+            let want = execute_substitute_with(db, &view_rows, &sub);
+            vprog.execute(db, &mut scratch, &mut vbag);
+            sprog.execute(db, &vbag, &mut scratch, &mut sbag);
+            let got = sbag.to_rows();
+            assert!(
+                bag_eq(&got, &want),
+                "sub {sub_idx} seed {seed}: {:?}\nsub: {sub:?}",
+                bag_diff(&got, &want)
+            );
+            checked += 1;
+            true
+        });
+    }
+    assert!(checked > 2000, "differential coverage too thin: {checked}");
+}

@@ -36,7 +36,7 @@ use mv_bench::{build_workload, engine_with, DATA_SEED};
 use mv_core::MatchConfig;
 use mv_data::{generate_tpch, TpchScale};
 use mv_exec::{bag_diff, execute_spjg, execute_substitute_with, materialize_view};
-use mv_prove::{pair_tables, prove, prove_diagnostics, ProveConfig, ProveCtx};
+use mv_prove::{pair_tables, prove_diagnostics, prove_with_memo, ProveConfig, ProveCtx, ProveMemo};
 use mv_verify::{json_string, Diagnostic, Report, RuleId, Severity, VerifyContext};
 use mv_verify::{verify_expr, verify_substitute, verify_view_expr};
 use std::process::ExitCode;
@@ -62,6 +62,10 @@ OPTIONS:
                        mv-prove bounded checker (MV3xx)
     --prove-k N        rows-per-table bound for --prove [default: 2]
     --prove-budget N   databases enumerated per proof   [default: 20000]
+    --prove-jobs N     worker threads for the enumerative pass: 0 = auto,
+                       1 = serial; never changes verdicts [default: 0]
+    --prove-wall-ms N  fail the prove gate when its wall time exceeds N ms
+                       (0 = no budget) [default: 0]
     --deny-warnings    exit nonzero on warnings, not just errors
     --json             wrap the report in a machine-readable envelope with
                        per-gate counts (verify/audit/source/prove)
@@ -80,6 +84,8 @@ struct Args {
     prove: bool,
     prove_k: usize,
     prove_budget: u64,
+    prove_jobs: usize,
+    prove_wall_ms: u64,
     deny_warnings: bool,
     json: bool,
     out: Option<String>,
@@ -97,6 +103,8 @@ fn parse_args() -> Args {
         prove: false,
         prove_k: 2,
         prove_budget: 20_000,
+        prove_jobs: 0,
+        prove_wall_ms: 0,
         deny_warnings: false,
         json: false,
         out: None,
@@ -128,6 +136,13 @@ fn parse_args() -> Args {
                 args.prove_budget =
                     parse_num(&value(&mut it, "--prove-budget"), "--prove-budget") as u64
             }
+            "--prove-jobs" => {
+                args.prove_jobs = parse_num(&value(&mut it, "--prove-jobs"), "--prove-jobs")
+            }
+            "--prove-wall-ms" => {
+                args.prove_wall_ms =
+                    parse_num(&value(&mut it, "--prove-wall-ms"), "--prove-wall-ms") as u64
+            }
             "--deny-warnings" => args.deny_warnings = true,
             "--json" => args.json = true,
             "--out" => args.out = Some(value(&mut it, "--out")),
@@ -157,7 +172,10 @@ fn main() -> ExitCode {
 
     // MV2xx source-discipline pass over the workspace's own sources.
     let mut source_summary = String::new();
+    let mut source_ms = 0u128;
     if args.source {
+        // Phase wall time for the report only: mv-lint: allow(MV204)
+        let source_start = std::time::Instant::now();
         let root = match &args.source_root {
             Some(dir) => std::path::PathBuf::from(dir),
             None => {
@@ -184,19 +202,26 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+        source_ms = source_start.elapsed().as_millis();
     }
 
-    let stats = if args.source_only {
+    let mut stats = if args.source_only {
         WorkloadStats::default()
     } else {
         workload_lint(&args, &mut report)
     };
+    stats.source_ms = source_ms;
     let substitutes = stats.substitutes;
 
     let prove_summary = if args.prove {
         format!(
-            ", {} proved / {} refuted / {} inconclusive at k={} in {} ms",
-            stats.proved, stats.refuted, stats.inconclusive, args.prove_k, stats.prove_ms
+            ", {} proved / {} refuted / {} inconclusive at k={} in {} ms ({} memo hits)",
+            stats.proved,
+            stats.refuted,
+            stats.inconclusive,
+            args.prove_k,
+            stats.prove_ms,
+            stats.memo_hits
         )
     } else {
         String::new()
@@ -233,13 +258,27 @@ fn main() -> ExitCode {
     let errors = report.count(Severity::Error);
     let warnings = report.count(Severity::Warning);
     eprintln!("mv-lint: {substitutes} substitutes verified, {errors} errors, {warnings} warnings");
+    eprintln!(
+        "mv-lint: phase wall: verify {} ms, exec {} ms, prove {} ms, audit {} ms, source {} ms",
+        stats.verify_ms, stats.exec_ms, stats.prove_ms, stats.audit_ms, stats.source_ms
+    );
     for d in &report.diagnostics {
         if d.severity == Severity::Error || (args.deny_warnings && d.severity == Severity::Warning)
         {
             eprintln!("  {d}");
         }
     }
-    if errors > 0 || (args.deny_warnings && warnings > 0) {
+    // The prove gate also has a wall-clock budget: a slow prover is a CI
+    // regression even when every pair proves.
+    let over_wall_budget =
+        args.prove && args.prove_wall_ms > 0 && stats.prove_ms > args.prove_wall_ms as u128;
+    if over_wall_budget {
+        eprintln!(
+            "mv-lint: prove gate exceeded its wall budget: {} ms > {} ms",
+            stats.prove_ms, args.prove_wall_ms
+        );
+    }
+    if errors > 0 || over_wall_budget || (args.deny_warnings && warnings > 0) {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
@@ -256,7 +295,12 @@ struct WorkloadStats {
     proved: usize,
     refuted: usize,
     inconclusive: usize,
+    memo_hits: u64,
+    verify_ms: u128,
+    exec_ms: u128,
     prove_ms: u128,
+    audit_ms: u128,
+    source_ms: u128,
 }
 
 /// The workload lint (MV0xx/MV1xx, plus MV3xx under `--prove`): verify
@@ -267,6 +311,8 @@ fn workload_lint(args: &Args, report: &mut Report) -> WorkloadStats {
     let engine = engine_with(&workload, args.views, MatchConfig::default());
     let checks = engine.check_constraints();
 
+    // Phase wall time for the report only: mv-lint: allow(MV204)
+    let verify_start = std::time::Instant::now();
     // Expression-level rules over every registered view and every query.
     for (_, view) in engine.views().iter() {
         report.extend(verify_view_expr(
@@ -301,12 +347,15 @@ fn workload_lint(args: &Args, report: &mut Report) -> WorkloadStats {
     }
     let mut stats = WorkloadStats {
         substitutes: pairs.len(),
+        verify_ms: verify_start.elapsed().as_millis(),
         ..WorkloadStats::default()
     };
 
     // Executed-plan cross-check on tiny generated data, statically flagged
     // substitutes first so a real unsoundness gets confirmed dynamically.
     if args.exec_check > 0 {
+        // Phase wall time for the report only: mv-lint: allow(MV204)
+        let exec_start = std::time::Instant::now();
         let (db, _) = generate_tpch(&TpchScale::tiny(), DATA_SEED);
         pairs.sort_by_key(|(_, _, _, flagged)| !flagged);
         let views = engine.views();
@@ -327,24 +376,29 @@ fn workload_lint(args: &Args, report: &mut Report) -> WorkloadStats {
                 );
             }
         }
+        stats.exec_ms = exec_start.elapsed().as_millis();
     }
 
     // Bounded equivalence proof of every produced substitute (MV3xx):
-    // the symbolic pass first, then exhaustive enumeration up to k.
+    // the symbolic pass first, then exhaustive enumeration up to k —
+    // compiled plan programs, chunked across `--prove-jobs` workers, with
+    // a workload-scoped memo of already-proved canonical pairs.
     if args.prove {
         let prove_ctx = ProveCtx::new(&workload.catalog, &checks);
         let cfg = ProveConfig {
             k: args.prove_k,
             max_databases: args.prove_budget,
             symbolic: true,
+            jobs: args.prove_jobs,
         };
+        let mut memo = ProveMemo::new();
         let views = engine.views();
         // Wall-clock for the report only: mv-lint: allow(MV204)
         let start = std::time::Instant::now();
         for (i, id, sub, _) in &pairs {
             let view = views.get(*id);
             let query = &workload.queries[*i];
-            let outcome = prove(&prove_ctx, query, &view.expr, sub, &cfg);
+            let outcome = prove_with_memo(&prove_ctx, query, &view.expr, sub, &cfg, &mut memo);
             if outcome.is_proved() {
                 stats.proved += 1;
             } else if outcome.is_refuted() {
@@ -362,13 +416,17 @@ fn workload_lint(args: &Args, report: &mut Report) -> WorkloadStats {
             ));
         }
         stats.prove_ms = start.elapsed().as_millis();
+        stats.memo_hits = memo.hits();
     }
 
     // Completeness & catalog audit (MV101+) over the same engine/workload.
     if args.audit {
+        // Phase wall time for the report only: mv-lint: allow(MV204)
+        let audit_start = std::time::Instant::now();
         let audit = mv_audit::audit_all(&engine, &workload.queries);
         stats.audit_findings = audit.diagnostics.len();
         report.extend(audit.diagnostics);
+        stats.audit_ms = audit_start.elapsed().as_millis();
     }
 
     stats
@@ -393,9 +451,21 @@ fn envelope_json(args: &Args, report: &Report, stats: &WorkloadStats, title: &st
         )
     };
     let prove_extra = format!(
-        ", \"proved\": {}, \"refuted\": {}, \"inconclusive\": {}, \"wall_ms\": {}",
-        stats.proved, stats.refuted, stats.inconclusive, stats.prove_ms
+        ", \"proved\": {}, \"refuted\": {}, \"inconclusive\": {}, \"memo_hits\": {}, \
+         \"wall_ms\": {}, \"wall_budget_ms\": {}",
+        stats.proved,
+        stats.refuted,
+        stats.inconclusive,
+        stats.memo_hits,
+        stats.prove_ms,
+        args.prove_wall_ms
     );
+    let verify_extra = format!(
+        ", \"exec_checked\": {}, \"wall_ms\": {}, \"exec_wall_ms\": {}",
+        stats.exec_checked, stats.verify_ms, stats.exec_ms
+    );
+    let audit_extra = format!(", \"wall_ms\": {}", stats.audit_ms);
+    let source_extra = format!(", \"wall_ms\": {}", stats.source_ms);
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"report\": {},\n", json_string(title)));
     out.push_str(&format!(
@@ -405,11 +475,16 @@ fn envelope_json(args: &Args, report: &Report, stats: &WorkloadStats, title: &st
         report.count(Severity::Info)
     ));
     out.push_str("  \"gates\": {\n");
-    out.push_str(&gate("verify", !args.source_only, band("MV0"), ""));
+    out.push_str(&gate(
+        "verify",
+        !args.source_only,
+        band("MV0"),
+        &verify_extra,
+    ));
     out.push_str(",\n");
-    out.push_str(&gate("audit", args.audit, band("MV1"), ""));
+    out.push_str(&gate("audit", args.audit, band("MV1"), &audit_extra));
     out.push_str(",\n");
-    out.push_str(&gate("source", args.source, band("MV2"), ""));
+    out.push_str(&gate("source", args.source, band("MV2"), &source_extra));
     out.push_str(",\n");
     out.push_str(&gate("prove", args.prove, band("MV3"), &prove_extra));
     out.push_str("\n  },\n");

@@ -88,7 +88,7 @@ fn constant_pairs(b: &BoolExpr, out: &mut Vec<(ColRef, Value)>) {
         }
         BoolExpr::Like { expr, pattern, .. } => {
             if let Some(c) = expr.as_column() {
-                out.push((c, Value::Str(pattern.replace(['%', '_'], ""))));
+                out.push((c, Value::from(pattern.replace(['%', '_'], ""))));
             }
         }
         BoolExpr::IsNull { .. } | BoolExpr::Literal(_) => {}

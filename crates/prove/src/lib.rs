@@ -25,9 +25,12 @@
 //! (`MV301`/`MV302`) carry no such caveat: a witness is a witness.
 
 mod domain;
+mod enumerative;
+mod memo;
 mod symbolic;
 
 pub use domain::MAX_FAMILY_VALUES;
+pub use memo::ProveMemo;
 
 use mv_catalog::{Catalog, TableId};
 use mv_data::{Database, EnumOutcome, Enumerator, Row};
@@ -64,6 +67,11 @@ pub struct ProveConfig {
     /// Try the symbolic pass first (disable to force an enumerated
     /// witness for a pair the abstraction would already separate).
     pub symbolic: bool,
+    /// Worker threads for the enumerative pass: `0` = auto (machine
+    /// parallelism), `1` = serial. Parallelism never changes the verdict,
+    /// the counterexample index, or the budget accounting — only wall
+    /// time.
+    pub jobs: usize,
 }
 
 impl Default for ProveConfig {
@@ -72,6 +80,7 @@ impl Default for ProveConfig {
             k: 2,
             max_databases: 20_000,
             symbolic: true,
+            jobs: 0,
         }
     }
 }
@@ -212,37 +221,16 @@ pub fn prove(
             return ProveOutcome::Unsupported { reason };
         }
     };
-    let tables: Vec<TableId> = dom.spec.tables.iter().map(|t| t.table).collect();
-    let enumerator = Enumerator::new(ctx.catalog, ctx.checks, &dom.spec);
-    let mut witness: Option<Witness> = None;
-    let stats = enumerator.for_each(cfg.max_databases, |seed, db| {
-        let query_rows = execute_spjg(db, query);
-        let view_rows = execute_spjg(db, view_expr);
-        let substitute_rows = execute_substitute_with(db, &view_rows, sub);
-        match bag_diff(&substitute_rows, &query_rows) {
-            None => true,
-            Some(diff) => {
-                witness = Some(Witness {
-                    seed,
-                    database: db.clone(),
-                    query_rows,
-                    substitute_rows,
-                    diff,
-                });
-                false
-            }
-        }
-    });
-    if let Some(w) = witness {
-        let _ = tables; // rendered by the caller via Witness::render
+    let res = enumerative::run(ctx, query, view_expr, sub, &dom.spec, cfg);
+    if let Some(w) = res.witness {
         return ProveOutcome::Counterexample(Box::new(w));
     }
-    match stats.outcome {
+    match res.outcome {
         EnumOutcome::Exhausted if !dom.truncated => ProveOutcome::ProvedBounded {
-            databases: stats.databases,
+            databases: res.databases,
         },
         EnumOutcome::Exhausted | EnumOutcome::BudgetExhausted => ProveOutcome::BudgetExhausted {
-            databases: stats.databases,
+            databases: res.databases,
         },
         EnumOutcome::DomainTooLarge => ProveOutcome::Unsupported {
             reason: format!(
@@ -250,8 +238,30 @@ pub fn prove(
                 mv_data::MAX_ROW_DOMAIN
             ),
         },
-        EnumOutcome::Stopped => unreachable!("visitor only stops on a counterexample"),
+        EnumOutcome::Stopped => unreachable!("a stopped walk carries a witness"),
     }
+}
+
+/// [`prove`] with a workload-scoped cache of proved canonical pairs. On a
+/// cache hit the stored outcome is returned without re-running either
+/// pass; misses prove normally and record proved outcomes. The memo must
+/// not outlive the `ctx` it was first used with (the catalog is not part
+/// of the cache key — see [`ProveMemo`]).
+pub fn prove_with_memo(
+    ctx: &ProveCtx<'_>,
+    query: &SpjgExpr,
+    view_expr: &SpjgExpr,
+    sub: &Substitute,
+    cfg: &ProveConfig,
+    memo: &mut ProveMemo,
+) -> ProveOutcome {
+    let key = memo::canonical_key(query, view_expr, sub, cfg);
+    if let Some(hit) = memo.get(&key) {
+        return hit;
+    }
+    let outcome = prove(ctx, query, view_expr, sub, cfg);
+    memo.record(key, &outcome);
+    outcome
 }
 
 /// Reconstruct the database behind an `MV302` seed and re-execute both

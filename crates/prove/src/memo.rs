@@ -1,0 +1,189 @@
+//! Memoization of proved plan pairs across a workload (DESIGN.md §16).
+//!
+//! The §5 workload proves many substitutes whose (query, view, substitute)
+//! triples repeat up to output naming — different queries rewritten over
+//! structurally identical views produce identical prove problems. A
+//! [`ProveMemo`] caches *proved* outcomes keyed on a canonical rendering of
+//! the triple with all output names blanked, plus the bound parameters.
+//!
+//! **Soundness**: the key captures every input the prover reads from the
+//! pair — tables, conjuncts, output expressions, backjoins, compensating
+//! predicates, the bound `k`, the database budget, and whether the
+//! symbolic pass runs. Output names are the only thing erased, and no
+//! pass consults them. The catalog and check constraints are *not* part
+//! of the key, so a memo must live within one [`crate::ProveCtx`] — reuse
+//! it per workload run, never across schemas. Only proved outcomes are
+//! cached: refutations carry pair-specific witnesses and are rare enough
+//! to recompute.
+
+use crate::{ProveConfig, ProveOutcome};
+use mv_plan::{NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewId};
+use std::collections::HashMap;
+
+/// A cache of proved canonical pairs for one workload run.
+#[derive(Debug, Default)]
+pub struct ProveMemo {
+    map: HashMap<String, ProveOutcome>,
+    hits: u64,
+}
+
+impl ProveMemo {
+    /// An empty memo.
+    pub fn new() -> Self {
+        ProveMemo::default()
+    }
+
+    /// Cached outcomes stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True iff nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// How many lookups returned a cached outcome.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn get(&mut self, key: &str) -> Option<ProveOutcome> {
+        let hit = self.map.get(key).cloned();
+        if hit.is_some() {
+            self.hits += 1;
+        }
+        hit
+    }
+
+    pub(crate) fn record(&mut self, key: String, outcome: &ProveOutcome) {
+        if outcome.is_proved() {
+            self.map.insert(key, outcome.clone());
+        }
+    }
+}
+
+fn strip_output(output: &OutputList) -> OutputList {
+    match output {
+        OutputList::Spj(items) => OutputList::Spj(
+            items
+                .iter()
+                .map(|ne| NamedExpr::new(ne.expr.clone(), ""))
+                .collect(),
+        ),
+        OutputList::Aggregate {
+            group_by,
+            aggregates,
+        } => OutputList::Aggregate {
+            group_by: group_by
+                .iter()
+                .map(|ne| NamedExpr::new(ne.expr.clone(), ""))
+                .collect(),
+            aggregates: aggregates
+                .iter()
+                .map(|na| NamedAgg::new(na.func.clone(), ""))
+                .collect(),
+        },
+    }
+}
+
+fn strip_expr(e: &SpjgExpr) -> SpjgExpr {
+    SpjgExpr {
+        tables: e.tables.clone(),
+        conjuncts: e.conjuncts.clone(),
+        output: strip_output(&e.output),
+    }
+}
+
+fn strip_sub(s: &Substitute) -> Substitute {
+    Substitute {
+        // The view id is bookkeeping, not semantics: the prover reads the
+        // view through `view_expr`.
+        view: ViewId(0),
+        backjoins: s.backjoins.clone(),
+        predicates: s.predicates.clone(),
+        output: strip_output(&s.output),
+    }
+}
+
+/// The canonical cache key for one prove problem.
+pub(crate) fn canonical_key(
+    query: &SpjgExpr,
+    view_expr: &SpjgExpr,
+    sub: &Substitute,
+    cfg: &ProveConfig,
+) -> String {
+    format!(
+        "k={};b={};sym={};q={:?};v={:?};s={:?}",
+        cfg.k,
+        cfg.max_databases,
+        cfg.symbolic,
+        strip_expr(query),
+        strip_expr(view_expr),
+        strip_sub(sub),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_ignores_output_names_only() {
+        use mv_expr::{BoolExpr, CmpOp, ColRef, ScalarExpr as S};
+        let q1 = SpjgExpr::spj(
+            vec![mv_catalog::TableId(0)],
+            BoolExpr::cmp(S::col(ColRef::new(0, 1)), CmpOp::Le, S::lit(10i64)),
+            vec![NamedExpr::new(S::col(ColRef::new(0, 0)), "a")],
+        );
+        let mut q2 = q1.clone();
+        if let OutputList::Spj(items) = &mut q2.output {
+            items[0].name = "renamed".into();
+        }
+        let sub = Substitute {
+            view: ViewId(3),
+            backjoins: vec![],
+            predicates: vec![],
+            output: OutputList::Spj(vec![NamedExpr::new(S::col(ColRef::new(0, 0)), "x")]),
+        };
+        let mut sub2 = sub.clone();
+        sub2.view = ViewId(9);
+        let cfg = ProveConfig::default();
+        assert_eq!(
+            canonical_key(&q1, &q1, &sub, &cfg),
+            canonical_key(&q2, &q2, &sub2, &cfg),
+            "names and view ids are erased"
+        );
+        let mut q3 = q1.clone();
+        q3.conjuncts.clear();
+        assert_ne!(
+            canonical_key(&q1, &q1, &sub, &cfg),
+            canonical_key(&q3, &q3, &sub, &cfg),
+            "semantic changes alter the key"
+        );
+        // Bound parameters are part of the claim.
+        let deeper = ProveConfig {
+            k: 3,
+            ..ProveConfig::default()
+        };
+        assert_ne!(
+            canonical_key(&q1, &q1, &sub, &cfg),
+            canonical_key(&q1, &q1, &sub, &deeper)
+        );
+    }
+
+    #[test]
+    fn memo_caches_only_proved_outcomes() {
+        let mut memo = ProveMemo::new();
+        memo.record("a".into(), &ProveOutcome::ProvedSymbolic);
+        memo.record("b".into(), &ProveOutcome::BudgetExhausted { databases: 5 });
+        memo.record(
+            "c".into(),
+            &ProveOutcome::SymbolicMismatch { detail: "x".into() },
+        );
+        assert_eq!(memo.len(), 1);
+        assert!(memo.get("a").is_some());
+        assert!(memo.get("b").is_none());
+        assert_eq!(memo.hits(), 1);
+    }
+}

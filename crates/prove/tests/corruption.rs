@@ -467,7 +467,15 @@ fn check_constraint_on_nullable_column_missed_by_verify_caught_by_prove() {
             .primary_key(&["id"])
             .build(),
     );
-    let engine = MatchingEngine::new(catalog, MatchConfig::default());
+    // The whole point is a substitute mv-prove refutes — keep the
+    // debug-build prove oracle out of `find_substitutes` itself.
+    let engine = MatchingEngine::new(
+        catalog,
+        MatchConfig {
+            prove_budget: 0,
+            ..MatchConfig::default()
+        },
+    );
     engine
         .add_check_constraint(t, BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Gt, S::lit(0i64)))
         .unwrap();

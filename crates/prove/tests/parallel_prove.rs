@@ -1,0 +1,170 @@
+//! Parallel enumeration is an invisible optimization: for every pair and
+//! budget, `jobs = N` must return the same verdict, the same counterexample
+//! seed, and the same budget accounting as `jobs = 1`.
+//!
+//! These tests drive the *public* API (`prove` / `prove_with_memo` /
+//! `replay`) over matcher-produced TPC-H substitutes — the chunked-driver
+//! internals have their own unit tests in `src/enumerative.rs` that force
+//! the parallel path below its size threshold.
+
+use mv_catalog::tpch::{tpch_catalog, TpchTables};
+use mv_core::{MatchConfig, MatchingEngine};
+use mv_expr::{BinOp, BoolExpr, ColRef, ScalarExpr as S};
+use mv_plan::{AggFunc, NamedAgg, NamedExpr, SpjgExpr, Substitute, ViewDef};
+use mv_prove::{prove, prove_with_memo, replay, ProveConfig, ProveCtx, ProveMemo, ProveOutcome};
+
+fn cr(occ: u32, col: u32) -> ColRef {
+    ColRef::new(occ, col)
+}
+
+/// Example 4's rollup pair: outside the symbolic fragment, so every
+/// verdict comes from the enumerative pass.
+fn rollup_pair(t: &TpchTables) -> (SpjgExpr, SpjgExpr) {
+    let revenue = S::col(cr(0, 4)).binary(BinOp::Mul, S::col(cr(0, 5)));
+    let view = SpjgExpr::aggregate(
+        vec![t.lineitem, t.orders],
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        vec![NamedExpr::new(S::col(cr(1, 1)), "o_custkey")],
+        vec![
+            NamedAgg::new(AggFunc::CountStar, "cnt"),
+            NamedAgg::new(AggFunc::Sum(revenue.clone()), "revenue"),
+        ],
+    );
+    let query = SpjgExpr::aggregate(
+        vec![t.lineitem, t.orders],
+        BoolExpr::col_eq(cr(0, 0), cr(1, 0)),
+        vec![],
+        vec![
+            NamedAgg::new(AggFunc::Sum(revenue), "rev"),
+            NamedAgg::new(AggFunc::CountStar, "n"),
+        ],
+    );
+    (query, view)
+}
+
+fn matched(query: &SpjgExpr, view: SpjgExpr) -> (MatchingEngine, Substitute) {
+    let (catalog, _) = tpch_catalog();
+    let engine = MatchingEngine::new(catalog, MatchConfig::default());
+    engine.add_view(ViewDef::new("v", view)).unwrap();
+    let mut subs = engine.find_substitutes(query);
+    assert_eq!(subs.len(), 1, "the matcher must produce this substitute");
+    let (_, sub) = subs.pop().unwrap();
+    (engine, sub)
+}
+
+fn cfg_with_jobs(jobs: usize) -> ProveConfig {
+    ProveConfig {
+        symbolic: false,
+        jobs,
+        ..ProveConfig::default()
+    }
+}
+
+#[test]
+fn parallel_proof_matches_serial_on_proved_pair() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = rollup_pair(&t);
+    let (engine, sub) = matched(&query, view.clone());
+    let checks = engine.check_constraints();
+    let ctx = ProveCtx::new(engine.catalog(), &checks);
+    let serial = prove(&ctx, &query, &view, &sub, &cfg_with_jobs(1));
+    let parallel = prove(&ctx, &query, &view, &sub, &cfg_with_jobs(4));
+    let ProveOutcome::ProvedBounded { databases: a } = serial else {
+        panic!("expected a bounded certificate, got {serial:?}");
+    };
+    let ProveOutcome::ProvedBounded { databases: b } = parallel else {
+        panic!("expected a bounded certificate, got {parallel:?}");
+    };
+    assert_eq!(a, b, "parallel certificate covers a different space");
+}
+
+#[test]
+fn parallel_counterexample_matches_serial_seed_and_replays() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = rollup_pair(&t);
+    let (engine, mut sub) = matched(&query, view.clone());
+    // Corrupt the rollup: drop the count rollup's weighting by renaming a
+    // SUM argument to a constant — the substitute now disagrees wherever
+    // the view has a group with more than one contributing row.
+    match &mut sub.output {
+        mv_plan::OutputList::Aggregate { aggregates, .. } => {
+            aggregates[0].func = AggFunc::Sum(S::lit(1i64));
+        }
+        other => panic!("rollup substitute must aggregate, got {other:?}"),
+    }
+    let checks = engine.check_constraints();
+    let ctx = ProveCtx::new(engine.catalog(), &checks);
+    let serial = prove(&ctx, &query, &view, &sub, &cfg_with_jobs(1));
+    let parallel = prove(&ctx, &query, &view, &sub, &cfg_with_jobs(4));
+    let ProveOutcome::Counterexample(sw) = serial else {
+        panic!("expected a counterexample, got {serial:?}");
+    };
+    let ProveOutcome::Counterexample(pw) = parallel else {
+        panic!("expected a counterexample, got {parallel:?}");
+    };
+    assert_eq!(
+        sw.seed, pw.seed,
+        "parallel cancellation must still report the first refuting index"
+    );
+    assert_eq!(sw.query_rows, pw.query_rows);
+    assert_eq!(sw.substitute_rows, pw.substitute_rows);
+    // The shared seed replays to the same disagreeing database.
+    let replayed = replay(&ctx, &query, &view, &sub, &cfg_with_jobs(4), pw.seed)
+        .expect("seed within the bounded space");
+    assert!(!replayed.diff.is_empty(), "replayed database agrees");
+    for ts in &mv_prove::pair_tables(&query, &view, &sub) {
+        assert_eq!(replayed.database.rows(*ts), pw.database.rows(*ts));
+    }
+}
+
+#[test]
+fn parallel_budget_accounting_matches_serial() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = rollup_pair(&t);
+    let (engine, sub) = matched(&query, view.clone());
+    let checks = engine.check_constraints();
+    let ctx = ProveCtx::new(engine.catalog(), &checks);
+    // Find the space size, then starve the budget below it.
+    let full = prove(&ctx, &query, &view, &sub, &cfg_with_jobs(1));
+    let ProveOutcome::ProvedBounded { databases: space } = full else {
+        panic!("expected a bounded certificate, got {full:?}");
+    };
+    let starved = |jobs: usize| ProveConfig {
+        max_databases: space / 2,
+        ..cfg_with_jobs(jobs)
+    };
+    let serial = prove(&ctx, &query, &view, &sub, &starved(1));
+    let ProveOutcome::BudgetExhausted { databases: a } = serial else {
+        panic!("expected budget exhaustion, got {serial:?}");
+    };
+    for jobs in [2, 4, 7] {
+        let parallel = prove(&ctx, &query, &view, &sub, &starved(jobs));
+        let ProveOutcome::BudgetExhausted { databases: b } = parallel else {
+            panic!("expected budget exhaustion, got {parallel:?}");
+        };
+        assert_eq!(a, b, "MV303 accounting drifted at jobs={jobs}");
+    }
+}
+
+#[test]
+fn memo_short_circuits_repeated_proofs() {
+    let (_, t) = tpch_catalog();
+    let (query, view) = rollup_pair(&t);
+    let (engine, sub) = matched(&query, view.clone());
+    let checks = engine.check_constraints();
+    let ctx = ProveCtx::new(engine.catalog(), &checks);
+    let cfg = cfg_with_jobs(0);
+    let mut memo = ProveMemo::new();
+    let first = prove_with_memo(&ctx, &query, &view, &sub, &cfg, &mut memo);
+    assert!(first.is_proved());
+    assert_eq!(memo.len(), 1);
+    assert_eq!(memo.hits(), 0);
+    // A renamed copy of the same problem hits the canonical cache.
+    let mut renamed = query.clone();
+    if let mv_plan::OutputList::Aggregate { aggregates, .. } = &mut renamed.output {
+        aggregates[0].name = "other_name".into();
+    }
+    let second = prove_with_memo(&ctx, &renamed, &view, &sub, &cfg, &mut memo);
+    assert!(second.is_proved());
+    assert_eq!(memo.hits(), 1, "renamed outputs must share the cache entry");
+}

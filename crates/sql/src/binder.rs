@@ -206,7 +206,7 @@ impl<'a> Binder<'a> {
             }
             AstScalar::Int(v) => ScalarExpr::Literal(Value::Int(*v)),
             AstScalar::Float(v) => ScalarExpr::Literal(Value::Float(*v)),
-            AstScalar::Str(s) => ScalarExpr::Literal(Value::Str(s.clone())),
+            AstScalar::Str(s) => ScalarExpr::Literal(Value::from(s.as_str())),
             AstScalar::DateLit(d) => {
                 let days =
                     parse_date(d).ok_or_else(|| SqlError::new(format!("invalid date {d}"), 0))?;
