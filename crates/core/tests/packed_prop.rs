@@ -176,6 +176,49 @@ proptest! {
             prop_assert_eq!(got_q, &engine.find_substitutes(q));
         }
     }
+
+    /// With the cache enabled, batching must also be invisible in the
+    /// *statistics*: a replayed duplicate is served from the group
+    /// representative exactly as a repeated query is served from the
+    /// cache, so every count-type counter (invocations, candidates,
+    /// substitutes, cache hits/misses/invalidations) must come out equal
+    /// to query-at-a-time matching — both cold and after a warm-up pass
+    /// that makes the representatives themselves cache hits.
+    #[test]
+    fn batch_matches_per_query_counters(
+        picks in prop::collection::vec(0usize..16, 1..24),
+    ) {
+        let (views, queries) = pools(16, 8);
+        let batched = MatchingEngine::new(tpch_catalog().0, MatchConfig::default());
+        let one_by_one = MatchingEngine::new(tpch_catalog().0, MatchConfig::default());
+        for v in &views {
+            batched.add_view(v.clone()).expect("generated views are valid");
+            one_by_one.add_view(v.clone()).expect("generated views are valid");
+        }
+        let batch: Vec<SpjgExpr> = picks
+            .iter()
+            .map(|&i| queries[i % queries.len()].clone())
+            .collect();
+        for pass in ["cold", "warm"] {
+            let got = batched.find_substitutes_many(&batch);
+            let mut want = Vec::with_capacity(batch.len());
+            for q in &batch {
+                want.push(one_by_one.find_substitutes(q));
+            }
+            prop_assert_eq!(&got, &want, "{} pass results", pass);
+            let (a, b) = (batched.stats(), one_by_one.stats());
+            prop_assert_eq!(a.invocations, b.invocations, "{} invocations", pass);
+            prop_assert_eq!(a.candidates, b.candidates, "{} candidates", pass);
+            prop_assert_eq!(a.views_available, b.views_available, "{} views_available", pass);
+            prop_assert_eq!(a.substitutes, b.substitutes, "{} substitutes", pass);
+            prop_assert_eq!(a.cache_hits, b.cache_hits, "{} cache_hits", pass);
+            prop_assert_eq!(a.cache_misses, b.cache_misses, "{} cache_misses", pass);
+            prop_assert_eq!(
+                a.cache_invalidations, b.cache_invalidations,
+                "{} cache_invalidations", pass
+            );
+        }
+    }
 }
 
 /// α-renamed duplicates land in the same fingerprint group; the batch

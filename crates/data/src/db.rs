@@ -70,6 +70,64 @@ impl Database {
         self.loaded[i] = true;
     }
 
+    /// Append rows to a table (the insert half of a base-table delta).
+    /// Panics on arity mismatch, like [`Database::load`]. Marks the table
+    /// loaded: a write round defines its contents even if it was never
+    /// bulk-loaded.
+    pub fn insert_rows(&mut self, table: TableId, rows: &[Row]) {
+        let arity = self.catalog.table(table).columns.len();
+        assert!(
+            rows.iter().all(|r| r.len() == arity),
+            "row arity mismatch for table {}",
+            self.catalog.table(table).name
+        );
+        let i = table.0 as usize;
+        if self.tables.len() <= i {
+            self.tables.resize_with(i + 1, Vec::new);
+            self.loaded.resize(i + 1, false);
+        }
+        self.tables[i].extend(rows.iter().cloned());
+        self.loaded[i] = true;
+    }
+
+    /// Delete rows from a table by value, with bag semantics: each row in
+    /// `rows` removes *one* matching stored row (`k` copies in the delta
+    /// remove `k` duplicates). Returns how many rows were actually
+    /// removed; deltas naming absent rows simply fall short, which the
+    /// caller can treat as an error or ignore. Row order of survivors is
+    /// preserved.
+    pub fn delete_rows(&mut self, table: TableId, rows: &[Row]) -> usize {
+        let i = table.0 as usize;
+        let Some(stored) = self.tables.get_mut(i) else {
+            return 0;
+        };
+        let mut pending: Vec<&Row> = rows.iter().collect();
+        let before = stored.len();
+        stored.retain(|r| {
+            if let Some(pos) = pending.iter().position(|p| *p == r) {
+                pending.swap_remove(pos);
+                false
+            } else {
+                true
+            }
+        });
+        before - stored.len()
+    }
+
+    /// Swap a table's stored rows with `rows`, in place. The maintenance
+    /// crate evaluates a view expression "with table T's rows replaced by
+    /// the delta rows": swap the delta in, evaluate, swap the real rows
+    /// back — no copies either way. Marks the table loaded.
+    pub fn swap_rows(&mut self, table: TableId, rows: &mut Vec<Row>) {
+        let i = table.0 as usize;
+        if self.tables.len() <= i {
+            self.tables.resize_with(i + 1, Vec::new);
+            self.loaded.resize(i + 1, false);
+        }
+        std::mem::swap(&mut self.tables[i], rows);
+        self.loaded[i] = true;
+    }
+
     /// The rows of a table (empty slice if never loaded).
     pub fn rows(&self, table: TableId) -> &[Row] {
         self.tables
@@ -255,6 +313,30 @@ mod tests {
     fn arity_checked_on_load() {
         let (mut db, t) = small_db();
         db.load(t, vec![vec![Value::Int(1)]]);
+    }
+
+    #[test]
+    fn insert_and_delete_are_bag_operations() {
+        let (mut db, t) = small_db();
+        db.insert_rows(
+            t,
+            &[
+                vec![Value::Int(5), Value::Int(10)],
+                vec![Value::Int(5), Value::Int(10)],
+            ],
+        );
+        assert_eq!(db.row_count(t), 6);
+        // Deleting one copy leaves the other.
+        let removed = db.delete_rows(t, &[vec![Value::Int(5), Value::Int(10)]]);
+        assert_eq!(removed, 1);
+        assert_eq!(db.row_count(t), 5);
+        assert_eq!(
+            db.rows(t).iter().filter(|r| r[0] == Value::Int(5)).count(),
+            1
+        );
+        // Absent rows fall short rather than panic.
+        let removed = db.delete_rows(t, &[vec![Value::Int(77), Value::Null]]);
+        assert_eq!(removed, 0);
     }
 
     #[test]

@@ -1426,6 +1426,7 @@ mod tests {
             backjoins: vec![],
             predicates: vec![BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Lt, S::lit(20i64))],
             output: OutputList::Spj(vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")]),
+            freshness: mv_plan::Freshness::Fresh,
         };
         let want = execute_substitute_with(&db, &view_rows, &sub);
 
@@ -1483,6 +1484,7 @@ mod tests {
                     NamedAgg::new(AggFunc::Sum(S::col(cr(0, 1))), "qty"),
                 ],
             },
+            freshness: mv_plan::Freshness::Fresh,
         };
         let qprog = PlanProgram::compile(&db.catalog, &query);
         let pipe = SubstitutePipeline::compile(&db.catalog, &view, &sub);

@@ -139,6 +139,7 @@ mod tests {
             backjoins: vec![],
             predicates: vec![BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Lt, S::lit(20i64))],
             output: OutputList::Spj(vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")]),
+            freshness: mv_plan::Freshness::Fresh,
         };
         let got = execute_substitute(&rows, &sub);
         // Oracle: the query evaluated directly.

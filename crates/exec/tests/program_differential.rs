@@ -7,7 +7,7 @@
 
 use mv_catalog::schema::{ForeignKey, TableBuilder};
 use mv_catalog::{Catalog, ColumnId, ColumnType, TableId, Value};
-use mv_data::{ColumnDomain, EnumSpec, Enumerator, TableSpec};
+use mv_data::{ColumnDomain, Database, EnumSpec, Enumerator, TableSpec};
 use mv_exec::{
     bag_diff, bag_eq, execute_spjg, execute_substitute_with, ExecScratch, PlanProgram, RowBag,
     SubstituteProgram,
@@ -321,6 +321,7 @@ fn compiled_substitute_matches_interpreter_over_enumerated_databases() {
             backjoins,
             predicates,
             output,
+            freshness: mv_plan::Freshness::Fresh,
         };
         let sprog = SubstituteProgram::compile(&f.catalog, &sub);
         enumerator.for_each(120, |seed, db| {
@@ -339,4 +340,100 @@ fn compiled_substitute_matches_interpreter_over_enumerated_databases() {
         });
     }
     assert!(checked > 2000, "differential coverage too thin: {checked}");
+}
+
+/// Directed SQL-semantics pin: `SUM` over an all-NULL group is NULL (not
+/// 0), a group emptied by the predicate vanishes entirely, and a *scalar*
+/// aggregate over empty input still yields its one row with `COUNT(*)` 0,
+/// `SUM` NULL and `SumZero` 0 — identically in the tree-walk interpreter
+/// and the compiled program, whose `arg_col` fast path (bare-column sum
+/// argument) and `fast_cmp` predicate path both fire here. Incremental
+/// maintenance makes emptied and all-NULL groups common, so these cases
+/// are pinned directly instead of hoping the random sweep hits them.
+#[test]
+fn sum_null_semantics_match_between_paths() {
+    let f = fixture();
+    let mut db = Database::new(f.catalog.clone());
+    // t(fk, b, c): three groups keyed on fk.
+    //   fk=1 — both b NULL: COUNT(*)=2, SUM(b)=NULL.
+    //   fk=2 — b ∈ {5, NULL}: COUNT(*)=2, SUM(b)=5.
+    //   fk=3 — its only row rejected by the b < 10 predicate: no group.
+    db.load(
+        f.t,
+        vec![
+            vec![Value::Int(1), Value::Null, Value::Float(0.0)],
+            vec![Value::Int(1), Value::Null, Value::Float(0.0)],
+            vec![Value::Int(2), Value::Int(5), Value::Float(0.0)],
+            vec![Value::Int(2), Value::Null, Value::Float(0.0)],
+            vec![Value::Int(3), Value::Int(50), Value::Float(0.0)],
+        ],
+    );
+    let col = |c: u32| ScalarExpr::col(ColRef::new(0, c));
+    let grouped_all = SpjgExpr::aggregate(
+        vec![f.t],
+        BoolExpr::Literal(true),
+        vec![NamedExpr::new(col(0), "fk")],
+        vec![
+            NamedAgg::new(AggFunc::CountStar, "cnt"),
+            NamedAgg::new(AggFunc::Sum(col(1)), "sum_b"),
+        ],
+    );
+    let grouped_filtered = SpjgExpr::aggregate(
+        vec![f.t],
+        BoolExpr::cmp(col(1), CmpOp::Lt, ScalarExpr::lit(10i64)),
+        vec![NamedExpr::new(col(0), "fk")],
+        vec![
+            NamedAgg::new(AggFunc::CountStar, "cnt"),
+            NamedAgg::new(AggFunc::Sum(col(1)), "sum_b"),
+        ],
+    );
+    let scalar_empty = SpjgExpr::aggregate(
+        vec![f.t],
+        BoolExpr::cmp(col(1), CmpOp::Lt, ScalarExpr::lit(-100i64)),
+        vec![],
+        vec![
+            NamedAgg::new(AggFunc::CountStar, "cnt"),
+            NamedAgg::new(AggFunc::Sum(col(1)), "sum_b"),
+            NamedAgg::new(AggFunc::SumZero(col(1)), "sum0_b"),
+        ],
+    );
+    let mut scratch = ExecScratch::new();
+    let mut bag = RowBag::new();
+    let mut check = |plan: &SpjgExpr, want: &[Vec<Value>], label: &str| {
+        let interp = execute_spjg(&db, plan);
+        assert!(
+            bag_eq(&interp, want),
+            "{label} interpreter: {:?}",
+            bag_diff(&interp, want)
+        );
+        let prog = PlanProgram::compile(&f.catalog, plan);
+        prog.execute(&db, &mut scratch, &mut bag);
+        let got = bag.to_rows();
+        assert!(
+            bag_eq(&got, want),
+            "{label} compiled: {:?}",
+            bag_diff(&got, want)
+        );
+    };
+    check(
+        &grouped_all,
+        &[
+            vec![Value::Int(1), Value::Int(2), Value::Null],
+            vec![Value::Int(2), Value::Int(2), Value::Int(5)],
+            vec![Value::Int(3), Value::Int(1), Value::Int(50)],
+        ],
+        "all-NULL group",
+    );
+    check(
+        &grouped_filtered,
+        // fk=1 gone (NULL b fails b < 10), fk=3 gone (50 fails): only the
+        // fk=2 row with b=5 survives its group.
+        &[vec![Value::Int(2), Value::Int(1), Value::Int(5)]],
+        "emptied groups",
+    );
+    check(
+        &scalar_empty,
+        &[vec![Value::Int(0), Value::Null, Value::Int(0)]],
+        "scalar aggregate over empty input",
+    );
 }

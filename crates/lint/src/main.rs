@@ -12,7 +12,13 @@
 //!    both the substitute and the original query on small generated data
 //!    and comparing row bags (rule MV018),
 //! 4. optionally (`--audit`) runs the `mv-audit` completeness & catalog
-//!    passes (rules MV101+) over the same engine and workload.
+//!    passes (rules MV101+) over the same engine and workload,
+//! 5. optionally (`--maintain N`) registers every view with the
+//!    `mv-maintain` driver, applies N insert/delete delta rounds to the
+//!    generated base data, and audits after each round that maintained
+//!    contents equal recompute-from-scratch (row-bag comparison, the
+//!    `--exec-check` discipline) and that freshness-stamped serving is
+//!    honest (rules MV401+).
 //!
 //! With `--source` the MV2xx source-discipline pass additionally lints
 //! every workspace crate's `.rs` sources for concurrency hygiene (raw
@@ -36,6 +42,7 @@ use mv_bench::{build_workload, engine_with, DATA_SEED};
 use mv_core::MatchConfig;
 use mv_data::{generate_tpch, TpchScale};
 use mv_exec::{bag_diff, execute_spjg, execute_substitute_with, materialize_view};
+use mv_maintain::{audit_serving, Maintainer, TableDelta};
 use mv_prove::{pair_tables, prove_diagnostics, prove_with_memo, ProveConfig, ProveCtx, ProveMemo};
 use mv_verify::{json_string, Diagnostic, Report, RuleId, Severity, VerifyContext};
 use mv_verify::{verify_expr, verify_substitute, verify_view_expr};
@@ -54,6 +61,9 @@ OPTIONS:
                        generated data and compare row bags [default: 0]
     --audit            also run the mv-audit passes: filter-tree index
                        completeness, catalog redundancy, metadata (MV101+)
+    --maintain N       apply N delta rounds through the mv-maintain driver
+                       and audit maintained contents + freshness-stamped
+                       serving (MV401+) [default: 0]
     --source           also run the MV2xx source-discipline pass over the
                        workspace's own .rs files
     --source-only      run only the MV2xx source pass (skips the workload)
@@ -78,6 +88,7 @@ struct Args {
     queries: usize,
     exec_check: usize,
     audit: bool,
+    maintain: usize,
     source: bool,
     source_only: bool,
     source_root: Option<String>,
@@ -97,6 +108,7 @@ fn parse_args() -> Args {
         queries: 100,
         exec_check: 0,
         audit: false,
+        maintain: 0,
         source: false,
         source_only: false,
         source_root: None,
@@ -124,6 +136,7 @@ fn parse_args() -> Args {
                 args.exec_check = parse_num(&value(&mut it, "--exec-check"), "--exec-check")
             }
             "--audit" => args.audit = true,
+            "--maintain" => args.maintain = parse_num(&value(&mut it, "--maintain"), "--maintain"),
             "--source" => args.source = true,
             "--source-only" => {
                 args.source = true;
@@ -226,18 +239,30 @@ fn main() -> ExitCode {
     } else {
         String::new()
     };
+    let maintain_summary = if args.maintain > 0 {
+        format!(
+            ", {} maintain rounds ({} incremental / {} recompute views) in {} ms",
+            stats.maintain_rounds,
+            stats.maintain_incremental,
+            stats.maintain_recompute,
+            stats.maintain_ms
+        )
+    } else {
+        String::new()
+    };
     let title = if args.source_only {
         format!("mv-lint: source-discipline pass{source_summary}")
     } else {
         format!(
-            "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked, {} audit findings{}{}",
+            "mv-lint: {} views, {} queries, {} substitutes, {} exec-checked, {} audit findings{}{}{}",
             args.views,
             args.queries,
             substitutes,
             stats.exec_checked,
             stats.audit_findings,
             source_summary,
-            prove_summary
+            prove_summary,
+            maintain_summary
         )
     };
     let json = if args.json {
@@ -259,8 +284,14 @@ fn main() -> ExitCode {
     let warnings = report.count(Severity::Warning);
     eprintln!("mv-lint: {substitutes} substitutes verified, {errors} errors, {warnings} warnings");
     eprintln!(
-        "mv-lint: phase wall: verify {} ms, exec {} ms, prove {} ms, audit {} ms, source {} ms",
-        stats.verify_ms, stats.exec_ms, stats.prove_ms, stats.audit_ms, stats.source_ms
+        "mv-lint: phase wall: verify {} ms, exec {} ms, prove {} ms, audit {} ms, source {} ms, \
+         maintain {} ms",
+        stats.verify_ms,
+        stats.exec_ms,
+        stats.prove_ms,
+        stats.audit_ms,
+        stats.source_ms,
+        stats.maintain_ms
     );
     for d in &report.diagnostics {
         if d.severity == Severity::Error || (args.deny_warnings && d.severity == Severity::Warning)
@@ -296,11 +327,15 @@ struct WorkloadStats {
     refuted: usize,
     inconclusive: usize,
     memo_hits: u64,
+    maintain_rounds: usize,
+    maintain_incremental: usize,
+    maintain_recompute: usize,
     verify_ms: u128,
     exec_ms: u128,
     prove_ms: u128,
     audit_ms: u128,
     source_ms: u128,
+    maintain_ms: u128,
 }
 
 /// The workload lint (MV0xx/MV1xx, plus MV3xx under `--prove`): verify
@@ -419,6 +454,56 @@ fn workload_lint(args: &Args, report: &mut Report) -> WorkloadStats {
         stats.memo_hits = memo.hits();
     }
 
+    // Incremental-maintenance gate (MV401+): register every view with
+    // the mv-maintain driver over the same tiny generated data the
+    // exec-check uses, drive insert/delete delta rounds through base
+    // tables the views actually read, and audit after each round that
+    // maintained contents equal recompute-from-scratch; finish with a
+    // freshness-stamped serving audit over the whole query workload.
+    if args.maintain > 0 {
+        // Phase wall time for the report only: mv-lint: allow(MV204)
+        let maintain_start = std::time::Instant::now();
+        let (db, _) = generate_tpch(&TpchScale::tiny(), DATA_SEED);
+        let mut maintainer = Maintainer::new(db);
+        let views = engine.views();
+        let mut tables: Vec<_> = Vec::new();
+        for (id, view) in views.iter() {
+            match maintainer.register(id, view) {
+                mv_maintain::MaintainStrategy::Incremental => stats.maintain_incremental += 1,
+                mv_maintain::MaintainStrategy::Recompute => stats.maintain_recompute += 1,
+            }
+            tables.extend(view.expr.tables.iter().copied());
+        }
+        tables.sort_unstable();
+        tables.dedup();
+        for round in 0..args.maintain {
+            let Some(&table) = tables.get(round % tables.len().max(1)) else {
+                break;
+            };
+            let rows = maintainer.db().rows(table);
+            if rows.is_empty() {
+                continue;
+            }
+            // One row leaves, a copy of another arrives: both delta
+            // directions every round, net row count unchanged.
+            let delta = TableDelta {
+                table,
+                inserts: vec![rows[(round + 1) % rows.len()].clone()],
+                deletes: vec![rows[round % rows.len()].clone()],
+            };
+            maintainer.apply_with_engine(&delta, &engine);
+            for (id, _) in views.iter() {
+                if maintainer.is_dirty(id) {
+                    maintainer.refresh_with_engine(id, &engine);
+                }
+            }
+            stats.maintain_rounds += 1;
+            report.extend(maintainer.audit());
+        }
+        report.extend(audit_serving(&engine, &maintainer, &workload.queries));
+        stats.maintain_ms = maintain_start.elapsed().as_millis();
+    }
+
     // Completeness & catalog audit (MV101+) over the same engine/workload.
     if args.audit {
         // Phase wall time for the report only: mv-lint: allow(MV204)
@@ -435,7 +520,7 @@ fn workload_lint(args: &Args, report: &mut Report) -> WorkloadStats {
 /// The `--json` envelope: the standard report fields plus a `gates`
 /// object with per-band diagnostic counts, so CI can route failures
 /// without parsing rule codes out of the flat list. Band = code prefix:
-/// MV0xx verify, MV1xx audit, MV2xx source, MV3xx prove.
+/// MV0xx verify, MV1xx audit, MV2xx source, MV3xx prove, MV4xx maintain.
 fn envelope_json(args: &Args, report: &Report, stats: &WorkloadStats, title: &str) -> String {
     let band = |prefix: &str| {
         report
@@ -466,6 +551,13 @@ fn envelope_json(args: &Args, report: &Report, stats: &WorkloadStats, title: &st
     );
     let audit_extra = format!(", \"wall_ms\": {}", stats.audit_ms);
     let source_extra = format!(", \"wall_ms\": {}", stats.source_ms);
+    let maintain_extra = format!(
+        ", \"rounds\": {}, \"incremental\": {}, \"recompute\": {}, \"wall_ms\": {}",
+        stats.maintain_rounds,
+        stats.maintain_incremental,
+        stats.maintain_recompute,
+        stats.maintain_ms
+    );
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"report\": {},\n", json_string(title)));
     out.push_str(&format!(
@@ -487,6 +579,13 @@ fn envelope_json(args: &Args, report: &Report, stats: &WorkloadStats, title: &st
     out.push_str(&gate("source", args.source, band("MV2"), &source_extra));
     out.push_str(",\n");
     out.push_str(&gate("prove", args.prove, band("MV3"), &prove_extra));
+    out.push_str(",\n");
+    out.push_str(&gate(
+        "maintain",
+        args.maintain > 0,
+        band("MV4"),
+        &maintain_extra,
+    ));
     out.push_str("\n  },\n");
     out.push_str("  \"diagnostics\": [\n");
     for (i, d) in report.diagnostics.iter().enumerate() {

@@ -317,6 +317,7 @@ pub fn sql_of_substitute_with(
 mod tests {
     use super::*;
     use crate::spjg::{NamedAgg, NamedExpr};
+    use crate::substitute::Freshness;
     use crate::view::ViewDef;
     use mv_catalog::tpch::tpch_catalog;
     use mv_expr::{CmpOp, ScalarExpr as S};
@@ -393,6 +394,7 @@ mod tests {
             }],
             predicates: vec![BoolExpr::cmp(S::col(cr(0, 2)), CmpOp::Le, S::lit(10i64))],
             output: OutputList::Spj(vec![NamedExpr::new(S::col(cr(0, 0)), "o_orderkey")]),
+            freshness: Freshness::Fresh,
         };
         let sql = sql_of_substitute_with(&sub, &views, Some(&cat));
         assert!(sql.contains("FROM okeys JOIN orders"), "{sql}");
@@ -420,6 +422,7 @@ mod tests {
             backjoins: vec![],
             predicates: vec![BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Lt, S::lit(10i64))],
             output: OutputList::Spj(vec![NamedExpr::new(S::col(cr(0, 0)), "p_partkey")]),
+            freshness: Freshness::Fresh,
         };
         let sql = sql_of_substitute(&sub, &views);
         assert!(sql.contains("FROM v_parts"), "{sql}");

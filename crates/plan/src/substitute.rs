@@ -33,6 +33,49 @@ pub struct BackJoin {
     pub key: Vec<(usize, ColumnId)>,
 }
 
+/// The staleness guarantee a freshness-aware matcher attaches to a
+/// substitute: either the view's materialized state reflects the current
+/// data epoch of every base table it is computed from, or it lags the
+/// current epochs by some number of write rounds. Engines that never see
+/// base-table writes stamp everything [`Freshness::Fresh`], so the default
+/// preserves the static-catalog behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Freshness {
+    /// The view's data epochs equal the current table data epochs: the
+    /// substitute is an exact rewrite of the query over current data.
+    #[default]
+    Fresh,
+    /// The view's materialized state trails the current data epochs.
+    Stale {
+        /// Largest per-table epoch gap across the view's base tables.
+        lag: u64,
+    },
+}
+
+impl Freshness {
+    /// Classify a maximum per-table epoch gap.
+    pub fn from_lag(lag: u64) -> Freshness {
+        if lag == 0 {
+            Freshness::Fresh
+        } else {
+            Freshness::Stale { lag }
+        }
+    }
+
+    /// The epoch gap (0 when fresh).
+    pub fn lag(&self) -> u64 {
+        match self {
+            Freshness::Fresh => 0,
+            Freshness::Stale { lag } => *lag,
+        }
+    }
+
+    /// Is the substitute guaranteed current?
+    pub fn is_fresh(&self) -> bool {
+        matches!(self, Freshness::Fresh)
+    }
+}
+
 /// A single-view substitute expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Substitute {
@@ -50,6 +93,9 @@ pub struct Substitute {
     /// SPJ queries, or a compensating group-by with rolled-up aggregates
     /// for aggregation queries.
     pub output: OutputList,
+    /// The freshness guarantee the producing engine attached (see
+    /// [`Freshness`]).
+    pub freshness: Freshness,
 }
 
 impl Substitute {
@@ -78,6 +124,7 @@ mod tests {
             backjoins: vec![],
             predicates: vec![],
             output: OutputList::Spj(vec![NamedExpr::new(S::col(ColRef::new(0, 0)), "a")]),
+            freshness: Freshness::Fresh,
         };
         assert!(sub.is_filter_free());
         assert!(!sub.regroups());
@@ -94,6 +141,7 @@ mod tests {
                 group_by: vec![],
                 aggregates: vec![],
             },
+            freshness: Freshness::Stale { lag: 2 },
         };
         assert!(!sub.is_filter_free());
         assert!(sub.regroups());

@@ -262,6 +262,7 @@ mod tests {
             backjoins: vec![],
             predicates: vec![BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Le, S::lit(10i64))],
             output: OutputList::Spj(vec![NamedExpr::new(S::col(cr(0, 0)), "pk")]),
+            freshness: mv_plan::Freshness::Fresh,
         };
         let bad = Substitute {
             predicates: vec![BoolExpr::cmp(S::col(cr(0, 1)), CmpOp::Lt, S::lit(10i64))],

@@ -17,7 +17,7 @@
 //! to recompute.
 
 use crate::{ProveConfig, ProveOutcome};
-use mv_plan::{NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewId};
+use mv_plan::{Freshness, NamedAgg, NamedExpr, OutputList, SpjgExpr, Substitute, ViewId};
 use std::collections::HashMap;
 
 /// A cache of proved canonical pairs for one workload run.
@@ -103,6 +103,9 @@ fn strip_sub(s: &Substitute) -> Substitute {
         backjoins: s.backjoins.clone(),
         predicates: s.predicates.clone(),
         output: strip_output(&s.output),
+        // Freshness is a serving guarantee, not semantics: a stale and a
+        // fresh stamp of the same rewrite prove identically.
+        freshness: Freshness::Fresh,
     }
 }
 
@@ -145,6 +148,7 @@ mod tests {
             backjoins: vec![],
             predicates: vec![],
             output: OutputList::Spj(vec![NamedExpr::new(S::col(ColRef::new(0, 0)), "x")]),
+            freshness: Freshness::Fresh,
         };
         let mut sub2 = sub.clone();
         sub2.view = ViewId(9);

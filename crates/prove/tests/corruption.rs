@@ -426,6 +426,7 @@ fn nullable_fk_elimination_refuted() {
         backjoins: vec![],
         predicates: vec![],
         output: OutputList::Spj(out(&[(0, 0, "id"), (0, 1, "f")])),
+        freshness: mv_plan::Freshness::Fresh,
     };
     let checks = std::collections::HashMap::new();
     let ctx = ProveCtx::new(&catalog, &checks);

@@ -193,6 +193,25 @@ pub enum RuleId {
     /// (foreign-key cycle among the referenced tables, or a row domain
     /// past the enumerator's hard cap): nothing was checked.
     ProveUnsupported,
+    /// MV401 — a maintained view's stored contents differ from
+    /// recompute-from-scratch as row bags: some delta was propagated
+    /// wrongly (or applied twice, or skipped). The diagnostic shows the
+    /// bag difference.
+    MaintainedDrift,
+    /// MV402 — a substitute stamped `Fresh` was served from a view whose
+    /// data epochs trail the current table epochs: the freshness gate or
+    /// the stamp bookkeeping is broken, and the rewrite may read data the
+    /// base tables no longer contain.
+    StaleServing,
+    /// MV403 — an aggregate view retains a group whose maintained count
+    /// reached zero (or stores a non-positive count): counting maintenance
+    /// must delete emptied groups, or re-aggregation resurrects phantom
+    /// groups.
+    ZombieGroup,
+    /// MV404 — a view's data-epoch stamp is *ahead* of the current table
+    /// epoch for some base table: stamps may only trail table epochs, so a
+    /// lead means forged or reordered maintenance bookkeeping.
+    StampRegression,
 }
 
 impl RuleId {
@@ -242,6 +261,10 @@ impl RuleId {
             RuleId::Counterexample => "MV302",
             RuleId::ProveBudgetExhausted => "MV303",
             RuleId::ProveUnsupported => "MV304",
+            RuleId::MaintainedDrift => "MV401",
+            RuleId::StaleServing => "MV402",
+            RuleId::ZombieGroup => "MV403",
+            RuleId::StampRegression => "MV404",
         }
     }
 
@@ -291,6 +314,10 @@ impl RuleId {
             RuleId::Counterexample => "counterexample",
             RuleId::ProveBudgetExhausted => "prove-budget-exhausted",
             RuleId::ProveUnsupported => "prove-unsupported",
+            RuleId::MaintainedDrift => "maintained-drift",
+            RuleId::StaleServing => "stale-serving",
+            RuleId::ZombieGroup => "zombie-group",
+            RuleId::StampRegression => "stamp-regression",
         }
     }
 }
